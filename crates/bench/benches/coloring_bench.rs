@@ -1,0 +1,40 @@
+//! Coloring substrate microbenchmarks: schedule construction, set
+//! derivation, and the shared greedy graph coloring.
+
+use coloring::{greedy_color_graph, AdjGraph, CoverFreeFamily, LinialSchedule};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_coloring(c: &mut Criterion) {
+    c.bench_function("linial_schedule_2e20_d8", |b| {
+        b.iter(|| LinialSchedule::compute(1 << 20, 8).final_range())
+    });
+    let fam = CoverFreeFamily::construct(1 << 20, 8);
+    c.bench_function("cover_free_set_derivation", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % fam.len();
+            fam.set(i).len()
+        })
+    });
+    // Random graph with ~4 edges per vertex.
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 500u32;
+    let mut g = AdjGraph::new();
+    for v in 0..n {
+        g.add_vertex(v);
+        for _ in 0..2 {
+            let u = rng.gen_range(0..n);
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    c.bench_function("greedy_color_graph_500", |b| {
+        b.iter(|| greedy_color_graph(&g).len())
+    });
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

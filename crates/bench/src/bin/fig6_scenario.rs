@@ -1,0 +1,92 @@
+//! Experiment F6 — replay **Figure 6** (the mobility scenario that motivates
+//! the `SD^f` return path).
+//!
+//! The paper's scenario: a chain `p1 – p2 – p3 – p4` with colors
+//! `c(p3) < c(p4)`, `c(p3) < c(p2) < c(p1)`, where `p4` crashes while
+//! holding the fork it shares with `p3`. Then:
+//!
+//! * `p3` collects all its low forks but never gets `p4`'s → it suspends
+//!   `p2`'s request (blocked at distance 1 from the crash);
+//! * `p2` misses its low fork → it keeps granting `p1` without asking back
+//!   (blocked at distance 2);
+//! * `p1`, at distance 3, **eats** — the failure is contained.
+//!
+//! Then `p3` moves away. `p2` detects the lost low neighbor holding their
+//! shared fork, takes the **return path** (exits `SD^f` and re-executes its
+//! entry code), and proceeds to eat; `p3`, now alone, eats too.
+//!
+//! Node-ID mapping (IDs also fix the initial fork placement): node0 = p4,
+//! node1 = p3, node2 = p2, node3 = p1; colors are installed explicitly.
+//!
+//! Run: `cargo run --release -p lme-bench --bin fig6_scenario`
+
+use harness::{Metrics, SafetyMonitor, Workload};
+use lme_bench::section;
+use local_mutex::Algorithm1;
+use manet_sim::{DiningState, Engine, NodeId, SimConfig, SimTime};
+
+fn main() {
+    section("F6 (Figure 6): crash containment and the SD^f return path");
+    // Chain p4 – p3 – p2 – p1  =  node0 – node1 – node2 – node3.
+    let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
+    // Colors: p4 = 1, p3 = 0, p2 = 2, p1 = 3 (so p3 < p4 and p3 < p2 < p1).
+    let colors = [1i64, 0, 2, 3];
+    let mut engine: Engine<Algorithm1> =
+        Engine::new(SimConfig::default(), positions, |seed| {
+            let mut node = Algorithm1::greedy(&seed);
+            node.set_initial_coloring(&colors);
+            node
+        });
+    let (metrics, data) = Metrics::new(4);
+    engine.add_hook(Box::new(metrics));
+    let (monitor, _violations) = SafetyMonitor::new(true);
+    engine.add_hook(Box::new(monitor));
+    engine.add_hook(Box::new(Workload::one_shot(20..=20, 1)));
+
+    let (p4, p3, p2, p1) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+    engine.crash_at(SimTime(5), p4);
+    for n in [p3, p2, p1] {
+        engine.set_hungry_at(SimTime(10), n);
+    }
+
+    // Phase 1: the crash is contained at distance 2.
+    engine.run_until(SimTime(4_000));
+    println!("after the crash of p4 (t = 4000):");
+    for (name, node) in [("p3", p3), ("p2", p2), ("p1", p1)] {
+        println!(
+            "  {name} (node{}) : {} — meals so far: {}",
+            node.0,
+            engine.dining_state(node),
+            data.borrow().meals[node.index()]
+        );
+    }
+    assert_eq!(data.borrow().meals[p1.index()], 1, "p1 (distance 3) must eat");
+    assert_eq!(engine.dining_state(p3), DiningState::Hungry, "p3 blocked by p4");
+    assert_eq!(engine.dining_state(p2), DiningState::Hungry, "p2 blocked by p3");
+    println!("  ✓ failure contained: only the 2-neighborhood of p4 is blocked");
+
+    // Phase 2: p3 moves away; the return path frees p2.
+    engine.teleport_at(SimTime(4_000), p3, (50.0, 0.0));
+    engine.run_until(SimTime(8_000));
+    println!("\nafter p3 moved away (t = 8000):");
+    for (name, node) in [("p3", p3), ("p2", p2), ("p1", p1)] {
+        println!(
+            "  {name} (node{}) : {} — meals: {}, return paths: {}",
+            node.0,
+            engine.dining_state(node),
+            data.borrow().meals[node.index()],
+            engine.protocol(node).stats.return_paths
+        );
+    }
+    assert!(
+        engine.protocol(p2).stats.return_paths >= 1,
+        "p2 must take the SD^f return path when p3 departs with their fork"
+    );
+    assert_eq!(data.borrow().meals[p2.index()], 1, "p2 must eat after the return path");
+    assert_eq!(data.borrow().meals[p3.index()], 1, "p3, alone, must eat");
+    println!(
+        "  ✓ return path taken by p2: {} time(s); p2 and p3 both ate",
+        engine.protocol(p2).stats.return_paths
+    );
+    println!("\nscenario matches Figure 6 of the paper exactly");
+}

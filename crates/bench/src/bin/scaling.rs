@@ -1,0 +1,304 @@
+//! Experiments C1–C2 — response-time scaling behind Theorems 16, 22, 25, 26.
+//!
+//! * **C2-static (Thm 26)**: cold start on a line — all nodes hungry at
+//!   once forces the worst-case priority chain; the slowest node's first
+//!   response grows ~linearly in `n` (the `O(n)` bound for Algorithm 2;
+//!   the first-meal chain of the color/fork algorithms behaves alike).
+//! * **C1-n (Thm 16/22)**: steady state on a line — once exit-colors
+//!   converge to `[0, δ]`, response times are independent of `n` for every
+//!   algorithm (δ fixed); this is the paper's "scalability" claim.
+//! * **C1-δ (Thm 16/22)**: steady state on cliques — response grows with δ
+//!   (polynomial in δ; constants differ per algorithm).
+//! * **C2-mobile (Thm 25)**: mobility costs — mobile vs static percentiles
+//!   on a random graph, plus the recoloring-cost comparison between the
+//!   greedy (`O(n)` worst case) and Linial (`O(log* n)`) procedures under
+//!   *simultaneous* movers.
+//!
+//! Run: `cargo run --release -p lme-bench --bin scaling [--quick]`
+
+use harness::{run_algorithm, topology, AlgKind, RunSpec, Table, WaypointPlan};
+use lme_bench::{section, sized};
+use manet_sim::{Command, Position, SimTime};
+
+const KINDS: [AlgKind; 4] = [
+    AlgKind::ChandyMisra,
+    AlgKind::A1Greedy,
+    AlgKind::A1Linial,
+    AlgKind::A2,
+];
+
+fn cold_start_line() {
+    section("C2-static: cold start, line, all hungry at t=1 (worst chain) — max first response");
+    let sizes = sized(vec![8usize, 16, 32, 48, 64], vec![8, 16, 24]);
+    let mut table = Table::new(&["n", "chandy-misra", "A1-greedy", "A1-linial", "A2", "CM / n"]);
+    for &n in &sizes {
+        let spec = RunSpec {
+            horizon: 40_000 + 2_000 * n as u64,
+            cyclic: false,
+            first_hungry: (1, 1),
+            ..RunSpec::default()
+        };
+        let mut row = vec![n.to_string()];
+        let mut cm_max = 0;
+        for kind in KINDS {
+            let out = run_algorithm(kind, &spec, &topology::line(n), &[]);
+            assert!(out.violations.is_empty(), "{} unsafe", kind.name());
+            assert_eq!(
+                out.total_meals(),
+                n as u64,
+                "{}: starvation in the cold-start chain",
+                kind.name()
+            );
+            let max = out.all_summary().max;
+            if kind == AlgKind::ChandyMisra {
+                cm_max = max;
+            }
+            row.push(max.to_string());
+        }
+        row.push(format!("{:.1}", cm_max as f64 / n as f64));
+        table.row(row);
+    }
+    print!("{table}");
+    println!(
+        "expected shape: Chandy-Misra's dirty-fork chains grow with n, while the paper's \
+         algorithms stay flat — comfortably inside their O(n)-type worst-case bounds \
+         (randomized delays break the adversarial chains those bounds describe)"
+    );
+}
+
+fn steady_state_line() {
+    section("C1-n: steady state on a line (δ = 2) — p95 static response vs n");
+    let sizes = sized(vec![8usize, 16, 32, 64], vec![8, 16]);
+    let mut table = Table::new(&["n", "chandy-misra", "A1-greedy", "A1-linial", "A2"]);
+    for &n in &sizes {
+        let spec = RunSpec {
+            horizon: sized(60_000, 15_000),
+            ..RunSpec::default()
+        };
+        let mut row = vec![n.to_string()];
+        for kind in KINDS {
+            let out = run_algorithm(kind, &spec, &topology::line(n), &[]);
+            assert!(out.violations.is_empty());
+            row.push(out.static_summary().p95.to_string());
+        }
+        table.row(row);
+    }
+    print!("{table}");
+    println!("expected shape: columns ~flat — steady-state response independent of n at fixed δ");
+}
+
+fn steady_state_clique() {
+    section("C1-δ: steady state on cliques — p95 static response vs δ");
+    let sizes = sized(vec![3usize, 5, 9, 13, 17], vec![3, 5, 9]);
+    let mut table = Table::new(&["δ", "chandy-misra", "A1-greedy", "A1-linial", "A2"]);
+    for &k in &sizes {
+        let spec = RunSpec {
+            horizon: sized(80_000, 20_000),
+            ..RunSpec::default()
+        };
+        let mut row = vec![(k - 1).to_string()];
+        for kind in KINDS {
+            let out = run_algorithm(kind, &spec, &topology::clique(k), &[]);
+            assert!(out.violations.is_empty());
+            row.push(out.static_summary().p95.to_string());
+        }
+        table.row(row);
+    }
+    print!("{table}");
+    println!("expected shape: response grows with δ for every algorithm (contention is per-neighborhood)");
+}
+
+fn mobile_vs_static() {
+    section("C2-mobile: mobility cost on a 32-node random graph — p50/p95");
+    let n = sized(32, 12);
+    let horizon = sized(60_000, 12_000);
+    let positions = topology::random_connected(n, 97);
+    let spec = RunSpec {
+        horizon,
+        ..RunSpec::default()
+    };
+    let plan = WaypointPlan {
+        area_side: (n as f64 / 1.6).sqrt(),
+        moves: sized(50, 10),
+        window: (horizon / 10, horizon * 9 / 10),
+        speed: Some(0.25),
+        seed: 13,
+    };
+    let commands = plan.commands(n);
+    let mut table = Table::new(&["algorithm", "static p50/p95", "mobile p50/p95", "mobile meals"]);
+    for kind in KINDS {
+        let stat = run_algorithm(kind, &spec, &positions, &[]);
+        let mob = run_algorithm(kind, &spec, &positions, &commands);
+        assert!(stat.violations.is_empty() && mob.violations.is_empty());
+        let s = stat.static_summary();
+        let m = mob.static_summary();
+        table.row([
+            kind.name().to_string(),
+            format!("{}/{}", s.p50, s.p95),
+            format!("{}/{}", m.p50, m.p95),
+            mob.total_meals().to_string(),
+        ]);
+    }
+    print!("{table}");
+    println!("expected shape: mobility inflates tails moderately; no algorithm loses safety or livelocks");
+}
+
+fn simultaneous_movers() {
+    section("C2-recolor: k simultaneous movers into one region — post-move p95 (greedy vs Linial recoloring)");
+    // k nodes teleport at the same instant next to a resident line, forcing
+    // k concurrent recolorings. The greedy procedure floods the whole
+    // concurrent-recoloring component (O(n) worst case); Linial needs only
+    // its log* n rounds.
+    let resident = sized(16usize, 8);
+    let mut table = Table::new(&["movers k", "A1-greedy p95 (post-move)", "A1-linial p95 (post-move)"]);
+    for k in sized(vec![2usize, 4, 8, 12], vec![2, 4]) {
+        let mut positions = topology::line(resident);
+        // Movers start in a far-away staging clique.
+        for i in 0..k {
+            positions.push((200.0 + 0.2 * i as f64, 200.0));
+        }
+        let move_at = 2_000u64;
+        let horizon = sized(40_000u64, 12_000);
+        let spec = RunSpec {
+            horizon,
+            delta_bound: Some(8),
+            ..RunSpec::default()
+        };
+        let commands: Vec<(SimTime, Command)> = (0..k)
+            .map(|i| {
+                // Land interleaved along the resident line.
+                // Land in a contiguous strip so the movers are adjacent to
+                // each other: their recolorings form one concurrent component.
+                let x = (i as f64).min(resident as f64 - 1.0);
+                (
+                    SimTime(move_at),
+                    Command::Teleport {
+                        node: manet_sim::NodeId((resident + i) as u32),
+                        dest: Position { x, y: 1.0 },
+                    },
+                )
+            })
+            .collect();
+        let mut row = vec![k.to_string()];
+        for kind in [AlgKind::A1Greedy, AlgKind::A1Linial] {
+            let out = run_algorithm(kind, &spec, &positions, &commands);
+            assert!(out.violations.is_empty());
+            let post: Vec<u64> = out
+                .metrics
+                .samples
+                .iter()
+                .filter(|s| s.hungry_at >= SimTime(move_at) && !s.moved)
+                .map(|s| s.response())
+                .collect();
+            row.push(harness::Summary::of(&post).p95.to_string());
+        }
+        table.row(row);
+    }
+    print!("{table}");
+    println!(
+        "expected shape: post-move latency grows with the movers' contention but both \
+         variants cope; the asymptotic gap between the procedures (Θ(k) greedy rounds vs \
+         constant log* n Linial rounds) is isolated at the procedure level in \
+         coloring_exp C4-b — here system-level noise (doorways, fork traffic) dominates \
+         because concurrent-recoloring components stay small under realistic arrival jitter"
+    );
+}
+
+fn bootstrap_recoloring() {
+    section("C2-boot: initial recoloring at cold start — max first response vs n (greedy vs Linial)");
+    // The paper initializes colors by running the recoloring module on
+    // every node. With the whole line hungry at once, recoloring components
+    // are large: the greedy flood must traverse them (O(n) per Lemma 15)
+    // while Linial needs only its log* n rounds (Lemma 21) — the
+    // system-level counterpart of coloring_exp C4-b.
+    let mut table = Table::new(&["n", "A1-greedy max", "A1-linial max", "greedy/linial"]);
+    for n in sized(vec![8usize, 16, 32, 48], vec![8, 16]) {
+        let spec = RunSpec {
+            horizon: 60_000 + 3_000 * n as u64,
+            cyclic: false,
+            first_hungry: (1, 1),
+            ..RunSpec::default()
+        };
+        let mut maxes = Vec::new();
+        for kind in [AlgKind::A1Greedy, AlgKind::A1Linial] {
+            let positions = topology::line(n);
+            let sched = std::sync::Arc::new(coloring::LinialSchedule::compute(n as u64, 2));
+            let out = harness::run_protocol(
+                &spec,
+                &positions,
+                |seed| {
+                    let mut node = match kind {
+                        AlgKind::A1Greedy => local_mutex::Algorithm1::greedy(&seed),
+                        _ => local_mutex::Algorithm1::linial(&seed, sched.clone()),
+                    };
+                    node.require_initial_recoloring();
+                    node
+                },
+                |_| {},
+            );
+            assert!(out.violations.is_empty());
+            assert_eq!(out.total_meals(), n as u64, "{}: starvation", kind.name());
+            maxes.push(out.all_summary().max);
+        }
+        table.row([
+            n.to_string(),
+            maxes[0].to_string(),
+            maxes[1].to_string(),
+            format!("{:.2}", maxes[0] as f64 / maxes[1] as f64),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "expected shape: the greedy column grows faster with n than the Linial column          (its recoloring flood must traverse each concurrent component); the ratio rises"
+    );
+}
+
+fn hub_vs_leaves_star() {
+    section("C1-star: explicit star graphs — hub vs leaf p95 static response vs δ");
+    // Stars cannot be embedded in the unit disk beyond 5 leaves; the
+    // explicit-graph engine runs them anyway. Leaves conflict only with
+    // the hub, so leaf latency stays flat while the hub's grows with δ —
+    // per-neighborhood contention in its purest form.
+    let mut table = Table::new(&["δ (leaves)", "hub p95 (A2)", "leaf p95 (A2)", "hub p95 (A1-greedy)", "leaf p95 (A1-greedy)"]);
+    for leaves in sized(vec![2usize, 4, 8, 16, 24], vec![2, 4, 8]) {
+        let (n, edges) = harness::topology::star_edges(leaves);
+        let spec = RunSpec {
+            horizon: sized(80_000, 20_000),
+            ..RunSpec::default()
+        };
+        let mut row = vec![leaves.to_string()];
+        for kind in [AlgKind::A2, AlgKind::A1Greedy] {
+            let out = harness::run_algorithm_graph(kind, &spec, n, &edges, &[]);
+            assert!(out.violations.is_empty());
+            let hub: Vec<u64> = out
+                .metrics
+                .samples
+                .iter()
+                .filter(|s| s.node == manet_sim::NodeId(0))
+                .map(|s| s.response())
+                .collect();
+            let leaf: Vec<u64> = out
+                .metrics
+                .samples
+                .iter()
+                .filter(|s| s.node != manet_sim::NodeId(0))
+                .map(|s| s.response())
+                .collect();
+            row.push(harness::Summary::of(&hub).p95.to_string());
+            row.push(harness::Summary::of(&leaf).p95.to_string());
+        }
+        table.row(row);
+    }
+    print!("{table}");
+    println!("expected shape: hub latency grows with δ; leaf latency stays ~flat (they conflict only with the hub)");
+}
+
+fn main() {
+    cold_start_line();
+    steady_state_line();
+    steady_state_clique();
+    mobile_vs_static();
+    hub_vs_leaves_star();
+    bootstrap_recoloring();
+    simultaneous_movers();
+}

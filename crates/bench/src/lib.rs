@@ -1,0 +1,28 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! table and figures. See EXPERIMENTS.md at the repository root for the
+//! mapping from binaries to paper artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod svg;
+
+/// True when the binary was invoked with `--quick`: experiment sizes are
+/// reduced so the whole suite runs in seconds (used by smoke checks).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Pick between a full-size and a quick-mode parameter.
+pub fn sized<T>(full: T, quick: T) -> T {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Print a section header in the style shared by all experiment binaries.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

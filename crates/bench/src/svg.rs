@@ -1,0 +1,505 @@
+//! Minimal, dependency-free SVG charts for the generated figures.
+//!
+//! Follows the repository's data-viz conventions: a light chart surface,
+//! recessive hairline gridlines, 2px lines with ≥8px surface-ringed
+//! markers, ≤24px bars with 4px rounded data-ends (square at the
+//! baseline), text in ink tokens (never the series color), a legend for
+//! ≥2 series plus selective direct end-labels, and a fixed categorical
+//! hue order (validated for CVD separation; the aqua/yellow contrast
+//! warning is relieved by the direct labels and the tables in
+//! EXPERIMENTS.md).
+
+/// Fixed categorical hue order (never cycled; validated).
+pub const SERIES_COLORS: [&str; 4] = ["#2a78d6", "#1baf7a", "#eda100", "#008300"];
+const SURFACE: &str = "#fcfcfb";
+const GRID: &str = "#e9e8e4";
+const INK_PRIMARY: &str = "#0b0b0b";
+const INK_SECONDARY: &str = "#52514e";
+const FONT: &str = "font-family=\"Helvetica, Arial, sans-serif\"";
+
+/// One named line-chart series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend / end-label name.
+    pub name: String,
+    /// `(x, y)` points in data space, ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Round `raw` up to a "nice" tick step (1/2/5 × 10^k).
+fn nice_step(raw: f64) -> f64 {
+    let mag = 10f64.powf(raw.abs().max(f64::MIN_POSITIVE).log10().floor());
+    let norm = raw / mag;
+    let factor = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    factor * mag
+}
+
+/// Nice ticks covering `[0, max]` (charts here are magnitude charts and
+/// always baseline at zero), at most `want + 1` of them.
+fn ticks(max: f64, want: usize) -> Vec<f64> {
+    let max = if max <= 0.0 { 1.0 } else { max };
+    let step = nice_step(max / want.max(1) as f64);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t < max + step * 0.999 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e7 {
+        let n = v as i64;
+        // thousands separators
+        let s = n.abs().to_string();
+        let mut grouped = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                grouped.push(',');
+            }
+            grouped.push(c);
+        }
+        if n < 0 {
+            format!("-{grouped}")
+        } else {
+            grouped
+        }
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+struct Frame {
+    w: f64,
+    h: f64,
+    left: f64,
+    right: f64,
+    top: f64,
+    bottom: f64,
+}
+
+impl Frame {
+    fn plot_w(&self) -> f64 {
+        self.w - self.left - self.right
+    }
+    fn plot_h(&self) -> f64 {
+        self.h - self.top - self.bottom
+    }
+}
+
+fn header(frame: &Frame, title: &str, subtitle: &str) -> String {
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" role=\"img\" aria-label=\"{t}\">\n\
+         <rect width=\"{w}\" height=\"{h}\" fill=\"{SURFACE}\"/>\n",
+        w = frame.w,
+        h = frame.h,
+        t = esc(title),
+    );
+    s.push_str(&format!(
+        "<text x=\"{x}\" y=\"26\" {FONT} font-size=\"15\" font-weight=\"600\" fill=\"{INK_PRIMARY}\">{}</text>\n",
+        esc(title),
+        x = frame.left,
+    ));
+    if !subtitle.is_empty() {
+        s.push_str(&format!(
+            "<text x=\"{x}\" y=\"44\" {FONT} font-size=\"12\" fill=\"{INK_SECONDARY}\">{}</text>\n",
+            esc(subtitle),
+            x = frame.left,
+        ));
+    }
+    s
+}
+
+fn y_grid(frame: &Frame, y_ticks: &[f64], y_max: f64) -> String {
+    let mut s = String::new();
+    for &t in y_ticks {
+        let y = frame.top + frame.plot_h() * (1.0 - t / y_max);
+        s.push_str(&format!(
+            "<line x1=\"{x1}\" y1=\"{y:.1}\" x2=\"{x2}\" y2=\"{y:.1}\" stroke=\"{GRID}\" stroke-width=\"1\"/>\n",
+            x1 = frame.left,
+            x2 = frame.w - frame.right,
+        ));
+        s.push_str(&format!(
+            "<text x=\"{x}\" y=\"{ty:.1}\" {FONT} font-size=\"11\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"end\">{}</text>\n",
+            fmt_num(t),
+            x = frame.left - 8.0,
+            ty = y + 4.0,
+        ));
+    }
+    s
+}
+
+/// A multi-series line chart with markers, legend and direct end-labels.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title (also the aria-label).
+    pub title: String,
+    /// One-line subtitle naming workload/units.
+    pub subtitle: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, at most [`SERIES_COLORS`]`.len()`.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Render to a standalone SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no series, more than four, or an empty series.
+    pub fn render(&self) -> String {
+        assert!(
+            !self.series.is_empty() && self.series.len() <= SERIES_COLORS.len(),
+            "1..=4 series supported"
+        );
+        let frame = Frame {
+            w: 720.0,
+            h: 440.0,
+            left: 64.0,
+            right: 120.0, // room for direct end-labels
+            top: 88.0,
+            bottom: 56.0,
+        };
+        let x_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(f64::MIN, f64::max);
+        let x_min = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(f64::MAX, f64::min);
+        let y_raw = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(f64::MIN, f64::max);
+        let y_ticks = ticks(y_raw * 1.05, 5);
+        let y_max = *y_ticks.last().expect("ticks nonempty");
+        let sx = |x: f64| {
+            frame.left
+                + if x_max > x_min {
+                    frame.plot_w() * (x - x_min) / (x_max - x_min)
+                } else {
+                    frame.plot_w() / 2.0
+                }
+        };
+        let sy = |y: f64| frame.top + frame.plot_h() * (1.0 - y / y_max);
+
+        let mut s = header(&frame, &self.title, &self.subtitle);
+        s.push_str(&y_grid(&frame, &y_ticks, y_max));
+        // X ticks at the data points of the longest series.
+        let longest = self
+            .series
+            .iter()
+            .max_by_key(|sr| sr.points.len())
+            .expect("non-empty");
+        for &(x, _) in &longest.points {
+            s.push_str(&format!(
+                "<text x=\"{tx:.1}\" y=\"{ty:.1}\" {FONT} font-size=\"11\" fill=\"{INK_SECONDARY}\" \
+                 text-anchor=\"middle\">{}</text>\n",
+                fmt_num(x),
+                tx = sx(x),
+                ty = frame.h - frame.bottom + 18.0,
+            ));
+        }
+        // Axis labels.
+        s.push_str(&format!(
+            "<text x=\"{tx:.1}\" y=\"{ty:.1}\" {FONT} font-size=\"12\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"middle\">{}</text>\n",
+            esc(&self.x_label),
+            tx = frame.left + frame.plot_w() / 2.0,
+            ty = frame.h - 14.0,
+        ));
+        s.push_str(&format!(
+            "<text x=\"18\" y=\"{ty:.1}\" {FONT} font-size=\"12\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"middle\" transform=\"rotate(-90 18 {ty:.1})\">{}</text>\n",
+            esc(&self.y_label),
+            ty = frame.top + frame.plot_h() / 2.0,
+        ));
+        // Legend (≥2 series).
+        if self.series.len() >= 2 {
+            let mut lx = frame.left;
+            let ly = 62.0;
+            for (i, sr) in self.series.iter().enumerate() {
+                s.push_str(&format!(
+                    "<rect x=\"{lx:.1}\" y=\"{y:.1}\" width=\"10\" height=\"10\" rx=\"2\" fill=\"{c}\"/>\n",
+                    y = ly - 9.0,
+                    c = SERIES_COLORS[i],
+                ));
+                s.push_str(&format!(
+                    "<text x=\"{tx:.1}\" y=\"{ly}\" {FONT} font-size=\"12\" fill=\"{INK_PRIMARY}\">{}</text>\n",
+                    esc(&sr.name),
+                    tx = lx + 15.0,
+                ));
+                lx += 15.0 + 8.0 * sr.name.len() as f64 + 24.0;
+            }
+        }
+        // Series: 2px lines, markers r=4 with 2px surface ring, end labels.
+        for (i, sr) in self.series.iter().enumerate() {
+            let color = SERIES_COLORS[i];
+            let path: Vec<String> = sr
+                .points
+                .iter()
+                .enumerate()
+                .map(|(k, &(x, y))| {
+                    format!("{}{:.1},{:.1}", if k == 0 { "M" } else { "L" }, sx(x), sy(y))
+                })
+                .collect();
+            s.push_str(&format!(
+                "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" \
+                 stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n",
+                path.join(" "),
+            ));
+            for &(x, y) in &sr.points {
+                s.push_str(&format!(
+                    "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"4\" fill=\"{color}\" \
+                     stroke=\"{SURFACE}\" stroke-width=\"2\"/>\n",
+                    cx = sx(x),
+                    cy = sy(y),
+                ));
+            }
+            if let Some(&(x, y)) = sr.points.last() {
+                s.push_str(&format!(
+                    "<text x=\"{tx:.1}\" y=\"{ty:.1}\" {FONT} font-size=\"12\" \
+                     fill=\"{INK_PRIMARY}\">{}</text>\n",
+                    esc(&sr.name),
+                    tx = sx(x) + 10.0,
+                    ty = sy(y) + 4.0 + 14.0 * offset_for_collision(i, sr, &self.series, y_max),
+                ));
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// Nudge an end-label down when a later series ends within 14px (data
+/// space approximation) of this one — a minimal collision dodge; charts
+/// with truly converging series should use the tables instead.
+fn offset_for_collision(i: usize, sr: &Series, all: &[Series], y_max: f64) -> f64 {
+    let my_end = sr.points.last().map(|p| p.1).unwrap_or(0.0);
+    let mut bump = 0.0;
+    for (j, other) in all.iter().enumerate() {
+        if j >= i {
+            continue;
+        }
+        let their_end = other.points.last().map(|p| p.1).unwrap_or(0.0);
+        if ((my_end - their_end) / y_max).abs() < 0.045 {
+            bump += 1.0;
+        }
+    }
+    bump
+}
+
+/// A single-series category bar chart (one measure per named category).
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    /// Chart title (also the aria-label).
+    pub title: String,
+    /// One-line subtitle naming workload/units.
+    pub subtitle: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// `(category, value)` bars in display order.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Render to a standalone SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no bars.
+    pub fn render(&self) -> String {
+        assert!(!self.bars.is_empty());
+        let frame = Frame {
+            w: 720.0,
+            h: 420.0,
+            left: 64.0,
+            right: 24.0,
+            top: 76.0,
+            bottom: 64.0,
+        };
+        let y_raw = self.bars.iter().map(|b| b.1).fold(0.0, f64::max);
+        let y_ticks = ticks(y_raw * 1.1, 5);
+        let y_max = *y_ticks.last().expect("ticks nonempty");
+        let sy = |y: f64| frame.top + frame.plot_h() * (1.0 - y / y_max);
+        let n = self.bars.len() as f64;
+        let band = frame.plot_w() / n;
+        let bar_w = (band * 0.5).min(24.0); // ≤ 24px thick
+        let mut s = header(&frame, &self.title, &self.subtitle);
+        s.push_str(&y_grid(&frame, &y_ticks, y_max));
+        s.push_str(&format!(
+            "<text x=\"18\" y=\"{ty:.1}\" {FONT} font-size=\"12\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"middle\" transform=\"rotate(-90 18 {ty:.1})\">{}</text>\n",
+            esc(&self.y_label),
+            ty = frame.top + frame.plot_h() / 2.0,
+        ));
+        let baseline = sy(0.0);
+        for (k, (name, value)) in self.bars.iter().enumerate() {
+            let cx = frame.left + band * (k as f64 + 0.5);
+            let x = cx - bar_w / 2.0;
+            let top = sy(*value);
+            let h = (baseline - top).max(0.0);
+            let r = 4f64.min(h / 2.0).min(bar_w / 2.0);
+            // Rounded data-end, square baseline.
+            s.push_str(&format!(
+                "<path d=\"M{x:.1},{baseline:.1} V{ytop:.1} Q{x:.1},{top:.1} {xr:.1},{top:.1} \
+                 H{xr2:.1} Q{xe:.1},{top:.1} {xe:.1},{ytop:.1} V{baseline:.1} Z\" \
+                 fill=\"{c}\"/>\n",
+                ytop = top + r,
+                xr = x + r,
+                xr2 = x + bar_w - r,
+                xe = x + bar_w,
+                c = SERIES_COLORS[0],
+            ));
+            // Value on the cap (ink, not series color).
+            s.push_str(&format!(
+                "<text x=\"{cx:.1}\" y=\"{ty:.1}\" {FONT} font-size=\"11\" fill=\"{INK_PRIMARY}\" \
+                 text-anchor=\"middle\">{}</text>\n",
+                fmt_num(*value),
+                ty = top - 6.0,
+            ));
+            // Category label.
+            s.push_str(&format!(
+                "<text x=\"{cx:.1}\" y=\"{ty:.1}\" {FONT} font-size=\"11\" fill=\"{INK_SECONDARY}\" \
+                 text-anchor=\"middle\">{}</text>\n",
+                esc(name),
+                ty = frame.h - frame.bottom + 18.0,
+            ));
+        }
+        // Baseline axis.
+        s.push_str(&format!(
+            "<line x1=\"{x1}\" y1=\"{baseline:.1}\" x2=\"{x2}\" y2=\"{baseline:.1}\" \
+             stroke=\"{INK_SECONDARY}\" stroke-width=\"1\"/>\n",
+            x1 = frame.left,
+            x2 = frame.w - frame.right,
+        ));
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_nice_and_cover_max() {
+        let t = ticks(475.0, 5);
+        assert_eq!(t.first(), Some(&0.0));
+        assert!(*t.last().expect("nonempty") >= 475.0);
+        // Steps are 1/2/5 × 10^k.
+        let step = t[1] - t[0];
+        let mag = 10f64.powf(step.log10().floor());
+        let norm = step / mag;
+        assert!([1.0, 2.0, 5.0, 10.0].iter().any(|f| (norm - f).abs() < 1e-9));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1200.0), "1,200");
+        assert_eq!(fmt_num(4.61), "4.6");
+        assert_eq!(fmt_num(1000000.0), "1,000,000");
+    }
+
+    #[test]
+    fn line_chart_contains_marks_legend_and_labels() {
+        let chart = LineChart {
+            title: "T".into(),
+            subtitle: "sub".into(),
+            x_label: "n".into(),
+            y_label: "ticks".into(),
+            series: vec![
+                Series {
+                    name: "greedy".into(),
+                    points: vec![(8.0, 141.0), (16.0, 190.0), (48.0, 475.0)],
+                },
+                Series {
+                    name: "linial".into(),
+                    points: vec![(8.0, 110.0), (16.0, 116.0), (48.0, 103.0)],
+                },
+            ],
+        };
+        let svg = chart.render();
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("stroke-width=\"2\""), "2px lines");
+        assert!(svg.matches("<circle").count() >= 6, "markers on all points");
+        assert!(svg.contains("greedy") && svg.contains("linial"), "legend + end labels");
+        assert!(svg.contains(SERIES_COLORS[0]) && svg.contains(SERIES_COLORS[1]));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn single_series_line_chart_has_no_legend_box() {
+        let chart = LineChart {
+            title: "T".into(),
+            subtitle: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                name: "only".into(),
+                points: vec![(0.0, 1.0), (1.0, 2.0)],
+            }],
+        };
+        let svg = chart.render();
+        // End label yes, legend swatch rect no.
+        assert!(svg.contains("only"));
+        assert!(!svg.contains("rx=\"2\""), "no legend swatch for one series");
+    }
+
+    #[test]
+    fn bar_chart_bars_are_capped_and_labeled() {
+        let chart = BarChart {
+            title: "FL".into(),
+            subtitle: "31-node line".into(),
+            y_label: "distance".into(),
+            bars: vec![("cm".into(), 15.0), ("a2".into(), 1.0)],
+        };
+        let svg = chart.render();
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">15<") && svg.contains(">1<"), "cap labels");
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series supported")]
+    fn too_many_series_rejected() {
+        let s = Series {
+            name: "x".into(),
+            points: vec![(0.0, 1.0)],
+        };
+        let chart = LineChart {
+            title: String::new(),
+            subtitle: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: vec![s.clone(), s.clone(), s.clone(), s.clone(), s],
+        };
+        let _ = chart.render();
+    }
+}

@@ -1,0 +1,307 @@
+//! Hand-rolled argument parsing (the workspace is dependency-minimal by
+//! design; see DESIGN.md §6).
+
+use harness::AlgKind;
+
+/// A parsed topology specification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopoSpec {
+    /// `line:N`
+    Line(usize),
+    /// `ring:N`
+    Ring(usize),
+    /// `grid:WxH`
+    Grid(usize, usize),
+    /// `clique:N`
+    Clique(usize),
+    /// `random:N[:SEED]` — random unit-disk graph.
+    Random(usize, u64),
+    /// `star:LEAVES` — explicit graph (not unit-disk embeddable).
+    Star(usize),
+    /// `tree:N` — explicit complete binary tree.
+    Tree(usize),
+}
+
+impl TopoSpec {
+    /// Number of nodes this spec produces.
+    pub fn len(&self) -> usize {
+        match *self {
+            TopoSpec::Line(n)
+            | TopoSpec::Ring(n)
+            | TopoSpec::Clique(n)
+            | TopoSpec::Random(n, _)
+            | TopoSpec::Tree(n) => n,
+            TopoSpec::Grid(w, h) => w * h,
+            TopoSpec::Star(leaves) => leaves + 1,
+        }
+    }
+
+    /// True only for degenerate zero-node specs (rejected by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for specs that need the explicit-graph engine (no geometry).
+    pub fn is_explicit(&self) -> bool {
+        matches!(self, TopoSpec::Star(_) | TopoSpec::Tree(_))
+    }
+}
+
+/// The parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Print the available algorithms and topology syntax.
+    List,
+    /// Run a workload and report.
+    Run,
+    /// Crash probe: crash the victim mid-CS and report locality.
+    Probe,
+}
+
+/// Everything the CLI understood.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Which subcommand to run.
+    pub command: Command,
+    /// Algorithm under test.
+    pub alg: AlgKind,
+    /// Topology specification.
+    pub topo: TopoSpec,
+    /// Virtual-time horizon.
+    pub horizon: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Eating-time range.
+    pub eat: (u64, u64),
+    /// Think-time range.
+    pub think: (u64, u64),
+    /// Random-waypoint movements to schedule.
+    pub moves: usize,
+    /// Crash-probe victim (probe) or optional mid-run crash (run).
+    pub victim: Option<u32>,
+    /// Emit per-episode samples as CSV instead of the text report.
+    pub csv: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Cli {
+        Cli {
+            command: Command::Run,
+            alg: AlgKind::A2,
+            topo: TopoSpec::Line(8),
+            horizon: 40_000,
+            seed: 0xA77D_2008,
+            eat: (10, 30),
+            think: (50, 150),
+            moves: 0,
+            victim: None,
+            csv: false,
+        }
+    }
+}
+
+/// Usage text shown for `lme list` and on errors.
+pub const USAGE: &str = "\
+usage: lme <list|run|probe> [options]
+
+options:
+  --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
+                     chandy-misra | choy-singh              (default a2)
+  --topo <spec>      line:N | ring:N | grid:WxH | clique:N |
+                     random:N[:SEED] | star:LEAVES | tree:N (default line:8)
+  --horizon <ticks>  run length                             (default 40000)
+  --seed <n>         RNG seed
+  --eat <a..b>       eating-time range in ticks             (default 10..30)
+  --think <a..b>     think-time range in ticks              (default 50..150)
+  --moves <k>        random-waypoint movements              (default 0)
+  --victim <node>    probe: node to crash mid-CS            (default center)
+  --csv              emit per-episode samples as CSV
+";
+
+fn parse_alg(s: &str) -> Result<AlgKind, String> {
+    AlgKind::extended()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown algorithm '{s}'; try `lme list`"))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("invalid {what} '{s}'"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("invalid {what} '{s}'"))
+}
+
+fn parse_range(s: &str) -> Result<(u64, u64), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("range '{s}' must look like 10..30"))?;
+    let a = parse_u64(a, "range start")?;
+    let b = parse_u64(b, "range end")?;
+    if a == 0 || b < a {
+        return Err(format!("range '{s}' must satisfy 1 ≤ a ≤ b"));
+    }
+    Ok((a, b))
+}
+
+/// Parse a topology spec like `grid:4x5` or `random:24:7`.
+pub fn parse_topo(s: &str) -> Result<TopoSpec, String> {
+    let mut parts = s.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let arg = parts.next().ok_or_else(|| format!("topology '{s}' needs a size, e.g. line:8"))?;
+    let spec = match kind {
+        "line" => TopoSpec::Line(parse_usize(arg, "size")?),
+        "ring" => TopoSpec::Ring(parse_usize(arg, "size")?),
+        "clique" => TopoSpec::Clique(parse_usize(arg, "size")?),
+        "star" => TopoSpec::Star(parse_usize(arg, "leaf count")?),
+        "tree" => TopoSpec::Tree(parse_usize(arg, "size")?),
+        "grid" => {
+            let (w, h) = arg
+                .split_once('x')
+                .ok_or_else(|| format!("grid spec '{arg}' must look like 4x5"))?;
+            TopoSpec::Grid(parse_usize(w, "grid width")?, parse_usize(h, "grid height")?)
+        }
+        "random" => {
+            let n = parse_usize(arg, "size")?;
+            let seed = match parts.next() {
+                Some(s) => parse_u64(s, "topology seed")?,
+                None => 7,
+            };
+            TopoSpec::Random(n, seed)
+        }
+        other => return Err(format!("unknown topology kind '{other}'; try `lme list`")),
+    };
+    if spec.is_empty() {
+        return Err("topology must have at least one node".to_string());
+    }
+    if let Some(extra) = parts.next() {
+        if !matches!(spec, TopoSpec::Random(..)) || !extra.is_empty() {
+            // random consumed its optional seed above; anything else is junk
+            if !matches!(spec, TopoSpec::Random(..)) {
+                return Err(format!("trailing topology arguments: '{extra}'"));
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Parse full argv (excluding the binary name is fine too — `list`, `run`
+/// or `probe` is located positionally).
+///
+/// # Errors
+///
+/// Returns a diagnostic (often including [`USAGE`]) on malformed input.
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
+    let mut args: Vec<String> = argv.into_iter().collect();
+    if args.first().is_some_and(|a| a.ends_with("lme") || a.ends_with("lme.exe")) {
+        args.remove(0);
+    }
+    let mut cli = Cli::default();
+    let mut it = args.into_iter().peekable();
+    let cmd = it.next().ok_or_else(|| format!("missing command\n{USAGE}"))?;
+    cli.command = match cmd.as_str() {
+        "list" => Command::List,
+        "run" => Command::Run,
+        "probe" => Command::Probe,
+        other => return Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--alg" => cli.alg = parse_alg(&value("--alg")?)?,
+            "--topo" => cli.topo = parse_topo(&value("--topo")?)?,
+            "--horizon" => cli.horizon = parse_u64(&value("--horizon")?, "horizon")?,
+            "--seed" => cli.seed = parse_u64(&value("--seed")?, "seed")?,
+            "--eat" => cli.eat = parse_range(&value("--eat")?)?,
+            "--think" => cli.think = parse_range(&value("--think")?)?,
+            "--moves" => cli.moves = parse_usize(&value("--moves")?, "move count")?,
+            "--victim" => {
+                cli.victim = Some(parse_u64(&value("--victim")?, "victim")? as u32);
+            }
+            "--csv" => cli.csv = true,
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if cli.moves > 0 && cli.topo.is_explicit() {
+        return Err("star/tree topologies are explicit graphs: movement is not supported".into());
+    }
+    if let Some(v) = cli.victim {
+        if v as usize >= cli.topo.len() {
+            return Err(format!(
+                "victim {v} out of range for a {}-node topology",
+                cli.topo.len()
+            ));
+        }
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cli = parse(argv("run")).unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!(cli.alg, AlgKind::A2);
+        assert_eq!(cli.topo, TopoSpec::Line(8));
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let cli = parse(argv(
+            "run --alg a1-linial --topo grid:4x5 --horizon 9000 --seed 3 \
+             --eat 5..9 --think 11..20 --moves 4 --csv",
+        ))
+        .unwrap();
+        assert_eq!(cli.alg, AlgKind::A1Linial);
+        assert_eq!(cli.topo, TopoSpec::Grid(4, 5));
+        assert_eq!(cli.topo.len(), 20);
+        assert_eq!(cli.horizon, 9000);
+        assert_eq!(cli.seed, 3);
+        assert_eq!(cli.eat, (5, 9));
+        assert_eq!(cli.think, (11, 20));
+        assert_eq!(cli.moves, 4);
+        assert!(cli.csv);
+    }
+
+    #[test]
+    fn parses_every_topology_kind() {
+        assert_eq!(parse_topo("line:3").unwrap(), TopoSpec::Line(3));
+        assert_eq!(parse_topo("ring:9").unwrap(), TopoSpec::Ring(9));
+        assert_eq!(parse_topo("clique:4").unwrap(), TopoSpec::Clique(4));
+        assert_eq!(parse_topo("random:24:9").unwrap(), TopoSpec::Random(24, 9));
+        assert_eq!(parse_topo("random:24").unwrap(), TopoSpec::Random(24, 7));
+        assert_eq!(parse_topo("star:6").unwrap(), TopoSpec::Star(6));
+        assert_eq!(parse_topo("tree:15").unwrap(), TopoSpec::Tree(15));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(argv("bogus")).is_err());
+        assert!(parse(argv("run --alg nope")).is_err());
+        assert!(parse(argv("run --topo blob:3")).is_err());
+        assert!(parse(argv("run --topo grid:4")).is_err());
+        assert!(parse(argv("run --eat 30..10")).is_err());
+        assert!(parse(argv("run --eat 0..10")).is_err());
+        assert!(parse(argv("run --horizon")).is_err());
+        assert!(parse(argv("run --topo star:4 --moves 2")).is_err());
+        assert!(parse(argv("probe --topo line:5 --victim 9")).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_name_round_trips() {
+        for k in AlgKind::extended() {
+            assert_eq!(parse_alg(k.name()).unwrap(), k);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Command execution: turn a parsed [`Cli`] into a run and render the
+//! report.
+
+use harness::{
+    crash_probe, run_algorithm, run_algorithm_graph, stats::jain_index, topology, AlgKind,
+    RunOutcome, RunSpec, Table, WaypointPlan,
+};
+use manet_sim::{NodeId, SimConfig, SimTime};
+
+use crate::args::{Cli, Command, TopoSpec, USAGE};
+
+fn spec_of(cli: &Cli) -> RunSpec {
+    RunSpec {
+        sim: SimConfig {
+            seed: cli.seed,
+            ..SimConfig::default()
+        },
+        horizon: cli.horizon,
+        eat: cli.eat.0..=cli.eat.1,
+        think: cli.think.0..=cli.think.1,
+        ..RunSpec::default()
+    }
+}
+
+fn run_outcome(cli: &Cli, spec: &RunSpec) -> RunOutcome {
+    match cli.topo {
+        TopoSpec::Star(leaves) => {
+            let (n, edges) = topology::star_edges(leaves);
+            run_algorithm_graph(cli.alg, spec, n, &edges, &[])
+        }
+        TopoSpec::Tree(n) => {
+            let (n, edges) = topology::binary_tree_edges(n);
+            run_algorithm_graph(cli.alg, spec, n, &edges, &[])
+        }
+        ref geo => {
+            let positions = match *geo {
+                TopoSpec::Line(n) => topology::line(n),
+                TopoSpec::Ring(n) => topology::ring(n),
+                TopoSpec::Grid(w, h) => topology::grid(w, h),
+                TopoSpec::Clique(n) => topology::clique(n),
+                TopoSpec::Random(n, seed) => topology::random_connected(n, seed),
+                TopoSpec::Star(_) | TopoSpec::Tree(_) => unreachable!("handled above"),
+            };
+            let commands = if cli.moves > 0 {
+                WaypointPlan {
+                    area_side: (positions.len() as f64 / 1.6).sqrt().max(2.0),
+                    moves: cli.moves,
+                    window: (cli.horizon / 10, cli.horizon * 9 / 10),
+                    speed: Some(0.25),
+                    seed: cli.seed ^ 0xB0B,
+                }
+                .commands(positions.len())
+            } else {
+                Vec::new()
+            };
+            run_algorithm(cli.alg, spec, &positions, &commands)
+        }
+    }
+}
+
+fn render_run(cli: &Cli, out: &RunOutcome) -> String {
+    if cli.csv {
+        let mut t = Table::new(&["node", "hungry_at", "eat_at", "response", "moved"]);
+        for s in &out.metrics.samples {
+            t.row([
+                s.node.0.to_string(),
+                s.hungry_at.to_string(),
+                s.eat_at.to_string(),
+                s.response().to_string(),
+                s.moved.to_string(),
+            ]);
+        }
+        return t.to_csv();
+    }
+    let mut report = String::new();
+    report.push_str(&format!(
+        "{} on {:?} (n = {}), horizon {}, seed {}\n",
+        cli.alg.name(),
+        cli.topo,
+        cli.topo.len(),
+        cli.horizon,
+        cli.seed
+    ));
+    report.push_str(&format!(
+        "  safety violations : {}\n",
+        out.violations.len()
+    ));
+    report.push_str(&format!("  total meals       : {}\n", out.total_meals()));
+    report.push_str(&format!(
+        "  meals fairness    : {:.3} (Jain index)\n",
+        jain_index(&out.metrics.meals)
+    ));
+    report.push_str(&format!("  response (static) : {}\n", out.static_summary()));
+    report.push_str(&format!("  response (all)    : {}\n", out.all_summary()));
+    report.push_str(&format!(
+        "  messages          : {} ({:.1} per meal)\n",
+        out.messages_sent,
+        out.messages_per_meal()
+    ));
+    let starving = out.metrics.starving_since(SimTime(cli.horizon / 2));
+    if starving.is_empty() {
+        report.push_str("  starvation        : none\n");
+    } else {
+        report.push_str(&format!("  starvation        : {starving:?}\n"));
+    }
+    report
+}
+
+fn render_probe(cli: &Cli) -> Result<String, String> {
+    let spec = spec_of(cli);
+    if cli.topo.is_explicit() {
+        return Err("probe currently supports geometric topologies only".into());
+    }
+    let positions = match cli.topo {
+        TopoSpec::Line(n) => topology::line(n),
+        TopoSpec::Ring(n) => topology::ring(n),
+        TopoSpec::Grid(w, h) => topology::grid(w, h),
+        TopoSpec::Clique(n) => topology::clique(n),
+        TopoSpec::Random(n, seed) => topology::random_connected(n, seed),
+        TopoSpec::Star(_) | TopoSpec::Tree(_) => unreachable!("checked above"),
+    };
+    let victim = NodeId(cli.victim.unwrap_or(cli.topo.len() as u32 / 2));
+    let report = crash_probe(cli.alg, &spec, &positions, victim, spec.horizon / 20);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "crash probe: {} on {:?}, victim {victim} crashed mid-CS\n",
+        cli.alg.name(),
+        cli.topo
+    ));
+    s.push_str(&format!(
+        "  crash fired at    : {}\n",
+        report
+            .outcome
+            .crash_time
+            .map_or("never (victim never ate)".to_string(), |t| t.to_string())
+    ));
+    s.push_str(&format!(
+        "  safety violations : {}\n",
+        report.outcome.violations.len()
+    ));
+    match report.locality {
+        None => s.push_str("  starvation        : none observed\n"),
+        Some(m) => {
+            s.push_str(&format!(
+                "  starving nodes    : {:?}\n",
+                report.starving
+            ));
+            s.push_str(&format!("  empirical locality: {m}\n"));
+        }
+    }
+    Ok(s)
+}
+
+/// Execute a parsed command and return the rendered report.
+///
+/// # Errors
+///
+/// Returns a diagnostic on unsupported combinations.
+pub fn execute(cli: &Cli) -> Result<String, String> {
+    match cli.command {
+        Command::List => {
+            let mut s = String::from("algorithms:\n");
+            for k in AlgKind::extended() {
+                s.push_str(&format!(
+                    "  {:<14} FL {:<22} RT {}\n",
+                    k.name(),
+                    k.paper_failure_locality(),
+                    k.paper_response_time()
+                ));
+            }
+            s.push('\n');
+            s.push_str(USAGE);
+            Ok(s)
+        }
+        Command::Run => {
+            let spec = spec_of(cli);
+            let out = run_outcome(cli, &spec);
+            Ok(render_run(cli, &out))
+        }
+        Command::Probe => render_probe(cli),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_cli;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn list_shows_all_algorithms() {
+        let out = run_cli(argv("list")).unwrap();
+        for name in ["a1-greedy", "a1-linial", "a1-random", "a2", "chandy-misra", "choy-singh"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_reports_liveness_on_a_line() {
+        let out = run_cli(argv("run --alg a2 --topo line:5 --horizon 15000")).unwrap();
+        assert!(out.contains("safety violations : 0"), "{out}");
+        assert!(out.contains("starvation        : none"), "{out}");
+    }
+
+    #[test]
+    fn run_supports_explicit_stars() {
+        let out = run_cli(argv("run --alg a1-greedy --topo star:6 --horizon 15000")).unwrap();
+        assert!(out.contains("safety violations : 0"), "{out}");
+    }
+
+    #[test]
+    fn run_csv_emits_samples() {
+        let out = run_cli(argv("run --alg a2 --topo line:3 --horizon 5000 --csv")).unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("node,hungry_at,eat_at,response,moved"));
+        assert!(lines.count() > 10);
+    }
+
+    #[test]
+    fn probe_reports_locality() {
+        let out = run_cli(argv("probe --alg chandy-misra --topo line:9 --horizon 30000")).unwrap();
+        assert!(out.contains("crash probe"), "{out}");
+        assert!(out.contains("crash fired at"), "{out}");
+    }
+
+    #[test]
+    fn mobile_run_stays_safe() {
+        let out =
+            run_cli(argv("run --alg a1-linial --topo random:12:3 --moves 4 --horizon 12000"))
+                .unwrap();
+        assert!(out.contains("safety violations : 0"), "{out}");
+    }
+}

@@ -1,0 +1,11 @@
+//! `lme` — command-line front end; see `lme list`.
+
+fn main() {
+    match lme_cli::run_cli(std::env::args()) {
+        Ok(report) => print!("{report}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Greedy coloring of a collected conflict graph.
+
+use std::collections::BTreeMap;
+
+use crate::graph::AdjGraph;
+
+/// The smallest non-negative integer not present in `used`.
+///
+/// This is the rule a node applies when it leaves the critical section
+/// (Algorithm 1, Line 6): pick the smallest non-negative color not used by
+/// any neighbor. With at most δ neighbors the result is in `[0, δ]`.
+///
+/// ```
+/// assert_eq!(coloring::smallest_free_color([0, 1, 3].into_iter()), 2);
+/// assert_eq!(coloring::smallest_free_color(std::iter::empty()), 0);
+/// ```
+pub fn smallest_free_color<I: Iterator<Item = i64>>(used: I) -> i64 {
+    let mut taken: Vec<i64> = used.filter(|&c| c >= 0).collect();
+    taken.sort_unstable();
+    taken.dedup();
+    let mut c = 0;
+    for t in taken {
+        if t == c {
+            c += 1;
+        } else if t > c {
+            break;
+        }
+    }
+    c
+}
+
+/// Deterministic greedy coloring of `g`, shared by every participant of the
+/// greedy recoloring procedure (Algorithm 4, Line 72).
+///
+/// The traversal is the paper's suggested "DFS starting from a node with
+/// smallest ID", restarted at the smallest unvisited vertex for each
+/// component and visiting neighbors in ascending ID order; each visited
+/// vertex takes the smallest color unused by its already-colored neighbors.
+/// Because the traversal is a pure function of the graph, any two nodes that
+/// collected the same graph compute the same coloring — this is what makes
+/// the distributed procedure's Assumption 1 hold.
+///
+/// The returned colors are legal and each vertex's color is at most its
+/// degree (so the range is `[0, δ]`).
+///
+/// ```
+/// use coloring::{greedy_color_graph, AdjGraph};
+/// let g = AdjGraph::from_edges([(0, 1), (1, 2)]);
+/// let colors = greedy_color_graph(&g);
+/// assert_ne!(colors[&0], colors[&1]);
+/// assert_ne!(colors[&1], colors[&2]);
+/// ```
+pub fn greedy_color_graph(g: &AdjGraph) -> BTreeMap<u32, i64> {
+    let mut colors: BTreeMap<u32, i64> = BTreeMap::new();
+    let mut stack: Vec<u32> = Vec::new();
+    for root in g.vertices() {
+        if colors.contains_key(&root) {
+            continue;
+        }
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            if colors.contains_key(&v) {
+                continue;
+            }
+            let c = smallest_free_color(g.neighbors(v).filter_map(|u| colors.get(&u).copied()));
+            colors.insert(v, c);
+            // Push in reverse so the smallest neighbor is visited first.
+            let mut nbrs: Vec<u32> = g.neighbors(v).filter(|u| !colors.contains_key(u)).collect();
+            nbrs.reverse();
+            stack.extend(nbrs);
+        }
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_free_skips_negatives() {
+        assert_eq!(smallest_free_color([-3, 0, 2].into_iter()), 1);
+        assert_eq!(smallest_free_color([-1, -2].into_iter()), 0);
+        assert_eq!(smallest_free_color([0, 0, 1].into_iter()), 2);
+    }
+
+    #[test]
+    fn coloring_is_legal_on_paths_and_cliques() {
+        let path = AdjGraph::from_edges((0..9).map(|i| (i, i + 1)));
+        let colors = greedy_color_graph(&path);
+        assert!(path.is_legal_coloring(|v| colors.get(&v).copied()));
+        assert!(colors.values().all(|&c| (0..=1).contains(&c)), "{colors:?}");
+
+        let mut clique = AdjGraph::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                clique.add_edge(a, b);
+            }
+        }
+        let colors = greedy_color_graph(&clique);
+        assert!(clique.is_legal_coloring(|v| colors.get(&v).copied()));
+        assert_eq!(colors.values().max(), Some(&4));
+    }
+
+    #[test]
+    fn color_bounded_by_degree() {
+        let star = AdjGraph::from_edges((1..8).map(|i| (0, i)));
+        let colors = greedy_color_graph(&star);
+        for v in star.vertices() {
+            assert!(colors[&v] <= star.degree(v) as i64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = AdjGraph::from_edges([(3, 1), (1, 4), (4, 0), (0, 3), (2, 4)]);
+        assert_eq!(greedy_color_graph(&g), greedy_color_graph(&g));
+    }
+
+    #[test]
+    fn handles_disconnected_components() {
+        let mut g = AdjGraph::from_edges([(0, 1), (5, 6)]);
+        g.add_vertex(9);
+        let colors = greedy_color_graph(&g);
+        assert_eq!(colors.len(), 5);
+        assert_eq!(colors[&9], 0);
+        assert!(g.is_legal_coloring(|v| colors.get(&v).copied()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # `coloring` — graph-coloring procedures for the recoloring module
+//!
+//! Algorithm 1 of the paper resolves fork-collection conflicts with node
+//! colors and *recolors* nodes that moved. This crate supplies the pure
+//! (deterministic, message-free) parts of the two coloring procedures:
+//!
+//! * [`greedy`] — greedy coloring of an explicit conflict graph, shared by
+//!   all participants of the greedy recoloring procedure (Algorithm 4,
+//!   Line 72): every node runs the same traversal on the same collected
+//!   graph `G` and reads off its own color.
+//! * [`cover_free`] — a *constructive* δ-cover-free set family replacing the
+//!   probabilistic Erdős–Frankl–Füredi families of Theorem 18 (which the
+//!   paper's nodes would find by exhaustive search). Built from
+//!   Reed–Solomon-style polynomial codes: distinct degree-≤k polynomials
+//!   over `F_q` agree on at most `k` points, so with `q > δ·k` no set is
+//!   covered by the union of δ others. Same guarantee, slightly larger
+//!   (polylog) range.
+//! * [`linial`] — the iterated color-reduction schedule of Linial's
+//!   algorithm (Algorithm 5): starting from colors in `[0, n)` (unique IDs),
+//!   each round maps colors through a cover-free family into a smaller
+//!   range; after `O(log* n)` rounds the range reaches a fixed point of
+//!   size `O(δ² log² δ)`.
+//!
+//! The message-driven wrappers that run these procedures behind doorways
+//! live in the `local-mutex` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover_free;
+pub mod graph;
+pub mod greedy;
+pub mod linial;
+
+pub use cover_free::CoverFreeFamily;
+pub use graph::AdjGraph;
+pub use greedy::{greedy_color_graph, smallest_free_color};
+pub use linial::LinialSchedule;

@@ -1,0 +1,206 @@
+//! Fork bookkeeping shared by both algorithms and the baselines.
+//!
+//! A *fork* is the paper's metaphor for the shared resource on one link: at
+//! any moment, each live link's fork is owned by exactly one endpoint or in
+//! transit between them. Forks are destroyed when their link fails and
+//! (re)created — owned by the static side — when a link forms. A node must
+//! hold the forks of **all** its current links to eat.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use manet_sim::NodeId;
+
+/// One node's fork state: the `at[]` array of the paper plus the suspended
+/// request set `S` and an outstanding-request guard (which the paper leaves
+/// implicit: a node never has two requests for the same fork in flight).
+///
+/// ```
+/// use local_mutex::forks::ForkTable;
+/// use manet_sim::NodeId;
+///
+/// // Node 1 initially holds the forks toward larger IDs.
+/// let t = ForkTable::new(NodeId(1), &[NodeId(0), NodeId(2)]);
+/// assert!(!t.holds(NodeId(0)));
+/// assert!(t.holds(NodeId(2)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ForkTable {
+    at: BTreeMap<NodeId, bool>,
+    suspended: BTreeSet<NodeId>,
+    requested: BTreeSet<NodeId>,
+}
+
+impl ForkTable {
+    /// Initial distribution: the fork of link `{i, j}` starts at the
+    /// smaller ID (`at[j]` is true iff `ID[i] < ID[j]`, per the paper).
+    pub fn new(me: NodeId, neighbors: &[NodeId]) -> ForkTable {
+        ForkTable {
+            at: neighbors.iter().map(|&j| (j, me < j)).collect(),
+            suspended: BTreeSet::new(),
+            requested: BTreeSet::new(),
+        }
+    }
+
+    /// A link to `j` came up; `own` says whether this node owns the new
+    /// fork (true on the designated-static side).
+    pub fn link_up(&mut self, j: NodeId, own: bool) {
+        self.at.insert(j, own);
+        self.suspended.remove(&j);
+        self.requested.remove(&j);
+    }
+
+    /// The link to `j` failed: its fork and any pending bookkeeping die.
+    pub fn link_down(&mut self, j: NodeId) {
+        self.at.remove(&j);
+        self.suspended.remove(&j);
+        self.requested.remove(&j);
+    }
+
+    /// Whether this node holds the fork shared with `j` (`at[j]`).
+    pub fn holds(&self, j: NodeId) -> bool {
+        self.at.get(&j).copied().unwrap_or(false)
+    }
+
+    /// Whether `j` is a current neighbor according to the fork table.
+    pub fn knows(&self, j: NodeId) -> bool {
+        self.at.contains_key(&j)
+    }
+
+    /// Current neighbors in ascending ID order.
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.at.keys().copied()
+    }
+
+    /// Record that the fork shared with `j` was sent away.
+    pub fn sent(&mut self, j: NodeId) {
+        if let Some(a) = self.at.get_mut(&j) {
+            *a = false;
+        }
+        self.suspended.remove(&j);
+    }
+
+    /// Record receipt of the fork shared with `j`.
+    pub fn received(&mut self, j: NodeId) {
+        if let Some(a) = self.at.get_mut(&j) {
+            *a = true;
+        }
+        self.requested.remove(&j);
+    }
+
+    /// Suspend `j`'s request (the paper's `S := S ∪ {j}`).
+    pub fn suspend(&mut self, j: NodeId) {
+        if self.at.contains_key(&j) {
+            self.suspended.insert(j);
+        }
+    }
+
+    /// Whether `j`'s request is suspended.
+    pub fn is_suspended(&self, j: NodeId) -> bool {
+        self.suspended.contains(&j)
+    }
+
+    /// Snapshot of the suspended set in ascending ID order.
+    pub fn suspended(&self) -> Vec<NodeId> {
+        self.suspended.iter().copied().collect()
+    }
+
+    /// Mark a request for `j`'s fork as outstanding; returns false if one
+    /// already is (so callers send at most one `req` per missing fork).
+    pub fn try_mark_requested(&mut self, j: NodeId) -> bool {
+        self.requested.insert(j)
+    }
+
+    /// Whether this node holds the forks of **all** neighbors satisfying
+    /// `pred` (`all-forks` with `pred ≡ true`, `all-low-forks` with
+    /// `pred ≡ is_low`).
+    pub fn all_where<F: FnMut(NodeId) -> bool>(&self, mut pred: F) -> bool {
+        self.at.iter().all(|(&j, &have)| have || !pred(j))
+    }
+
+    /// Missing forks among neighbors satisfying `pred`, ascending.
+    pub fn missing_where<F: FnMut(NodeId) -> bool>(&self, mut pred: F) -> Vec<NodeId> {
+        self.at
+            .iter()
+            .filter(|&(&j, &have)| !have && pred(j))
+            .map(|(&j, _)| j)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ForkTable {
+        ForkTable::new(NodeId(2), &[NodeId(0), NodeId(1), NodeId(3), NodeId(4)])
+    }
+
+    #[test]
+    fn initial_distribution_by_id() {
+        let t = table();
+        assert!(!t.holds(NodeId(0)));
+        assert!(!t.holds(NodeId(1)));
+        assert!(t.holds(NodeId(3)));
+        assert!(t.holds(NodeId(4)));
+    }
+
+    #[test]
+    fn no_two_endpoints_hold_the_same_fork_initially() {
+        let a = ForkTable::new(NodeId(1), &[NodeId(2)]);
+        let b = ForkTable::new(NodeId(2), &[NodeId(1)]);
+        assert!(a.holds(NodeId(2)) ^ b.holds(NodeId(1)));
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let mut t = table();
+        t.sent(NodeId(3));
+        assert!(!t.holds(NodeId(3)));
+        t.received(NodeId(3));
+        assert!(t.holds(NodeId(3)));
+    }
+
+    #[test]
+    fn all_and_missing_respect_predicate() {
+        let t = table();
+        assert!(t.all_where(|j| j > NodeId(2)));
+        assert!(!t.all_where(|_| true));
+        assert_eq!(t.missing_where(|_| true), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(t.missing_where(|j| j == NodeId(1)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn link_down_clears_everything() {
+        let mut t = table();
+        t.suspend(NodeId(3));
+        assert!(t.try_mark_requested(NodeId(0)));
+        t.link_down(NodeId(3));
+        t.link_down(NodeId(0));
+        assert!(!t.knows(NodeId(3)));
+        assert!(t.suspended().is_empty());
+        // A fresh link restores request eligibility.
+        t.link_up(NodeId(0), true);
+        assert!(t.holds(NodeId(0)));
+        assert!(t.try_mark_requested(NodeId(0)));
+    }
+
+    #[test]
+    fn request_guard_blocks_duplicates() {
+        let mut t = table();
+        assert!(t.try_mark_requested(NodeId(0)));
+        assert!(!t.try_mark_requested(NodeId(0)));
+        t.received(NodeId(0));
+        assert!(t.try_mark_requested(NodeId(0)));
+    }
+
+    #[test]
+    fn suspend_requires_known_neighbor() {
+        let mut t = table();
+        t.suspend(NodeId(9));
+        assert!(t.suspended().is_empty());
+        t.suspend(NodeId(3));
+        assert!(t.is_suspended(NodeId(3)));
+        t.sent(NodeId(3));
+        assert!(!t.is_suspended(NodeId(3)), "sending clears suspension");
+    }
+}

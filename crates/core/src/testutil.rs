@@ -1,0 +1,122 @@
+//! Minimal simulation hooks for tests: an auto-exit workload and the local
+//! mutual exclusion safety checker.
+//!
+//! The `harness` crate provides full-featured versions with metrics; these
+//! exist so the algorithm crates can test themselves without a dependency
+//! cycle.
+
+use manet_sim::{Command, DiningState, Hook, NodeId, Sink, View};
+
+/// Schedules [`Command::ExitCs`] a fixed number of ticks after every node
+/// starts eating (the application layer of the paper's model, with eating
+/// time ≤ τ).
+#[derive(Clone, Debug)]
+pub struct AutoExit {
+    eat_ticks: u64,
+}
+
+impl AutoExit {
+    /// Exit `eat_ticks` after entering the critical section.
+    pub fn new(eat_ticks: u64) -> AutoExit {
+        AutoExit { eat_ticks }
+    }
+}
+
+impl<M> Hook<M> for AutoExit {
+    fn on_state_change(
+        &mut self,
+        view: &View<'_>,
+        node: NodeId,
+        _old: DiningState,
+        new: DiningState,
+        sink: &mut Sink,
+    ) {
+        if new == DiningState::Eating {
+            sink.at(
+                view.time() + self.eat_ticks,
+                Command::ExitCs {
+                    node,
+                    session: view.eating_session(node),
+                },
+            );
+        }
+    }
+}
+
+/// Asserts the local mutual exclusion invariant — no two *current* neighbors
+/// eating — after every instant of virtual time.
+///
+/// # Panics
+///
+/// Panics (failing the test) on the first violation.
+#[derive(Clone, Debug, Default)]
+pub struct SafetyCheck {
+    /// Number of configurations checked (for test assertions).
+    pub checked: u64,
+}
+
+impl<M> Hook<M> for SafetyCheck {
+    fn on_quantum_end(&mut self, view: &View<'_>, _sink: &mut Sink) {
+        self.checked += 1;
+        for a in view.nodes() {
+            if view.dining(a) != DiningState::Eating {
+                continue;
+            }
+            for &b in view.world().neighbors(a) {
+                if b > a && view.dining(b) == DiningState::Eating {
+                    panic!(
+                        "local mutual exclusion violated at {}: {a} and {b} both eating",
+                        view.time()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::{Context, Engine, Event, Protocol, SimConfig, SimTime};
+
+    /// Deliberately unsafe protocol: eats whenever told.
+    struct Rogue(DiningState);
+    impl Protocol for Rogue {
+        type Msg = ();
+        fn on_event(&mut self, ev: Event<()>, _ctx: &mut Context<'_, ()>) {
+            match ev {
+                Event::Hungry => self.0 = DiningState::Eating,
+                Event::ExitCs => self.0 = DiningState::Thinking,
+                _ => {}
+            }
+        }
+        fn dining_state(&self) -> DiningState {
+            self.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "local mutual exclusion violated")]
+    fn safety_check_catches_violations() {
+        let mut e: Engine<Rogue> = Engine::new(
+            SimConfig::default(),
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            |_| Rogue(DiningState::Thinking),
+        );
+        e.add_hook(Box::new(SafetyCheck::default()));
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.set_hungry_at(SimTime(1), NodeId(1));
+        e.run_until(SimTime(10));
+    }
+
+    #[test]
+    fn auto_exit_ends_meals() {
+        let mut e: Engine<Rogue> = Engine::new(SimConfig::default(), vec![(0.0, 0.0)], |_| {
+            Rogue(DiningState::Thinking)
+        });
+        e.add_hook(Box::new(AutoExit::new(5)));
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.run_until(SimTime(100));
+        assert_eq!(e.dining_state(NodeId(0)), DiningState::Thinking);
+    }
+}

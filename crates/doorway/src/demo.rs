@@ -1,0 +1,427 @@
+//! A standalone protocol that exercises doorway structures in the simulator.
+//!
+//! The paper motivates doorways with four constructions (Figures 1–4): a
+//! single synchronous or asynchronous doorway, the *double doorway* (a
+//! synchronous doorway nested in an asynchronous one), and the *double
+//! doorway with a return path*. [`DoorwayDemo`] runs any of these with a
+//! configurable enclosed-module duration `T` (the paper's `T` in Lemmas 1–2)
+//! and optional return-path repetitions `R`, recording entry/cross/exit
+//! timestamps so experiments can measure crossing latencies and verify the
+//! doorway guarantee.
+
+use manet_sim::{Context, DiningState, Event, Protocol, SimTime};
+
+use crate::message::DoorwayMsg;
+use crate::single::{Doorway, DoorwayKind};
+use crate::tag::{DoorwaySet, DoorwayTag};
+
+/// Tag of the outer (or only) doorway.
+pub const OUTER: DoorwayTag = DoorwayTag::new(0);
+/// Tag of the inner synchronous doorway of a double structure.
+pub const INNER: DoorwayTag = DoorwayTag::new(1);
+
+const TIMER_HOLD: u64 = 0;
+const TIMER_THINK: u64 = 1;
+
+/// Which doorway construction to run (Figures 2–4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// One doorway of the given kind (Figure 2).
+    Single(DoorwayKind),
+    /// Synchronous doorway inside an asynchronous one (Figure 3).
+    Double,
+    /// Double doorway where a node re-enters the inner synchronous doorway
+    /// `returns` times before exiting for good (Figure 4).
+    DoubleWithReturn {
+        /// Extra executions of the inner entry code (the paper's `R − 1`).
+        returns: u32,
+    },
+}
+
+/// Configuration of a [`DoorwayDemo`] node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DemoConfig {
+    /// The doorway construction to run.
+    pub structure: Structure,
+    /// Ticks spent behind the innermost doorway per execution (the enclosed
+    /// module's duration `T`).
+    pub hold_ticks: u64,
+    /// If set, think for this many ticks after each completion, then start
+    /// again (self-driving cyclic workload).
+    pub recycle_after: Option<u64>,
+}
+
+/// A timestamped doorway-lifecycle event recorded by a demo node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemoEvent {
+    /// Began the entry code of the tagged doorway.
+    EntryStarted(DoorwayTag),
+    /// Crossed the tagged doorway.
+    Crossed(DoorwayTag),
+    /// Exited the tagged doorway.
+    Exited(DoorwayTag),
+}
+
+/// The demo protocol: on `Hungry`, traverse the configured doorway
+/// structure, hold behind the innermost doorway for `hold_ticks`, then exit.
+///
+/// The node reports `Eating` while behind the innermost doorway, so the
+/// usual response-time metrics measure *crossing latency*. Note that a
+/// doorway alone does **not** provide mutual exclusion; demo runs must not
+/// be combined with the LME safety checker.
+#[derive(Debug)]
+pub struct DoorwayDemo {
+    cfg: DemoConfig,
+    outer: Doorway,
+    inner: Option<Doorway>,
+    state: DiningState,
+    returns_left: u32,
+    started_at: Option<SimTime>,
+    /// (entry-start, fully-exited) per completed traversal.
+    pub completions: Vec<(SimTime, SimTime)>,
+    /// Full lifecycle log for property checks.
+    pub log: Vec<(SimTime, DemoEvent)>,
+}
+
+impl DoorwayDemo {
+    /// Create a demo node with the given configuration.
+    pub fn new(cfg: DemoConfig) -> DoorwayDemo {
+        let (outer_kind, inner) = match cfg.structure {
+            Structure::Single(k) => (k, None),
+            Structure::Double | Structure::DoubleWithReturn { .. } => (
+                DoorwayKind::Asynchronous,
+                Some(Doorway::new(INNER, DoorwayKind::Synchronous)),
+            ),
+        };
+        DoorwayDemo {
+            cfg,
+            outer: Doorway::new(OUTER, outer_kind),
+            inner,
+            state: DiningState::Thinking,
+            returns_left: 0,
+            started_at: None,
+            completions: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn innermost_is_behind(&self) -> bool {
+        match &self.inner {
+            Some(d) => d.is_behind(),
+            None => self.outer.is_behind(),
+        }
+    }
+
+    fn doorway_mut(&mut self, tag: DoorwayTag) -> Option<&mut Doorway> {
+        if tag == OUTER {
+            Some(&mut self.outer)
+        } else {
+            self.inner.as_mut().filter(|d| d.tag() == tag)
+        }
+    }
+
+    fn status(&self) -> DoorwaySet {
+        let mut s = DoorwaySet::EMPTY;
+        if self.outer.is_behind() {
+            s.insert(OUTER);
+        }
+        if self.inner.as_ref().is_some_and(Doorway::is_behind) {
+            s.insert(INNER);
+        }
+        s
+    }
+
+    fn try_progress(&mut self, ctx: &mut Context<'_, DoorwayMsg>) {
+        loop {
+            if self.outer.is_entering() && self.outer.ready(ctx.neighbors()) {
+                let msg = self.outer.cross();
+                ctx.broadcast(msg);
+                self.log.push((ctx.time(), DemoEvent::Crossed(OUTER)));
+                if let Some(inner) = &mut self.inner {
+                    inner.begin_entry(ctx.neighbors());
+                    self.log.push((ctx.time(), DemoEvent::EntryStarted(INNER)));
+                } else {
+                    self.enter_hold(ctx);
+                }
+                continue;
+            }
+            if let Some(inner) = &mut self.inner {
+                if inner.is_entering() && inner.ready(ctx.neighbors()) {
+                    let msg = inner.cross();
+                    ctx.broadcast(msg);
+                    self.log.push((ctx.time(), DemoEvent::Crossed(INNER)));
+                    self.enter_hold(ctx);
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    fn enter_hold(&mut self, ctx: &mut Context<'_, DoorwayMsg>) {
+        self.state = DiningState::Eating;
+        ctx.set_timer(self.cfg.hold_ticks.max(1), TIMER_HOLD);
+    }
+
+    fn finish(&mut self, ctx: &mut Context<'_, DoorwayMsg>) {
+        if let Some(inner) = &mut self.inner {
+            let msg = inner.exit();
+            ctx.broadcast(msg);
+            self.log.push((ctx.time(), DemoEvent::Exited(INNER)));
+        }
+        let msg = self.outer.exit();
+        ctx.broadcast(msg);
+        self.log.push((ctx.time(), DemoEvent::Exited(OUTER)));
+        self.state = DiningState::Thinking;
+        if let Some(start) = self.started_at.take() {
+            self.completions.push((start, ctx.time()));
+        }
+        if let Some(think) = self.cfg.recycle_after {
+            ctx.set_timer(think.max(1), TIMER_THINK);
+        }
+    }
+
+    fn start(&mut self, ctx: &mut Context<'_, DoorwayMsg>) {
+        self.state = DiningState::Hungry;
+        self.returns_left = match self.cfg.structure {
+            Structure::DoubleWithReturn { returns } => returns,
+            _ => 0,
+        };
+        self.started_at = Some(ctx.time());
+        self.outer.begin_entry(ctx.neighbors());
+        self.log.push((ctx.time(), DemoEvent::EntryStarted(OUTER)));
+        self.try_progress(ctx);
+    }
+}
+
+impl Protocol for DoorwayDemo {
+    type Msg = DoorwayMsg;
+
+    fn on_event(&mut self, ev: Event<DoorwayMsg>, ctx: &mut Context<'_, DoorwayMsg>) {
+        match ev {
+            Event::Hungry => {
+                if self.state == DiningState::Thinking {
+                    self.start(ctx);
+                }
+            }
+            Event::ExitCs => { /* demo nodes drive their own exits */ }
+            Event::Timer { token: TIMER_THINK } => {
+                if self.state == DiningState::Thinking {
+                    self.start(ctx);
+                }
+            }
+            Event::Timer { token: TIMER_HOLD } => {
+                if !self.innermost_is_behind() {
+                    return;
+                }
+                if self.returns_left > 0 {
+                    // Return path: exit the inner synchronous doorway and
+                    // immediately re-enter its entry code (Figure 4).
+                    self.returns_left -= 1;
+                    let inner = self.inner.as_mut().expect("return path needs inner");
+                    let msg = inner.exit();
+                    ctx.broadcast(msg);
+                    self.log.push((ctx.time(), DemoEvent::Exited(INNER)));
+                    let inner = self.inner.as_mut().expect("return path needs inner");
+                    inner.begin_entry(ctx.neighbors());
+                    self.log.push((ctx.time(), DemoEvent::EntryStarted(INNER)));
+                    self.state = DiningState::Hungry;
+                    self.try_progress(ctx);
+                } else {
+                    self.finish(ctx);
+                }
+            }
+            Event::Timer { .. } => {}
+            Event::Message { from, msg } => {
+                match msg {
+                    DoorwayMsg::Cross(tag) => {
+                        if let Some(d) = self.doorway_mut(tag) {
+                            d.note_cross(from);
+                        }
+                    }
+                    DoorwayMsg::Exit(tag) => {
+                        if let Some(d) = self.doorway_mut(tag) {
+                            d.note_exit(from);
+                        }
+                    }
+                    DoorwayMsg::ExitAll => {
+                        self.outer.note_exit(from);
+                        if let Some(inner) = &mut self.inner {
+                            inner.note_exit(from);
+                        }
+                    }
+                    DoorwayMsg::Status(set) => {
+                        self.outer.neighbor_joined(from, set.contains(OUTER));
+                        if let Some(inner) = &mut self.inner {
+                            inner.neighbor_joined(from, set.contains(INNER));
+                        }
+                    }
+                }
+                self.try_progress(ctx);
+            }
+            Event::LinkUp { peer, kind } => match kind {
+                manet_sim::LinkUpKind::AsStatic => {
+                    self.outer.neighbor_joined(peer, false);
+                    if let Some(inner) = &mut self.inner {
+                        inner.neighbor_joined(peer, false);
+                    }
+                    let status = self.status();
+                    ctx.send(peer, DoorwayMsg::Status(status));
+                }
+                manet_sim::LinkUpKind::AsMoving => {
+                    // A mover abandons all doorways (Figure 2's handler).
+                    self.outer.abandon();
+                    if let Some(inner) = &mut self.inner {
+                        inner.abandon();
+                    }
+                    ctx.broadcast(DoorwayMsg::ExitAll);
+                    self.state = DiningState::Thinking;
+                    self.started_at = None;
+                }
+            },
+            Event::LinkDown { peer } => {
+                self.outer.neighbor_left(peer);
+                if let Some(inner) = &mut self.inner {
+                    inner.neighbor_left(peer);
+                }
+                self.try_progress(ctx);
+            }
+            Event::MovementStarted | Event::MovementEnded => {}
+        }
+    }
+
+    fn dining_state(&self) -> DiningState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::{Engine, NodeId, SimConfig};
+
+    fn demo_engine(
+        positions: Vec<(f64, f64)>,
+        cfg: DemoConfig,
+    ) -> Engine<DoorwayDemo> {
+        Engine::new(SimConfig::default(), positions, move |_| DoorwayDemo::new(cfg))
+    }
+
+    /// Times of `Crossed(tag)` / `Exited(tag)` events for a node.
+    fn times(e: &Engine<DoorwayDemo>, n: NodeId, want: DemoEvent) -> Vec<SimTime> {
+        e.protocol(n)
+            .log
+            .iter()
+            .filter(|(_, ev)| *ev == want)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    #[test]
+    fn lone_node_crosses_immediately() {
+        let mut e = demo_engine(
+            vec![(0.0, 0.0)],
+            DemoConfig {
+                structure: Structure::Single(DoorwayKind::Synchronous),
+                hold_ticks: 5,
+                recycle_after: None,
+            },
+        );
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.run_until(SimTime(100));
+        assert_eq!(e.protocol(NodeId(0)).completions.len(), 1);
+    }
+
+    #[test]
+    fn doorway_guarantee_holds_between_two_neighbors() {
+        // p0 becomes hungry well before p1; p1 must not cross until p0 exits.
+        let mut e = demo_engine(
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            DemoConfig {
+                structure: Structure::Single(DoorwayKind::Synchronous),
+                hold_ticks: 40,
+                recycle_after: None,
+            },
+        );
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        // p0's cross broadcast takes ≤ ν = 10 ticks; p1 starts entry after that.
+        e.set_hungry_at(SimTime(20), NodeId(1));
+        e.run_until(SimTime(1_000));
+        let p0_exit = times(&e, NodeId(0), DemoEvent::Exited(OUTER))[0];
+        let p1_cross = times(&e, NodeId(1), DemoEvent::Crossed(OUTER))[0];
+        assert!(
+            p1_cross >= p0_exit,
+            "p1 crossed at {p1_cross:?} before p0 exited at {p0_exit:?}"
+        );
+        assert_eq!(e.protocol(NodeId(1)).completions.len(), 1);
+    }
+
+    #[test]
+    fn double_doorway_completes_for_all_in_a_clique() {
+        let positions: Vec<(f64, f64)> = (0..4).map(|i| (0.1 * i as f64, 0.0)).collect();
+        let mut e = demo_engine(
+            positions,
+            DemoConfig {
+                structure: Structure::Double,
+                hold_ticks: 10,
+                recycle_after: None,
+            },
+        );
+        for i in 0..4 {
+            e.set_hungry_at(SimTime(1), NodeId(i));
+        }
+        e.run_until(SimTime(10_000));
+        for i in 0..4 {
+            assert_eq!(
+                e.protocol(NodeId(i)).completions.len(),
+                1,
+                "node {i} never completed the double doorway"
+            );
+        }
+    }
+
+    #[test]
+    fn return_path_reenters_inner_doorway() {
+        let mut e = demo_engine(
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            DemoConfig {
+                structure: Structure::DoubleWithReturn { returns: 3 },
+                hold_ticks: 5,
+                recycle_after: None,
+            },
+        );
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.run_until(SimTime(5_000));
+        // 1 initial crossing + 3 returns = 4 inner crossings.
+        assert_eq!(times(&e, NodeId(0), DemoEvent::Crossed(INNER)).len(), 4);
+        assert_eq!(e.protocol(NodeId(0)).completions.len(), 1);
+    }
+
+    #[test]
+    fn asynchronous_doorway_admits_under_contention() {
+        // Center of a star with recycling leaves: the async doorway lets the
+        // center in even though the leaves keep cycling.
+        let positions = vec![(0.0, 0.0), (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0)];
+        let mut e: Engine<DoorwayDemo> = Engine::new(
+            SimConfig::default(),
+            positions,
+            |seed| {
+                let is_center = seed.id == NodeId(0);
+                DoorwayDemo::new(DemoConfig {
+                    structure: Structure::Single(DoorwayKind::Asynchronous),
+                    hold_ticks: 30,
+                    recycle_after: if is_center { None } else { Some(5) },
+                })
+            },
+        );
+        for i in 1..4 {
+            e.set_hungry_at(SimTime(1 + i as u64), NodeId(i));
+        }
+        e.set_hungry_at(SimTime(40), NodeId(0));
+        e.run_until(SimTime(20_000));
+        assert!(
+            !e.protocol(NodeId(0)).completions.is_empty(),
+            "center starved behind an asynchronous doorway"
+        );
+    }
+}

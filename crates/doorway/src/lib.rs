@@ -1,0 +1,36 @@
+//! # `doorway` — Lamport/Choy–Singh doorways for local progress
+//!
+//! A *doorway* (Chapter 4 of the paper) is a pair of code fragments, *entry*
+//! and *exit*. A node **crosses** the doorway when it completes the entry
+//! code and **exits** when it completes the exit code; while in between it is
+//! **behind** the doorway. The guarantee: if node *i* crosses before a
+//! neighbor *j* begins the entry code, *j* does not cross until *i* exits.
+//!
+//! Two flavors differ in how the entry code checks neighbors:
+//!
+//! * **synchronous** — cross when all neighbors are observed outside
+//!   *simultaneously*;
+//! * **asynchronous** — cross once each neighbor has been observed outside
+//!   *at least once* (independently).
+//!
+//! The crate provides the single-doorway state machine ([`Doorway`]), the
+//! composite status types used when nodes move between neighborhoods, and a
+//! standalone [`demo::DoorwayDemo`] protocol that runs doorway structures
+//! (single, double, double-with-return-path) inside the simulator — used to
+//! reproduce Figures 1–4 experimentally.
+//!
+//! Doorway state machines are *non-blocking*: the embedding protocol calls
+//! [`Doorway::begin_entry`], feeds observed `cross`/`exit` messages and
+//! neighborhood changes in, and polls [`Doorway::ready`] after each event.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demo;
+mod message;
+mod single;
+mod tag;
+
+pub use message::DoorwayMsg;
+pub use single::{Doorway, DoorwayKind};
+pub use tag::{DoorwaySet, DoorwayTag};

@@ -1,0 +1,128 @@
+//! Doorway tags and tag sets.
+
+use std::fmt;
+
+/// Identifies one doorway instance among the (up to 8) doorways a protocol
+/// runs concurrently.
+///
+/// Algorithm 1 of the paper uses four doorways: the asynchronous and
+/// synchronous doorways of the recoloring module (`AD^r`, `SD^r`) and of the
+/// fork-collection module (`AD^f`, `SD^f`). Tags multiplex their messages
+/// over one channel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DoorwayTag(u8);
+
+impl DoorwayTag {
+    /// Create a tag; `index` must be below 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub const fn new(index: u8) -> DoorwayTag {
+        assert!(index < 8, "doorway tag out of range");
+        DoorwayTag(index)
+    }
+
+    /// The raw index of this tag.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DoorwayTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dw{}", self.0)
+    }
+}
+
+/// A compact set of [`DoorwayTag`]s, used in status summaries exchanged when
+/// a moving node arrives in a new neighborhood (the `L[i]` part of the
+/// ⟨update-color, L⟩ message of Algorithm 3, Line 46).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DoorwaySet(u8);
+
+impl DoorwaySet {
+    /// The empty set (outside every doorway).
+    pub const EMPTY: DoorwaySet = DoorwaySet(0);
+
+    /// Insert `tag`.
+    pub fn insert(&mut self, tag: DoorwayTag) {
+        self.0 |= 1 << tag.index();
+    }
+
+    /// Remove `tag`.
+    pub fn remove(&mut self, tag: DoorwayTag) {
+        self.0 &= !(1 << tag.index());
+    }
+
+    /// Whether `tag` is in the set.
+    pub fn contains(self, tag: DoorwayTag) -> bool {
+        self.0 & (1 << tag.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over the tags in the set in index order.
+    pub fn iter(self) -> impl Iterator<Item = DoorwayTag> {
+        (0..8u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(DoorwayTag::new)
+    }
+}
+
+impl fmt::Debug for DoorwaySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<DoorwayTag> for DoorwaySet {
+    fn from_iter<I: IntoIterator<Item = DoorwayTag>>(iter: I) -> Self {
+        let mut s = DoorwaySet::EMPTY;
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DoorwaySet::EMPTY;
+        assert!(s.is_empty());
+        let a = DoorwayTag::new(0);
+        let b = DoorwayTag::new(3);
+        s.insert(a);
+        s.insert(b);
+        assert!(s.contains(a) && s.contains(b));
+        s.remove(a);
+        assert!(!s.contains(a) && s.contains(b));
+    }
+
+    #[test]
+    fn iterate_in_index_order() {
+        let s: DoorwaySet = [DoorwayTag::new(5), DoorwayTag::new(1)].into_iter().collect();
+        let v: Vec<u8> = s.iter().map(DoorwayTag::index).collect();
+        assert_eq!(v, vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tag_range_checked() {
+        let _ = DoorwayTag::new(8);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", DoorwayTag::new(2)), "dw2");
+        let s: DoorwaySet = [DoorwayTag::new(2)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{dw2}");
+    }
+}

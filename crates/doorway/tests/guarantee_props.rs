@@ -1,0 +1,130 @@
+//! Property test of the defining doorway guarantee (Chapter 4): if node
+//! `i` crosses a doorway and its neighbor `j` begins the entry code after
+//! `i`'s crossing became visible (one max message delay later), then `j`
+//! does not cross until `i` has exited.
+//!
+//! Random topologies, staggered hungry schedules, random hold times and all
+//! three structures are exercised; the property is checked pairwise from
+//! the nodes' recorded event logs.
+
+use doorway::demo::{DemoConfig, DemoEvent, DoorwayDemo, Structure, INNER, OUTER};
+use doorway::{DoorwayKind, DoorwayTag};
+use manet_sim::{Engine, NodeId, SimConfig, SimTime};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Plan {
+    structure: Structure,
+    positions: Vec<(f64, f64)>,
+    hungry: Vec<u64>,
+    hold: u64,
+    seed: u64,
+}
+
+fn structure_strategy() -> impl Strategy<Value = Structure> {
+    prop_oneof![
+        Just(Structure::Single(DoorwayKind::Synchronous)),
+        Just(Structure::Single(DoorwayKind::Asynchronous)),
+        Just(Structure::Double),
+        (1u32..4).prop_map(|returns| Structure::DoubleWithReturn { returns }),
+    ]
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (
+        structure_strategy(),
+        prop::collection::vec((0.0f64..5.0, 0.0f64..5.0), 2..8),
+        10u64..120,
+        any::<u64>(),
+    )
+        .prop_flat_map(|(structure, positions, hold, seed)| {
+            let n = positions.len();
+            prop::collection::vec(1u64..2_000, n).prop_map(move |hungry| Plan {
+                structure,
+                positions: positions.clone(),
+                hungry,
+                hold,
+                seed,
+            })
+        })
+}
+
+/// Extract `(time, event)` pairs of one node for one doorway tag.
+fn phases(
+    engine: &Engine<DoorwayDemo>,
+    node: NodeId,
+    tag: DoorwayTag,
+) -> (Vec<SimTime>, Vec<SimTime>, Vec<SimTime>) {
+    let mut entries = vec![];
+    let mut crosses = vec![];
+    let mut exits = vec![];
+    for &(t, ev) in &engine.protocol(node).log {
+        match ev {
+            DemoEvent::EntryStarted(x) if x == tag => entries.push(t),
+            DemoEvent::Crossed(x) if x == tag => crosses.push(t),
+            DemoEvent::Exited(x) if x == tag => exits.push(t),
+            _ => {}
+        }
+    }
+    (entries, crosses, exits)
+}
+
+fn check_guarantee(engine: &Engine<DoorwayDemo>, tag: DoorwayTag, nu: u64) -> Result<(), String> {
+    let world = engine.world();
+    let n = world.len() as u32;
+    for i in 0..n {
+        let (_, crosses_i, exits_i) = phases(engine, NodeId(i), tag);
+        for (k, &c_i) in crosses_i.iter().enumerate() {
+            // Matching exit (or end of run if still behind).
+            let e_i = exits_i.get(k).copied().unwrap_or(SimTime::MAX);
+            for &j in world.neighbors(NodeId(i)) {
+                let (entries_j, crosses_j, _) = phases(engine, j, tag);
+                for &b_j in &entries_j {
+                    // Entry began strictly after i's crossing became
+                    // visible. A handler may broadcast several doorway
+                    // messages back-to-back and the FIFO channel serializes
+                    // them one tick apart, so visibility lags ν by up to
+                    // the burst size; 8 is a safe envelope (≤ 4 doorway
+                    // messages per handler, per neighbor).
+                    if b_j <= c_i + nu + 8 || b_j >= e_i {
+                        continue;
+                    }
+                    if let Some(&cross_j) = crosses_j.iter().find(|&&c| c >= b_j) {
+                        if cross_j < e_i {
+                            return Err(format!(
+                                "guarantee violated on {tag:?}: p{i} crossed at {c_i}, exits {e_i}; \
+                                 p{j} began entry at {b_j} and crossed at {cross_j} < {e_i}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn doorway_guarantee_holds_under_random_schedules(plan in plan_strategy()) {
+        let cfg = SimConfig { seed: plan.seed, ..SimConfig::default() };
+        let nu = cfg.max_message_delay;
+        let demo = DemoConfig {
+            structure: plan.structure,
+            hold_ticks: plan.hold,
+            recycle_after: Some(25),
+        };
+        let mut engine: Engine<DoorwayDemo> =
+            Engine::new(cfg, plan.positions.clone(), move |_| DoorwayDemo::new(demo));
+        for (i, &t) in plan.hungry.iter().enumerate() {
+            engine.set_hungry_at(SimTime(t), NodeId(i as u32));
+        }
+        engine.run_until(SimTime(12_000));
+        check_guarantee(&engine, OUTER, nu).map_err(TestCaseError::fail)?;
+        if !matches!(plan.structure, Structure::Single(_)) {
+            check_guarantee(&engine, INNER, nu).map_err(TestCaseError::fail)?;
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Empirical failure-locality probes.
+//!
+//! Definition 1 of the paper: an algorithm has failure locality `m` if any
+//! node with no failures in its `m`-neighborhood makes progress. The probe
+//! inverts this into a measurement: crash one node mid-run under a cyclic
+//! workload and record *how far from the crash* starving nodes are found.
+//! An algorithm with failure locality `m` must show starvation only at
+//! hop distance ≤ `m`; the farthest starving node is the empirical
+//! locality.
+
+use manet_sim::{NodeId, SimTime};
+
+use crate::runner::{run_algorithm, AlgKind, RunOutcome, RunSpec};
+
+/// Result of one crash probe.
+#[derive(Clone, Debug)]
+pub struct FlReport {
+    /// Starving nodes with their hop distance from the crashed node
+    /// (`None` = disconnected from it).
+    pub starving: Vec<(NodeId, Option<usize>)>,
+    /// The farthest observed starvation distance — the empirical failure
+    /// locality. `Some(0)` can only be the crashed node itself (excluded),
+    /// so values start at 1; `None` means nobody starved.
+    pub locality: Option<usize>,
+    /// The full run outcome, for further inspection.
+    pub outcome: RunOutcome,
+}
+
+/// Crash `victim` *while it is eating* (first meal at or after `crash_at`)
+/// and measure which nodes starve afterwards. Crashing mid-CS is the
+/// adversarial fault: the victim provably holds every shared fork, so its
+/// neighbors' requests go unanswered and blocking chains get their best
+/// chance to form.
+///
+/// A node "starves" if it has been continuously hungry for the entire
+/// second half of the post-crash window. The spec should use a horizon much
+/// larger than the crash time plus the algorithm's normal response time.
+pub fn crash_probe(
+    kind: AlgKind,
+    spec: &RunSpec,
+    positions: &[(f64, f64)],
+    victim: NodeId,
+    crash_at: u64,
+) -> FlReport {
+    assert!(
+        crash_at < spec.horizon,
+        "crash_at {} must precede the horizon {}",
+        crash_at,
+        spec.horizon
+    );
+    let spec = RunSpec {
+        crash_eating: Some((victim, crash_at)),
+        ..spec.clone()
+    };
+    let outcome = run_algorithm(kind, &spec, positions, &[]);
+    let crash_at = outcome.crash_time.map_or(crash_at, |t| t.0);
+    // Starvation deadline: hungry since before the midpoint of the
+    // post-crash window.
+    let deadline = SimTime(crash_at + spec.horizon.saturating_sub(crash_at) / 2);
+    let dist = outcome.distances_from(victim);
+    let starving: Vec<(NodeId, Option<usize>)> = outcome
+        .metrics
+        .starving_since(deadline)
+        .into_iter()
+        .filter(|&node| node != victim && !outcome.crashed.contains(&node))
+        .map(|node| (node, dist[node.index()]))
+        .collect();
+    let locality = starving.iter().filter_map(|&(_, d)| d).max();
+    FlReport {
+        starving,
+        locality,
+        outcome,
+    }
+}
+
+/// Mean post-crash response time of static episodes, bucketed by hop
+/// distance from `victim` (index = distance; distance 0 = the victim
+/// itself, normally empty). Visualizes the locality gradient: algorithms
+/// with small failure locality show elevated latencies only in the first
+/// one or two buckets.
+pub fn response_by_distance(
+    outcome: &RunOutcome,
+    victim: NodeId,
+    after: SimTime,
+) -> Vec<Option<f64>> {
+    let dist = outcome.distances_from(victim);
+    let max_d = dist.iter().flatten().copied().max().unwrap_or(0);
+    let mut sum = vec![0u64; max_d + 1];
+    let mut count = vec![0u64; max_d + 1];
+    for s in &outcome.metrics.samples {
+        if s.moved || s.hungry_at < after {
+            continue;
+        }
+        if let Some(d) = dist[s.node.index()] {
+            sum[d] += s.response();
+            count[d] += 1;
+        }
+    }
+    sum.into_iter()
+        .zip(count)
+        .map(|(s, c)| if c == 0 { None } else { Some(s as f64 / c as f64) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn a2_starvation_stays_within_two_hops_of_a_crash() {
+        let spec = RunSpec {
+            horizon: 60_000,
+            ..RunSpec::default()
+        };
+        let positions = topology::line(9);
+        let report = crash_probe(AlgKind::A2, &spec, &positions, NodeId(4), 2_000);
+        assert!(report.outcome.violations.is_empty());
+        if let Some(m) = report.locality {
+            assert!(
+                m <= 2,
+                "Algorithm 2 must have failure locality 2, saw starvation at distance {m}: {:?}",
+                report.starving
+            );
+        }
+        // Nodes far from the crash keep eating.
+        assert!(report.outcome.metrics.meals[0] >= 3);
+        assert!(report.outcome.metrics.meals[8] >= 3);
+    }
+
+    #[test]
+    fn response_by_distance_buckets_samples() {
+        let spec = RunSpec {
+            horizon: 30_000,
+            ..RunSpec::default()
+        };
+        let report = crash_probe(AlgKind::A2, &spec, &topology::line(7), NodeId(3), 1_000);
+        let curve = response_by_distance(
+            &report.outcome,
+            NodeId(3),
+            report.outcome.crash_time.unwrap_or(SimTime(1_000)),
+        );
+        // Distance 0 = the crashed node itself: no post-crash samples.
+        assert!(curve[0].is_none());
+        // Far nodes have samples.
+        assert!(curve.last().expect("non-empty").is_some());
+    }
+
+    #[test]
+    fn probe_without_contention_reports_no_starvation() {
+        // Crash an isolated node: nobody else is affected.
+        let mut positions = topology::line(3);
+        positions.push((100.0, 100.0));
+        let spec = RunSpec {
+            horizon: 20_000,
+            ..RunSpec::default()
+        };
+        let report = crash_probe(AlgKind::A2, &spec, &positions, NodeId(3), 1_000);
+        assert_eq!(report.locality, None);
+        assert!(report.starving.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # `harness` — experiment substrate for the reproduction
+//!
+//! Everything needed to turn the algorithm crates into measurements:
+//!
+//! * [`topology`] — line / ring / grid / clique / random unit-disk layouts;
+//! * [`workload`] — cyclic and one-shot hungry/eat drivers (the model's
+//!   application layer, with eating time ≤ τ);
+//! * [`mobility`] — random-waypoint movement scripts;
+//! * [`metrics`] — response-time samples (with per-episode static/moved
+//!   flags, matching Definition 1 of the paper), meals, starvation probes;
+//! * [`safety`] — the local-mutual-exclusion invariant checker, evaluated
+//!   after **every** instant of virtual time;
+//! * [`failure_locality`] — crash probes that measure how far from a
+//!   crashed node starvation reaches;
+//! * [`census`] — message-complexity accounting by message kind;
+//! * [`runner`] — one-call execution of any implemented algorithm
+//!   ([`runner::AlgKind`]) on any layout, returning a [`runner::RunOutcome`];
+//! * [`stats`] / [`table`] — reporting helpers for the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod failure_locality;
+pub mod metrics;
+pub mod mobility;
+pub mod runner;
+pub mod safety;
+pub mod stats;
+pub mod table;
+pub mod topology;
+pub mod workload;
+
+pub use census::{CensusCounts, MessageCensus};
+pub use failure_locality::{crash_probe, response_by_distance, FlReport};
+pub use metrics::{Metrics, MetricsData, Sample};
+pub use mobility::WaypointPlan;
+pub use runner::{run_algorithm, run_algorithm_graph, run_protocol, run_protocol_graph, AlgKind, RunOutcome, RunSpec};
+pub use safety::{SafetyMonitor, Violation};
+pub use stats::Summary;
+pub use table::Table;
+pub use workload::Workload;

@@ -1,0 +1,86 @@
+//! Mobility scripts: random-waypoint command generators.
+
+use manet_sim::{Command, NodeId, Position, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random-waypoint mobility script.
+#[derive(Clone, Debug)]
+pub struct WaypointPlan {
+    /// Side of the square area nodes roam in.
+    pub area_side: f64,
+    /// Number of movement events over the horizon.
+    pub moves: usize,
+    /// Time window movements are sampled from.
+    pub window: (u64, u64),
+    /// Movement speed (distance units per tick); `None` teleports instead.
+    pub speed: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WaypointPlan {
+    /// Generate the movement commands for `n` nodes, sorted by time.
+    pub fn commands(&self, n: usize) -> Vec<(SimTime, Command)> {
+        assert!(n > 0, "no nodes to move");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4d4f_4245);
+        let (a, b) = self.window;
+        let mut out: Vec<(SimTime, Command)> = (0..self.moves)
+            .map(|_| {
+                let t = SimTime(rng.gen_range(a..=b.max(a)));
+                let node = NodeId(rng.gen_range(0..n as u32));
+                let dest = Position {
+                    x: rng.gen::<f64>() * self.area_side,
+                    y: rng.gen::<f64>() * self.area_side,
+                };
+                let cmd = match self.speed {
+                    Some(speed) => Command::StartMove { node, dest, speed },
+                    None => Command::Teleport { node, dest },
+                };
+                (t, cmd)
+            })
+            .collect();
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_sorted() {
+        let plan = WaypointPlan {
+            area_side: 10.0,
+            moves: 20,
+            window: (100, 900),
+            speed: Some(0.3),
+            seed: 5,
+        };
+        let a = plan.commands(8);
+        let b = plan.commands(8);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (t, cmd) in &a {
+            assert!(t.0 >= 100 && t.0 <= 900);
+            assert!(matches!(cmd, Command::StartMove { .. }));
+        }
+    }
+
+    #[test]
+    fn teleport_variant() {
+        let plan = WaypointPlan {
+            area_side: 5.0,
+            moves: 3,
+            window: (1, 10),
+            speed: None,
+            seed: 9,
+        };
+        assert!(plan
+            .commands(4)
+            .iter()
+            .all(|(_, c)| matches!(c, Command::Teleport { .. })));
+    }
+}

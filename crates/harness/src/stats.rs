@@ -1,0 +1,109 @@
+//! Tiny summary statistics for experiment reporting.
+
+use std::fmt;
+
+/// Five-number-ish summary of a sample of tick counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarize `values` (empty input yields the zero summary).
+    pub fn of(values: &[u64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        let count = v.len();
+        let mean = v.iter().sum::<u64>() as f64 / count as f64;
+        Summary {
+            count,
+            mean,
+            p50: v[(count - 1) / 2],
+            p95: v[((count - 1) * 95) / 100],
+            max: *v.last().expect("non-empty"),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.0} p50={} p95={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.max
+        )
+    }
+}
+
+/// Jain's fairness index of a per-node allocation: `(Σx)² / (n·Σx²)`.
+/// 1.0 = perfectly even; `1/n` = one node got everything. Used to report
+/// how evenly critical sections are distributed.
+///
+/// ```
+/// assert_eq!(harness::stats::jain_index(&[5, 5, 5]), 1.0);
+/// assert!(harness::stats::jain_index(&[9, 0, 0]) < 0.36);
+/// ```
+pub fn jain_index(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().map(|&v| v as f64).sum();
+    let sum_sq: f64 = values.iter().map(|&v| (v as f64) * (v as f64)).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_extremes() {
+        assert!((jain_index(&[3, 3, 3, 3]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[10, 0, 0, 0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[5, 1, 3, 2, 4]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.max, 5);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.max, 100);
+    }
+}

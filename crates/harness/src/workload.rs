@@ -1,0 +1,119 @@
+//! Workload hooks: the "application layer" of the paper's model.
+
+use std::ops::RangeInclusive;
+
+use manet_sim::{Command, DiningState, Hook, NodeId, Sink, View};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drives the thinking→hungry and eating→thinking transitions: every node
+/// eats for a time drawn from `eat` (≤ τ) and, when `cyclic`, becomes
+/// hungry again after a think time drawn from `think`.
+///
+/// Initial hungry times are injected by the runner (or tests) via
+/// [`manet_sim::Engine::set_hungry_at`]; this hook takes over afterwards.
+#[derive(Debug)]
+pub struct Workload {
+    eat: RangeInclusive<u64>,
+    think: RangeInclusive<u64>,
+    cyclic: bool,
+    rng: StdRng,
+}
+
+impl Workload {
+    /// A cyclic workload: eat `eat` ticks, think `think` ticks, repeat.
+    pub fn cyclic(eat: RangeInclusive<u64>, think: RangeInclusive<u64>, seed: u64) -> Workload {
+        Workload {
+            eat,
+            think,
+            cyclic: true,
+            rng: StdRng::seed_from_u64(seed ^ 0x574b_4c44),
+        }
+    }
+
+    /// A one-shot workload: each node eats once per external `SetHungry`.
+    pub fn one_shot(eat: RangeInclusive<u64>, seed: u64) -> Workload {
+        Workload {
+            eat,
+            think: 0..=0,
+            cyclic: false,
+            rng: StdRng::seed_from_u64(seed ^ 0x574b_4c44),
+        }
+    }
+}
+
+impl<M> Hook<M> for Workload {
+    fn on_state_change(
+        &mut self,
+        view: &View<'_>,
+        node: NodeId,
+        _old: DiningState,
+        new: DiningState,
+        sink: &mut Sink,
+    ) {
+        match new {
+            DiningState::Eating => {
+                let eat = self.rng.gen_range(self.eat.clone()).max(1);
+                sink.at(
+                    view.time() + eat,
+                    Command::ExitCs {
+                        node,
+                        session: view.eating_session(node),
+                    },
+                );
+            }
+            DiningState::Thinking if self.cyclic => {
+                let think = self.rng.gen_range(self.think.clone()).max(1);
+                sink.at(view.time() + think, Command::SetHungry(node));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::{Context, Engine, Event, Protocol, SimConfig, SimTime};
+
+    struct Instant(DiningState);
+    impl Protocol for Instant {
+        type Msg = ();
+        fn on_event(&mut self, ev: Event<()>, _ctx: &mut Context<'_, ()>) {
+            match ev {
+                Event::Hungry => self.0 = DiningState::Eating,
+                Event::ExitCs => self.0 = DiningState::Thinking,
+                _ => {}
+            }
+        }
+        fn dining_state(&self) -> DiningState {
+            self.0
+        }
+    }
+
+    #[test]
+    fn cyclic_workload_keeps_cycling() {
+        let mut e: Engine<Instant> = Engine::new(SimConfig::default(), vec![(0.0, 0.0)], |_| {
+            Instant(DiningState::Thinking)
+        });
+        let (metrics, data) = crate::metrics::Metrics::new(1);
+        e.add_hook(Box::new(metrics));
+        e.add_hook(Box::new(Workload::cyclic(5..=10, 5..=10, 1)));
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.run_until(SimTime(1_000));
+        assert!(data.borrow().meals[0] >= 20, "got {}", data.borrow().meals[0]);
+    }
+
+    #[test]
+    fn one_shot_workload_eats_once() {
+        let mut e: Engine<Instant> = Engine::new(SimConfig::default(), vec![(0.0, 0.0)], |_| {
+            Instant(DiningState::Thinking)
+        });
+        let (metrics, data) = crate::metrics::Metrics::new(1);
+        e.add_hook(Box::new(metrics));
+        e.add_hook(Box::new(Workload::one_shot(5..=10, 1)));
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.run_until(SimTime(1_000));
+        assert_eq!(data.borrow().meals[0], 1);
+    }
+}

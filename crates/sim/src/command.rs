@@ -1,0 +1,87 @@
+//! External commands injected into a running simulation.
+
+use crate::ids::NodeId;
+use crate::world::Position;
+
+/// A scripted action applied to the simulation at a scheduled time.
+///
+/// Commands are how workloads, mobility scripts and fault injectors drive
+/// the run: they model the *application* (hungry/exit transitions), the
+/// *adversary* (crashes) and the *environment* (movement).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Make `node` hungry, if it is currently thinking (otherwise no-op).
+    SetHungry(NodeId),
+    /// Ask `node` to leave the critical section. Applied only if the node is
+    /// still eating *and* still in eating session `session` — a node demoted
+    /// to hungry by mobility invalidates the pending exit.
+    ExitCs {
+        /// The target node.
+        node: NodeId,
+        /// The eating session this exit was scheduled for.
+        session: u64,
+    },
+    /// Crash `node`: it ceases all activity and never moves again.
+    Crash(NodeId),
+    /// Start smooth movement of `node` toward `dest` at `speed` distance
+    /// units per tick. Ignored for crashed nodes; restarts motion if the
+    /// node is already moving.
+    StartMove {
+        /// The moving node.
+        node: NodeId,
+        /// Destination position.
+        dest: Position,
+        /// Distance units per tick; must be > 0.
+        speed: f64,
+    },
+    /// Instantaneously relocate `node` to `dest`. The node is treated as
+    /// moving for the duration of the jump (it receives `MovementStarted`,
+    /// the link-change notifications with itself as the moving side, then
+    /// `MovementEnded`). Handy for scripted scenarios such as Figure 6.
+    Teleport {
+        /// The moving node.
+        node: NodeId,
+        /// Destination position.
+        dest: Position,
+    },
+}
+
+impl Command {
+    /// The node this command addresses.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Command::SetHungry(n)
+            | Command::ExitCs { node: n, .. }
+            | Command::Crash(n)
+            | Command::StartMove { node: n, .. }
+            | Command::Teleport { node: n, .. } => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_accessor_covers_all_variants() {
+        let n = NodeId(3);
+        let cmds = [
+            Command::SetHungry(n),
+            Command::ExitCs { node: n, session: 1 },
+            Command::Crash(n),
+            Command::StartMove {
+                node: n,
+                dest: Position { x: 1.0, y: 2.0 },
+                speed: 0.5,
+            },
+            Command::Teleport {
+                node: n,
+                dest: Position { x: 1.0, y: 2.0 },
+            },
+        ];
+        for c in cmds {
+            assert_eq!(c.node(), n);
+        }
+    }
+}

@@ -1,0 +1,965 @@
+//! The discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::command::Command;
+use crate::config::SimConfig;
+use crate::event::{Event, LinkUpKind};
+use crate::hooks::{Hook, Sink, View};
+use crate::ids::NodeId;
+use crate::protocol::{Context, DiningState, Protocol};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEntry, TraceKind};
+use crate::world::{LinkChange, Position, World};
+
+/// Information handed to the node factory when constructing each protocol
+/// instance.
+#[derive(Clone, Debug)]
+pub struct NodeSeed {
+    /// The node's unique ID.
+    pub id: NodeId,
+    /// The node's initial neighbors (sorted by ID). Initial links are
+    /// established without LinkUp notifications; initial shared state (e.g.
+    /// fork placement by ID) is derived from this set.
+    pub neighbors: Vec<NodeId>,
+    /// Total number of nodes in the system (the paper's `n`; only the
+    /// knowledge-of-`n` algorithm variants may consult it).
+    pub n_nodes: usize,
+    /// Maximum degree of the initial topology (the paper's δ; only the
+    /// knowledge-of-δ algorithm variants may consult it).
+    pub max_degree: usize,
+}
+
+/// Counters accumulated over a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total events processed.
+    pub events: u64,
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to protocols.
+    pub messages_delivered: u64,
+    /// Messages dropped because their link failed (or epoch changed) before
+    /// delivery.
+    pub messages_dropped: u64,
+}
+
+enum Item<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        link_epoch: u64,
+    },
+    Proto {
+        node: NodeId,
+        ev: Event<M>,
+    },
+    Command(Command),
+    MoveStep {
+        node: NodeId,
+        epoch: u64,
+    },
+    MotionDone {
+        node: NodeId,
+        epoch: u64,
+    },
+}
+
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    item: Item<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Core<M> {
+    cfg: SimConfig,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    world: World,
+    dining: Vec<DiningState>,
+    eating_session: Vec<u64>,
+    /// Last scheduled arrival per directed pair, to enforce FIFO channels.
+    fifo_last: HashMap<(u32, u32), SimTime>,
+    /// Incarnation counter per undirected link; messages of dead
+    /// incarnations are dropped.
+    link_epoch: HashMap<(u32, u32), u64>,
+    stats: EngineStats,
+    trace: Trace,
+}
+
+impl<M> Core<M> {
+    fn push(&mut self, at: SimTime, item: Item<M>) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(Reverse(Queued {
+            at,
+            seq: self.seq,
+            item,
+        }));
+    }
+
+    fn current_link_epoch(&self, a: NodeId, b: NodeId) -> u64 {
+        let key = norm(a, b);
+        *self.link_epoch.get(&key).unwrap_or(&0)
+    }
+
+    fn view<'a>(&'a self) -> View<'a> {
+        View {
+            now: self.now,
+            world: &self.world,
+            dining: &self.dining,
+            eating_session: &self.eating_session,
+        }
+    }
+}
+
+fn norm(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// The deterministic discrete-event simulation engine.
+///
+/// An `Engine` owns one protocol instance per node, the physical
+/// [`World`], the event queue and the observation [`Hook`]s. See the crate
+/// docs for an end-to-end example.
+pub struct Engine<P: Protocol> {
+    core: Core<P::Msg>,
+    protocols: Vec<P>,
+    hooks: Vec<Box<dyn Hook<P::Msg>>>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Create an engine with nodes at `positions`; the factory builds each
+    /// node's protocol from its [`NodeSeed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new<Pos, F>(cfg: SimConfig, positions: Vec<Pos>, mut factory: F) -> Engine<P>
+    where
+        Pos: Into<Position>,
+        F: FnMut(NodeSeed) -> P,
+    {
+        cfg.validate().expect("invalid SimConfig");
+        let world = World::new(
+            cfg.radio_range,
+            positions.into_iter().map(Into::into).collect(),
+        );
+        let n = world.len();
+        let max_degree = world.max_degree();
+        let protocols = (0..n)
+            .map(|i| {
+                let id = NodeId(i as u32);
+                factory(NodeSeed {
+                    id,
+                    neighbors: world.neighbors(id).to_vec(),
+                    n_nodes: n,
+                    max_degree,
+                })
+            })
+            .collect::<Vec<_>>();
+        let dining = protocols.iter().map(|p| p.dining_state()).collect();
+        let trace = Trace {
+            enabled: cfg.trace,
+            ..Trace::default()
+        };
+        Engine {
+            core: Core {
+                rng: StdRng::seed_from_u64(cfg.seed),
+                cfg,
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                world,
+                dining,
+                eating_session: vec![0; n],
+                fifo_last: HashMap::new(),
+                link_epoch: HashMap::new(),
+                stats: EngineStats::default(),
+                trace,
+            },
+            protocols,
+            hooks: Vec::new(),
+        }
+    }
+
+    /// Create an engine over an *explicit* topology (see
+    /// [`World::from_adjacency`]): `n` nodes wired exactly by `edges`,
+    /// independent of geometry. Movement commands are rejected in such
+    /// worlds; crashes work normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`] or `edges` is
+    /// malformed.
+    pub fn new_graph<F>(cfg: SimConfig, n: usize, edges: &[(u32, u32)], mut factory: F) -> Engine<P>
+    where
+        F: FnMut(NodeSeed) -> P,
+    {
+        cfg.validate().expect("invalid SimConfig");
+        let world = World::from_adjacency(n, edges);
+        let max_degree = world.max_degree();
+        let protocols = (0..n)
+            .map(|i| {
+                let id = NodeId(i as u32);
+                factory(NodeSeed {
+                    id,
+                    neighbors: world.neighbors(id).to_vec(),
+                    n_nodes: n,
+                    max_degree,
+                })
+            })
+            .collect::<Vec<_>>();
+        let dining = protocols.iter().map(|p| p.dining_state()).collect();
+        let trace = Trace {
+            enabled: cfg.trace,
+            ..Trace::default()
+        };
+        Engine {
+            core: Core {
+                rng: StdRng::seed_from_u64(cfg.seed),
+                cfg,
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                world,
+                dining,
+                eating_session: vec![0; n],
+                fifo_last: HashMap::new(),
+                link_epoch: HashMap::new(),
+                stats: EngineStats::default(),
+                trace,
+            },
+            protocols,
+            hooks: Vec::new(),
+        }
+    }
+
+    /// Register an observation hook. Hooks fire in registration order.
+    pub fn add_hook(&mut self, hook: Box<dyn Hook<P::Msg>>) {
+        self.hooks.push(hook);
+    }
+
+    /// Schedule a [`Command`] at absolute time `at` (clamped to now).
+    pub fn schedule(&mut self, at: SimTime, cmd: Command) {
+        self.core.push(at, Item::Command(cmd));
+    }
+
+    /// Sugar for scheduling [`Command::SetHungry`].
+    pub fn set_hungry_at(&mut self, at: SimTime, node: NodeId) {
+        self.schedule(at, Command::SetHungry(node));
+    }
+
+    /// Sugar for scheduling [`Command::Crash`].
+    pub fn crash_at(&mut self, at: SimTime, node: NodeId) {
+        self.schedule(at, Command::Crash(node));
+    }
+
+    /// Sugar for scheduling [`Command::Teleport`].
+    pub fn teleport_at(&mut self, at: SimTime, node: NodeId, dest: impl Into<Position>) {
+        self.schedule(
+            at,
+            Command::Teleport {
+                node,
+                dest: dest.into(),
+            },
+        );
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Cached dining state of `node`.
+    pub fn dining_state(&self, node: NodeId) -> DiningState {
+        self.core.dining[node.index()]
+    }
+
+    /// The physical world.
+    pub fn world(&self) -> &World {
+        &self.core.world
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.core.stats
+    }
+
+    /// The recorded trace (empty unless [`SimConfig::trace`] was set).
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.core.trace.entries
+    }
+
+    /// Borrow the protocol instance of `node` (for tests and inspection).
+    pub fn protocol(&self, node: NodeId) -> &P {
+        &self.protocols[node.index()]
+    }
+
+    /// Run until the queue is exhausted or virtual time would exceed
+    /// `t_end`; returns the time reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`SimConfig::max_events`] events are processed
+    /// (livelock guard).
+    pub fn run_until(&mut self, t_end: SimTime) -> SimTime {
+        let mut quantum_checked = false;
+        loop {
+            let next_at = match self.core.queue.peek() {
+                Some(Reverse(q)) => q.at,
+                None => {
+                    if !quantum_checked {
+                        self.fire_quantum_end();
+                    }
+                    break;
+                }
+            };
+            if next_at > t_end {
+                if !quantum_checked {
+                    self.fire_quantum_end();
+                    // Hooks may have scheduled events at the current instant.
+                    if self
+                        .core
+                        .queue
+                        .peek()
+                        .is_some_and(|Reverse(q)| q.at <= t_end)
+                    {
+                        quantum_checked = false;
+                        continue;
+                    }
+                }
+                self.core.now = t_end;
+                break;
+            }
+            if next_at > self.core.now {
+                if !quantum_checked {
+                    self.fire_quantum_end();
+                    quantum_checked = true;
+                    continue; // hooks may have scheduled events at `now`
+                }
+                self.core.now = next_at;
+                quantum_checked = false;
+                continue;
+            }
+            // next_at == now: process one event.
+            quantum_checked = false;
+            let Reverse(q) = self.core.queue.pop().expect("peeked event vanished");
+            self.core.stats.events += 1;
+            assert!(
+                self.core.stats.events <= self.core.cfg.max_events,
+                "event budget exceeded ({} events): livelock?",
+                self.core.cfg.max_events
+            );
+            self.dispatch(q.item);
+        }
+        self.core.now
+    }
+
+    /// Run for `ticks` ticks past the current time.
+    pub fn run_for(&mut self, ticks: u64) -> SimTime {
+        let t = self.core.now + ticks;
+        self.run_until(t)
+    }
+
+    fn dispatch(&mut self, item: Item<P::Msg>) {
+        match item {
+            Item::Deliver {
+                from,
+                to,
+                msg,
+                link_epoch,
+            } => {
+                let live = self.core.world.linked(from, to)
+                    && self.core.current_link_epoch(from, to) == link_epoch
+                    && !self.core.world.is_crashed(to);
+                if !live {
+                    self.core.stats.messages_dropped += 1;
+                    return;
+                }
+                self.core.stats.messages_delivered += 1;
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::Deliver(from, to));
+                self.fire_hooks(|h, view, sink| h.on_deliver(view, from, to, &msg, sink));
+                self.deliver_proto(to, Event::Message { from, msg });
+            }
+            Item::Proto { node, ev } => self.deliver_proto(node, ev),
+            Item::Command(cmd) => self.execute(cmd),
+            Item::MoveStep { node, epoch } => self.move_step(node, epoch),
+            Item::MotionDone { node, epoch } => {
+                if self.core.world.is_crashed(node) {
+                    return;
+                }
+                let live = self.core.world.motion(node).is_some_and(|m| m.epoch == epoch);
+                if !live {
+                    return;
+                }
+                self.core.world.end_motion(node);
+                self.core.trace.record(self.core.now, TraceKind::MoveEnd(node));
+                self.fire_hooks(|h, view, sink| h.on_move(view, node, false, sink));
+                self.deliver_proto(node, Event::MovementEnded);
+            }
+        }
+    }
+
+    fn execute(&mut self, cmd: Command) {
+        match cmd {
+            Command::SetHungry(node) => {
+                if !self.core.world.is_crashed(node)
+                    && self.core.dining[node.index()] == DiningState::Thinking
+                {
+                    self.deliver_proto(node, Event::Hungry);
+                }
+            }
+            Command::ExitCs { node, session } => {
+                if !self.core.world.is_crashed(node)
+                    && self.core.dining[node.index()] == DiningState::Eating
+                    && self.core.eating_session[node.index()] == session
+                {
+                    self.deliver_proto(node, Event::ExitCs);
+                }
+            }
+            Command::Crash(node) => {
+                if !self.core.world.is_crashed(node) {
+                    self.core.world.crash(node);
+                    self.core.trace.record(self.core.now, TraceKind::Crash(node));
+                    self.fire_hooks(|h, view, sink| h.on_crash(view, node, sink));
+                }
+            }
+            Command::StartMove { node, dest, speed } => {
+                if self.core.world.is_crashed(node) || speed <= 0.0 || speed.is_nan() {
+                    return;
+                }
+                let step_len = speed * self.core.cfg.move_step_ticks as f64;
+                let epoch = self.core.world.begin_motion(node, dest, step_len);
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::MoveStart(node));
+                self.fire_hooks(|h, view, sink| h.on_move(view, node, true, sink));
+                self.deliver_proto(node, Event::MovementStarted);
+                let at = self.core.now + self.core.cfg.move_step_ticks;
+                self.core.push(at, Item::MoveStep { node, epoch });
+            }
+            Command::Teleport { node, dest } => {
+                if self.core.world.is_crashed(node) {
+                    return;
+                }
+                // Treat the jump as an (instantaneous) movement.
+                let epoch = self.core.world.begin_motion(node, dest, 0.0);
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::MoveStart(node));
+                self.fire_hooks(|h, view, sink| h.on_move(view, node, true, sink));
+                self.deliver_proto(node, Event::MovementStarted);
+                let changes = self.core.world.relocate(node, dest);
+                self.emit_link_changes(changes);
+                // Ends after the queued link notifications are processed.
+                let now = self.core.now;
+                self.core.push(now, Item::MotionDone { node, epoch });
+            }
+        }
+    }
+
+    fn move_step(&mut self, node: NodeId, epoch: u64) {
+        if self.core.world.is_crashed(node) {
+            return;
+        }
+        let live = self.core.world.motion(node).is_some_and(|m| m.epoch == epoch);
+        if !live {
+            return;
+        }
+        let (changes, arrived) = self.core.world.step_motion(node);
+        self.emit_link_changes(changes);
+        let now = self.core.now;
+        if arrived {
+            self.core.push(now, Item::MotionDone { node, epoch });
+        } else {
+            let at = now + self.core.cfg.move_step_ticks;
+            self.core.push(at, Item::MoveStep { node, epoch });
+        }
+    }
+
+    fn emit_link_changes(&mut self, changes: Vec<LinkChange>) {
+        for change in changes {
+            match change {
+                LinkChange::Up(a, b) => {
+                    let key = norm(a, b);
+                    *self.core.link_epoch.entry(key).or_insert(0) += 1;
+                    // Symmetry breaking biased toward static nodes; ties
+                    // between two movers broken by ID (smaller = static).
+                    let a_moving = self.core.world.is_moving(a);
+                    let b_moving = self.core.world.is_moving(b);
+                    let static_side = match (a_moving, b_moving) {
+                        (false, _) => a,
+                        (true, false) => b,
+                        (true, true) => {
+                            if a.0 < b.0 {
+                                a
+                            } else {
+                                b
+                            }
+                        }
+                    };
+                    let moving_side = if static_side == a { b } else { a };
+                    self.core
+                        .trace
+                        .record(self.core.now, TraceKind::LinkUp(static_side, moving_side));
+                    self.fire_hooks(|h, view, sink| {
+                        h.on_link_up(view, static_side, moving_side, sink)
+                    });
+                    let now = self.core.now;
+                    self.core.push(
+                        now,
+                        Item::Proto {
+                            node: static_side,
+                            ev: Event::LinkUp {
+                                peer: moving_side,
+                                kind: LinkUpKind::AsStatic,
+                            },
+                        },
+                    );
+                    self.core.push(
+                        now,
+                        Item::Proto {
+                            node: moving_side,
+                            ev: Event::LinkUp {
+                                peer: static_side,
+                                kind: LinkUpKind::AsMoving,
+                            },
+                        },
+                    );
+                }
+                LinkChange::Down(a, b) => {
+                    self.core.trace.record(self.core.now, TraceKind::LinkDown(a, b));
+                    self.fire_hooks(|h, view, sink| h.on_link_down(view, a, b, sink));
+                    let now = self.core.now;
+                    self.core.push(
+                        now,
+                        Item::Proto {
+                            node: a,
+                            ev: Event::LinkDown { peer: b },
+                        },
+                    );
+                    self.core.push(
+                        now,
+                        Item::Proto {
+                            node: b,
+                            ev: Event::LinkDown { peer: a },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver_proto(&mut self, node: NodeId, ev: Event<P::Msg>) {
+        if self.core.world.is_crashed(node) {
+            return;
+        }
+        let old = self.core.dining[node.index()];
+        let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut timers: Vec<(u64, u64)> = Vec::new();
+        {
+            let mut ctx = Context {
+                me: node,
+                now: self.core.now,
+                neighbors: self.core.world.neighbors(node),
+                moving: self.core.world.is_moving(node),
+                outbox: &mut outbox,
+                timers: &mut timers,
+            };
+            self.protocols[node.index()].on_event(ev, &mut ctx);
+        }
+        for (to, msg) in outbox {
+            self.send(node, to, msg);
+        }
+        for (delay, token) in timers {
+            let at = self.core.now + delay;
+            self.core.push(
+                at,
+                Item::Proto {
+                    node,
+                    ev: Event::Timer { token },
+                },
+            );
+        }
+        let new = self.protocols[node.index()].dining_state();
+        if new != old {
+            self.core.dining[node.index()] = new;
+            if new == DiningState::Eating {
+                self.core.eating_session[node.index()] += 1;
+            }
+            self.core
+                .trace
+                .record(self.core.now, TraceKind::StateChange(node, old, new));
+            self.fire_hooks(|h, view, sink| h.on_state_change(view, node, old, new, sink));
+        }
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        if !self.core.world.linked(from, to) {
+            // The neighbor departed during this very handler; the message
+            // would have been lost with the link anyway.
+            self.core.stats.messages_dropped += 1;
+            return;
+        }
+        self.core.stats.messages_sent += 1;
+        let delay = self
+            .core
+            .rng
+            .gen_range(self.core.cfg.min_message_delay..=self.core.cfg.max_message_delay);
+        let mut at = self.core.now + delay;
+        // FIFO per directed channel.
+        if let Some(&last) = self.core.fifo_last.get(&(from.0, to.0)) {
+            if at <= last {
+                at = last + 1;
+            }
+        }
+        self.core.fifo_last.insert((from.0, to.0), at);
+        let link_epoch = self.core.current_link_epoch(from, to);
+        self.core.push(
+            at,
+            Item::Deliver {
+                from,
+                to,
+                msg,
+                link_epoch,
+            },
+        );
+    }
+
+    fn fire_quantum_end(&mut self) {
+        self.fire_hooks(|h, view, sink| h.on_quantum_end(view, sink));
+    }
+
+    fn fire_hooks<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut dyn Hook<P::Msg>, &View<'_>, &mut Sink),
+    {
+        if self.hooks.is_empty() {
+            return;
+        }
+        let mut sink = Sink { scheduled: vec![] };
+        {
+            let view = self.core.view();
+            for hook in &mut self.hooks {
+                f(hook.as_mut(), &view, &mut sink);
+            }
+        }
+        for (at, cmd) in sink.scheduled {
+            self.core.push(at, Item::Command(cmd));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo protocol: replies `x+1` to any numeric message; used to test
+    /// delivery, FIFO and link semantics.
+    struct Echo {
+        state: DiningState,
+        received: Vec<(NodeId, u64)>,
+    }
+
+    impl Protocol for Echo {
+        type Msg = u64;
+        fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+            match ev {
+                Event::Hungry => self.state = DiningState::Eating,
+                Event::ExitCs => self.state = DiningState::Thinking,
+                Event::Message { from, msg } => {
+                    self.received.push((from, msg));
+                    if msg < 3 {
+                        ctx.send(from, msg + 1);
+                    }
+                }
+                Event::Timer { token } => {
+                    // Kick off a ping-pong with the first neighbor.
+                    if let Some(&n) = ctx.neighbors().first() {
+                        ctx.send(n, token);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn dining_state(&self) -> DiningState {
+            self.state
+        }
+    }
+
+    fn engine2() -> Engine<Echo> {
+        Engine::new(
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            |_| Echo {
+                state: DiningState::Thinking,
+                received: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut e = engine2();
+        // Fire a timer on node 0 that starts a ping-pong 0 -> 1 -> 0 ...
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        // 0 sent 0; 1 replied 1; 0 replied 2; 1 replied 3 (no further reply).
+        assert_eq!(e.protocol(NodeId(1)).received, vec![(NodeId(0), 0), (NodeId(0), 2)]);
+        assert_eq!(e.protocol(NodeId(0)).received, vec![(NodeId(1), 1), (NodeId(1), 3)]);
+        assert_eq!(e.stats().messages_sent, 4);
+        assert_eq!(e.stats().messages_delivered, 4);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_channel() {
+        struct Burst {
+            got: Vec<u64>,
+        }
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+                match ev {
+                    Event::Timer { .. } => {
+                        for i in 0..50 {
+                            if let Some(&n) = ctx.neighbors().first() {
+                                ctx.send(n, i);
+                            }
+                        }
+                    }
+                    Event::Message { msg, .. } => self.got.push(msg),
+                    _ => {}
+                }
+            }
+            fn dining_state(&self) -> DiningState {
+                DiningState::Thinking
+            }
+        }
+        let mut e: Engine<Burst> = Engine::new(
+            SimConfig::default(),
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            |_| Burst { got: vec![] },
+        );
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.run_until(SimTime(10_000));
+        let got = &e.protocol(NodeId(1)).got;
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "FIFO violated: {got:?}");
+    }
+
+    #[test]
+    fn crashed_node_stops_processing() {
+        let mut e = engine2();
+        e.crash_at(SimTime(1), NodeId(1));
+        e.core.push(
+            SimTime(2),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 7 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        assert!(e.protocol(NodeId(1)).received.is_empty());
+        assert!(e.world().is_crashed(NodeId(1)));
+    }
+
+    #[test]
+    fn hungry_and_exit_commands_respect_state_and_session() {
+        let mut e = engine2();
+        e.set_hungry_at(SimTime(1), NodeId(0));
+        e.run_until(SimTime(2));
+        assert_eq!(e.dining_state(NodeId(0)), DiningState::Eating);
+        // Wrong session: ignored.
+        e.schedule(
+            SimTime(3),
+            Command::ExitCs {
+                node: NodeId(0),
+                session: 99,
+            },
+        );
+        e.run_until(SimTime(4));
+        assert_eq!(e.dining_state(NodeId(0)), DiningState::Eating);
+        // Right session (first eating session = 1).
+        e.schedule(
+            SimTime(5),
+            Command::ExitCs {
+                node: NodeId(0),
+                session: 1,
+            },
+        );
+        e.run_until(SimTime(6));
+        assert_eq!(e.dining_state(NodeId(0)), DiningState::Thinking);
+    }
+
+    #[test]
+    fn teleport_generates_link_events_with_mover_semantics() {
+        struct Watcher {
+            ups: Vec<(NodeId, LinkUpKind)>,
+            downs: Vec<NodeId>,
+            move_events: u32,
+        }
+        impl Protocol for Watcher {
+            type Msg = ();
+            fn on_event(&mut self, ev: Event<()>, _ctx: &mut Context<'_, ()>) {
+                match ev {
+                    Event::LinkUp { peer, kind } => self.ups.push((peer, kind)),
+                    Event::LinkDown { peer } => self.downs.push(peer),
+                    Event::MovementStarted | Event::MovementEnded => self.move_events += 1,
+                    _ => {}
+                }
+            }
+            fn dining_state(&self) -> DiningState {
+                DiningState::Thinking
+            }
+        }
+        // p0 - p1 linked; p2 isolated far away.
+        let mut e: Engine<Watcher> = Engine::new(
+            SimConfig::default(),
+            vec![(0.0, 0.0), (1.0, 0.0), (100.0, 0.0)],
+            |_| Watcher {
+                ups: vec![],
+                downs: vec![],
+                move_events: 0,
+            },
+        );
+        // Teleport p1 next to p2: p1 loses p0, gains p2 as the moving side.
+        e.teleport_at(SimTime(5), NodeId(1), (99.0, 0.0));
+        e.run_until(SimTime(10));
+        assert_eq!(e.protocol(NodeId(0)).downs, vec![NodeId(1)]);
+        assert_eq!(
+            e.protocol(NodeId(1)).ups,
+            vec![(NodeId(2), LinkUpKind::AsMoving)]
+        );
+        assert_eq!(
+            e.protocol(NodeId(2)).ups,
+            vec![(NodeId(1), LinkUpKind::AsStatic)]
+        );
+        assert_eq!(e.protocol(NodeId(1)).move_events, 2); // started + ended
+        assert!(e.world().linked(NodeId(1), NodeId(2)));
+        assert!(!e.world().linked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn messages_in_flight_die_with_their_link() {
+        let mut e = engine2();
+        // Long delays so the message is in flight when the link breaks.
+        e.core.cfg.min_message_delay = 50;
+        e.core.cfg.max_message_delay = 60;
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 9 },
+            },
+        );
+        e.teleport_at(SimTime(5), NodeId(1), (50.0, 0.0));
+        e.run_until(SimTime(1_000));
+        assert!(e.protocol(NodeId(1)).received.is_empty());
+        assert_eq!(e.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn smooth_movement_reaches_destination_and_churns_links() {
+        let mut e = engine2();
+        e.schedule(
+            SimTime(1),
+            Command::StartMove {
+                node: NodeId(1),
+                dest: Position { x: 10.0, y: 0.0 },
+                speed: 0.5,
+            },
+        );
+        e.run_until(SimTime(200));
+        assert_eq!(e.world().position(NodeId(1)), Position { x: 10.0, y: 0.0 });
+        assert!(!e.world().is_moving(NodeId(1)));
+        assert!(!e.world().linked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut e = engine2();
+            e.core.push(
+                SimTime(1),
+                Item::Proto {
+                    node: NodeId(0),
+                    ev: Event::Timer { token: 0 },
+                },
+            );
+            e.run_until(SimTime(500));
+            (e.stats().clone(), e.trace().to_vec())
+        };
+        let (s1, t1) = run();
+        let (s2, t2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn quantum_end_hook_fires_between_instants() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Q(Rc<RefCell<Vec<SimTime>>>);
+        impl Hook<u64> for Q {
+            fn on_quantum_end(&mut self, view: &View<'_>, _sink: &mut Sink) {
+                self.0.borrow_mut().push(view.time());
+            }
+        }
+        let log = Rc::new(RefCell::new(vec![]));
+        let mut e = engine2();
+        e.add_hook(Box::new(Q(log.clone())));
+        e.set_hungry_at(SimTime(3), NodeId(0));
+        e.set_hungry_at(SimTime(7), NodeId(1));
+        e.run_until(SimTime(10));
+        let log = log.borrow();
+        assert!(log.contains(&SimTime(3)) && log.contains(&SimTime(7)), "{log:?}");
+        // Monotone, no duplicates of the same instant in a row beyond re-opens.
+        assert!(log.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,62 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// The unique identifier of a node.
+///
+/// The paper assumes each node has a unique ID drawn from a totally ordered
+/// set; IDs are used to break symmetry (initial fork placement, the
+/// designated-static rule when two moving nodes meet, and the initial
+/// coloring). In the simulator, IDs are dense indices `0..n`.
+///
+/// ```
+/// use manet_sim::NodeId;
+/// let a = NodeId(3);
+/// assert!(a < NodeId(4));
+/// assert_eq!(a.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// This ID as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId::from(9u32), NodeId(9));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", NodeId(5)), "p5");
+        assert_eq!(NodeId(5).to_string(), "p5");
+    }
+}

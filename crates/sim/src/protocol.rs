@@ -1,0 +1,144 @@
+//! The protocol trait and the context handed to protocol handlers.
+
+use crate::event::Event;
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// The three sets of states of the local mutual exclusion problem
+/// (Section 3.2 of the paper).
+///
+/// Every node cycles thinking → hungry → eating → thinking. The application
+/// triggers thinking→hungry and eating→thinking; the algorithm triggers
+/// hungry→eating, and — uniquely to the mobile setting — may demote an eating
+/// node back to hungry when it moves into a new neighborhood.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DiningState {
+    /// Not interested in the critical section (the initial state).
+    #[default]
+    Thinking,
+    /// Requested, but not yet granted, the critical section.
+    Hungry,
+    /// Inside the critical section.
+    Eating,
+}
+
+impl std::fmt::Display for DiningState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DiningState::Thinking => "thinking",
+            DiningState::Hungry => "hungry",
+            DiningState::Eating => "eating",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A distributed algorithm run by every node of the simulation.
+///
+/// One value of the implementing type exists per node; the engine calls
+/// [`Protocol::on_event`] for every event addressed to that node and reads
+/// [`Protocol::dining_state`] after each call to detect transitions (for the
+/// safety checker, metrics, and eating-session scheduling).
+///
+/// Handlers must not block: all "wait until" conditions of the paper's
+/// pseudo-code are encoded as protocol state re-evaluated on later events.
+pub trait Protocol {
+    /// The message type exchanged between nodes.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Handle one event. Outgoing messages and timers are issued through
+    /// `ctx`.
+    fn on_event(&mut self, ev: Event<Self::Msg>, ctx: &mut Context<'_, Self::Msg>);
+
+    /// The node's current position in the thinking/hungry/eating cycle.
+    fn dining_state(&self) -> DiningState;
+}
+
+/// Handle through which a protocol interacts with the simulated world during
+/// one event: sending messages, reading the neighbor set maintained by the
+/// link-level protocol, and setting timers.
+pub struct Context<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) neighbors: &'a [NodeId],
+    pub(crate) moving: bool,
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    pub(crate) timers: &'a mut Vec<(u64, u64)>,
+}
+
+impl<M: Clone> Context<'_, M> {
+    /// The ID of the node executing the handler.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node's current neighbors, sorted by ID. This is the local
+    /// variable `N` of the paper, maintained by the link-level protocol.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Whether this node is currently moving. The paper assumes nodes know
+    /// their own mobility status.
+    pub fn is_moving(&self) -> bool {
+        self.moving
+    }
+
+    /// Send `msg` to `to`. Delivery is reliable and FIFO while the link
+    /// lives; if the link to `to` fails before delivery, the message is
+    /// dropped (forks and other shared state die with their link).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        debug_assert_ne!(to, self.me, "node sent a message to itself");
+        self.outbox.push((to, msg));
+    }
+
+    /// Broadcast `msg` to every current neighbor (the paper's `broadcast`,
+    /// which is a local one-hop broadcast).
+    pub fn broadcast(&mut self, msg: M) {
+        for &n in self.neighbors {
+            self.outbox.push((n, msg.clone()));
+        }
+    }
+
+    /// Schedule a [`Event::Timer`] with `token` to fire after `delay` ticks
+    /// (at least 1).
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        self.timers.push((delay.max(1), token));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dining_state_default_is_thinking() {
+        assert_eq!(DiningState::default(), DiningState::Thinking);
+        assert_eq!(DiningState::Eating.to_string(), "eating");
+    }
+
+    #[test]
+    fn context_collects_sends_and_timers() {
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        let neighbors = [NodeId(1), NodeId(2)];
+        let mut ctx = Context {
+            me: NodeId(0),
+            now: SimTime(3),
+            neighbors: &neighbors,
+            moving: false,
+            outbox: &mut outbox,
+            timers: &mut timers,
+        };
+        ctx.send(NodeId(1), 9u8);
+        ctx.broadcast(7u8);
+        ctx.set_timer(0, 42); // clamped to 1
+        assert_eq!(outbox, vec![(NodeId(1), 9), (NodeId(1), 7), (NodeId(2), 7)]);
+        assert_eq!(timers, vec![(1, 42)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in abstract ticks since the start of the
+/// simulation.
+///
+/// The paper's bounds ν (maximum message delay) and τ (maximum eating time)
+/// are expressed in the same ticks; see [`crate::SimConfig`].
+///
+/// ```
+/// use manet_sim::SimTime;
+/// let t = SimTime(10) + 5;
+/// assert_eq!(t, SimTime(15));
+/// assert_eq!(t - SimTime(10), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Saturating difference `self - earlier`, in ticks.
+    ///
+    /// ```
+    /// use manet_sim::SimTime;
+    /// assert_eq!(SimTime(7).ticks_since(SimTime(3)), 4);
+    /// assert_eq!(SimTime(3).ticks_since(SimTime(7)), 0);
+    /// ```
+    pub fn ticks_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("SimTime subtraction underflow")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_saturating() {
+        assert_eq!(SimTime::MAX + 1, SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    fn ordering_matches_ticks() {
+        assert!(SimTime(3) < SimTime(5));
+        assert_eq!(SimTime(5) - SimTime(3), 2);
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(SimTime(42).to_string(), "42");
+        assert_eq!(format!("{:?}", SimTime(42)), "t=42");
+    }
+}

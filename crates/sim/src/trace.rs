@@ -1,0 +1,72 @@
+//! Optional engine-level trace for debugging and scenario assertions.
+
+use crate::ids::NodeId;
+use crate::protocol::DiningState;
+use crate::time::SimTime;
+
+/// The kind of a trace entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A message was delivered from the first node to the second.
+    Deliver(NodeId, NodeId),
+    /// A link came up between the two nodes (first = designated static side).
+    LinkUp(NodeId, NodeId),
+    /// A link between the two nodes failed.
+    LinkDown(NodeId, NodeId),
+    /// A node's dining state changed.
+    StateChange(NodeId, DiningState, DiningState),
+    /// A node crashed.
+    Crash(NodeId),
+    /// A node started moving.
+    MoveStart(NodeId),
+    /// A node finished moving.
+    MoveEnd(NodeId),
+}
+
+/// One recorded event of a traced run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An append-only trace recorder (enabled via [`crate::SimConfig::trace`]).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Trace {
+    pub entries: Vec<TraceEntry>,
+    pub enabled: bool,
+}
+
+impl Trace {
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.entries.push(TraceEntry { at, kind });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.record(SimTime(1), TraceKind::Crash(NodeId(0)));
+        assert!(t.entries.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace {
+            enabled: true,
+            ..Trace::default()
+        };
+        t.record(SimTime(1), TraceKind::Crash(NodeId(0)));
+        t.record(SimTime(2), TraceKind::MoveStart(NodeId(1)));
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].at, SimTime(1));
+    }
+}

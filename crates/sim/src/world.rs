@@ -1,0 +1,374 @@
+//! The physical world: node positions, unit-disk connectivity, motion and
+//! crash status.
+
+use crate::ids::NodeId;
+
+/// A point in the 2D plane.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for Position {
+    fn from((x, y): (f64, f64)) -> Self {
+        Position { x, y }
+    }
+}
+
+/// Ongoing smooth motion of one node.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Motion {
+    pub dest: Position,
+    /// Distance covered per movement step.
+    pub step_len: f64,
+    /// Guards against stale `MoveStep` events after crash/teleport.
+    pub epoch: u64,
+}
+
+/// The state of the physical world: where every node is, who is moving, who
+/// has crashed, and which links currently exist.
+///
+/// Connectivity follows the unit-disk model: a link exists between two live
+/// positions iff their distance is at most the radio range. Because positions
+/// only change when a node moves, the paper's assumption that *links never
+/// change between static nodes* holds by construction.
+#[derive(Clone, Debug)]
+pub struct World {
+    radio_range: f64,
+    positions: Vec<Position>,
+    moving: Vec<Option<Motion>>,
+    crashed: Vec<bool>,
+    /// Adjacency sets, kept sorted for deterministic iteration.
+    adj: Vec<Vec<NodeId>>,
+    /// Explicit-graph mode: links were given directly instead of being
+    /// derived from positions; such worlds are immutable (no movement).
+    explicit: bool,
+}
+
+/// A change to the link set caused by a node's position update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LinkChange {
+    Up(NodeId, NodeId),
+    Down(NodeId, NodeId),
+}
+
+impl World {
+    /// Create a world with the given positions; links are derived from the
+    /// unit-disk rule immediately (this is the initial topology, established
+    /// without LinkUp notifications).
+    pub fn new(radio_range: f64, positions: Vec<Position>) -> World {
+        let n = positions.len();
+        let mut world = World {
+            radio_range,
+            positions,
+            moving: vec![None; n],
+            crashed: vec![false; n],
+            adj: vec![Vec::new(); n],
+            explicit: false,
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if world.in_range(NodeId(i as u32), NodeId(j as u32)) {
+                    world.adj[i].push(NodeId(j as u32));
+                    world.adj[j].push(NodeId(i as u32));
+                }
+            }
+        }
+        for a in &mut world.adj {
+            a.sort_unstable();
+        }
+        world
+    }
+
+    /// Create a world whose links are given *explicitly* instead of being
+    /// derived from geometry — for experiments on topologies that unit
+    /// disks cannot embed (stars, expanders, adversarial graphs). Nodes are
+    /// placed on a synthetic far-apart line so geometry never interferes.
+    ///
+    /// Explicit worlds are immutable: movement is rejected (crashes are
+    /// fine — a crash does not change links).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop or an endpoint ≥ `n`.
+    pub fn from_adjacency(n: usize, edges: &[(u32, u32)]) -> World {
+        let mut world = World {
+            radio_range: 0.0,
+            positions: (0..n)
+                .map(|i| Position {
+                    x: i as f64 * 1e6,
+                    y: 0.0,
+                })
+                .collect(),
+            moving: vec![None; n],
+            crashed: vec![false; n],
+            adj: vec![Vec::new(); n],
+            explicit: true,
+        };
+        for &(a, b) in edges {
+            assert_ne!(a, b, "self-loop");
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            insert_sorted(&mut world.adj[a as usize], NodeId(b));
+            insert_sorted(&mut world.adj[b as usize], NodeId(a));
+        }
+        world
+    }
+
+    /// Whether this world's links were given explicitly (immutable
+    /// topology).
+    pub fn is_explicit(&self) -> bool {
+        self.explicit
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the world has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of `n`.
+    pub fn position(&self, n: NodeId) -> Position {
+        self.positions[n.index()]
+    }
+
+    /// Whether `n` is currently moving.
+    pub fn is_moving(&self, n: NodeId) -> bool {
+        self.moving[n.index()].is_some()
+    }
+
+    /// Whether `n` has crashed.
+    pub fn is_crashed(&self, n: NodeId) -> bool {
+        self.crashed[n.index()]
+    }
+
+    /// Current neighbors of `n`, sorted by ID.
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n.index()]
+    }
+
+    /// Whether a link currently exists between `a` and `b`.
+    pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Maximum node degree in the current topology (the paper's δ).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Hop distance between `a` and `b` in the current communication graph,
+    /// or `None` if disconnected. Used by failure-locality probes.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[a.index()] = 0;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    if v == b {
+                        return Some(dist[v.index()]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.positions[a.index()].distance(self.positions[b.index()]) <= self.radio_range
+    }
+
+    pub(crate) fn motion(&self, n: NodeId) -> Option<&Motion> {
+        self.moving[n.index()].as_ref()
+    }
+
+    pub(crate) fn begin_motion(&mut self, n: NodeId, dest: Position, step_len: f64) -> u64 {
+        assert!(!self.explicit, "explicit-graph worlds are immutable: movement rejected");
+        let epoch = self.moving[n.index()].as_ref().map_or(0, |m| m.epoch) + 1;
+        self.moving[n.index()] = Some(Motion {
+            dest,
+            step_len,
+            epoch,
+        });
+        epoch
+    }
+
+    pub(crate) fn end_motion(&mut self, n: NodeId) {
+        self.moving[n.index()] = None;
+    }
+
+    pub(crate) fn crash(&mut self, n: NodeId) {
+        self.crashed[n.index()] = true;
+        // A node does not change its location after it fails.
+        self.moving[n.index()] = None;
+    }
+
+    /// Move `n` one motion step toward its destination; returns the link
+    /// changes caused and whether the destination has been reached.
+    pub(crate) fn step_motion(&mut self, n: NodeId) -> (Vec<LinkChange>, bool) {
+        let motion = self.moving[n.index()].clone().expect("no motion to step");
+        let pos = self.positions[n.index()];
+        let remaining = pos.distance(motion.dest);
+        let arrived = remaining <= motion.step_len;
+        let new_pos = if arrived {
+            motion.dest
+        } else {
+            let f = motion.step_len / remaining;
+            Position {
+                x: pos.x + (motion.dest.x - pos.x) * f,
+                y: pos.y + (motion.dest.y - pos.y) * f,
+            }
+        };
+        let changes = self.relocate(n, new_pos);
+        (changes, arrived)
+    }
+
+    /// Set `n`'s position and recompute its incident links; returns the
+    /// resulting link changes with peers sorted by ID.
+    pub(crate) fn relocate(&mut self, n: NodeId, pos: Position) -> Vec<LinkChange> {
+        assert!(!self.explicit, "explicit-graph worlds are immutable: movement rejected");
+        self.positions[n.index()] = pos;
+        let mut changes = Vec::new();
+        for j in 0..self.len() {
+            let peer = NodeId(j as u32);
+            if peer == n {
+                continue;
+            }
+            let now_linked = self.in_range(n, peer);
+            let was_linked = self.linked(n, peer);
+            if now_linked && !was_linked {
+                insert_sorted(&mut self.adj[n.index()], peer);
+                insert_sorted(&mut self.adj[peer.index()], n);
+                changes.push(LinkChange::Up(n, peer));
+            } else if !now_linked && was_linked {
+                remove_sorted(&mut self.adj[n.index()], peer);
+                remove_sorted(&mut self.adj[peer.index()], n);
+                changes.push(LinkChange::Down(n, peer));
+            }
+        }
+        changes
+    }
+}
+
+fn insert_sorted(v: &mut Vec<NodeId>, x: NodeId) {
+    if let Err(i) = v.binary_search(&x) {
+        v.insert(i, x);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<NodeId>, x: NodeId) {
+    if let Ok(i) = v.binary_search(&x) {
+        v.remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> World {
+        World::new(1.5, (0..n).map(|i| Position { x: i as f64, y: 0.0 }).collect())
+    }
+
+    #[test]
+    fn initial_links_follow_unit_disk() {
+        let w = line(4);
+        assert!(w.linked(NodeId(0), NodeId(1)));
+        assert!(!w.linked(NodeId(0), NodeId(2)));
+        assert_eq!(w.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(w.max_degree(), 2);
+    }
+
+    #[test]
+    fn hop_distance_bfs() {
+        let w = line(5);
+        assert_eq!(w.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(w.hop_distance(NodeId(2), NodeId(2)), Some(0));
+        let far = World::new(
+            1.0,
+            vec![Position { x: 0.0, y: 0.0 }, Position { x: 10.0, y: 0.0 }],
+        );
+        assert_eq!(far.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn relocate_reports_changes() {
+        let mut w = line(3);
+        // Move p2 next to p0: link to p1 kept (distance 1.5 -> within), link to p0 created.
+        let changes = w.relocate(NodeId(2), Position { x: 0.5, y: 0.0 });
+        assert!(changes.contains(&LinkChange::Up(NodeId(2), NodeId(0))));
+        assert!(w.linked(NodeId(0), NodeId(2)));
+        // Move p2 far away: both links drop.
+        let changes = w.relocate(NodeId(2), Position { x: 100.0, y: 0.0 });
+        assert_eq!(changes.len(), 2);
+        assert!(matches!(changes[0], LinkChange::Down(_, _)));
+        assert!(w.neighbors(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn motion_steps_toward_destination() {
+        let mut w = line(2);
+        w.begin_motion(NodeId(1), Position { x: 5.0, y: 0.0 }, 1.0);
+        let mut arrived = false;
+        let mut guard = 0;
+        while !arrived {
+            let (_, done) = w.step_motion(NodeId(1));
+            arrived = done;
+            guard += 1;
+            assert!(guard < 100, "motion never completes");
+        }
+        assert_eq!(w.position(NodeId(1)), Position { x: 5.0, y: 0.0 });
+    }
+
+    #[test]
+    fn explicit_world_from_adjacency() {
+        let w = World::from_adjacency(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!(w.is_explicit());
+        assert_eq!(w.neighbors(NodeId(0)).len(), 4);
+        assert_eq!(w.neighbors(NodeId(1)), &[NodeId(0)]);
+        assert!(!w.linked(NodeId(1), NodeId(2)), "a true star: leaves unlinked");
+        assert_eq!(w.hop_distance(NodeId(1), NodeId(2)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "immutable")]
+    fn explicit_world_rejects_motion() {
+        let mut w = World::from_adjacency(2, &[(0, 1)]);
+        w.begin_motion(NodeId(0), Position { x: 1.0, y: 0.0 }, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn explicit_world_rejects_self_loops() {
+        let _ = World::from_adjacency(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn crash_cancels_motion() {
+        let mut w = line(2);
+        w.begin_motion(NodeId(1), Position { x: 5.0, y: 0.0 }, 1.0);
+        w.crash(NodeId(1));
+        assert!(w.is_crashed(NodeId(1)));
+        assert!(!w.is_moving(NodeId(1)));
+    }
+}

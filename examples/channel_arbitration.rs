@@ -1,0 +1,51 @@
+//! Channel arbitration — the paper's motivating application.
+//!
+//! "Nearby nodes can compete for exclusive access to a dedicated wireless
+//! channel or to a satellite uplink facility using this algorithm. They
+//! will be ensured of all eventually getting a turn to use the
+//! communication channel exclusively." (Chapter 1.)
+//!
+//! Forty sensor nodes are scattered over a field; the critical section
+//! models an exclusive transmission slot on the shared channel: no node may
+//! transmit while a node in radio range transmits. We run Algorithm 1 with
+//! the Linial recoloring procedure — the variant whose response time is
+//! essentially independent of the network size — and report per-node
+//! airtime fairness.
+//!
+//! Run with: `cargo run --example channel_arbitration`
+
+use manet_local_mutex::harness::{run_algorithm, topology, AlgKind, RunSpec, Summary};
+
+fn main() {
+    let n = 40;
+    let positions = topology::random_connected(n, 2024);
+    let spec = RunSpec {
+        horizon: 60_000,
+        eat: 5..=20,    // a transmission burst
+        think: 40..=120, // sensing / batching interval
+        ..RunSpec::default()
+    };
+
+    let out = run_algorithm(AlgKind::A1Linial, &spec, &positions, &[]);
+
+    let meals = &out.metrics.meals;
+    let min = meals.iter().min().copied().unwrap_or(0);
+    let max = meals.iter().max().copied().unwrap_or(0);
+    let total: u64 = meals.iter().sum();
+
+    println!("Channel arbitration among {n} nodes (A1-Linial)");
+    println!("  transmission slots granted : {total}");
+    println!("  per-node min/max           : {min} / {max}");
+    println!(
+        "  slot-acquisition latency   : {}",
+        Summary::of(&out.metrics.static_responses())
+    );
+    println!("  collisions (LME violations): {}", out.violations.len());
+
+    assert!(out.violations.is_empty(), "two in-range nodes transmitted at once");
+    assert!(min > 0, "a node never got the channel");
+    // Local mutual exclusion gives every node a turn; contention-limited
+    // fairness means min and max stay within a small factor.
+    assert!(max <= min.saturating_mul(8).max(8), "grossly unfair: {min}..{max}");
+    println!("OK: exclusive channel access with no starvation.");
+}

@@ -1,0 +1,139 @@
+//! Chaos tests: heavy link churn plus crashes, then quiescence. Safety
+//! must hold throughout; after the churn stops, every live node far from
+//! the crashes must return to regular progress (the self-organizing
+//! behavior the paper's Discussion chapter attributes to recoloring after
+//! topology changes).
+
+use manet_local_mutex::harness::{run_algorithm, topology, AlgKind, RunSpec};
+use manet_local_mutex::sim::{Command, NodeId, Position, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Heavy churn for the first 60% of the horizon; quiet afterwards.
+fn churn_commands(n: usize, horizon: u64, area: f64, seed: u64) -> Vec<(SimTime, Command)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cmds = Vec::new();
+    let churn_end = horizon * 6 / 10;
+    for _ in 0..30 {
+        let t = rng.gen_range(500..churn_end);
+        let node = NodeId(rng.gen_range(0..n as u32));
+        let dest = Position {
+            x: rng.gen::<f64>() * area,
+            y: rng.gen::<f64>() * area,
+        };
+        cmds.push((
+            SimTime(t),
+            if rng.gen_bool(0.5) {
+                Command::Teleport { node, dest }
+            } else {
+                Command::StartMove {
+                    node,
+                    dest,
+                    speed: 0.4,
+                }
+            },
+        ));
+    }
+    cmds.sort_by_key(|(t, _)| *t);
+    cmds
+}
+
+fn run_chaos(kind: AlgKind, seed: u64) {
+    let n = 16;
+    let horizon = 60_000u64;
+    let area = (n as f64 / 1.6).sqrt();
+    let positions = topology::random_connected(n, seed);
+    let spec = RunSpec {
+        horizon,
+        sim: manet_local_mutex::sim::SimConfig {
+            seed,
+            ..manet_local_mutex::sim::SimConfig::default()
+        },
+        ..RunSpec::default()
+    };
+    let mut commands = churn_commands(n, horizon, area, seed ^ 0xC0FFEE);
+    // One crash mid-churn.
+    let victim = NodeId((seed % n as u64) as u32);
+    commands.push((SimTime(horizon / 3), Command::Crash(victim)));
+    let out = run_algorithm(kind, &spec, &positions, &commands);
+    assert!(
+        out.violations.is_empty(),
+        "{} seed {seed}: safety violated under chaos: {:?}",
+        kind.name(),
+        out.violations
+    );
+    // Recovery: every live node farther from the victim than the
+    // algorithm's failure locality must have eaten during the quiet tail
+    // (40% of the horizon — plenty). The thresholds mirror the paper:
+    // A2 has locality 2; A1-Linial max(log* n, 4) + 2 = 6; the greedy and
+    // randomized recolorings have no distance guarantee (locality up to
+    // n), so for them we only require global progress.
+    let threshold = match kind {
+        AlgKind::A2 => Some(3),
+        AlgKind::A1Linial => Some(7),
+        _ => None,
+    };
+    let dist = out.distances_from(victim);
+    let tail_start = SimTime(horizon * 6 / 10);
+    let tail_meals_of = |node: NodeId| {
+        out.metrics
+            .samples
+            .iter()
+            .filter(|s| s.node == node && s.eat_at >= tail_start)
+            .count()
+    };
+    if let Some(threshold) = threshold {
+        for (i, &d) in dist.iter().enumerate().take(n) {
+            let node = NodeId(i as u32);
+            if node == victim || out.crashed.contains(&node) {
+                continue;
+            }
+            if d.is_some_and(|d| d < threshold) {
+                continue;
+            }
+            assert!(
+                tail_meals_of(node) > 0,
+                "{} seed {seed}: node {i} (distance {d:?} from crash, locality bound \
+                 {threshold}) made no progress after churn",
+                kind.name()
+            );
+        }
+    } else {
+        let total_tail: usize = (0..n)
+            .map(|i| tail_meals_of(NodeId(i as u32)))
+            .sum();
+        assert!(
+            total_tail > 0,
+            "{} seed {seed}: the whole system froze after churn",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn a1_greedy_survives_chaos() {
+    for seed in [1u64, 7, 23] {
+        run_chaos(AlgKind::A1Greedy, seed);
+    }
+}
+
+#[test]
+fn a1_linial_survives_chaos() {
+    for seed in [1u64, 7, 23] {
+        run_chaos(AlgKind::A1Linial, seed);
+    }
+}
+
+#[test]
+fn a1_random_survives_chaos() {
+    for seed in [1u64, 7, 23] {
+        run_chaos(AlgKind::A1Random, seed);
+    }
+}
+
+#[test]
+fn a2_survives_chaos() {
+    for seed in [1u64, 7, 23] {
+        run_chaos(AlgKind::A2, seed);
+    }
+}

@@ -1,0 +1,132 @@
+//! Structural invariants from the correctness proofs, checked on live
+//! executions:
+//!
+//! * **Lemma 24** (Algorithm 2): the priority graph `G` — an edge toward
+//!   the higher-priority endpoint of every link — is acyclic in every
+//!   state. We check antisymmetry + acyclicity at quiescence (when no
+//!   switch message can be in transit).
+//! * **Lemma 4** (Algorithm 1): two neighbors simultaneously behind `SD^f`
+//!   never share a color. We sample the execution every few hundred ticks
+//!   and compare the colors of co-resident `Collecting` neighbors.
+
+use manet_local_mutex::harness::{topology, Metrics, SafetyMonitor, Workload};
+use manet_local_mutex::lme::{Algorithm1, Algorithm2, Phase};
+use manet_local_mutex::sim::{Engine, NodeId, SimConfig, SimTime};
+
+/// Kahn's algorithm over the A2 priority orientation.
+fn assert_priority_graph_acyclic(engine: &Engine<Algorithm2>) {
+    let world = engine.world();
+    let n = world.len();
+    // Build edges i -> j when j has priority over i.
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut in_deg = vec![0usize; n];
+    for i in 0..n as u32 {
+        for &j in world.neighbors(NodeId(i)) {
+            if j.0 < i {
+                continue; // handle each undirected link once
+            }
+            let i_sees_j_higher = engine.protocol(NodeId(i)).neighbor_has_priority(j);
+            let j_sees_i_higher = engine.protocol(j).neighbor_has_priority(NodeId(i));
+            // At quiescence exactly one endpoint defers to the other
+            // (both-true only while a switch message is in transit).
+            assert!(
+                i_sees_j_higher != j_sees_i_higher,
+                "link ({i},{j}): priorities inconsistent at quiescence: \
+                 {i_sees_j_higher} / {j_sees_i_higher}"
+            );
+            let (from, to) = if i_sees_j_higher {
+                (i as usize, j.index())
+            } else {
+                (j.index(), i as usize)
+            };
+            out_edges[from].push(to);
+            in_deg[to] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+    let mut seen = 0;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &w in &out_edges[v] {
+            in_deg[w] -= 1;
+            if in_deg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    assert_eq!(seen, n, "Lemma 24 violated: the priority graph has a cycle");
+}
+
+#[test]
+fn a2_priority_graph_is_acyclic_at_quiescence() {
+    for seed in [3u64, 17, 99] {
+        let positions = topology::random_connected(14, seed);
+        let mut engine: Engine<Algorithm2> = Engine::new(
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+            positions,
+            |s| Algorithm2::new(&s),
+        );
+        let (monitor, _) = SafetyMonitor::new(true);
+        engine.add_hook(Box::new(monitor));
+        // One-shot workload: after everyone ate once the system drains.
+        engine.add_hook(Box::new(Workload::one_shot(10..=30, seed)));
+        for i in 0..14 {
+            engine.set_hungry_at(SimTime(1 + u64::from(i % 7)), NodeId(i));
+        }
+        engine.run_until(SimTime(30_000));
+        // Long quiet tail: every switch message has long since landed.
+        assert_priority_graph_acyclic(&engine);
+    }
+}
+
+#[test]
+fn a1_coresident_sdf_neighbors_have_distinct_colors() {
+    // Sample the execution: whenever two neighbors are both behind SD^f
+    // (phase Collecting), their colors must differ (Lemma 4).
+    for seed in [5u64, 23] {
+        let positions = topology::random_connected(16, seed);
+        let mut engine: Engine<Algorithm1> = Engine::new(
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+            positions,
+            |s| Algorithm1::greedy(&s),
+        );
+        let (metrics, data) = Metrics::new(16);
+        engine.add_hook(Box::new(metrics));
+        let (monitor, _) = SafetyMonitor::new(true);
+        engine.add_hook(Box::new(monitor));
+        engine.add_hook(Box::new(Workload::cyclic(10..=30, 30..=90, seed)));
+        for i in 0..16 {
+            engine.set_hungry_at(SimTime(1 + u64::from(i)), NodeId(i));
+        }
+        let mut checks = 0u64;
+        for step in 1..200u64 {
+            engine.run_until(SimTime(step * 150));
+            let world = engine.world();
+            for i in 0..16u32 {
+                if engine.protocol(NodeId(i)).phase() != Phase::Collecting {
+                    continue;
+                }
+                for &j in world.neighbors(NodeId(i)) {
+                    if j.0 > i && engine.protocol(j).phase() == Phase::Collecting {
+                        checks += 1;
+                        assert_ne!(
+                            engine.protocol(NodeId(i)).color(),
+                            engine.protocol(j).color(),
+                            "Lemma 4 violated at t={}: {i} and {} share a color",
+                            engine.now(),
+                            j.0
+                        );
+                    }
+                }
+            }
+        }
+        assert!(checks > 50, "too few co-resident pairs sampled ({checks})");
+        assert!(data.borrow().meals.iter().all(|&m| m > 5));
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-crate liveness tests: on every topology, under contention, every
+//! node keeps entering its critical section — for all five algorithms.
+
+use manet_local_mutex::harness::{run_algorithm, topology, AlgKind, RunSpec};
+
+fn assert_live(kind: AlgKind, name: &str, positions: &[(f64, f64)], horizon: u64, min_meals: u64) {
+    let spec = RunSpec {
+        horizon,
+        ..RunSpec::default()
+    };
+    let out = run_algorithm(kind, &spec, positions, &[]);
+    assert!(
+        out.violations.is_empty(),
+        "{} on {name}: safety violated",
+        kind.name()
+    );
+    for (i, &m) in out.metrics.meals.iter().enumerate() {
+        assert!(
+            m >= min_meals,
+            "{} on {name}: node {i} ate only {m} times (< {min_meals}); meals = {:?}",
+            kind.name(),
+            out.metrics.meals
+        );
+    }
+}
+
+#[test]
+fn everyone_eats_on_a_line() {
+    for kind in AlgKind::all() {
+        assert_live(kind, "line-7", &topology::line(7), 40_000, 3);
+    }
+}
+
+#[test]
+fn everyone_eats_on_a_ring() {
+    for kind in AlgKind::all() {
+        assert_live(kind, "ring-8", &topology::ring(8), 40_000, 3);
+    }
+}
+
+#[test]
+fn everyone_eats_on_a_grid() {
+    for kind in AlgKind::all() {
+        assert_live(kind, "grid-4x4", &topology::grid(4, 4), 50_000, 3);
+    }
+}
+
+#[test]
+fn everyone_eats_in_a_clique() {
+    for kind in AlgKind::all() {
+        assert_live(kind, "clique-6", &topology::clique(6), 60_000, 2);
+    }
+}
+
+#[test]
+fn everyone_eats_on_a_random_graph() {
+    for kind in AlgKind::all() {
+        assert_live(kind, "random-20", &topology::random_connected(20, 5), 60_000, 2);
+    }
+}
+
+#[test]
+fn disconnected_components_progress_independently() {
+    // Two separate triangles: no cross-component interference.
+    let mut positions = topology::clique(3);
+    positions.extend(topology::clique(3).into_iter().map(|(x, y)| (x + 100.0, y)));
+    for kind in [AlgKind::A1Greedy, AlgKind::A2] {
+        assert_live(kind, "two-triangles", &positions, 30_000, 3);
+    }
+}

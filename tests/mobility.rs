@@ -1,0 +1,211 @@
+//! Mobility integration tests: recoloring, demotion, and post-move
+//! liveness for Algorithm 1 and Algorithm 2.
+
+use std::sync::Arc;
+
+use manet_local_mutex::coloring::LinialSchedule;
+use manet_local_mutex::harness::{Metrics, SafetyMonitor, Workload};
+use manet_local_mutex::lme::{Algorithm1, Algorithm2, RecolorConfig};
+use manet_local_mutex::sim::{DiningState, Engine, NodeId, SimConfig, SimTime};
+
+fn a1_engine(positions: Vec<(f64, f64)>, cfg: RecolorConfig) -> Engine<Algorithm1> {
+    Engine::new(SimConfig::default(), positions, move |seed| {
+        Algorithm1::new(&seed, cfg.clone())
+    })
+}
+
+/// A mover teleports into a 3-clique; when it next gets hungry it must
+/// recolor (negative color) and then eat; neighbor colors stay distinct.
+fn mover_recolors_and_eats(cfg: RecolorConfig) {
+    let mut positions = manet_local_mutex::harness::topology::clique(3);
+    positions.push((50.0, 0.0)); // the future mover, initially isolated
+    let mover = NodeId(3);
+    let mut engine = a1_engine(positions, cfg);
+    let (metrics, data) = Metrics::new(4);
+    engine.add_hook(Box::new(metrics));
+    let (monitor, _) = SafetyMonitor::new(true);
+    engine.add_hook(Box::new(monitor));
+    engine.add_hook(Box::new(Workload::cyclic(10..=20, 40..=80, 9)));
+    for i in 0..4 {
+        engine.set_hungry_at(SimTime(1), NodeId(i));
+    }
+    engine.teleport_at(SimTime(500), mover, (0.1, 0.1));
+    engine.run_until(SimTime(30_000));
+
+    let p = engine.protocol(mover);
+    assert!(p.stats.recolorings >= 1, "mover must run the recoloring module");
+    assert!(
+        data.borrow().meals[mover.index()] >= 3,
+        "mover starved after joining: {:?}",
+        data.borrow().meals
+    );
+    // All four now form a clique: colors must be pairwise distinct.
+    let colors: Vec<i64> = (0..4).map(|i| engine.protocol(NodeId(i)).color()).collect();
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            assert_ne!(colors[a], colors[b], "illegal coloring {colors:?}");
+        }
+    }
+}
+
+#[test]
+fn greedy_mover_recolors_and_eats() {
+    mover_recolors_and_eats(RecolorConfig::Greedy);
+}
+
+#[test]
+fn linial_mover_recolors_and_eats() {
+    mover_recolors_and_eats(RecolorConfig::Linial(Arc::new(LinialSchedule::compute(4, 3))));
+}
+
+#[test]
+fn eating_mover_is_demoted_for_safety() {
+    // Two isolated nodes both eat; one teleports next to the other. The
+    // mover must drop to hungry (Algorithm 3, Line 50), never producing two
+    // eating neighbors.
+    let mut engine = a1_engine(vec![(0.0, 0.0), (50.0, 0.0)], RecolorConfig::Greedy);
+    let (monitor, _) = SafetyMonitor::new(true);
+    engine.add_hook(Box::new(monitor));
+    // No workload: nodes eat forever until demoted.
+    engine.set_hungry_at(SimTime(1), NodeId(0));
+    engine.set_hungry_at(SimTime(1), NodeId(1));
+    engine.run_until(SimTime(100));
+    assert_eq!(engine.dining_state(NodeId(0)), DiningState::Eating);
+    assert_eq!(engine.dining_state(NodeId(1)), DiningState::Eating);
+    engine.teleport_at(SimTime(100), NodeId(1), (1.0, 0.0));
+    engine.run_until(SimTime(200));
+    assert_eq!(engine.dining_state(NodeId(0)), DiningState::Eating, "static keeps eating");
+    assert_eq!(engine.dining_state(NodeId(1)), DiningState::Hungry, "mover demoted");
+    assert_eq!(engine.protocol(NodeId(1)).stats.demotions, 1);
+}
+
+#[test]
+fn a2_eating_mover_is_demoted_for_safety() {
+    let mut engine: Engine<Algorithm2> = Engine::new(
+        SimConfig::default(),
+        vec![(0.0, 0.0), (50.0, 0.0)],
+        |seed| Algorithm2::new(&seed),
+    );
+    let (monitor, _) = SafetyMonitor::new(true);
+    engine.add_hook(Box::new(monitor));
+    engine.set_hungry_at(SimTime(1), NodeId(0));
+    engine.set_hungry_at(SimTime(1), NodeId(1));
+    engine.run_until(SimTime(100));
+    engine.teleport_at(SimTime(100), NodeId(1), (1.0, 0.0));
+    engine.run_until(SimTime(200));
+    assert_eq!(engine.dining_state(NodeId(0)), DiningState::Eating);
+    assert_eq!(engine.dining_state(NodeId(1)), DiningState::Hungry);
+    assert_eq!(engine.protocol(NodeId(1)).stats.demotions, 1);
+}
+
+#[test]
+fn two_movers_meeting_use_id_symmetry_breaking() {
+    // Both nodes move simultaneously toward each other; exactly one side
+    // (the smaller ID) is designated static and owns the new fork, and the
+    // system stays safe and live.
+    let mut engine = a1_engine(vec![(0.0, 0.0), (20.0, 0.0)], RecolorConfig::Greedy);
+    let (metrics, data) = Metrics::new(2);
+    engine.add_hook(Box::new(metrics));
+    let (monitor, _) = SafetyMonitor::new(true);
+    engine.add_hook(Box::new(monitor));
+    engine.add_hook(Box::new(Workload::cyclic(5..=15, 30..=60, 3)));
+    engine.set_hungry_at(SimTime(1), NodeId(0));
+    engine.set_hungry_at(SimTime(1), NodeId(1));
+    engine.schedule(
+        SimTime(200),
+        manet_local_mutex::sim::Command::StartMove {
+            node: NodeId(0),
+            dest: (10.0, 0.0).into(),
+            speed: 0.5,
+        },
+    );
+    engine.schedule(
+        SimTime(200),
+        manet_local_mutex::sim::Command::StartMove {
+            node: NodeId(1),
+            dest: (10.5, 0.0).into(),
+            speed: 0.5,
+        },
+    );
+    engine.run_until(SimTime(20_000));
+    assert!(engine.world().linked(NodeId(0), NodeId(1)));
+    assert!(data.borrow().meals[0] >= 3, "{:?}", data.borrow().meals);
+    assert!(data.borrow().meals[1] >= 3, "{:?}", data.borrow().meals);
+    assert_ne!(
+        engine.protocol(NodeId(0)).color(),
+        engine.protocol(NodeId(1)).color(),
+        "neighbors ended with equal colors"
+    );
+}
+
+#[test]
+fn post_move_liveness_with_churn() {
+    // A node hops across a line repeatedly; after the churn stops, everyone
+    // (including the hopper) keeps eating.
+    let mut positions = manet_local_mutex::harness::topology::line(6);
+    positions.push((0.0, 1.0));
+    let hopper = NodeId(6);
+    for cfg in [
+        RecolorConfig::Greedy,
+        RecolorConfig::Linial(Arc::new(LinialSchedule::compute(7, 4))),
+    ] {
+        let mut engine = a1_engine(positions.clone(), cfg);
+        let (metrics, data) = Metrics::new(7);
+        engine.add_hook(Box::new(metrics));
+        let (monitor, _) = SafetyMonitor::new(true);
+        engine.add_hook(Box::new(monitor));
+        engine.add_hook(Box::new(Workload::cyclic(10..=20, 40..=100, 17)));
+        for i in 0..7 {
+            engine.set_hungry_at(SimTime(1), NodeId(i));
+        }
+        for (k, t) in (1_000..6_000).step_by(1_000).enumerate() {
+            let x = (k % 6) as f64;
+            engine.teleport_at(SimTime(t as u64), hopper, (x, 1.0));
+        }
+        engine.run_until(SimTime(40_000));
+        let meals = data.borrow().meals.clone();
+        assert!(
+            meals.iter().all(|&m| m >= 3),
+            "starvation after churn: {meals:?}"
+        );
+    }
+}
+
+#[test]
+fn bootstrap_recoloring_yields_legal_colors_and_liveness() {
+    // The paper's initialization: every node obtains its initial color by
+    // running the recoloring module. All nodes recolor concurrently, then
+    // everyone must eat and the resulting coloring must be legal.
+    let mut engine: Engine<Algorithm1> = Engine::new(
+        SimConfig::default(),
+        manet_local_mutex::harness::topology::grid(3, 3),
+        |seed| {
+            let mut node = Algorithm1::greedy(&seed);
+            node.require_initial_recoloring();
+            node
+        },
+    );
+    let (metrics, data) = Metrics::new(9);
+    engine.add_hook(Box::new(metrics));
+    let (monitor, _) = SafetyMonitor::new(true);
+    engine.add_hook(Box::new(monitor));
+    engine.add_hook(Box::new(Workload::one_shot(10..=20, 5)));
+    for i in 0..9 {
+        engine.set_hungry_at(SimTime(1), NodeId(i));
+    }
+    engine.run_until(SimTime(60_000));
+    let meals = data.borrow().meals.clone();
+    assert!(meals.iter().all(|&m| m == 1), "bootstrap starved someone: {meals:?}");
+    for i in 0..9u32 {
+        assert!(
+            engine.protocol(NodeId(i)).stats.recolorings >= 1,
+            "node {i} skipped its initial recoloring"
+        );
+        // After eating, exit-colors are in [0, δ] and legal vs neighbors.
+        let ci = engine.protocol(NodeId(i)).color();
+        assert!((0..=4).contains(&ci));
+        for &j in engine.world().neighbors(NodeId(i)) {
+            assert_ne!(ci, engine.protocol(j).color(), "illegal pair ({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based safety tests: random topologies, workloads, mobility and
+//! crash schedules must never produce two eating neighbors — for any
+//! algorithm. This is the paper's safety theorem (Lemma 3 / Theorem 25)
+//! exercised adversarially.
+
+use manet_local_mutex::harness::{run_algorithm, AlgKind, RunSpec};
+use manet_local_mutex::sim::{Command, NodeId, Position, SimConfig, SimTime};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    kind_idx: usize,
+    positions: Vec<(f64, f64)>,
+    seed: u64,
+    moves: Vec<(u64, u32, (f64, f64))>,
+    crashes: Vec<(u64, u32)>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let pos = (0.0f64..8.0, 0.0f64..8.0);
+    (
+        0usize..5,
+        prop::collection::vec(pos, 3..12),
+        any::<u64>(),
+        prop::collection::vec((100u64..6_000, 0u32..12, (0.0f64..8.0, 0.0f64..8.0)), 0..5),
+        prop::collection::vec((100u64..6_000, 0u32..12), 0..2),
+    )
+        .prop_map(|(kind_idx, positions, seed, moves, crashes)| Scenario {
+            kind_idx,
+            positions,
+            seed,
+            moves,
+            crashes,
+        })
+}
+
+fn run_scenario(s: &Scenario) {
+    let n = s.positions.len() as u32;
+    let kind = AlgKind::all()[s.kind_idx];
+    let spec = RunSpec {
+        sim: SimConfig {
+            seed: s.seed,
+            ..SimConfig::default()
+        },
+        horizon: 8_000,
+        panic_on_violation: false,
+        ..RunSpec::default()
+    };
+    let mut commands: Vec<(SimTime, Command)> = Vec::new();
+    for &(t, node, dest) in &s.moves {
+        if node < n {
+            commands.push((
+                SimTime(t),
+                Command::Teleport {
+                    node: NodeId(node),
+                    dest: Position::from(dest),
+                },
+            ));
+        }
+    }
+    for &(t, node) in &s.crashes {
+        if node < n {
+            commands.push((SimTime(t), Command::Crash(NodeId(node))));
+        }
+    }
+    let out = run_algorithm(kind, &spec, &s.positions, &commands);
+    assert!(
+        out.violations.is_empty(),
+        "{}: local mutual exclusion violated: {:?}\nscenario: {s:?}",
+        kind.name(),
+        out.violations
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// No algorithm, under any random topology + teleport + crash schedule,
+    /// ever lets two neighbors eat simultaneously.
+    #[test]
+    fn lme_safety_is_never_violated(s in scenario_strategy()) {
+        run_scenario(&s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Smooth (non-teleport) movement sweeps links through many
+    /// intermediate configurations; safety must hold throughout.
+    #[test]
+    fn lme_safety_under_smooth_motion(
+        kind_idx in 0usize..5,
+        seed in any::<u64>(),
+        moves in prop::collection::vec((100u64..4_000, 0u32..8, (0.0f64..6.0, 0.0f64..6.0)), 1..4),
+    ) {
+        let positions = manet_local_mutex::harness::topology::random_points(8, 4.0, seed);
+        let kind = AlgKind::all()[kind_idx];
+        let spec = RunSpec {
+            sim: SimConfig { seed, ..SimConfig::default() },
+            horizon: 8_000,
+            ..RunSpec::default()
+        };
+        let commands: Vec<(SimTime, Command)> = moves
+            .into_iter()
+            .map(|(t, node, dest)| {
+                (
+                    SimTime(t),
+                    Command::StartMove {
+                        node: NodeId(node),
+                        dest: Position::from(dest),
+                        speed: 0.3,
+                    },
+                )
+            })
+            .collect();
+        let out = run_algorithm(kind, &spec, &positions, &commands);
+        prop_assert!(
+            out.violations.is_empty(),
+            "{}: violations {:?}",
+            kind.name(),
+            out.violations
+        );
+    }
+}
