@@ -260,7 +260,7 @@ mod tests {
     fn dirty_fork_is_yielded_clean_fork_is_kept() {
         let mut e = line_engine(2);
         e.add_hook(Box::new(AutoExit::new(5_000))); // p1 eats for a long time
-        // p0 holds the dirty fork initially; p1 requests and gets it.
+                                                    // p0 holds the dirty fork initially; p1 requests and gets it.
         e.set_hungry_at(SimTime(1), NodeId(1));
         e.run_until(SimTime(100));
         assert_eq!(e.dining_state(NodeId(1)), DiningState::Eating);

@@ -1,28 +1,22 @@
 //! Head-to-head wall-clock cost of the five algorithms on the same workload
 //! (Table 1 companion: protocol step overhead, not response time).
+//!
+//! Plain std-timing benchmarks (see `lme_bench::bench`); run with
+//! `cargo bench -p lme-bench --bench algorithms`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harness::{run_algorithm, topology, AlgKind, RunSpec};
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms");
-    group.sample_size(10);
+fn main() {
     let spec = RunSpec {
         horizon: 4_000,
         ..RunSpec::default()
     };
     let positions = topology::random_connected(16, 3);
     for kind in AlgKind::all() {
-        group.bench_with_input(
-            BenchmarkId::new("random16_cyclic", kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| run_algorithm(kind, &spec, &positions, &[]).messages_sent);
-            },
+        lme_bench::bench(
+            &format!("algorithms/random16_cyclic/{}", kind.name()),
+            10,
+            || run_algorithm(kind, &spec, &positions, &[]).messages_sent,
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_algorithms);
-criterion_main!(benches);

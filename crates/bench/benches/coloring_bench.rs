@@ -1,25 +1,24 @@
 //! Coloring substrate microbenchmarks: schedule construction, set
 //! derivation, and the shared greedy graph coloring.
+//!
+//! Plain std-timing benchmarks (see `lme_bench::bench`); run with
+//! `cargo bench -p lme-bench --bench coloring_bench`.
 
 use coloring::{greedy_color_graph, AdjGraph, CoverFreeFamily, LinialSchedule};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use manet_sim::SimRng;
 
-fn bench_coloring(c: &mut Criterion) {
-    c.bench_function("linial_schedule_2e20_d8", |b| {
-        b.iter(|| LinialSchedule::compute(1 << 20, 8).final_range())
+fn main() {
+    lme_bench::bench("linial_schedule_2e20_d8", 10, || {
+        LinialSchedule::compute(1 << 20, 8).final_range()
     });
     let fam = CoverFreeFamily::construct(1 << 20, 8);
-    c.bench_function("cover_free_set_derivation", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 997) % fam.len();
-            fam.set(i).len()
-        })
+    let mut i = 0u64;
+    lme_bench::bench("cover_free_set_derivation", 1_000, || {
+        i = (i + 997) % fam.len();
+        fam.set(i).len()
     });
     // Random graph with ~4 edges per vertex.
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SimRng::seed_from_u64(5);
     let n = 500u32;
     let mut g = AdjGraph::new();
     for v in 0..n {
@@ -31,10 +30,7 @@ fn bench_coloring(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("greedy_color_graph_500", |b| {
-        b.iter(|| greedy_color_graph(&g).len())
+    lme_bench::bench("greedy_color_graph_500", 100, || {
+        greedy_color_graph(&g).len()
     });
 }
-
-criterion_group!(benches, bench_coloring);
-criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Engine microbenchmarks: raw event throughput of the simulator.
+//!
+//! Plain std-timing benchmarks (see `lme_bench::bench`); run with
+//! `cargo bench -p lme-bench --bench engine`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harness::{topology, Workload};
 use local_mutex::testutil::SafetyCheck;
 use local_mutex::Algorithm2;
@@ -8,62 +10,49 @@ use manet_sim::{Engine, NodeId, SimConfig, SimTime};
 
 /// A full Algorithm 2 run on a 20-node line: measures end-to-end engine +
 /// protocol throughput (events/second is reported via wall time).
-fn bench_line_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
+fn bench_line_run() {
     for &horizon in &[2_000u64, 8_000] {
-        group.bench_with_input(
-            BenchmarkId::new("a2_line20_cyclic", horizon),
-            &horizon,
-            |b, &horizon| {
-                b.iter(|| {
-                    let mut e: Engine<Algorithm2> = Engine::new(
-                        SimConfig::default(),
-                        topology::line(20),
-                        |seed| Algorithm2::new(&seed),
-                    );
-                    e.add_hook(Box::new(Workload::cyclic(10..=30, 50..=150, 1)));
-                    e.add_hook(Box::new(SafetyCheck::default()));
-                    for i in 0..20 {
-                        e.set_hungry_at(SimTime(1), NodeId(i));
-                    }
-                    e.run_until(SimTime(horizon));
-                    e.stats().events
+        lme_bench::bench(&format!("engine/a2_line20_cyclic/{horizon}"), 10, || {
+            let mut e: Engine<Algorithm2> =
+                Engine::new(SimConfig::default(), topology::line(20), |seed| {
+                    Algorithm2::new(&seed)
                 });
-            },
-        );
+            e.add_hook(Box::new(Workload::cyclic(10..=30, 50..=150, 1)));
+            e.add_hook(Box::new(SafetyCheck::default()));
+            for i in 0..20 {
+                e.set_hungry_at(SimTime(1), NodeId(i));
+            }
+            e.run_until(SimTime(horizon));
+            e.stats().events
+        });
     }
-    group.finish();
 }
 
 /// Doorway-demo traversal cost: the double doorway under a recycling
 /// clique — measures doorway state-machine + engine overhead without fork
 /// logic.
-fn bench_doorway_demo(c: &mut Criterion) {
+fn bench_doorway_demo() {
     use doorway::demo::{DemoConfig, DoorwayDemo, Structure};
-    let mut group = c.benchmark_group("doorway");
-    group.sample_size(10);
-    group.bench_function("double_doorway_clique8", |b| {
-        b.iter(|| {
-            let cfg = DemoConfig {
-                structure: Structure::Double,
-                hold_ticks: 20,
-                recycle_after: Some(5),
-            };
-            let mut e: Engine<DoorwayDemo> = Engine::new(
-                SimConfig::default(),
-                harness::topology::clique(8),
-                move |_| DoorwayDemo::new(cfg),
-            );
-            for i in 0..8 {
-                e.set_hungry_at(SimTime(1 + i as u64 * 3), NodeId(i));
-            }
-            e.run_until(SimTime(4_000));
-            e.stats().events
-        });
+    lme_bench::bench("doorway/double_doorway_clique8", 10, || {
+        let cfg = DemoConfig {
+            structure: Structure::Double,
+            hold_ticks: 20,
+            recycle_after: Some(5),
+        };
+        let mut e: Engine<DoorwayDemo> = Engine::new(
+            SimConfig::default(),
+            harness::topology::clique(8),
+            move |_| DoorwayDemo::new(cfg),
+        );
+        for i in 0..8 {
+            e.set_hungry_at(SimTime(1 + i as u64 * 3), NodeId(i));
+        }
+        e.run_until(SimTime(4_000));
+        e.stats().events
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_line_run, bench_doorway_demo);
-criterion_main!(benches);
+fn main() {
+    bench_line_run();
+    bench_doorway_demo();
+}

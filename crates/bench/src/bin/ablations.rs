@@ -18,22 +18,20 @@
 //!   average-case speed. (The adversarial chains it eliminates require
 //!   coordinated wake-ups that randomized delays break.)
 //!
-//! Run: `cargo run --release -p lme-bench --bin ablations [--quick]`
+//! Both ablation arms run concurrently through the sweep executor's
+//! `par_map` (`--jobs N`; output identical for any value).
+//!
+//! Run: `cargo run --release -p lme-bench --bin ablations [--quick] [--jobs N]`
 
-use harness::{topology, Metrics, SafetyMonitor, Summary, Table, Workload};
-use lme_bench::{section, sized};
+use harness::{par_map, topology, Metrics, SafetyMonitor, Summary, Table, Workload};
+use lme_bench::{jobs, section, sized};
 use local_mutex::{Algorithm1, Algorithm2};
 use manet_sim::{Engine, NodeId, SimConfig, SimTime};
 
-fn ab1_return_path() {
+fn ab1_return_path(jobs: usize) {
     section("AB-1: Figure 6 with and without the SD^f return path");
-    let mut table = Table::new(&[
-        "return path",
-        "p2 meals",
-        "p2 post-move latency",
-        "p2 return paths",
-    ]);
-    for enabled in [true, false] {
+    let arms = [true, false];
+    let rows = par_map(&arms, jobs, |&enabled| {
         let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
         let colors = [1i64, 0, 2, 3];
         let mut engine: Engine<Algorithm1> =
@@ -58,7 +56,10 @@ fn ab1_return_path() {
         engine.run_until(SimTime(12_000));
         assert!(violations.borrow().is_empty());
         let meals = data.borrow().meals[p2.index()];
-        assert_eq!(meals, 1, "p2 must eat after p3 departs (return path {enabled})");
+        assert_eq!(
+            meals, 1,
+            "p2 must eat after p3 departs (return path {enabled})"
+        );
         let latency = data
             .borrow()
             .samples
@@ -71,12 +72,21 @@ fn ab1_return_path() {
             u64::from(enabled),
             "return-path counter must match the configuration"
         );
-        table.row([
+        [
             enabled.to_string(),
             meals.to_string(),
             latency.to_string(),
             engine.protocol(p2).stats.return_paths.to_string(),
-        ]);
+        ]
+    });
+    let mut table = Table::new(&[
+        "return path",
+        "p2 meals",
+        "p2 post-move latency",
+        "p2 return paths",
+    ]);
+    for row in rows {
+        table.row(row);
     }
     print!("{table}");
     println!(
@@ -86,21 +96,15 @@ fn ab1_return_path() {
     );
 }
 
-fn ab2_notifications() {
+fn ab2_notifications(jobs: usize) {
     section("AB-2: Algorithm 2 with and without the notification mechanism");
     // Skewed regime: even nodes cycle fast; odd nodes think very long. A
     // long-thinking dominator that wakes mid-collection snatches priority
     // unless notifications made it step aside when its neighbor got hungry.
     let n = sized(16usize, 10);
     let horizon = sized(80_000u64, 20_000);
-    let mut table = Table::new(&[
-        "notifications",
-        "fast nodes p95",
-        "fast nodes max",
-        "total meals",
-        "switch msgs",
-    ]);
-    for enabled in [true, false] {
+    let arms = [true, false];
+    let rows = par_map(&arms, jobs, |&enabled| {
         let mut engine: Engine<Algorithm2> =
             Engine::new(SimConfig::default(), topology::line(n), move |seed| {
                 let mut node = Algorithm2::new(&seed);
@@ -128,13 +132,23 @@ fn ab2_notifications() {
         let switches: u64 = (0..n as u32)
             .map(|i| engine.protocol(NodeId(i)).stats.switches)
             .sum();
-        table.row([
+        [
             enabled.to_string(),
             s.p95.to_string(),
             s.max.to_string(),
             data.meals.iter().sum::<u64>().to_string(),
             switches.to_string(),
-        ]);
+        ]
+    });
+    let mut table = Table::new(&[
+        "notifications",
+        "fast nodes p95",
+        "fast nodes max",
+        "total meals",
+        "switch msgs",
+    ]);
+    for row in rows {
+        table.row(row);
     }
     print!("{table}");
     println!(
@@ -145,6 +159,7 @@ fn ab2_notifications() {
 }
 
 fn main() {
-    ab1_return_path();
-    ab2_notifications();
+    let jobs = jobs();
+    ab1_return_path(jobs);
+    ab2_notifications(jobs);
 }

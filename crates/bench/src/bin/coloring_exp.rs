@@ -46,7 +46,8 @@ fn schedule_growth() {
 /// Drive a set of recoloring procedures over a path topology in lockstep
 /// message rounds; returns the number of delivery rounds until all done.
 fn drive_path(k: usize, make: impl Fn(NodeId) -> Box<dyn RecolorProcedure>) -> (usize, Vec<i64>) {
-    let mut procs: Vec<Box<dyn RecolorProcedure>> = (0..k).map(|i| make(NodeId(i as u32))).collect();
+    let mut procs: Vec<Box<dyn RecolorProcedure>> =
+        (0..k).map(|i| make(NodeId(i as u32))).collect();
     let neighbors = |i: usize| -> BTreeSet<NodeId> {
         let mut s = BTreeSet::new();
         if i > 0 {
@@ -93,7 +94,10 @@ fn drive_path(k: usize, make: impl Fn(NodeId) -> Box<dyn RecolorProcedure>) -> (
             }
         }
     }
-    (rounds, colors.into_iter().map(|c| c.expect("all done")).collect())
+    (
+        rounds,
+        colors.into_iter().map(|c| c.expect("all done")).collect(),
+    )
 }
 
 fn distributed_rounds() {
@@ -101,8 +105,7 @@ fn distributed_rounds() {
     let mut table = Table::new(&["k (participants)", "greedy rounds", "linial rounds"]);
     let sched = Arc::new(LinialSchedule::compute(1 << 16, 4));
     for k in sized(vec![2usize, 4, 8, 16, 32], vec![2, 4, 8]) {
-        let (greedy_rounds, greedy_colors) =
-            drive_path(k, |me| Box::new(GreedyRecolor::new(me)));
+        let (greedy_rounds, greedy_colors) = drive_path(k, |me| Box::new(GreedyRecolor::new(me)));
         let (linial_rounds, linial_colors) = {
             let sched = sched.clone();
             drive_path(k, move |me| Box::new(LinialRecolor::new(me, sched.clone())))

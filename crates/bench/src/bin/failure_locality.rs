@@ -11,20 +11,26 @@
 //!
 //! We probe a long line (worst case for chains) and a 7×7 grid, and also
 //! run the canonical Figure 6-style chain where Chandy–Misra's unbounded
-//! locality is forced deterministically.
+//! locality is forced deterministically. Each probe battery fans out over
+//! the parallel sweep executor (`--jobs N`; identical output for any value).
 //!
-//! Run: `cargo run --release -p lme-bench --bin failure_locality [--quick]`
+//! Run: `cargo run --release -p lme-bench --bin failure_locality [--quick]
+//!       [--jobs N]`
 
-use harness::{crash_probe, topology, AlgKind, RunSpec, Table};
-use lme_bench::{section, sized};
+use harness::{crash_probe, par_map, topology, AlgKind, RunSpec, Table};
+use lme_bench::{jobs, section, sized};
 use manet_sim::NodeId;
 
-fn probe_topology(name: &str, positions: &[(f64, f64)], victim: NodeId, horizon: u64) {
+fn probe_topology(name: &str, positions: &[(f64, f64)], victim: NodeId, horizon: u64, jobs: usize) {
     section(&format!("C3: crash probe on {name} (victim = {victim})"));
     let spec = RunSpec {
         horizon,
         ..RunSpec::default()
     };
+    let kinds = AlgKind::all();
+    let reports = par_map(&kinds, jobs, |&kind| {
+        crash_probe(kind, &spec, positions, victim, horizon / 20)
+    });
     let mut table = Table::new(&[
         "algorithm",
         "FL (paper)",
@@ -32,9 +38,12 @@ fn probe_topology(name: &str, positions: &[(f64, f64)], victim: NodeId, horizon:
         "max starvation distance",
         "meals by farthest node",
     ]);
-    for kind in AlgKind::all() {
-        let report = crash_probe(kind, &spec, positions, victim, horizon / 20);
-        assert!(report.outcome.violations.is_empty(), "{} unsafe", kind.name());
+    for (report, &kind) in reports.iter().zip(&kinds) {
+        assert!(
+            report.outcome.violations.is_empty(),
+            "{} unsafe",
+            kind.name()
+        );
         // The node farthest from the victim must keep making progress for
         // any algorithm with bounded locality.
         let dist = report.outcome.distances_from(victim);
@@ -46,9 +55,7 @@ fn probe_topology(name: &str, positions: &[(f64, f64)], victim: NodeId, horizon:
             kind.name().to_string(),
             kind.paper_failure_locality().to_string(),
             report.starving.len().to_string(),
-            report
-                .locality
-                .map_or("-".to_string(), |m| m.to_string()),
+            report.locality.map_or("-".to_string(), |m| m.to_string()),
             report.outcome.metrics.meals[far].to_string(),
         ]);
         if kind == AlgKind::A2 {
@@ -60,7 +67,7 @@ fn probe_topology(name: &str, positions: &[(f64, f64)], victim: NodeId, horizon:
     print!("{table}");
 }
 
-fn gradient_line() {
+fn gradient_line(jobs: usize) {
     let n = sized(21usize, 11);
     section(&format!(
         "C3-gradient: mean post-crash response vs distance from the crash ({n}-node line)"
@@ -70,18 +77,17 @@ fn gradient_line() {
         ..RunSpec::default()
     };
     let victim = NodeId(n as u32 / 2);
-    let mut rows: Vec<(&str, Vec<Option<f64>>)> = Vec::new();
-    let mut max_d = 0;
-    for kind in [AlgKind::ChandyMisra, AlgKind::A1Linial, AlgKind::A2] {
+    let kinds = [AlgKind::ChandyMisra, AlgKind::A1Linial, AlgKind::A2];
+    let curves = par_map(&kinds, jobs, |&kind| {
         let report = crash_probe(kind, &spec, &topology::line(n), victim, spec.horizon / 20);
         let after = report
             .outcome
             .crash_time
             .unwrap_or(manet_sim::SimTime(spec.horizon / 20));
-        let curve = harness::response_by_distance(&report.outcome, victim, after);
-        max_d = max_d.max(curve.len());
-        rows.push((kind.name(), curve));
-    }
+        harness::response_by_distance(&report.outcome, victim, after)
+    });
+    let rows: Vec<(&str, Vec<Option<f64>>)> = kinds.iter().map(|k| k.name()).zip(curves).collect();
+    let max_d = rows.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
     let mut headers = vec!["distance".to_string()];
     headers.extend(rows.iter().map(|(n, _)| n.to_string()));
     let mut table = Table::new(&headers);
@@ -102,7 +108,7 @@ fn gradient_line() {
     );
 }
 
-fn dual_crash_independence() {
+fn dual_crash_independence(jobs: usize) {
     let n = sized(25usize, 13);
     section(&format!(
         "C3-dual: two simultaneous crashes on a {n}-node line — independent containment"
@@ -115,8 +121,8 @@ fn dual_crash_independence() {
     };
     let v1 = NodeId(n as u32 / 4);
     let v2 = NodeId(3 * n as u32 / 4);
-    let mut table = Table::new(&["algorithm", "starving nodes", "mid-point meals", "contained"]);
-    for kind in [AlgKind::A1Greedy, AlgKind::A1Linial, AlgKind::A2] {
+    let kinds = [AlgKind::A1Greedy, AlgKind::A1Linial, AlgKind::A2];
+    let results = par_map(&kinds, jobs, |&kind| {
         // First victim crashes by time trigger while eating; second by a
         // scheduled command mid-run (it may or may not hold forks).
         let spec = RunSpec {
@@ -140,10 +146,19 @@ fn dual_crash_independence() {
                 || d2[s.index()].is_some_and(|d| d <= 2)
         });
         let mid = NodeId(n as u32 / 2);
+        (starving.len(), out.metrics.meals[mid.index()], contained)
+    });
+    let mut table = Table::new(&[
+        "algorithm",
+        "starving nodes",
+        "mid-point meals",
+        "contained",
+    ]);
+    for (&(starving, mid_meals, contained), &kind) in results.iter().zip(&kinds) {
         table.row([
             kind.name().to_string(),
-            starving.len().to_string(),
-            out.metrics.meals[mid.index()].to_string(),
+            starving.to_string(),
+            mid_meals.to_string(),
             contained.to_string(),
         ]);
         if kind == AlgKind::A2 {
@@ -154,7 +169,7 @@ fn dual_crash_independence() {
     println!("expected shape: each crash is contained in its own 2-neighborhood; the midpoint between them keeps eating");
 }
 
-fn recoloring_locality() {
+fn recoloring_locality(jobs: usize) {
     let n = sized(25usize, 13);
     section(&format!(
         "C3-recolor: crash during system-wide recoloring ({n}-node line) — the f_color locality"
@@ -169,15 +184,16 @@ fn recoloring_locality() {
     // missing messages matter (failure locality max(log* n, 4) + 2,
     // Theorem 22).
     let victim = manet_sim::NodeId(n as u32 / 2);
-    let mut table = Table::new(&["variant", "starving nodes", "max starvation distance", "paper bound"]);
-    for kind in [AlgKind::A1Greedy, AlgKind::A1Linial] {
+    let sched = std::sync::Arc::new(coloring::LinialSchedule::compute(n as u64, 2));
+    let kinds = [AlgKind::A1Greedy, AlgKind::A1Linial];
+    let results = par_map(&kinds, jobs, |&kind| {
         let spec = RunSpec {
             horizon: sized(120_000, 30_000),
             cyclic: false,
             first_hungry: (5, 5),
             ..RunSpec::default()
         };
-        let sched = std::sync::Arc::new(coloring::LinialSchedule::compute(n as u64, 2));
+        let sched = sched.clone();
         let out = harness::run_protocol(
             &spec,
             &harness::topology::line(n),
@@ -202,9 +218,18 @@ fn recoloring_locality() {
             .filter_map(|s| dist[s.index()])
             .collect();
         let locality = starving.iter().copied().max();
+        (starving.len(), locality)
+    });
+    let mut table = Table::new(&[
+        "variant",
+        "starving nodes",
+        "max starvation distance",
+        "paper bound",
+    ]);
+    for (&(starving, locality), &kind) in results.iter().zip(&kinds) {
         table.row([
             kind.name().to_string(),
-            starving.len().to_string(),
+            starving.to_string(),
             locality.map_or("-".to_string(), |m| m.to_string()),
             kind.paper_failure_locality().to_string(),
         ]);
@@ -227,12 +252,14 @@ fn recoloring_locality() {
 }
 
 fn main() {
+    let jobs = jobs();
     let line_n = sized(31, 13);
     probe_topology(
         &format!("a {line_n}-node line"),
         &topology::line(line_n),
         NodeId(line_n as u32 / 2),
         sized(100_000, 20_000),
+        jobs,
     );
 
     let side = sized(7usize, 5);
@@ -241,11 +268,12 @@ fn main() {
         &topology::grid(side, side),
         NodeId((side * side / 2) as u32),
         sized(100_000, 20_000),
+        jobs,
     );
 
-    gradient_line();
-    dual_crash_independence();
-    recoloring_locality();
+    gradient_line(jobs);
+    dual_crash_independence(jobs);
+    recoloring_locality(jobs);
 
     println!(
         "\nexpected shape: A2 never starves beyond distance 2 (optimal); the doorway \

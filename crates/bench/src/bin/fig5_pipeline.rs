@@ -31,12 +31,11 @@ struct PipelineRun {
 
 fn run(n: usize, mobile: bool, horizon: u64) -> PipelineRun {
     let positions = topology::random_connected(n, 21);
-    let mut engine: Engine<Algorithm1> =
-        Engine::new(SimConfig::default(), positions, |seed| {
-            let mut node = Algorithm1::greedy(&seed);
-            node.record_phases = true;
-            node
-        });
+    let mut engine: Engine<Algorithm1> = Engine::new(SimConfig::default(), positions, |seed| {
+        let mut node = Algorithm1::greedy(&seed);
+        node.record_phases = true;
+        node
+    });
     let (metrics, data) = Metrics::new(n);
     engine.add_hook(Box::new(metrics));
     let (monitor, violations) = SafetyMonitor::new(true);
@@ -108,7 +107,11 @@ fn main() {
     .to_vec();
     let total = |r: &PipelineRun| r.phase_ticks.values().sum::<u64>().max(1) as f64;
     let (ts, tm) = (total(&stat), total(&mob));
-    let mut table = Table::new(&["phase", "static (% of busy time)", "mobile (% of busy time)"]);
+    let mut table = Table::new(&[
+        "phase",
+        "static (% of busy time)",
+        "mobile (% of busy time)",
+    ]);
     for ph in all_phases {
         let s = *stat.phase_ticks.get(ph).unwrap_or(&0) as f64 / ts * 100.0;
         let m = *mob.phase_ticks.get(ph).unwrap_or(&0) as f64 / tm * 100.0;
@@ -136,7 +139,8 @@ fn main() {
 
     assert_eq!(stat.recolorings, 0, "static runs must never recolor");
     assert_eq!(
-        *stat.phase_ticks.get("enter-ADr").unwrap_or(&0) + *stat.phase_ticks.get("enter-SDr").unwrap_or(&0),
+        *stat.phase_ticks.get("enter-ADr").unwrap_or(&0)
+            + *stat.phase_ticks.get("enter-SDr").unwrap_or(&0),
         0,
         "static runs must never enter the first double doorway"
     );

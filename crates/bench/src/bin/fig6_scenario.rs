@@ -31,12 +31,11 @@ fn main() {
     let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
     // Colors: p4 = 1, p3 = 0, p2 = 2, p1 = 3 (so p3 < p4 and p3 < p2 < p1).
     let colors = [1i64, 0, 2, 3];
-    let mut engine: Engine<Algorithm1> =
-        Engine::new(SimConfig::default(), positions, |seed| {
-            let mut node = Algorithm1::greedy(&seed);
-            node.set_initial_coloring(&colors);
-            node
-        });
+    let mut engine: Engine<Algorithm1> = Engine::new(SimConfig::default(), positions, |seed| {
+        let mut node = Algorithm1::greedy(&seed);
+        node.set_initial_coloring(&colors);
+        node
+    });
     let (metrics, data) = Metrics::new(4);
     engine.add_hook(Box::new(metrics));
     let (monitor, _violations) = SafetyMonitor::new(true);
@@ -60,9 +59,21 @@ fn main() {
             data.borrow().meals[node.index()]
         );
     }
-    assert_eq!(data.borrow().meals[p1.index()], 1, "p1 (distance 3) must eat");
-    assert_eq!(engine.dining_state(p3), DiningState::Hungry, "p3 blocked by p4");
-    assert_eq!(engine.dining_state(p2), DiningState::Hungry, "p2 blocked by p3");
+    assert_eq!(
+        data.borrow().meals[p1.index()],
+        1,
+        "p1 (distance 3) must eat"
+    );
+    assert_eq!(
+        engine.dining_state(p3),
+        DiningState::Hungry,
+        "p3 blocked by p4"
+    );
+    assert_eq!(
+        engine.dining_state(p2),
+        DiningState::Hungry,
+        "p2 blocked by p3"
+    );
     println!("  ✓ failure contained: only the 2-neighborhood of p4 is blocked");
 
     // Phase 2: p3 moves away; the return path frees p2.
@@ -82,7 +93,11 @@ fn main() {
         engine.protocol(p2).stats.return_paths >= 1,
         "p2 must take the SD^f return path when p3 departs with their fork"
     );
-    assert_eq!(data.borrow().meals[p2.index()], 1, "p2 must eat after the return path");
+    assert_eq!(
+        data.borrow().meals[p2.index()],
+        1,
+        "p2 must eat after the return path"
+    );
     assert_eq!(data.borrow().meals[p3.index()], 1, "p3, alone, must eat");
     println!(
         "  ✓ return path taken by p2: {} time(s); p2 and p3 both ate",

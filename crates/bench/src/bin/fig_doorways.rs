@@ -20,7 +20,9 @@ use lme_bench::{section, sized};
 use manet_sim::{Engine, NodeId, SimConfig, SimTime};
 
 fn demo_engine(positions: Vec<(f64, f64)>, cfg: DemoConfig) -> Engine<DoorwayDemo> {
-    Engine::new(SimConfig::default(), positions, move |_| DoorwayDemo::new(cfg))
+    Engine::new(SimConfig::default(), positions, move |_| {
+        DoorwayDemo::new(cfg)
+    })
 }
 
 fn f1_guarantee() {
@@ -57,32 +59,33 @@ fn f1_guarantee() {
 fn f2_sync_vs_async() {
     section("F2 (Figure 2): synchronous starvation vs asynchronous progress");
     let horizon = SimTime(sized(60_000, 15_000));
-    let mut table = Table::new(&["doorway kind", "center completions", "leaf completions (sum)"]);
+    let mut table = Table::new(&[
+        "doorway kind",
+        "center completions",
+        "leaf completions (sum)",
+    ]);
     for kind in [DoorwayKind::Synchronous, DoorwayKind::Asynchronous] {
         // Path p0 – p1 – p2: the two leaves cannot hear each other, so they
         // recycle independently. Their cycles (hold 100, think 30, offset
         // 65) interleave so that the center never observes *both* outside
         // simultaneously — the synchronous entry condition never holds,
         // while the asynchronous one (each outside at least once) does.
-        let mut e: Engine<DoorwayDemo> = Engine::new(
-            SimConfig::default(),
-            topology::line(3),
-            move |seed| {
+        let mut e: Engine<DoorwayDemo> =
+            Engine::new(SimConfig::default(), topology::line(3), move |seed| {
                 let center = seed.id == NodeId(1);
                 DoorwayDemo::new(DemoConfig {
                     structure: Structure::Single(kind),
                     hold_ticks: if center { 10 } else { 100 },
                     recycle_after: if center { None } else { Some(30) },
                 })
-            },
-        );
+            });
         e.set_hungry_at(SimTime(1), NodeId(0));
         e.set_hungry_at(SimTime(66), NodeId(2));
         e.set_hungry_at(SimTime(200), NodeId(1));
         e.run_until(horizon);
         let center = e.protocol(NodeId(1)).completions.len();
-        let leaves = e.protocol(NodeId(0)).completions.len()
-            + e.protocol(NodeId(2)).completions.len();
+        let leaves =
+            e.protocol(NodeId(0)).completions.len() + e.protocol(NodeId(2)).completions.len();
         table.row([format!("{kind:?}"), center.to_string(), leaves.to_string()]);
     }
     print!("{table}");
@@ -99,18 +102,15 @@ fn f3_double_doorway_scaling() {
         // so their behind-periods chain; Lemma 1 says the center still
         // escapes within O(δT): once it is behind the asynchronous doorway
         // no leaf can re-enter, and each leaf delays it at most once more.
-        let mut e: Engine<DoorwayDemo> = Engine::new(
-            SimConfig::default(),
-            topology::clique(k),
-            move |seed| {
+        let mut e: Engine<DoorwayDemo> =
+            Engine::new(SimConfig::default(), topology::clique(k), move |seed| {
                 let center = seed.id == NodeId(0);
                 DoorwayDemo::new(DemoConfig {
                     structure: Structure::Double,
                     hold_ticks: hold,
                     recycle_after: if center { None } else { Some(3) },
                 })
-            },
-        );
+            });
         for i in 1..k as u32 {
             e.set_hungry_at(SimTime(1 + u64::from(i) * 7), NodeId(i));
         }

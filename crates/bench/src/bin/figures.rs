@@ -13,8 +13,8 @@
 use std::sync::Arc;
 
 use harness::{crash_probe, run_algorithm, run_protocol, topology, AlgKind, RunSpec};
-use lme_bench::svg::{BarChart, LineChart, Series};
 use lme_bench::sized;
+use lme_bench::svg::{BarChart, LineChart, Series};
 use manet_sim::NodeId;
 
 fn write(name: &str, svg: &str) {
@@ -39,10 +39,7 @@ fn failure_locality_figure() {
             NodeId(n as u32 / 2),
             spec.horizon / 20,
         );
-        bars.push((
-            kind.name().to_string(),
-            report.locality.unwrap_or(0) as f64,
-        ));
+        bars.push((kind.name().to_string(), report.locality.unwrap_or(0) as f64));
     }
     let chart = BarChart {
         title: "Empirical failure locality".into(),
@@ -89,7 +86,8 @@ fn bootstrap_figure() {
     }
     let chart = LineChart {
         title: "Initial recoloring: greedy O(n) vs Linial O(log* n)".into(),
-        subtitle: "line topology, all nodes hungry and recoloring at once; max first response".into(),
+        subtitle: "line topology, all nodes hungry and recoloring at once; max first response"
+            .into(),
         x_label: "nodes (n)".into(),
         y_label: "max first response (ticks)".into(),
         series: vec![
@@ -108,11 +106,7 @@ fn bootstrap_figure() {
 
 fn delta_figure() {
     let sizes = sized(vec![3usize, 5, 9, 13, 17], vec![3, 5, 9]);
-    let kinds = [
-        AlgKind::ChandyMisra,
-        AlgKind::A1Greedy,
-        AlgKind::A2,
-    ];
+    let kinds = [AlgKind::ChandyMisra, AlgKind::A1Greedy, AlgKind::A2];
     let mut series: Vec<Series> = kinds
         .iter()
         .map(|k| Series {

@@ -77,7 +77,10 @@ fn report(title: &str, runs: &[(&str, CensusRun)]) {
     let mut table = Table::new(&headers);
     for (name, r) in runs {
         let total: u64 = r.counts.values().sum();
-        let mut row = vec![name.to_string(), format!("{:.1}", total as f64 / r.meals as f64)];
+        let mut row = vec![
+            name.to_string(),
+            format!("{:.1}", total as f64 / r.meals as f64),
+        ];
         for l in &labels {
             let c = r.counts.get(l).copied().unwrap_or(0);
             row.push(format!("{:.2}", c as f64 / r.meals as f64));

@@ -14,10 +14,18 @@
 //!   greedy (`O(n)` worst case) and Linial (`O(log* n)`) procedures under
 //!   *simultaneous* movers.
 //!
-//! Run: `cargo run --release -p lme-bench --bin scaling [--quick]`
+//! Every grid fans out over the parallel sweep executor: `--jobs N` bounds
+//! the workers (output is identical for any value), `--metrics-out PATH`
+//! captures the sweep-cell runs as JSON lines.
+//!
+//! Run: `cargo run --release -p lme-bench --bin scaling [--quick]
+//!       [--jobs N] [--metrics-out PATH]`
 
-use harness::{run_algorithm, topology, AlgKind, RunSpec, Table, WaypointPlan};
-use lme_bench::{section, sized};
+use harness::{
+    par_map, run_cells, topology, AlgKind, Job, RunSpec, SweepCell, SweepReport, Table, Topo,
+    WaypointPlan,
+};
+use lme_bench::{jobs, section, sized, write_metrics};
 use manet_sim::{Command, Position, SimTime};
 
 const KINDS: [AlgKind; 4] = [
@@ -27,29 +35,56 @@ const KINDS: [AlgKind; 4] = [
     AlgKind::A2,
 ];
 
-fn cold_start_line() {
+fn cell(label: String, kind: AlgKind, spec: RunSpec, positions: Vec<(f64, f64)>) -> SweepCell {
+    SweepCell {
+        label,
+        kind,
+        spec,
+        topo: Topo::Geo(positions),
+        commands: Vec::new(),
+        job: Job::Run,
+    }
+}
+
+fn cold_start_line(jobs: usize, all_runs: &mut SweepReport) {
     section("C2-static: cold start, line, all hungry at t=1 (worst chain) — max first response");
     let sizes = sized(vec![8usize, 16, 32, 48, 64], vec![8, 16, 24]);
-    let mut table = Table::new(&["n", "chandy-misra", "A1-greedy", "A1-linial", "A2", "CM / n"]);
-    for &n in &sizes {
-        let spec = RunSpec {
-            horizon: 40_000 + 2_000 * n as u64,
-            cyclic: false,
-            first_hungry: (1, 1),
-            ..RunSpec::default()
-        };
+    let cells: Vec<SweepCell> = sizes
+        .iter()
+        .flat_map(|&n| {
+            let spec = RunSpec {
+                horizon: 40_000 + 2_000 * n as u64,
+                cyclic: false,
+                first_hungry: (1, 1),
+                ..RunSpec::default()
+            };
+            KINDS
+                .iter()
+                .map(move |&kind| cell(format!("line{n}"), kind, spec.clone(), topology::line(n)))
+        })
+        .collect();
+    let runs = run_cells(&cells, jobs).runs;
+    let mut table = Table::new(&[
+        "n",
+        "chandy-misra",
+        "A1-greedy",
+        "A1-linial",
+        "A2",
+        "CM / n",
+    ]);
+    for (i, &n) in sizes.iter().enumerate() {
+        let group = &runs[i * KINDS.len()..(i + 1) * KINDS.len()];
         let mut row = vec![n.to_string()];
         let mut cm_max = 0;
-        for kind in KINDS {
-            let out = run_algorithm(kind, &spec, &topology::line(n), &[]);
-            assert!(out.violations.is_empty(), "{} unsafe", kind.name());
+        for (r, &kind) in group.iter().zip(&KINDS) {
+            assert_eq!(r.violations, 0, "{} unsafe", kind.name());
             assert_eq!(
-                out.total_meals(),
+                r.meals,
                 n as u64,
                 "{}: starvation in the cold-start chain",
                 kind.name()
             );
-            let max = out.all_summary().max;
+            let max = r.rt_all.max;
             if kind == AlgKind::ChandyMisra {
                 cm_max = max;
             }
@@ -64,51 +99,79 @@ fn cold_start_line() {
          algorithms stay flat — comfortably inside their O(n)-type worst-case bounds \
          (randomized delays break the adversarial chains those bounds describe)"
     );
+    all_runs.runs.extend(runs);
 }
 
-fn steady_state_line() {
+fn steady_state_line(jobs: usize, all_runs: &mut SweepReport) {
     section("C1-n: steady state on a line (δ = 2) — p95 static response vs n");
     let sizes = sized(vec![8usize, 16, 32, 64], vec![8, 16]);
+    let spec = RunSpec {
+        horizon: sized(60_000, 15_000),
+        ..RunSpec::default()
+    };
+    let cells: Vec<SweepCell> = sizes
+        .iter()
+        .flat_map(|&n| {
+            let spec = spec.clone();
+            KINDS
+                .iter()
+                .map(move |&kind| cell(format!("line{n}"), kind, spec.clone(), topology::line(n)))
+        })
+        .collect();
+    let runs = run_cells(&cells, jobs).runs;
     let mut table = Table::new(&["n", "chandy-misra", "A1-greedy", "A1-linial", "A2"]);
-    for &n in &sizes {
-        let spec = RunSpec {
-            horizon: sized(60_000, 15_000),
-            ..RunSpec::default()
-        };
+    for (i, &n) in sizes.iter().enumerate() {
+        let group = &runs[i * KINDS.len()..(i + 1) * KINDS.len()];
         let mut row = vec![n.to_string()];
-        for kind in KINDS {
-            let out = run_algorithm(kind, &spec, &topology::line(n), &[]);
-            assert!(out.violations.is_empty());
-            row.push(out.static_summary().p95.to_string());
+        for r in group {
+            assert_eq!(r.violations, 0);
+            row.push(r.rt_static.p95.to_string());
         }
         table.row(row);
     }
     print!("{table}");
     println!("expected shape: columns ~flat — steady-state response independent of n at fixed δ");
+    all_runs.runs.extend(runs);
 }
 
-fn steady_state_clique() {
+fn steady_state_clique(jobs: usize, all_runs: &mut SweepReport) {
     section("C1-δ: steady state on cliques — p95 static response vs δ");
     let sizes = sized(vec![3usize, 5, 9, 13, 17], vec![3, 5, 9]);
+    let spec = RunSpec {
+        horizon: sized(80_000, 20_000),
+        ..RunSpec::default()
+    };
+    let cells: Vec<SweepCell> = sizes
+        .iter()
+        .flat_map(|&k| {
+            let spec = spec.clone();
+            KINDS.iter().map(move |&kind| {
+                cell(
+                    format!("clique{k}"),
+                    kind,
+                    spec.clone(),
+                    topology::clique(k),
+                )
+            })
+        })
+        .collect();
+    let runs = run_cells(&cells, jobs).runs;
     let mut table = Table::new(&["δ", "chandy-misra", "A1-greedy", "A1-linial", "A2"]);
-    for &k in &sizes {
-        let spec = RunSpec {
-            horizon: sized(80_000, 20_000),
-            ..RunSpec::default()
-        };
+    for (i, &k) in sizes.iter().enumerate() {
+        let group = &runs[i * KINDS.len()..(i + 1) * KINDS.len()];
         let mut row = vec![(k - 1).to_string()];
-        for kind in KINDS {
-            let out = run_algorithm(kind, &spec, &topology::clique(k), &[]);
-            assert!(out.violations.is_empty());
-            row.push(out.static_summary().p95.to_string());
+        for r in group {
+            assert_eq!(r.violations, 0);
+            row.push(r.rt_static.p95.to_string());
         }
         table.row(row);
     }
     print!("{table}");
     println!("expected shape: response grows with δ for every algorithm (contention is per-neighborhood)");
+    all_runs.runs.extend(runs);
 }
 
-fn mobile_vs_static() {
+fn mobile_vs_static(jobs: usize, all_runs: &mut SweepReport) {
     section("C2-mobile: mobility cost on a 32-node random graph — p50/p95");
     let n = sized(32, 12);
     let horizon = sized(60_000, 12_000);
@@ -125,33 +188,67 @@ fn mobile_vs_static() {
         seed: 13,
     };
     let commands = plan.commands(n);
-    let mut table = Table::new(&["algorithm", "static p50/p95", "mobile p50/p95", "mobile meals"]);
-    for kind in KINDS {
-        let stat = run_algorithm(kind, &spec, &positions, &[]);
-        let mob = run_algorithm(kind, &spec, &positions, &commands);
-        assert!(stat.violations.is_empty() && mob.violations.is_empty());
-        let s = stat.static_summary();
-        let m = mob.static_summary();
+    // Per kind: one static cell, one mobile cell (kind-major order).
+    let cells: Vec<SweepCell> = KINDS
+        .iter()
+        .flat_map(|&kind| {
+            [
+                cell(
+                    format!("rand{n}:static"),
+                    kind,
+                    spec.clone(),
+                    positions.clone(),
+                ),
+                SweepCell {
+                    commands: commands.clone(),
+                    ..cell(
+                        format!("rand{n}:mobile"),
+                        kind,
+                        spec.clone(),
+                        positions.clone(),
+                    )
+                },
+            ]
+        })
+        .collect();
+    let runs = run_cells(&cells, jobs).runs;
+    let mut table = Table::new(&[
+        "algorithm",
+        "static p50/p95",
+        "mobile p50/p95",
+        "mobile meals",
+    ]);
+    for (i, &kind) in KINDS.iter().enumerate() {
+        let (stat, mob) = (&runs[2 * i], &runs[2 * i + 1]);
+        assert_eq!(stat.violations + mob.violations, 0);
+        let (s, m) = (&stat.rt_static, &mob.rt_static);
         table.row([
             kind.name().to_string(),
             format!("{}/{}", s.p50, s.p95),
             format!("{}/{}", m.p50, m.p95),
-            mob.total_meals().to_string(),
+            mob.meals.to_string(),
         ]);
     }
     print!("{table}");
     println!("expected shape: mobility inflates tails moderately; no algorithm loses safety or livelocks");
+    all_runs.runs.extend(runs);
 }
 
-fn simultaneous_movers() {
+fn simultaneous_movers(jobs: usize) {
     section("C2-recolor: k simultaneous movers into one region — post-move p95 (greedy vs Linial recoloring)");
     // k nodes teleport at the same instant next to a resident line, forcing
     // k concurrent recolorings. The greedy procedure floods the whole
     // concurrent-recoloring component (O(n) worst case); Linial needs only
     // its log* n rounds.
     let resident = sized(16usize, 8);
-    let mut table = Table::new(&["movers k", "A1-greedy p95 (post-move)", "A1-linial p95 (post-move)"]);
-    for k in sized(vec![2usize, 4, 8, 12], vec![2, 4]) {
+    let ks = sized(vec![2usize, 4, 8, 12], vec![2, 4]);
+    // Per-node sample filtering keeps this off the SweepCell path; the
+    // (k, kind) grid still fans out through par_map.
+    let grid: Vec<(usize, AlgKind)> = ks
+        .iter()
+        .flat_map(|&k| [(k, AlgKind::A1Greedy), (k, AlgKind::A1Linial)])
+        .collect();
+    let p95s = par_map(&grid, jobs, |&(k, kind)| {
         let mut positions = topology::line(resident);
         // Movers start in a far-away staging clique.
         for i in 0..k {
@@ -166,7 +263,6 @@ fn simultaneous_movers() {
         };
         let commands: Vec<(SimTime, Command)> = (0..k)
             .map(|i| {
-                // Land interleaved along the resident line.
                 // Land in a contiguous strip so the movers are adjacent to
                 // each other: their recolorings form one concurrent component.
                 let x = (i as f64).min(resident as f64 - 1.0);
@@ -179,20 +275,28 @@ fn simultaneous_movers() {
                 )
             })
             .collect();
-        let mut row = vec![k.to_string()];
-        for kind in [AlgKind::A1Greedy, AlgKind::A1Linial] {
-            let out = run_algorithm(kind, &spec, &positions, &commands);
-            assert!(out.violations.is_empty());
-            let post: Vec<u64> = out
-                .metrics
-                .samples
-                .iter()
-                .filter(|s| s.hungry_at >= SimTime(move_at) && !s.moved)
-                .map(|s| s.response())
-                .collect();
-            row.push(harness::Summary::of(&post).p95.to_string());
-        }
-        table.row(row);
+        let out = harness::run_algorithm(kind, &spec, &positions, &commands);
+        assert!(out.violations.is_empty());
+        let post: Vec<u64> = out
+            .metrics
+            .samples
+            .iter()
+            .filter(|s| s.hungry_at >= SimTime(move_at) && !s.moved)
+            .map(|s| s.response())
+            .collect();
+        harness::Summary::of(&post).p95
+    });
+    let mut table = Table::new(&[
+        "movers k",
+        "A1-greedy p95 (post-move)",
+        "A1-linial p95 (post-move)",
+    ]);
+    for (i, &k) in ks.iter().enumerate() {
+        table.row([
+            k.to_string(),
+            p95s[2 * i].to_string(),
+            p95s[2 * i + 1].to_string(),
+        ]);
     }
     print!("{table}");
     println!(
@@ -204,47 +308,54 @@ fn simultaneous_movers() {
     );
 }
 
-fn bootstrap_recoloring() {
-    section("C2-boot: initial recoloring at cold start — max first response vs n (greedy vs Linial)");
+fn bootstrap_recoloring(jobs: usize) {
+    section(
+        "C2-boot: initial recoloring at cold start — max first response vs n (greedy vs Linial)",
+    );
     // The paper initializes colors by running the recoloring module on
     // every node. With the whole line hungry at once, recoloring components
     // are large: the greedy flood must traverse them (O(n) per Lemma 15)
     // while Linial needs only its log* n rounds (Lemma 21) — the
     // system-level counterpart of coloring_exp C4-b.
-    let mut table = Table::new(&["n", "A1-greedy max", "A1-linial max", "greedy/linial"]);
-    for n in sized(vec![8usize, 16, 32, 48], vec![8, 16]) {
+    let sizes = sized(vec![8usize, 16, 32, 48], vec![8, 16]);
+    let grid: Vec<(usize, AlgKind)> = sizes
+        .iter()
+        .flat_map(|&n| [(n, AlgKind::A1Greedy), (n, AlgKind::A1Linial)])
+        .collect();
+    let maxes = par_map(&grid, jobs, |&(n, kind)| {
         let spec = RunSpec {
             horizon: 60_000 + 3_000 * n as u64,
             cyclic: false,
             first_hungry: (1, 1),
             ..RunSpec::default()
         };
-        let mut maxes = Vec::new();
-        for kind in [AlgKind::A1Greedy, AlgKind::A1Linial] {
-            let positions = topology::line(n);
-            let sched = std::sync::Arc::new(coloring::LinialSchedule::compute(n as u64, 2));
-            let out = harness::run_protocol(
-                &spec,
-                &positions,
-                |seed| {
-                    let mut node = match kind {
-                        AlgKind::A1Greedy => local_mutex::Algorithm1::greedy(&seed),
-                        _ => local_mutex::Algorithm1::linial(&seed, sched.clone()),
-                    };
-                    node.require_initial_recoloring();
-                    node
-                },
-                |_| {},
-            );
-            assert!(out.violations.is_empty());
-            assert_eq!(out.total_meals(), n as u64, "{}: starvation", kind.name());
-            maxes.push(out.all_summary().max);
-        }
+        let positions = topology::line(n);
+        let sched = std::sync::Arc::new(coloring::LinialSchedule::compute(n as u64, 2));
+        let out = harness::run_protocol(
+            &spec,
+            &positions,
+            |seed| {
+                let mut node = match kind {
+                    AlgKind::A1Greedy => local_mutex::Algorithm1::greedy(&seed),
+                    _ => local_mutex::Algorithm1::linial(&seed, sched.clone()),
+                };
+                node.require_initial_recoloring();
+                node
+            },
+            |_| {},
+        );
+        assert!(out.violations.is_empty());
+        assert_eq!(out.total_meals(), n as u64, "{}: starvation", kind.name());
+        out.all_summary().max
+    });
+    let mut table = Table::new(&["n", "A1-greedy max", "A1-linial max", "greedy/linial"]);
+    for (i, &n) in sizes.iter().enumerate() {
+        let (greedy, linial) = (maxes[2 * i], maxes[2 * i + 1]);
         table.row([
             n.to_string(),
-            maxes[0].to_string(),
-            maxes[1].to_string(),
-            format!("{:.2}", maxes[0] as f64 / maxes[1] as f64),
+            greedy.to_string(),
+            linial.to_string(),
+            format!("{:.2}", greedy as f64 / linial as f64),
         ]);
     }
     print!("{table}");
@@ -253,52 +364,74 @@ fn bootstrap_recoloring() {
     );
 }
 
-fn hub_vs_leaves_star() {
+fn hub_vs_leaves_star(jobs: usize) {
     section("C1-star: explicit star graphs — hub vs leaf p95 static response vs δ");
     // Stars cannot be embedded in the unit disk beyond 5 leaves; the
     // explicit-graph engine runs them anyway. Leaves conflict only with
     // the hub, so leaf latency stays flat while the hub's grows with δ —
     // per-neighborhood contention in its purest form.
-    let mut table = Table::new(&["δ (leaves)", "hub p95 (A2)", "leaf p95 (A2)", "hub p95 (A1-greedy)", "leaf p95 (A1-greedy)"]);
-    for leaves in sized(vec![2usize, 4, 8, 16, 24], vec![2, 4, 8]) {
+    let sizes = sized(vec![2usize, 4, 8, 16, 24], vec![2, 4, 8]);
+    let grid: Vec<(usize, AlgKind)> = sizes
+        .iter()
+        .flat_map(|&leaves| [(leaves, AlgKind::A2), (leaves, AlgKind::A1Greedy)])
+        .collect();
+    let rows = par_map(&grid, jobs, |&(leaves, kind)| {
         let (n, edges) = harness::topology::star_edges(leaves);
         let spec = RunSpec {
             horizon: sized(80_000, 20_000),
             ..RunSpec::default()
         };
-        let mut row = vec![leaves.to_string()];
-        for kind in [AlgKind::A2, AlgKind::A1Greedy] {
-            let out = harness::run_algorithm_graph(kind, &spec, n, &edges, &[]);
-            assert!(out.violations.is_empty());
-            let hub: Vec<u64> = out
-                .metrics
-                .samples
-                .iter()
-                .filter(|s| s.node == manet_sim::NodeId(0))
-                .map(|s| s.response())
-                .collect();
-            let leaf: Vec<u64> = out
-                .metrics
-                .samples
-                .iter()
-                .filter(|s| s.node != manet_sim::NodeId(0))
-                .map(|s| s.response())
-                .collect();
-            row.push(harness::Summary::of(&hub).p95.to_string());
-            row.push(harness::Summary::of(&leaf).p95.to_string());
-        }
-        table.row(row);
+        let out = harness::run_algorithm_graph(kind, &spec, n, &edges, &[]);
+        assert!(out.violations.is_empty());
+        let hub: Vec<u64> = out
+            .metrics
+            .samples
+            .iter()
+            .filter(|s| s.node == manet_sim::NodeId(0))
+            .map(|s| s.response())
+            .collect();
+        let leaf: Vec<u64> = out
+            .metrics
+            .samples
+            .iter()
+            .filter(|s| s.node != manet_sim::NodeId(0))
+            .map(|s| s.response())
+            .collect();
+        (
+            harness::Summary::of(&hub).p95,
+            harness::Summary::of(&leaf).p95,
+        )
+    });
+    let mut table = Table::new(&[
+        "δ (leaves)",
+        "hub p95 (A2)",
+        "leaf p95 (A2)",
+        "hub p95 (A1-greedy)",
+        "leaf p95 (A1-greedy)",
+    ]);
+    for (i, &leaves) in sizes.iter().enumerate() {
+        let (a2, a1) = (rows[2 * i], rows[2 * i + 1]);
+        table.row([
+            leaves.to_string(),
+            a2.0.to_string(),
+            a2.1.to_string(),
+            a1.0.to_string(),
+            a1.1.to_string(),
+        ]);
     }
     print!("{table}");
     println!("expected shape: hub latency grows with δ; leaf latency stays ~flat (they conflict only with the hub)");
 }
 
 fn main() {
-    cold_start_line();
-    steady_state_line();
-    steady_state_clique();
-    mobile_vs_static();
-    hub_vs_leaves_star();
-    bootstrap_recoloring();
-    simultaneous_movers();
+    let jobs = jobs();
+    let mut all_runs = SweepReport::default();
+    cold_start_line(jobs, &mut all_runs);
+    steady_state_line(jobs, &mut all_runs);
+    steady_state_clique(jobs, &mut all_runs);
+    mobile_vs_static(jobs, &mut all_runs);
+    hub_vs_leaves_star(jobs);
+    bootstrap_recoloring(jobs);
+    simultaneous_movers(jobs);
+    write_metrics(&all_runs);
 }

@@ -9,33 +9,64 @@
 //! * A2's empirical failure locality never exceeds 2 on any seed;
 //! * Chandy–Misra's starvation always reaches far beyond 2.
 //!
-//! Run: `cargo run --release -p lme-bench --bin seed_sweep [--quick]`
+//! Both batteries fan out over the parallel sweep executor
+//! (`harness::sweep`): pass `--jobs N` to bound the worker count — the
+//! numbers (and the `--metrics-out` JSONL) are byte-identical for every
+//! value — and `--metrics-out PATH` to capture every run as JSON lines.
+//!
+//! Run: `cargo run --release -p lme-bench --bin seed_sweep [--quick]
+//!       [--jobs N] [--metrics-out PATH]`
 
-use harness::{crash_probe, run_algorithm, topology, AlgKind, RunSpec, Table};
-use lme_bench::{section, sized};
+use harness::{
+    run_cells, topology, AlgKind, Job, RunSpec, SweepCell, SweepReport, SweepSpec, Table, Topo,
+};
+use lme_bench::{jobs, section, sized, write_metrics};
 use manet_sim::{NodeId, SimConfig};
 
 fn main() {
-    let seeds: Vec<u64> = sized(vec![1, 7, 23, 42, 99, 1234], vec![1, 7, 23]);
+    let seeds: Vec<u64> = sized(vec![1, 7, 23, 42, 99, 512, 777, 1234], vec![1, 7, 23]);
+    let jobs = jobs();
+    let mut all_runs = SweepReport::default();
 
     section("R-1: steady-state p95 over seeds (24-node random graph)");
-    let mut table = Table::new(&["algorithm", "p95 min", "p95 median", "p95 max"]);
-    let mut medians: Vec<(AlgKind, u64)> = Vec::new();
-    for kind in [AlgKind::ChandyMisra, AlgKind::A1Greedy, AlgKind::A1Linial, AlgKind::A2] {
-        let mut p95s: Vec<u64> = seeds
-            .iter()
-            .map(|&seed| {
-                let spec = RunSpec {
+    // The topology itself is part of what the seed varies, so the grid is
+    // built cell-by-cell (SweepSpec assumes one fixed topology).
+    let kinds = [
+        AlgKind::ChandyMisra,
+        AlgKind::A1Greedy,
+        AlgKind::A1Linial,
+        AlgKind::A2,
+    ];
+    let cells: Vec<SweepCell> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            seeds.iter().map(move |&seed| SweepCell {
+                label: format!("rand24:{seed}"),
+                kind,
+                spec: RunSpec {
                     sim: SimConfig {
                         seed,
                         ..SimConfig::default()
                     },
                     horizon: sized(40_000, 10_000),
                     ..RunSpec::default()
-                };
-                let out = run_algorithm(kind, &spec, &topology::random_connected(24, seed), &[]);
-                assert!(out.violations.is_empty(), "{} seed {seed} unsafe", kind.name());
-                out.static_summary().p95
+                },
+                topo: Topo::Geo(topology::random_connected(24, seed)),
+                commands: Vec::new(),
+                job: Job::Run,
+            })
+        })
+        .collect();
+    let report = run_cells(&cells, jobs);
+    let mut table = Table::new(&["algorithm", "p95 min", "p95 median", "p95 max"]);
+    let mut medians: Vec<(AlgKind, u64)> = Vec::new();
+    for (i, &kind) in kinds.iter().enumerate() {
+        let runs = &report.runs[i * seeds.len()..(i + 1) * seeds.len()];
+        let mut p95s: Vec<u64> = runs
+            .iter()
+            .map(|r| {
+                assert_eq!(r.violations, 0, "{} seed {} unsafe", kind.name(), r.seed);
+                r.rt_static.p95
             })
             .collect();
         p95s.sort_unstable();
@@ -49,7 +80,11 @@ fn main() {
         ]);
     }
     print!("{table}");
-    let a2 = medians.iter().find(|(k, _)| *k == AlgKind::A2).expect("a2").1;
+    let a2 = medians
+        .iter()
+        .find(|(k, _)| *k == AlgKind::A2)
+        .expect("a2")
+        .1;
     let a1 = medians
         .iter()
         .find(|(k, _)| *k == AlgKind::A1Greedy)
@@ -57,24 +92,30 @@ fn main() {
         .1;
     assert!(a2 <= a1, "A2's median p95 must not exceed A1-greedy's");
     println!("stable across seeds: A2 median p95 ({a2}) ≤ A1-greedy median p95 ({a1})");
+    all_runs.runs.extend(report.runs);
 
     section("R-2: failure locality over seeds (21-node line, mid-CS center crash)");
+    let probe_kinds = [AlgKind::ChandyMisra, AlgKind::A1Linial, AlgKind::A2];
+    let report = SweepSpec::new(
+        "line21",
+        Topo::Geo(topology::line(21)),
+        RunSpec {
+            horizon: sized(80_000, 20_000),
+            ..RunSpec::default()
+        },
+    )
+    .kinds(probe_kinds)
+    .seeds(seeds.iter().copied())
+    .probe(NodeId(10), 2_000)
+    .run(jobs);
     let mut table = Table::new(&["algorithm", "locality per seed", "max over seeds"]);
-    for kind in [AlgKind::ChandyMisra, AlgKind::A1Linial, AlgKind::A2] {
-        let locs: Vec<Option<usize>> = seeds
+    for (i, &kind) in probe_kinds.iter().enumerate() {
+        let runs = &report.runs[i * seeds.len()..(i + 1) * seeds.len()];
+        let locs: Vec<Option<usize>> = runs
             .iter()
-            .map(|&seed| {
-                let spec = RunSpec {
-                    sim: SimConfig {
-                        seed,
-                        ..SimConfig::default()
-                    },
-                    horizon: sized(80_000, 20_000),
-                    ..RunSpec::default()
-                };
-                let report = crash_probe(kind, &spec, &topology::line(21), NodeId(10), 2_000);
-                assert!(report.outcome.violations.is_empty());
-                report.locality
+            .map(|r| {
+                assert_eq!(r.violations, 0, "{} seed {} unsafe", kind.name(), r.seed);
+                r.locality
             })
             .collect();
         let max = locs.iter().flatten().copied().max();
@@ -103,5 +144,9 @@ fn main() {
     }
     print!("{table}");
     println!("(−1 = no starvation observed on that seed)");
-    println!("\nconclusion: the Table 1 ordering and the locality bounds hold on every seed tested");
+    println!(
+        "\nconclusion: the Table 1 ordering and the locality bounds hold on every seed tested"
+    );
+    all_runs.runs.extend(report.runs);
+    write_metrics(&all_runs);
 }

@@ -12,16 +12,25 @@
 //! Tsay–Bagrodia / Sivilotti rows are carried from the literature (the
 //! thesis doesn't implement them either); they are marked `paper only`.
 //!
-//! Run: `cargo run --release --bin table1 [--quick]`
+//! The per-algorithm measurement triples fan out over the sweep executor
+//! (`--jobs N`; identical output for any value); `--metrics-out PATH`
+//! captures every run as JSON lines.
+//!
+//! Run: `cargo run --release --bin table1 [--quick] [--jobs N]
+//!       [--metrics-out PATH]`
 
-use harness::{crash_probe, run_algorithm, topology, AlgKind, RunSpec, Table, WaypointPlan};
-use lme_bench::{section, sized};
+use harness::{
+    crash_probe, par_map, run_algorithm, topology, AlgKind, RunReport, RunSpec, SweepReport, Table,
+    WaypointPlan,
+};
+use lme_bench::{jobs, section, sized, write_metrics};
 use manet_sim::NodeId;
 
 fn main() {
     let n = sized(32, 12);
     let horizon = sized(60_000, 10_000);
     let line_n = sized(25, 11);
+    let jobs = jobs();
 
     let positions = topology::random_connected(n, 7);
     let spec = RunSpec {
@@ -43,6 +52,20 @@ fn main() {
     };
 
     section("Table 1 — comparison of algorithms (paper bounds vs measured)");
+    let kinds = AlgKind::extended();
+    let measured = par_map(&kinds, jobs, |&kind| {
+        let stat = run_algorithm(kind, &spec, &positions, &[]);
+        let mob = run_algorithm(kind, &spec, &positions, &mobile_commands);
+        let probe = crash_probe(
+            kind,
+            &fl_spec,
+            &fl_positions,
+            NodeId(line_n as u32 / 2),
+            fl_spec.horizon / 20,
+        );
+        (stat, mob, probe)
+    });
+
     let mut table = Table::new(&[
         "algorithm",
         "FL (paper)",
@@ -53,17 +76,8 @@ fn main() {
         "msgs/CS",
         "unsafe",
     ]);
-
-    for kind in AlgKind::extended() {
-        let stat = run_algorithm(kind, &spec, &positions, &[]);
-        let mob = run_algorithm(kind, &spec, &positions, &mobile_commands);
-        let probe = crash_probe(
-            kind,
-            &fl_spec,
-            &fl_positions,
-            NodeId(line_n as u32 / 2),
-            fl_spec.horizon / 20,
-        );
+    let mut all_runs = SweepReport::default();
+    for ((stat, mob, probe), &kind) in measured.iter().zip(&kinds) {
         let fl = match probe.locality {
             Some(m) => format!("{m} ({} starving)", probe.starving.len()),
             None => "none observed".to_string(),
@@ -88,6 +102,31 @@ fn main() {
                 stat.violations.len() + mob.violations.len() + probe.outcome.violations.len()
             ),
         ]);
+        let label_base = format!("rand{n}");
+        all_runs.runs.push(RunReport::from_outcome(
+            &format!("{label_base}:static"),
+            kind.name(),
+            spec.sim.seed,
+            horizon,
+            stat,
+            None,
+        ));
+        all_runs.runs.push(RunReport::from_outcome(
+            &format!("{label_base}:mobile"),
+            kind.name(),
+            spec.sim.seed,
+            horizon,
+            mob,
+            None,
+        ));
+        all_runs.runs.push(RunReport::from_outcome(
+            &format!("line{line_n}:probe"),
+            kind.name(),
+            fl_spec.sim.seed,
+            fl_spec.horizon,
+            &probe.outcome,
+            Some((probe.starving.len(), probe.locality)),
+        ));
     }
     // Literature-only rows of the paper's Table 1.
     table.row([
@@ -117,4 +156,5 @@ fn main() {
          FL probe: {line_n}-node line, center crash.",
         mobile_plan.moves
     );
+    write_metrics(&all_runs);
 }

@@ -26,3 +26,72 @@ pub fn sized<T>(full: T, quick: T) -> T {
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
+
+/// Worker threads for sweep fan-out: `--jobs N` if given, else every core.
+/// Results are byte-identical for any value (see `harness::sweep`).
+pub fn jobs() -> usize {
+    flag_value("--jobs")
+        .map(|v| {
+            let n: usize = v.parse().unwrap_or_else(|_| panic!("invalid --jobs '{v}'"));
+            assert!(n > 0, "--jobs must be at least 1");
+            n
+        })
+        .unwrap_or_else(harness::default_jobs)
+}
+
+/// Path given with `--metrics-out PATH`, if any.
+pub fn metrics_out() -> Option<std::path::PathBuf> {
+    flag_value("--metrics-out").map(std::path::PathBuf::from)
+}
+
+/// Append `runs` to the binary-wide metrics collection and, at the end of
+/// `main`, write them with [`write_metrics`]. Binaries that produce
+/// [`harness::RunReport`]s funnel them here so `--metrics-out` captures
+/// every run of the invocation in one JSONL file.
+pub fn write_metrics(report: &harness::SweepReport) {
+    let Some(path) = metrics_out() else { return };
+    report
+        .write_jsonl(&path)
+        .unwrap_or_else(|e| panic!("cannot write metrics to {}: {e}", path.display()));
+    println!("per-run metrics written to {}", path.display());
+}
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value")),
+            );
+        }
+    }
+    None
+}
+
+/// Time `f` over `iters` iterations (after one warm-up call) and print
+/// min/mean per-iteration wall time. The closure's return value is folded
+/// into a black-box accumulator so the optimizer cannot elide the work.
+/// Replaces the criterion harness: same shape of numbers, zero
+/// dependencies.
+pub fn bench<R: std::hash::Hash>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    use std::hash::Hasher;
+    assert!(iters > 0);
+    let mut sink = std::collections::hash_map::DefaultHasher::new();
+    f().hash(&mut sink); // warm-up
+    let mut min = std::time::Duration::MAX;
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        let dt = t0.elapsed();
+        r.hash(&mut sink);
+        min = min.min(dt);
+        total += dt;
+    }
+    let mean = total / iters;
+    println!(
+        "{name:<40} min {min:>10.3?}   mean {mean:>10.3?}   ({iters} iters, sink {:x})",
+        sink.finish() & 0xffff
+    );
+}

@@ -82,7 +82,9 @@ fn fmt_num(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 struct Frame {
@@ -265,7 +267,12 @@ impl LineChart {
                 .iter()
                 .enumerate()
                 .map(|(k, &(x, y))| {
-                    format!("{}{:.1},{:.1}", if k == 0 { "M" } else { "L" }, sx(x), sy(y))
+                    format!(
+                        "{}{:.1},{:.1}",
+                        if k == 0 { "M" } else { "L" },
+                        sx(x),
+                        sy(y)
+                    )
                 })
                 .collect();
             s.push_str(&format!(
@@ -416,7 +423,9 @@ mod tests {
         let step = t[1] - t[0];
         let mag = 10f64.powf(step.log10().floor());
         let norm = step / mag;
-        assert!([1.0, 2.0, 5.0, 10.0].iter().any(|f| (norm - f).abs() < 1e-9));
+        assert!([1.0, 2.0, 5.0, 10.0]
+            .iter()
+            .any(|f| (norm - f).abs() < 1e-9));
     }
 
     #[test]
@@ -449,7 +458,10 @@ mod tests {
         assert!(svg.contains("<svg"));
         assert!(svg.contains("stroke-width=\"2\""), "2px lines");
         assert!(svg.matches("<circle").count() >= 6, "markers on all points");
-        assert!(svg.contains("greedy") && svg.contains("linial"), "legend + end labels");
+        assert!(
+            svg.contains("greedy") && svg.contains("linial"),
+            "legend + end labels"
+        );
         assert!(svg.contains(SERIES_COLORS[0]) && svg.contains(SERIES_COLORS[1]));
         assert!(!svg.contains("NaN"));
     }

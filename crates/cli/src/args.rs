@@ -47,6 +47,20 @@ impl TopoSpec {
     }
 }
 
+impl std::fmt::Display for TopoSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TopoSpec::Line(n) => write!(f, "line:{n}"),
+            TopoSpec::Ring(n) => write!(f, "ring:{n}"),
+            TopoSpec::Grid(w, h) => write!(f, "grid:{w}x{h}"),
+            TopoSpec::Clique(n) => write!(f, "clique:{n}"),
+            TopoSpec::Random(n, seed) => write!(f, "random:{n}:{seed}"),
+            TopoSpec::Star(leaves) => write!(f, "star:{leaves}"),
+            TopoSpec::Tree(n) => write!(f, "tree:{n}"),
+        }
+    }
+}
+
 /// The parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -56,6 +70,8 @@ pub enum Command {
     Run,
     /// Crash probe: crash the victim mid-CS and report locality.
     Probe,
+    /// Multi-seed sweep: algorithms × seeds in parallel, aggregated.
+    Sweep,
 }
 
 /// Everything the CLI understood.
@@ -65,6 +81,9 @@ pub struct Cli {
     pub command: Command,
     /// Algorithm under test.
     pub alg: AlgKind,
+    /// Algorithms a sweep compares (all of Table 1 unless `--alg` narrows
+    /// it to one).
+    pub algs: Vec<AlgKind>,
     /// Topology specification.
     pub topo: TopoSpec,
     /// Virtual-time horizon.
@@ -81,6 +100,12 @@ pub struct Cli {
     pub victim: Option<u32>,
     /// Emit per-episode samples as CSV instead of the text report.
     pub csv: bool,
+    /// Sweep worker threads (`None` = the machine's parallelism).
+    pub jobs: Option<usize>,
+    /// Number of consecutive seeds a sweep runs, starting at `seed`.
+    pub seeds: u64,
+    /// Write per-run metrics as JSON lines to this path.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Cli {
@@ -88,6 +113,7 @@ impl Default for Cli {
         Cli {
             command: Command::Run,
             alg: AlgKind::A2,
+            algs: AlgKind::all().to_vec(),
             topo: TopoSpec::Line(8),
             horizon: 40_000,
             seed: 0xA77D_2008,
@@ -96,26 +122,40 @@ impl Default for Cli {
             moves: 0,
             victim: None,
             csv: false,
+            jobs: None,
+            seeds: 8,
+            metrics_out: None,
         }
     }
 }
 
 /// Usage text shown for `lme list` and on errors.
 pub const USAGE: &str = "\
-usage: lme <list|run|probe> [options]
+usage: lme <list|run|probe|sweep> [options]
+
+commands:
+  list    print algorithms and topology syntax
+  run     one workload run, full report
+  probe   crash the victim mid-CS, report failure locality
+  sweep   algorithms x seeds grid in parallel, aggregated report
 
 options:
   --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
-                     chandy-misra | choy-singh              (default a2)
+                     chandy-misra | choy-singh              (default a2;
+                     sweep compares all Table 1 algorithms unless given)
   --topo <spec>      line:N | ring:N | grid:WxH | clique:N |
                      random:N[:SEED] | star:LEAVES | tree:N (default line:8)
   --horizon <ticks>  run length                             (default 40000)
-  --seed <n>         RNG seed
+  --seed <n>         RNG seed (sweep: first seed of the range)
   --eat <a..b>       eating-time range in ticks             (default 10..30)
   --think <a..b>     think-time range in ticks              (default 50..150)
   --moves <k>        random-waypoint movements              (default 0)
   --victim <node>    probe: node to crash mid-CS            (default center)
   --csv              emit per-episode samples as CSV
+  --jobs <n>         sweep worker threads         (default: all cores;
+                     results are identical for every value)
+  --seeds <n>        sweep: consecutive seeds to run        (default 8)
+  --metrics-out <p>  write per-run metrics as JSON lines to <p>
 ";
 
 fn parse_alg(s: &str) -> Result<AlgKind, String> {
@@ -149,7 +189,9 @@ fn parse_range(s: &str) -> Result<(u64, u64), String> {
 pub fn parse_topo(s: &str) -> Result<TopoSpec, String> {
     let mut parts = s.split(':');
     let kind = parts.next().unwrap_or_default();
-    let arg = parts.next().ok_or_else(|| format!("topology '{s}' needs a size, e.g. line:8"))?;
+    let arg = parts
+        .next()
+        .ok_or_else(|| format!("topology '{s}' needs a size, e.g. line:8"))?;
     let spec = match kind {
         "line" => TopoSpec::Line(parse_usize(arg, "size")?),
         "ring" => TopoSpec::Ring(parse_usize(arg, "size")?),
@@ -160,7 +202,10 @@ pub fn parse_topo(s: &str) -> Result<TopoSpec, String> {
             let (w, h) = arg
                 .split_once('x')
                 .ok_or_else(|| format!("grid spec '{arg}' must look like 4x5"))?;
-            TopoSpec::Grid(parse_usize(w, "grid width")?, parse_usize(h, "grid height")?)
+            TopoSpec::Grid(
+                parse_usize(w, "grid width")?,
+                parse_usize(h, "grid height")?,
+            )
         }
         "random" => {
             let n = parse_usize(arg, "size")?;
@@ -194,16 +239,22 @@ pub fn parse_topo(s: &str) -> Result<TopoSpec, String> {
 /// Returns a diagnostic (often including [`USAGE`]) on malformed input.
 pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
     let mut args: Vec<String> = argv.into_iter().collect();
-    if args.first().is_some_and(|a| a.ends_with("lme") || a.ends_with("lme.exe")) {
+    if args
+        .first()
+        .is_some_and(|a| a.ends_with("lme") || a.ends_with("lme.exe"))
+    {
         args.remove(0);
     }
     let mut cli = Cli::default();
     let mut it = args.into_iter().peekable();
-    let cmd = it.next().ok_or_else(|| format!("missing command\n{USAGE}"))?;
+    let cmd = it
+        .next()
+        .ok_or_else(|| format!("missing command\n{USAGE}"))?;
     cli.command = match cmd.as_str() {
         "list" => Command::List,
         "run" => Command::Run,
         "probe" => Command::Probe,
+        "sweep" => Command::Sweep,
         other => return Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     while let Some(flag) = it.next() {
@@ -212,7 +263,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 .ok_or_else(|| format!("flag {name} needs a value\n{USAGE}"))
         };
         match flag.as_str() {
-            "--alg" => cli.alg = parse_alg(&value("--alg")?)?,
+            "--alg" => {
+                cli.alg = parse_alg(&value("--alg")?)?;
+                cli.algs = vec![cli.alg];
+            }
             "--topo" => cli.topo = parse_topo(&value("--topo")?)?,
             "--horizon" => cli.horizon = parse_u64(&value("--horizon")?, "horizon")?,
             "--seed" => cli.seed = parse_u64(&value("--seed")?, "seed")?,
@@ -223,6 +277,20 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 cli.victim = Some(parse_u64(&value("--victim")?, "victim")? as u32);
             }
             "--csv" => cli.csv = true,
+            "--jobs" => {
+                let jobs = parse_usize(&value("--jobs")?, "job count")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                cli.jobs = Some(jobs);
+            }
+            "--seeds" => {
+                cli.seeds = parse_u64(&value("--seeds")?, "seed count")?;
+                if cli.seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+            }
+            "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -286,8 +354,42 @@ mod tests {
     }
 
     #[test]
+    fn parses_sweep_flags() {
+        let cli = parse(argv(
+            "sweep --topo line:6 --seeds 12 --jobs 3 --metrics-out m.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Sweep);
+        assert_eq!(cli.seeds, 12);
+        assert_eq!(cli.jobs, Some(3));
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.jsonl"));
+        // No --alg: the sweep compares the whole Table 1 field.
+        assert_eq!(cli.algs, AlgKind::all().to_vec());
+        let one = parse(argv("sweep --alg a2")).unwrap();
+        assert_eq!(one.algs, vec![AlgKind::A2]);
+    }
+
+    #[test]
+    fn topo_specs_display_round_trip() {
+        for s in [
+            "line:3",
+            "ring:9",
+            "grid:4x5",
+            "clique:4",
+            "random:24:9",
+            "star:6",
+            "tree:15",
+        ] {
+            assert_eq!(parse_topo(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(parse(argv("bogus")).is_err());
+        assert!(parse(argv("sweep --jobs 0")).is_err());
+        assert!(parse(argv("sweep --seeds 0")).is_err());
+        assert!(parse(argv("sweep --metrics-out")).is_err());
         assert!(parse(argv("run --alg nope")).is_err());
         assert!(parse(argv("run --topo blob:3")).is_err());
         assert!(parse(argv("run --topo grid:4")).is_err());

@@ -2,8 +2,8 @@
 //! report.
 
 use harness::{
-    crash_probe, run_algorithm, run_algorithm_graph, stats::jain_index, topology, AlgKind,
-    RunOutcome, RunSpec, Table, WaypointPlan,
+    crash_probe, default_jobs, run_algorithm, run_algorithm_graph, stats::jain_index, topology,
+    AlgKind, RunOutcome, RunReport, RunSpec, SweepReport, SweepSpec, Table, Topo, WaypointPlan,
 };
 use manet_sim::{NodeId, SimConfig, SimTime};
 
@@ -22,6 +22,37 @@ fn spec_of(cli: &Cli) -> RunSpec {
     }
 }
 
+fn geo_positions(topo: &TopoSpec) -> Vec<(f64, f64)> {
+    match *topo {
+        TopoSpec::Line(n) => topology::line(n),
+        TopoSpec::Ring(n) => topology::ring(n),
+        TopoSpec::Grid(w, h) => topology::grid(w, h),
+        TopoSpec::Clique(n) => topology::clique(n),
+        TopoSpec::Random(n, seed) => topology::random_connected(n, seed),
+        TopoSpec::Star(_) | TopoSpec::Tree(_) => unreachable!("explicit graphs have no geometry"),
+    }
+}
+
+fn waypoint_plan(cli: &Cli, n: usize) -> WaypointPlan {
+    WaypointPlan {
+        area_side: (n as f64 / 1.6).sqrt().max(2.0),
+        moves: cli.moves,
+        window: (cli.horizon / 10, cli.horizon * 9 / 10),
+        speed: Some(0.25),
+        seed: cli.seed ^ 0xB0B,
+    }
+}
+
+/// Write the JSONL metrics file when `--metrics-out` was given.
+fn emit_metrics(cli: &Cli, report: &SweepReport) -> Result<(), String> {
+    if let Some(path) = &cli.metrics_out {
+        report
+            .write_jsonl(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run_outcome(cli: &Cli, spec: &RunSpec) -> RunOutcome {
     match cli.topo {
         TopoSpec::Star(leaves) => {
@@ -33,23 +64,9 @@ fn run_outcome(cli: &Cli, spec: &RunSpec) -> RunOutcome {
             run_algorithm_graph(cli.alg, spec, n, &edges, &[])
         }
         ref geo => {
-            let positions = match *geo {
-                TopoSpec::Line(n) => topology::line(n),
-                TopoSpec::Ring(n) => topology::ring(n),
-                TopoSpec::Grid(w, h) => topology::grid(w, h),
-                TopoSpec::Clique(n) => topology::clique(n),
-                TopoSpec::Random(n, seed) => topology::random_connected(n, seed),
-                TopoSpec::Star(_) | TopoSpec::Tree(_) => unreachable!("handled above"),
-            };
+            let positions = geo_positions(geo);
             let commands = if cli.moves > 0 {
-                WaypointPlan {
-                    area_side: (positions.len() as f64 / 1.6).sqrt().max(2.0),
-                    moves: cli.moves,
-                    window: (cli.horizon / 10, cli.horizon * 9 / 10),
-                    speed: Some(0.25),
-                    seed: cli.seed ^ 0xB0B,
-                }
-                .commands(positions.len())
+                waypoint_plan(cli, positions.len()).commands(positions.len())
             } else {
                 Vec::new()
             };
@@ -81,10 +98,7 @@ fn render_run(cli: &Cli, out: &RunOutcome) -> String {
         cli.horizon,
         cli.seed
     ));
-    report.push_str(&format!(
-        "  safety violations : {}\n",
-        out.violations.len()
-    ));
+    report.push_str(&format!("  safety violations : {}\n", out.violations.len()));
     report.push_str(&format!("  total meals       : {}\n", out.total_meals()));
     report.push_str(&format!(
         "  meals fairness    : {:.3} (Jain index)\n",
@@ -111,16 +125,22 @@ fn render_probe(cli: &Cli) -> Result<String, String> {
     if cli.topo.is_explicit() {
         return Err("probe currently supports geometric topologies only".into());
     }
-    let positions = match cli.topo {
-        TopoSpec::Line(n) => topology::line(n),
-        TopoSpec::Ring(n) => topology::ring(n),
-        TopoSpec::Grid(w, h) => topology::grid(w, h),
-        TopoSpec::Clique(n) => topology::clique(n),
-        TopoSpec::Random(n, seed) => topology::random_connected(n, seed),
-        TopoSpec::Star(_) | TopoSpec::Tree(_) => unreachable!("checked above"),
-    };
+    let positions = geo_positions(&cli.topo);
     let victim = NodeId(cli.victim.unwrap_or(cli.topo.len() as u32 / 2));
     let report = crash_probe(cli.alg, &spec, &positions, victim, spec.horizon / 20);
+    emit_metrics(
+        cli,
+        &SweepReport {
+            runs: vec![RunReport::from_outcome(
+                &cli.topo.to_string(),
+                cli.alg.name(),
+                cli.seed,
+                spec.horizon,
+                &report.outcome,
+                Some((report.starving.len(), report.locality)),
+            )],
+        },
+    )?;
     let mut s = String::new();
     s.push_str(&format!(
         "crash probe: {} on {:?}, victim {victim} crashed mid-CS\n",
@@ -141,12 +161,77 @@ fn render_probe(cli: &Cli) -> Result<String, String> {
     match report.locality {
         None => s.push_str("  starvation        : none observed\n"),
         Some(m) => {
-            s.push_str(&format!(
-                "  starving nodes    : {:?}\n",
-                report.starving
-            ));
+            s.push_str(&format!("  starving nodes    : {:?}\n", report.starving));
             s.push_str(&format!("  empirical locality: {m}\n"));
         }
+    }
+    Ok(s)
+}
+
+fn render_sweep(cli: &Cli) -> Result<String, String> {
+    let base = spec_of(cli);
+    let topo = match cli.topo {
+        TopoSpec::Star(leaves) => {
+            let (n, edges) = topology::star_edges(leaves);
+            Topo::Graph { n, edges }
+        }
+        TopoSpec::Tree(n) => {
+            let (n, edges) = topology::binary_tree_edges(n);
+            Topo::Graph { n, edges }
+        }
+        ref geo => Topo::Geo(geo_positions(geo)),
+    };
+    let n = topo.len();
+    let mut sweep = SweepSpec::new(cli.topo.to_string(), topo, base)
+        .kinds(cli.algs.iter().copied())
+        .seed_range(cli.seed, cli.seeds);
+    if cli.moves > 0 {
+        sweep = sweep.moves(waypoint_plan(cli, n));
+    }
+    let jobs = cli.jobs.unwrap_or_else(default_jobs);
+    let report = sweep.run(jobs);
+    emit_metrics(cli, &report)?;
+
+    let mut s = format!(
+        "sweep: {} on {} (n = {}), seeds {}..{}, horizon {}, {} jobs\n",
+        if cli.algs.len() == 1 {
+            cli.algs[0].name()
+        } else {
+            "all algorithms"
+        },
+        cli.topo,
+        n,
+        cli.seed,
+        cli.seed + cli.seeds,
+        cli.horizon,
+        jobs,
+    );
+    let mut table = Table::new(&[
+        "algorithm",
+        "runs",
+        "static p50/p95/max",
+        "meals",
+        "msg/meal",
+        "dropped send/flight",
+        "unsafe",
+    ]);
+    for row in report.aggregate() {
+        table.row([
+            row.alg.to_string(),
+            row.runs.to_string(),
+            format!(
+                "{}/{}/{}",
+                row.rt_static.p50, row.rt_static.p95, row.rt_static.max
+            ),
+            row.meals.to_string(),
+            format!("{:.1}", row.messages_per_meal()),
+            format!("{}/{}", row.dropped_at_send, row.dropped_in_flight),
+            row.violations.to_string(),
+        ]);
+    }
+    s.push_str(&table.to_string());
+    if let Some(path) = &cli.metrics_out {
+        s.push_str(&format!("per-run metrics written to {path}\n"));
     }
     Ok(s)
 }
@@ -175,9 +260,23 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Run => {
             let spec = spec_of(cli);
             let out = run_outcome(cli, &spec);
+            emit_metrics(
+                cli,
+                &SweepReport {
+                    runs: vec![RunReport::from_outcome(
+                        &cli.topo.to_string(),
+                        cli.alg.name(),
+                        cli.seed,
+                        spec.horizon,
+                        &out,
+                        None,
+                    )],
+                },
+            )?;
             Ok(render_run(cli, &out))
         }
         Command::Probe => render_probe(cli),
+        Command::Sweep => render_sweep(cli),
     }
 }
 
@@ -192,7 +291,14 @@ mod tests {
     #[test]
     fn list_shows_all_algorithms() {
         let out = run_cli(argv("list")).unwrap();
-        for name in ["a1-greedy", "a1-linial", "a1-random", "a2", "chandy-misra", "choy-singh"] {
+        for name in [
+            "a1-greedy",
+            "a1-linial",
+            "a1-random",
+            "a2",
+            "chandy-misra",
+            "choy-singh",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }
@@ -220,16 +326,54 @@ mod tests {
 
     #[test]
     fn probe_reports_locality() {
-        let out = run_cli(argv("probe --alg chandy-misra --topo line:9 --horizon 30000")).unwrap();
+        let out = run_cli(argv(
+            "probe --alg chandy-misra --topo line:9 --horizon 30000",
+        ))
+        .unwrap();
         assert!(out.contains("crash probe"), "{out}");
         assert!(out.contains("crash fired at"), "{out}");
     }
 
     #[test]
+    fn sweep_aggregates_and_is_jobs_invariant() {
+        let a = run_cli(argv(
+            "sweep --alg a2 --topo line:4 --horizon 6000 --seeds 3 --jobs 1",
+        ))
+        .unwrap();
+        let b = run_cli(argv(
+            "sweep --alg a2 --topo line:4 --horizon 6000 --seeds 3 --jobs 4",
+        ))
+        .unwrap();
+        // The rendered report names its job count; everything else must
+        // be byte-identical.
+        assert_eq!(a.replace("1 jobs", "N jobs"), b.replace("4 jobs", "N jobs"));
+        assert!(a.contains("runs"), "{a}");
+        assert!(a.contains("A2"), "{a}");
+    }
+
+    #[test]
+    fn sweep_writes_metrics_jsonl() {
+        let dir = std::env::temp_dir().join("lme-cli-test-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let out = run_cli(argv(&format!(
+            "sweep --alg chandy-misra --topo line:3 --horizon 4000 --seeds 2 --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("per-run metrics written"), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written.lines().count(), 2);
+        assert!(written.starts_with("{\"label\":\"line:3\",\"alg\":\"chandy-misra\",\"seed\":"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn mobile_run_stays_safe() {
-        let out =
-            run_cli(argv("run --alg a1-linial --topo random:12:3 --moves 4 --horizon 12000"))
-                .unwrap();
+        let out = run_cli(argv(
+            "run --alg a1-linial --topo random:12:3 --moves 4 --horizon 12000",
+        ))
+        .unwrap();
         assert!(out.contains("safety violations : 0"), "{out}");
     }
 }

@@ -121,8 +121,7 @@ impl CoverFreeFamily {
             .flat_map(|&j| self.set(j))
             .collect();
         covered.sort_unstable();
-        mine.into_iter()
-            .find(|x| covered.binary_search(x).is_err())
+        mine.into_iter().find(|x| covered.binary_search(x).is_err())
     }
 }
 

@@ -1,68 +1,84 @@
-//! Property tests for the cover-free families and the Linial schedule —
+//! Randomized tests for the cover-free families and the Linial schedule —
 //! the combinatorial backbone of the fast recoloring procedure.
+//!
+//! Formerly proptest properties; now seeded batteries over the simulator's
+//! own deterministic RNG so the suite builds offline. Each test runs the
+//! same 64-case budget the proptest config used.
 
 use std::collections::BTreeSet;
 
 use coloring::{greedy_color_graph, AdjGraph, CoverFreeFamily, LinialSchedule};
-use proptest::prelude::*;
+use manet_sim::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// The defining property of Theorem 18's families: no member set is
+/// covered by the union of δ others.
+#[test]
+fn no_set_covered_by_delta_others() {
+    let mut rng = SimRng::seed_from_u64(0xC0FE_0001);
+    for _ in 0..64 {
+        let m = rng.gen_range(2..1500u64);
+        let delta = rng.gen_range(1..6u64);
+        let picks: Vec<u64> = (0..rng.gen_range(1..7usize))
+            .map(|_| rng.next_u64())
+            .collect();
+        let target = rng.next_u64();
 
-    /// The defining property of Theorem 18's families: no member set is
-    /// covered by the union of δ others.
-    #[test]
-    fn no_set_covered_by_delta_others(
-        m in 2u64..1500,
-        delta in 1u64..6,
-        picks in prop::collection::vec(any::<u64>(), 1..7),
-        target in any::<u64>(),
-    ) {
         let fam = CoverFreeFamily::construct(m, delta);
         let i = target % m;
-        let others: Vec<u64> = picks
-            .iter()
-            .take(delta as usize)
-            .map(|p| p % m)
-            .collect();
+        let others: Vec<u64> = picks.iter().take(delta as usize).map(|p| p % m).collect();
         let free = fam.free_element(i, &others);
-        prop_assert!(free.is_some(), "F_{i} covered by {others:?} (m={m}, δ={delta})");
+        assert!(
+            free.is_some(),
+            "F_{i} covered by {others:?} (m={m}, δ={delta})"
+        );
         let x = free.unwrap();
         let mine: BTreeSet<u64> = fam.set(i).into_iter().collect();
-        prop_assert!(mine.contains(&x));
+        assert!(mine.contains(&x));
         for &j in &others {
             if j == i {
                 continue;
             }
             let theirs: BTreeSet<u64> = fam.set(j).into_iter().collect();
-            prop_assert!(!theirs.contains(&x), "free element {x} appears in F_{j}");
+            assert!(!theirs.contains(&x), "free element {x} appears in F_{j}");
         }
-        prop_assert!(x < fam.range());
+        assert!(x < fam.range());
     }
+}
 
-    /// Every member set has exactly q elements inside the ground set.
-    #[test]
-    fn sets_well_formed(m in 1u64..2000, delta in 1u64..6, target in any::<u64>()) {
+/// Every member set has exactly q elements inside the ground set.
+#[test]
+fn sets_well_formed() {
+    let mut rng = SimRng::seed_from_u64(0xC0FE_0002);
+    for _ in 0..64 {
+        let m = rng.gen_range(1..2000u64);
+        let delta = rng.gen_range(1..6u64);
+        let target = rng.next_u64();
+
         let fam = CoverFreeFamily::construct(m, delta);
         let i = target % m;
         let s = fam.set(i);
-        prop_assert_eq!(s.len() as u64, fam.q());
+        assert_eq!(s.len() as u64, fam.q());
         let uniq: BTreeSet<u64> = s.iter().copied().collect();
-        prop_assert_eq!(uniq.len(), s.len(), "duplicate elements");
-        prop_assert!(s.iter().all(|&x| x < fam.range()));
+        assert_eq!(uniq.len(), s.len(), "duplicate elements");
+        assert!(s.iter().all(|&x| x < fam.range()));
         // Sorted ascending (documented contract).
-        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    /// Running the full Linial schedule synchronously on a random graph of
-    /// bounded degree always produces a legal coloring inside the final
-    /// range, no matter the topology.
-    #[test]
-    fn schedule_legal_on_random_bounded_graphs(
-        n in 4usize..60,
-        delta in 2u64..6,
-        edge_picks in prop::collection::vec((any::<u32>(), any::<u32>()), 0..150),
-    ) {
+/// Running the full Linial schedule synchronously on a random graph of
+/// bounded degree always produces a legal coloring inside the final
+/// range, no matter the topology.
+#[test]
+fn schedule_legal_on_random_bounded_graphs() {
+    let mut rng = SimRng::seed_from_u64(0xC0FE_0003);
+    for _ in 0..64 {
+        let n = rng.gen_range(4..60usize);
+        let delta = rng.gen_range(2..6u64);
+        let edge_picks: Vec<(u32, u32)> = (0..rng.gen_range(0..150usize))
+            .map(|_| (rng.next_u64() as u32, rng.next_u64() as u32))
+            .collect();
+
         // Build a random graph, dropping edges that would exceed δ.
         let mut g = AdjGraph::new();
         for v in 0..n as u32 {
@@ -83,32 +99,35 @@ proptest! {
         for t in 0..sched.rounds() {
             let next: Vec<u64> = (0..n as u32)
                 .map(|v| {
-                    let nbr: Vec<u64> =
-                        g.neighbors(v).map(|u| colors[u as usize]).collect();
+                    let nbr: Vec<u64> = g.neighbors(v).map(|u| colors[u as usize]).collect();
                     sched.step(t, colors[v as usize], &nbr)
                 })
                 .collect();
             colors = next;
             for v in 0..n as u32 {
                 for u in g.neighbors(v) {
-                    prop_assert_ne!(
-                        colors[v as usize],
-                        colors[u as usize],
-                        "illegal after round {}", t
+                    assert_ne!(
+                        colors[v as usize], colors[u as usize],
+                        "illegal after round {t}"
                     );
                 }
             }
         }
-        prop_assert!(colors.iter().all(|&c| c < sched.final_range()));
+        assert!(colors.iter().all(|&c| c < sched.final_range()));
     }
+}
 
-    /// Greedy coloring of an arbitrary graph is always legal and within
-    /// each vertex's degree.
-    #[test]
-    fn greedy_always_legal(
-        n in 1usize..60,
-        edge_picks in prop::collection::vec((any::<u32>(), any::<u32>()), 0..200),
-    ) {
+/// Greedy coloring of an arbitrary graph is always legal and within
+/// each vertex's degree.
+#[test]
+fn greedy_always_legal() {
+    let mut rng = SimRng::seed_from_u64(0xC0FE_0004);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..60usize);
+        let edge_picks: Vec<(u32, u32)> = (0..rng.gen_range(0..200usize))
+            .map(|_| (rng.next_u64() as u32, rng.next_u64() as u32))
+            .collect();
+
         let mut g = AdjGraph::new();
         for v in 0..n as u32 {
             g.add_vertex(v);
@@ -120,9 +139,9 @@ proptest! {
             }
         }
         let colors = greedy_color_graph(&g);
-        prop_assert!(g.is_legal_coloring(|v| colors.get(&v).copied()));
+        assert!(g.is_legal_coloring(|v| colors.get(&v).copied()));
         for v in g.vertices() {
-            prop_assert!(colors[&v] <= g.degree(v) as i64);
+            assert!(colors[&v] <= g.degree(v) as i64);
         }
     }
 }

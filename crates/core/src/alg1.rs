@@ -36,7 +36,9 @@ use manet_sim::{Context, DiningState, Event, LinkUpKind, NodeId, NodeSeed, Proto
 
 use crate::forks::ForkTable;
 use crate::message::{A1Msg, RecolorMsg};
-use crate::recolor::{GreedyRecolor, LinialRecolor, RandomizedRecolor, RecolorOutcome, RecolorProcedure};
+use crate::recolor::{
+    GreedyRecolor, LinialRecolor, RandomizedRecolor, RecolorOutcome, RecolorProcedure,
+};
 
 /// Tag of the recoloring module's asynchronous doorway `AD^r`.
 pub const ADR: DoorwayTag = DoorwayTag::new(0);
@@ -499,7 +501,10 @@ impl Algorithm1 {
 
     fn on_recolor_msg(&mut self, from: NodeId, msg: RecolorMsg, ctx: &mut Context<'_, A1Msg>) {
         if self.phase == Phase::Recoloring {
-            let mut proc = self.active_proc.take().expect("recoloring without procedure");
+            let mut proc = self
+                .active_proc
+                .take()
+                .expect("recoloring without procedure");
             let mut out = Vec::new();
             let outcome = proc.on_message(from, msg, &mut out);
             self.active_proc = Some(proc);
@@ -574,7 +579,13 @@ impl Algorithm1 {
         self.set_phase(Phase::AwaitInfo, ctx.time());
     }
 
-    fn on_hello(&mut self, from: NodeId, color: i64, behind: DoorwaySet, ctx: &mut Context<'_, A1Msg>) {
+    fn on_hello(
+        &mut self,
+        from: NodeId,
+        color: i64,
+        behind: DoorwaySet,
+        ctx: &mut Context<'_, A1Msg>,
+    ) {
         self.colors.insert(from, Some(color));
         for d in self.each_doorway() {
             let tag = d.tag();
@@ -613,17 +624,21 @@ impl Algorithm1 {
             Phase::Collecting
                 if lost_low_fork
                     && self.state != DiningState::Eating
-                    && self.return_path_enabled => {
-                    // Lines 59–60: return path of SD^f.
-                    self.stats.return_paths += 1;
-                    let m = self.sdf.exit();
-                    ctx.broadcast(A1Msg::Doorway(m));
-                    self.release_suspended(ctx);
-                    self.sdf.begin_entry(ctx.neighbors());
-                    self.set_phase(Phase::EnterSdf, ctx.time());
-                }
+                    && self.return_path_enabled =>
+            {
+                // Lines 59–60: return path of SD^f.
+                self.stats.return_paths += 1;
+                let m = self.sdf.exit();
+                ctx.broadcast(A1Msg::Doorway(m));
+                self.release_suspended(ctx);
+                self.sdf.begin_entry(ctx.neighbors());
+                self.set_phase(Phase::EnterSdf, ctx.time());
+            }
             Phase::Recoloring => {
-                let mut proc = self.active_proc.take().expect("recoloring without procedure");
+                let mut proc = self
+                    .active_proc
+                    .take()
+                    .expect("recoloring without procedure");
                 let mut out = Vec::new();
                 let outcome = proc.on_removed(peer, &mut out);
                 self.active_proc = Some(proc);

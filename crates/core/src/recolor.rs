@@ -34,11 +34,8 @@ pub enum RecolorOutcome {
 pub trait RecolorProcedure: std::fmt::Debug {
     /// Begin the procedure with participant set `r` (the paper's `R := N`).
     /// Messages to send are appended to `out`.
-    fn start(
-        &mut self,
-        r: BTreeSet<NodeId>,
-        out: &mut Vec<(NodeId, RecolorMsg)>,
-    ) -> RecolorOutcome;
+    fn start(&mut self, r: BTreeSet<NodeId>, out: &mut Vec<(NodeId, RecolorMsg)>)
+        -> RecolorOutcome;
 
     /// Handle a recoloring message from `from`.
     fn on_message(
@@ -367,7 +364,7 @@ pub struct RandomizedRecolor {
     me: u32,
     palette: u64,
     max_rounds: usize,
-    rng: rand::rngs::StdRng,
+    rng: manet_sim::SimRng,
     r: BTreeSet<NodeId>,
     inbox: BTreeMap<NodeId, VecDeque<RecolorMsg>>,
     /// Colors already committed by neighbors (forbidden).
@@ -381,12 +378,11 @@ impl RandomizedRecolor {
     /// `seed` feeds this node's private RNG (mix the node ID in for
     /// distinct streams).
     pub fn new(me: NodeId, delta_bound: u64, seed: u64) -> RandomizedRecolor {
-        use rand::SeedableRng;
         RandomizedRecolor {
             me: me.0,
             palette: 4 * (delta_bound + 1),
             max_rounds: 64,
-            rng: rand::rngs::StdRng::seed_from_u64(seed ^ (0x5EED_0000 + u64::from(me.0))),
+            rng: manet_sim::SimRng::seed_from_u64(seed ^ (0x5EED_0000 + u64::from(me.0))),
             r: BTreeSet::new(),
             inbox: BTreeMap::new(),
             committed: BTreeSet::new(),
@@ -400,7 +396,6 @@ impl RandomizedRecolor {
     }
 
     fn draw(&mut self) {
-        use rand::Rng;
         // Re-draw until outside the committed set (which has ≤ δ < palette/4
         // elements, so this terminates quickly and deterministically given
         // the RNG stream).
@@ -676,7 +671,11 @@ mod tests {
         assert_ne!(ca, cb);
         // Colors lie in the schedule's final range (negated).
         let bound = -(sched.final_range() as i64) - 1;
-        assert!(ca < 0 && ca > bound, "{ca} outside (-{}, 0)", sched.final_range());
+        assert!(
+            ca < 0 && ca > bound,
+            "{ca} outside (-{}, 0)",
+            sched.final_range()
+        );
         assert!(cb < 0 && cb > bound);
     }
 
@@ -767,7 +766,11 @@ mod tests {
                     }
                 }
             }
-            assert_ne!(done_a.unwrap(), done_b.unwrap(), "seed {seed}: equal colors");
+            assert_ne!(
+                done_a.unwrap(),
+                done_b.unwrap(),
+                "seed {seed}: equal colors"
+            );
             assert!(done_a.unwrap() < 0 && done_b.unwrap() < 0);
         }
     }
@@ -778,7 +781,10 @@ mod tests {
         let mut out = vec![];
         p.start(set(&[1, 2]), &mut out);
         // Neighbor 1 commits color 0; neighbor 2 keeps proposing whatever p
-        // proposes, forcing redraws that must avoid 0.
+        // proposes, forcing redraws that must avoid 0. The candidate drawn
+        // in `start` predates the commit and is exempt — the commit rule
+        // constrains every proposal made *after* the commit is processed.
+        let committed_from = out.len();
         let mut result = p.on_message(
             NodeId(1),
             RecolorMsg::Candidate {
@@ -791,6 +797,13 @@ mod tests {
         while result == RecolorOutcome::Continue {
             guard += 1;
             assert!(guard < 200);
+            // Every proposal made since the commit became known must avoid
+            // the committed color.
+            for (_, m) in &out[committed_from..] {
+                if let RecolorMsg::Candidate { value, .. } = m {
+                    assert_ne!(*value, 0, "proposed a committed color");
+                }
+            }
             // Echo p's own current candidate back as a clash.
             let mine = out
                 .iter()
@@ -800,7 +813,6 @@ mod tests {
                     _ => None,
                 })
                 .expect("p keeps proposing");
-            assert_ne!(mine, 0, "must never propose a committed color");
             result = p.on_message(
                 NodeId(2),
                 RecolorMsg::Candidate {

@@ -98,11 +98,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "local mutual exclusion violated")]
     fn safety_check_catches_violations() {
-        let mut e: Engine<Rogue> = Engine::new(
-            SimConfig::default(),
-            vec![(0.0, 0.0), (1.0, 0.0)],
-            |_| Rogue(DiningState::Thinking),
-        );
+        let mut e: Engine<Rogue> =
+            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |_| {
+                Rogue(DiningState::Thinking)
+            });
         e.add_hook(Box::new(SafetyCheck::default()));
         e.set_hungry_at(SimTime(1), NodeId(0));
         e.set_hungry_at(SimTime(1), NodeId(1));

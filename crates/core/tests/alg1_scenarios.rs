@@ -15,10 +15,7 @@ fn fixed_delay_config() -> SimConfig {
     }
 }
 
-fn engine_with_colors(
-    positions: Vec<(f64, f64)>,
-    colors: Vec<i64>,
-) -> Engine<Algorithm1> {
+fn engine_with_colors(positions: Vec<(f64, f64)>, colors: Vec<i64>) -> Engine<Algorithm1> {
     Engine::new(fixed_delay_config(), positions, move |seed| {
         let mut node = Algorithm1::greedy(&seed);
         node.set_initial_coloring(&colors);
@@ -103,7 +100,11 @@ fn lone_mover_recolors_via_nack_and_gets_minus_one() {
     e.run_until(SimTime(1_000));
     let p1 = e.protocol(NodeId(1));
     assert_eq!(p1.stats.recolorings, 1, "the mover must recolor");
-    assert_eq!(p1.color(), -1, "NACKed recoloring yields the lonely color −1");
+    assert_eq!(
+        p1.color(),
+        -1,
+        "NACKed recoloring yields the lonely color −1"
+    );
     assert_eq!(e.dining_state(NodeId(1)), DiningState::Eating);
 }
 
@@ -148,10 +149,7 @@ fn exit_color_is_chosen_fresh_against_neighbor_updates() {
     // Three-clique with colors 0,1,2. They eat in priority order; each
     // exit picks the smallest free color given the *current* neighbor
     // colors, so the coloring stays legal through every rotation.
-    let mut e = engine_with_colors(
-        manet_local_mutex_positions(),
-        vec![0, 1, 2],
-    );
+    let mut e = engine_with_colors(manet_local_mutex_positions(), vec![0, 1, 2]);
     auto_exit(&mut e, 20);
     e.add_hook(Box::new(SafetyCheck::default()));
     for i in 0..3 {

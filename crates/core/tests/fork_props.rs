@@ -1,11 +1,14 @@
-//! Model-based property test of [`local_mutex::forks::ForkTable`]: a pair
+//! Model-based randomized test of [`local_mutex::forks::ForkTable`]: a pair
 //! of tables for the two endpoints of one link must never both hold the
 //! fork, across arbitrary interleavings of sends, receipts, suspensions and
 //! link churn.
+//!
+//! Formerly a proptest property; now a seeded exhaustive-ish battery driven
+//! by the workspace's own deterministic RNG so the suite builds offline.
+//! Every case is reproducible from its printed seed.
 
 use local_mutex::forks::ForkTable;
-use manet_sim::NodeId;
-use proptest::prelude::*;
+use manet_sim::{NodeId, SimRng};
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -21,86 +24,89 @@ enum Op {
     Churn(bool),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<bool>().prop_map(Op::Send),
-        Just(Op::Deliver),
-        any::<bool>().prop_map(Op::Suspend),
-        any::<bool>().prop_map(Op::Request),
-        any::<bool>().prop_map(Op::Churn),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.gen_range(0..5u32) {
+        0 => Op::Send(rng.gen_bool(0.5)),
+        1 => Op::Deliver,
+        2 => Op::Suspend(rng.gen_bool(0.5)),
+        3 => Op::Request(rng.gen_bool(0.5)),
+        _ => Op::Churn(rng.gen_bool(0.5)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+#[test]
+fn one_fork_per_link_invariant() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from_u64(0xF0_4B ^ (case << 8));
+        let len = rng.gen_range(0..60usize);
+        let ops: Vec<Op> = (0..len).map(|_| random_op(&mut rng)).collect();
+        run_case(case, &ops);
+    }
+}
 
-    #[test]
-    fn one_fork_per_link_invariant(ops in prop::collection::vec(op_strategy(), 0..60)) {
-        let a_id = NodeId(0);
-        let b_id = NodeId(1);
-        let mut a = ForkTable::new(a_id, &[b_id]);
-        let mut b = ForkTable::new(b_id, &[a_id]);
-        // In-flight fork: Some(destination-is-a).
-        let mut in_flight: Option<bool> = None;
+fn run_case(case: u64, ops: &[Op]) {
+    let a_id = NodeId(0);
+    let b_id = NodeId(1);
+    let mut a = ForkTable::new(a_id, &[b_id]);
+    let mut b = ForkTable::new(b_id, &[a_id]);
+    // In-flight fork: Some(destination-is-a).
+    let mut in_flight: Option<bool> = None;
 
-        for op in ops {
-            match op {
-                Op::Send(true) => {
-                    if a.holds(b_id) && in_flight.is_none() {
-                        a.sent(b_id);
-                        in_flight = Some(false); // heading to b
-                    }
-                }
-                Op::Send(false) => {
-                    if b.holds(a_id) && in_flight.is_none() {
-                        b.sent(a_id);
-                        in_flight = Some(true); // heading to a
-                    }
-                }
-                Op::Deliver => {
-                    match in_flight.take() {
-                        Some(true) => a.received(b_id),
-                        Some(false) => b.received(a_id),
-                        None => {}
-                    }
-                }
-                Op::Suspend(true) => a.suspend(b_id),
-                Op::Suspend(false) => b.suspend(a_id),
-                Op::Request(true) => {
-                    let first = a.try_mark_requested(b_id);
-                    if first {
-                        // A second immediate request must be refused.
-                        prop_assert!(!a.try_mark_requested(b_id));
-                    }
-                }
-                Op::Request(false) => {
-                    let _ = b.try_mark_requested(a_id);
-                }
-                Op::Churn(static_is_a) => {
-                    // Link down: fork and in-flight state die with it.
-                    a.link_down(b_id);
-                    b.link_down(a_id);
-                    in_flight = None;
-                    prop_assert!(!a.knows(b_id) && !b.knows(a_id));
-                    prop_assert!(a.suspended().is_empty());
-                    // Link up: the designated static side owns the fork.
-                    a.link_up(b_id, static_is_a);
-                    b.link_up(a_id, !static_is_a);
+    for &op in ops {
+        match op {
+            Op::Send(true) => {
+                if a.holds(b_id) && in_flight.is_none() {
+                    a.sent(b_id);
+                    in_flight = Some(false); // heading to b
                 }
             }
-            // Core invariant: at most one endpoint holds the fork, and if
-            // neither does, it is in flight.
-            let holders = u8::from(a.holds(b_id)) + u8::from(b.holds(a_id));
-            prop_assert!(holders <= 1, "both endpoints hold the fork");
-            if holders == 0 {
-                prop_assert!(in_flight.is_some(), "fork vanished");
-            } else {
-                prop_assert!(in_flight.is_none(), "fork duplicated");
+            Op::Send(false) => {
+                if b.holds(a_id) && in_flight.is_none() {
+                    b.sent(a_id);
+                    in_flight = Some(true); // heading to a
+                }
             }
-            // Suspensions only refer to known neighbors.
-            for j in a.suspended() {
-                prop_assert!(a.knows(j));
+            Op::Deliver => match in_flight.take() {
+                Some(true) => a.received(b_id),
+                Some(false) => b.received(a_id),
+                None => {}
+            },
+            Op::Suspend(true) => a.suspend(b_id),
+            Op::Suspend(false) => b.suspend(a_id),
+            Op::Request(true) => {
+                let first = a.try_mark_requested(b_id);
+                if first {
+                    // A second immediate request must be refused.
+                    assert!(!a.try_mark_requested(b_id), "case {case}: double request");
+                }
             }
+            Op::Request(false) => {
+                let _ = b.try_mark_requested(a_id);
+            }
+            Op::Churn(static_is_a) => {
+                // Link down: fork and in-flight state die with it.
+                a.link_down(b_id);
+                b.link_down(a_id);
+                in_flight = None;
+                assert!(!a.knows(b_id) && !b.knows(a_id), "case {case}");
+                assert!(a.suspended().is_empty(), "case {case}");
+                // Link up: the designated static side owns the fork.
+                a.link_up(b_id, static_is_a);
+                b.link_up(a_id, !static_is_a);
+            }
+        }
+        // Core invariant: at most one endpoint holds the fork, and if
+        // neither does, it is in flight.
+        let holders = u8::from(a.holds(b_id)) + u8::from(b.holds(a_id));
+        assert!(holders <= 1, "case {case}: both endpoints hold the fork");
+        if holders == 0 {
+            assert!(in_flight.is_some(), "case {case}: fork vanished");
+        } else {
+            assert!(in_flight.is_none(), "case {case}: fork duplicated");
+        }
+        // Suspensions only refer to known neighbors.
+        for j in a.suspended() {
+            assert!(a.knows(j), "case {case}: suspended unknown neighbor");
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Property tests of the recoloring procedures under adversarial-ish
+//! Randomized tests of the recoloring procedures under adversarial-ish
 //! delivery schedules.
 //!
 //! The correctness arguments (Lemmas 14 and 19 of the paper, and the
@@ -8,6 +8,10 @@
 //! channel, over path/star/clique participant graphs; every concurrent
 //! participant must terminate, and adjacent participants must end with
 //! distinct colors (Assumption 1).
+//!
+//! Formerly proptest properties; now seeded batteries over the workspace's
+//! own deterministic RNG so the suite builds offline. Every case prints its
+//! parameters on failure and reproduces from them.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -17,10 +21,7 @@ use local_mutex::recolor::{
     GreedyRecolor, LinialRecolor, RandomizedRecolor, RecolorOutcome, RecolorProcedure,
 };
 use local_mutex::RecolorMsg;
-use manet_sim::NodeId;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use manet_sim::{NodeId, SimRng};
 
 #[derive(Clone, Copy, Debug)]
 enum Shape {
@@ -28,6 +29,8 @@ enum Shape {
     Star,
     Clique,
 }
+
+const SHAPES: [Shape; 3] = [Shape::Path, Shape::Star, Shape::Clique];
 
 fn adjacency(shape: Shape, k: usize) -> Vec<BTreeSet<NodeId>> {
     let mut adj = vec![BTreeSet::new(); k];
@@ -66,13 +69,14 @@ fn drive(
     make: impl Fn(NodeId) -> Box<dyn RecolorProcedure>,
 ) -> Vec<i64> {
     let adj = adjacency(shape, k);
-    let mut procs: Vec<Box<dyn RecolorProcedure>> = (0..k).map(|i| make(NodeId(i as u32))).collect();
+    let mut procs: Vec<Box<dyn RecolorProcedure>> =
+        (0..k).map(|i| make(NodeId(i as u32))).collect();
     let mut colors: Vec<Option<i64>> = vec![None; k];
     // FIFO per directed channel.
     let mut channels: BTreeMap<(u32, u32), VecDeque<RecolorMsg>> = BTreeMap::new();
     let push = |channels: &mut BTreeMap<(u32, u32), VecDeque<RecolorMsg>>,
-                    from: u32,
-                    out: Vec<(NodeId, RecolorMsg)>| {
+                from: u32,
+                out: Vec<(NodeId, RecolorMsg)>| {
         for (to, msg) in out {
             channels.entry((from, to.0)).or_default().push_back(msg);
         }
@@ -84,7 +88,7 @@ fn drive(
         }
         push(&mut channels, i as u32, out);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut steps = 0;
     while colors.iter().any(Option::is_none) {
         steps += 1;
@@ -94,7 +98,10 @@ fn drive(
             .filter(|(_, q)| !q.is_empty())
             .map(|(&c, _)| c)
             .collect();
-        assert!(!live.is_empty(), "deadlock: undecided nodes but no messages");
+        assert!(
+            !live.is_empty(),
+            "deadlock: undecided nodes but no messages"
+        );
         let (from, to) = live[rng.gen_range(0..live.len())];
         let msg = channels
             .get_mut(&(from, to))
@@ -106,7 +113,10 @@ fn drive(
             // Finished nodes are no longer participating: data messages get
             // a NACK (the wrapper's Lines 40-43), NACKs are dropped.
             if !matches!(msg, RecolorMsg::Nack) {
-                channels.entry((to, from)).or_default().push_back(RecolorMsg::Nack);
+                channels
+                    .entry((to, from))
+                    .or_default()
+                    .push_back(RecolorMsg::Nack);
             }
             continue;
         }
@@ -115,15 +125,18 @@ fn drive(
         }
         push(&mut channels, to, out);
     }
-    colors.into_iter().map(|c| c.expect("all decided")).collect()
+    colors
+        .into_iter()
+        .map(|c| c.expect("all decided"))
+        .collect()
 }
 
-fn check_legal(shape: Shape, colors: &[i64]) -> Result<(), TestCaseError> {
+fn check_legal(shape: Shape, colors: &[i64]) {
     let adj = adjacency(shape, colors.len());
     for (i, nbrs) in adj.iter().enumerate() {
-        prop_assert!(colors[i] < 0, "recolored colors are negative: {colors:?}");
+        assert!(colors[i] < 0, "recolored colors are negative: {colors:?}");
         for &j in nbrs {
-            prop_assert_ne!(
+            assert_ne!(
                 colors[i],
                 colors[j.index()],
                 "adjacent participants {} and {} share color (shape {:?}): {:?}",
@@ -134,48 +147,45 @@ fn check_legal(shape: Shape, colors: &[i64]) -> Result<(), TestCaseError> {
             );
         }
     }
-    Ok(())
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    prop_oneof![Just(Shape::Path), Just(Shape::Star), Just(Shape::Clique)]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn greedy_concurrent_recoloring_is_legal(
-        shape in shape_strategy(),
-        k in 2usize..8,
-        seed in any::<u64>(),
-    ) {
-        let colors = drive(shape, k, seed, |me| Box::new(GreedyRecolor::new(me)));
-        check_legal(shape, &colors)?;
+/// Iterate 48 cases of (shape, k, schedule seed), mirroring the old
+/// proptest case count, and hand each to `f`.
+fn battery(tag: u64, mut f: impl FnMut(Shape, usize, u64)) {
+    let mut rng = SimRng::seed_from_u64(0x5EED_CA5E ^ tag);
+    for _ in 0..48 {
+        let shape = SHAPES[rng.gen_range(0..SHAPES.len())];
+        let k = rng.gen_range(2..8usize);
+        let seed = rng.next_u64();
+        f(shape, k, seed);
     }
+}
 
-    #[test]
-    fn linial_concurrent_recoloring_is_legal(
-        shape in shape_strategy(),
-        k in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn greedy_concurrent_recoloring_is_legal() {
+    battery(1, |shape, k, seed| {
+        let colors = drive(shape, k, seed, |me| Box::new(GreedyRecolor::new(me)));
+        check_legal(shape, &colors);
+    });
+}
+
+#[test]
+fn linial_concurrent_recoloring_is_legal() {
+    battery(2, |shape, k, seed| {
         let sched = Arc::new(LinialSchedule::compute(64, 7));
         let colors = drive(shape, k, seed, move |me| {
             Box::new(LinialRecolor::new(me, sched.clone()))
         });
-        check_legal(shape, &colors)?;
-    }
+        check_legal(shape, &colors);
+    });
+}
 
-    #[test]
-    fn randomized_concurrent_recoloring_is_legal(
-        shape in shape_strategy(),
-        k in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn randomized_concurrent_recoloring_is_legal() {
+    battery(3, |shape, k, seed| {
         let colors = drive(shape, k, seed, move |me| {
             Box::new(RandomizedRecolor::new(me, 7, seed))
         });
-        check_legal(shape, &colors)?;
-    }
+        check_legal(shape, &colors);
+    });
 }

@@ -300,11 +300,10 @@ mod tests {
     use super::*;
     use manet_sim::{Engine, NodeId, SimConfig};
 
-    fn demo_engine(
-        positions: Vec<(f64, f64)>,
-        cfg: DemoConfig,
-    ) -> Engine<DoorwayDemo> {
-        Engine::new(SimConfig::default(), positions, move |_| DoorwayDemo::new(cfg))
+    fn demo_engine(positions: Vec<(f64, f64)>, cfg: DemoConfig) -> Engine<DoorwayDemo> {
+        Engine::new(SimConfig::default(), positions, move |_| {
+            DoorwayDemo::new(cfg)
+        })
     }
 
     /// Times of `Crossed(tag)` / `Exited(tag)` events for a node.
@@ -402,18 +401,14 @@ mod tests {
         // Center of a star with recycling leaves: the async doorway lets the
         // center in even though the leaves keep cycling.
         let positions = vec![(0.0, 0.0), (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0)];
-        let mut e: Engine<DoorwayDemo> = Engine::new(
-            SimConfig::default(),
-            positions,
-            |seed| {
-                let is_center = seed.id == NodeId(0);
-                DoorwayDemo::new(DemoConfig {
-                    structure: Structure::Single(DoorwayKind::Asynchronous),
-                    hold_ticks: 30,
-                    recycle_after: if is_center { None } else { Some(5) },
-                })
-            },
-        );
+        let mut e: Engine<DoorwayDemo> = Engine::new(SimConfig::default(), positions, |seed| {
+            let is_center = seed.id == NodeId(0);
+            DoorwayDemo::new(DemoConfig {
+                structure: Structure::Single(DoorwayKind::Asynchronous),
+                hold_ticks: 30,
+                recycle_after: if is_center { None } else { Some(5) },
+            })
+        });
         for i in 1..4 {
             e.set_hungry_at(SimTime(1 + i as u64), NodeId(i));
         }

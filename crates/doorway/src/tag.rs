@@ -108,7 +108,9 @@ mod tests {
 
     #[test]
     fn iterate_in_index_order() {
-        let s: DoorwaySet = [DoorwayTag::new(5), DoorwayTag::new(1)].into_iter().collect();
+        let s: DoorwaySet = [DoorwayTag::new(5), DoorwayTag::new(1)]
+            .into_iter()
+            .collect();
         let v: Vec<u8> = s.iter().map(DoorwayTag::index).collect();
         assert_eq!(v, vec![1, 5]);
     }

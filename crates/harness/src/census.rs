@@ -68,11 +68,10 @@ mod tests {
 
     #[test]
     fn census_counts_a2_traffic_by_kind() {
-        let mut e: Engine<Algorithm2> = Engine::new(
-            SimConfig::default(),
-            vec![(0.0, 0.0), (1.0, 0.0)],
-            |seed| Algorithm2::new(&seed),
-        );
+        let mut e: Engine<Algorithm2> =
+            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |seed| {
+                Algorithm2::new(&seed)
+            });
         let (census, counts) = MessageCensus::new(A2Msg::kind as fn(&A2Msg) -> &'static str);
         e.add_hook(Box::new(census));
         e.add_hook(Box::new(AutoExit::new(10)));

@@ -53,10 +53,19 @@ pub fn crash_probe(
         ..spec.clone()
     };
     let outcome = run_algorithm(kind, &spec, positions, &[]);
+    analyze_crash(outcome, victim, crash_at, spec.horizon)
+}
+
+/// Post-process a finished run that carried a [`RunSpec::crash_eating`]
+/// fault into an [`FlReport`]: find the starving nodes and the farthest
+/// starvation distance. Split out of [`crash_probe`] so callers that run
+/// the engine themselves (explicit-graph topologies, the sweep executor)
+/// can reuse the analysis.
+pub fn analyze_crash(outcome: RunOutcome, victim: NodeId, crash_at: u64, horizon: u64) -> FlReport {
     let crash_at = outcome.crash_time.map_or(crash_at, |t| t.0);
     // Starvation deadline: hungry since before the midpoint of the
     // post-crash window.
-    let deadline = SimTime(crash_at + spec.horizon.saturating_sub(crash_at) / 2);
+    let deadline = SimTime(crash_at + horizon.saturating_sub(crash_at) / 2);
     let dist = outcome.distances_from(victim);
     let starving: Vec<(NodeId, Option<usize>)> = outcome
         .metrics
@@ -98,7 +107,13 @@ pub fn response_by_distance(
     }
     sum.into_iter()
         .zip(count)
-        .map(|(s, c)| if c == 0 { None } else { Some(s as f64 / c as f64) })
+        .map(|(s, c)| {
+            if c == 0 {
+                None
+            } else {
+                Some(s as f64 / c as f64)
+            }
+        })
         .collect()
 }
 

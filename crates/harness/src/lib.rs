@@ -15,6 +15,13 @@
 //! * [`census`] — message-complexity accounting by message kind;
 //! * [`runner`] — one-call execution of any implemented algorithm
 //!   ([`runner::AlgKind`]) on any layout, returning a [`runner::RunOutcome`];
+//! * [`sweep`] — the parallel, deterministic sweep executor: fans a grid of
+//!   `(algorithm, seed)` cells across scoped worker threads, each cell an
+//!   independent single-threaded engine run, with output order (and bytes)
+//!   independent of the worker count;
+//! * [`report`] — run-level observability: per-run [`report::RunReport`]
+//!   records, stable JSON-lines emission, and pooled percentile aggregation
+//!   across seeds ([`report::AggregateRow`]);
 //! * [`stats`] / [`table`] — reporting helpers for the experiment binaries.
 
 #![forbid(unsafe_code)]
@@ -24,19 +31,26 @@ pub mod census;
 pub mod failure_locality;
 pub mod metrics;
 pub mod mobility;
+pub mod report;
 pub mod runner;
 pub mod safety;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 pub mod topology;
 pub mod workload;
 
 pub use census::{CensusCounts, MessageCensus};
-pub use failure_locality::{crash_probe, response_by_distance, FlReport};
+pub use failure_locality::{analyze_crash, crash_probe, response_by_distance, FlReport};
 pub use metrics::{Metrics, MetricsData, Sample};
 pub use mobility::WaypointPlan;
-pub use runner::{run_algorithm, run_algorithm_graph, run_protocol, run_protocol_graph, AlgKind, RunOutcome, RunSpec};
+pub use report::{AggregateRow, RunReport, SweepReport};
+pub use runner::{
+    run_algorithm, run_algorithm_graph, run_protocol, run_protocol_graph, AlgKind, RunOutcome,
+    RunSpec,
+};
 pub use safety::{SafetyMonitor, Violation};
 pub use stats::Summary;
+pub use sweep::{default_jobs, par_map, run_cells, Job, SweepCell, SweepSpec, Topo};
 pub use table::Table;
 pub use workload::Workload;

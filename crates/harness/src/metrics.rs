@@ -203,11 +203,10 @@ mod tests {
 
     #[test]
     fn starving_detection() {
-        let mut e: Engine<Instant> = Engine::new(
-            SimConfig::default(),
-            vec![(0.0, 0.0), (100.0, 0.0)],
-            |_| Instant(DiningState::Thinking),
-        );
+        let mut e: Engine<Instant> =
+            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (100.0, 0.0)], |_| {
+                Instant(DiningState::Thinking)
+            });
         let (hook, data) = Metrics::new(2);
         e.add_hook(Box::new(hook));
         // Crash p1 first: its Hungry command is then ignored, so p1 never

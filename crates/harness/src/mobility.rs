@@ -1,8 +1,6 @@
 //! Mobility scripts: random-waypoint command generators.
 
-use manet_sim::{Command, NodeId, Position, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use manet_sim::{Command, NodeId, Position, SimRng, SimTime};
 
 /// Parameters of a random-waypoint mobility script.
 #[derive(Clone, Debug)]
@@ -23,15 +21,15 @@ impl WaypointPlan {
     /// Generate the movement commands for `n` nodes, sorted by time.
     pub fn commands(&self, n: usize) -> Vec<(SimTime, Command)> {
         assert!(n > 0, "no nodes to move");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4d4f_4245);
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0x4d4f_4245);
         let (a, b) = self.window;
         let mut out: Vec<(SimTime, Command)> = (0..self.moves)
             .map(|_| {
                 let t = SimTime(rng.gen_range(a..=b.max(a)));
                 let node = NodeId(rng.gen_range(0..n as u32));
                 let dest = Position {
-                    x: rng.gen::<f64>() * self.area_side,
-                    y: rng.gen::<f64>() * self.area_side,
+                    x: rng.gen_f64() * self.area_side,
+                    y: rng.gen_f64() * self.area_side,
                 };
                 let cmd = match self.speed {
                     Some(speed) => Command::StartMove { node, dest, speed },

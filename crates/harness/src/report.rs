@@ -1,0 +1,442 @@
+//! Run-level observability: per-run reports, JSON-lines emission, and
+//! cross-run aggregation for the sweep executor.
+//!
+//! Every finished sweep cell becomes one [`RunReport`] — a flat record of
+//! what happened in that run (meals, messages, drops, violations, response
+//! -time summaries, probe results). Reports serialize to one JSON line each
+//! with a fixed key order and deterministic number formatting, so a sweep's
+//! JSONL output is byte-identical across repetitions and worker counts.
+//! [`SweepReport`] groups runs and pools their raw response samples into
+//! [`AggregateRow`]s (p50/p95/max over *all* pooled episodes, not summaries
+//! of summaries).
+
+use std::fmt;
+
+use manet_sim::NodeId;
+
+use crate::runner::RunOutcome;
+use crate::stats::{jain_index, Summary};
+
+/// Flat record of one finished run (one sweep cell).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Sweep/topology label, e.g. `"line16"` (groups runs in aggregates).
+    pub label: String,
+    /// Algorithm display name (see [`crate::runner::AlgKind::name`]).
+    pub alg: &'static str,
+    /// The engine seed of this run.
+    pub seed: u64,
+    /// Node count.
+    pub n: usize,
+    /// Virtual-time horizon of the run.
+    pub horizon: u64,
+    /// Total completed critical sections.
+    pub meals: u64,
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped at send time (no live link).
+    pub dropped_at_send: u64,
+    /// Messages dropped in flight (link died under them).
+    pub dropped_in_flight: u64,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Safety violations observed (0 for correct algorithms).
+    pub violations: usize,
+    /// Response-time summary of static episodes (Definition 1 regime).
+    pub rt_static: Summary,
+    /// Response-time summary over all episodes.
+    pub rt_all: Summary,
+    /// Jain fairness index of per-node meal counts.
+    pub jain: f64,
+    /// Starving nodes found by a crash probe (0 for plain runs).
+    pub starving: usize,
+    /// Empirical failure locality from a crash probe (`None` = no
+    /// starvation observed, or not a probe).
+    pub locality: Option<usize>,
+    /// Raw static-episode response times, kept for pooled aggregation
+    /// (not serialized).
+    pub static_responses: Vec<u64>,
+    /// Raw response times of all episodes, kept for pooled aggregation
+    /// (not serialized).
+    pub all_responses: Vec<u64>,
+}
+
+impl RunReport {
+    /// Build a report from a finished run. `probe` carries
+    /// `(starving_count, locality)` when the run was a crash probe.
+    pub fn from_outcome(
+        label: &str,
+        alg: &'static str,
+        seed: u64,
+        horizon: u64,
+        outcome: &RunOutcome,
+        probe: Option<(usize, Option<usize>)>,
+    ) -> RunReport {
+        let static_responses = outcome.metrics.static_responses();
+        let all_responses = outcome.metrics.all_responses();
+        let (starving, locality) = probe.unwrap_or((0, None));
+        RunReport {
+            label: label.to_string(),
+            alg,
+            seed,
+            n: outcome.adjacency.len(),
+            horizon,
+            meals: outcome.total_meals(),
+            messages_sent: outcome.messages_sent,
+            messages_delivered: outcome.stats.messages_delivered,
+            dropped_at_send: outcome.stats.dropped_at_send,
+            dropped_in_flight: outcome.stats.dropped_in_flight,
+            events: outcome.events,
+            violations: outcome.violations.len(),
+            rt_static: Summary::of(&static_responses),
+            rt_all: Summary::of(&all_responses),
+            jain: jain_index(&outcome.metrics.meals),
+            starving,
+            locality,
+            static_responses,
+            all_responses,
+        }
+    }
+
+    /// One JSON line (no trailing newline), fixed key order, deterministic
+    /// number formatting.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"label\":{},\"alg\":{},\"seed\":{},\"n\":{},\"horizon\":{},\
+             \"meals\":{},\"messages_sent\":{},\"messages_delivered\":{},\
+             \"dropped_at_send\":{},\"dropped_in_flight\":{},\"events\":{},\
+             \"violations\":{},\"rt_static\":{},\"rt_all\":{},\"jain\":{},\
+             \"starving\":{},\"locality\":{}}}",
+            json_str(&self.label),
+            json_str(self.alg),
+            self.seed,
+            self.n,
+            self.horizon,
+            self.meals,
+            self.messages_sent,
+            self.messages_delivered,
+            self.dropped_at_send,
+            self.dropped_in_flight,
+            self.events,
+            self.violations,
+            json_summary(&self.rt_static),
+            json_summary(&self.rt_all),
+            json_num(self.jain),
+            self.starving,
+            match self.locality {
+                Some(d) => d.to_string(),
+                None => "null".to_string(),
+            },
+        )
+    }
+}
+
+/// Everything a finished sweep produced, in cell order (seed-major inside
+/// each `(label, alg)` group) — the order is a pure function of the sweep
+/// spec, never of worker scheduling.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// One report per cell, in cell order.
+    pub runs: Vec<RunReport>,
+}
+
+impl SweepReport {
+    /// The full JSONL document: one line per run, in cell order, newline
+    /// after every line. Byte-identical across repetitions and `--jobs`
+    /// values.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.runs {
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL document to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.jsonl())
+    }
+
+    /// Pool runs by `(label, alg)` in first-seen order.
+    pub fn aggregate(&self) -> Vec<AggregateRow> {
+        let mut rows: Vec<AggregateRow> = Vec::new();
+        for r in &self.runs {
+            let row = match rows
+                .iter_mut()
+                .find(|row| row.label == r.label && row.alg == r.alg)
+            {
+                Some(row) => row,
+                None => {
+                    rows.push(AggregateRow::empty(&r.label, r.alg));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.absorb(r);
+        }
+        for row in &mut rows {
+            row.finish();
+        }
+        rows
+    }
+}
+
+/// Pooled statistics over every run of one `(label, alg)` group.
+#[derive(Clone, Debug)]
+pub struct AggregateRow {
+    /// Group label.
+    pub label: String,
+    /// Algorithm display name.
+    pub alg: &'static str,
+    /// Number of runs pooled.
+    pub runs: usize,
+    /// Response-time summary over the *pooled* static episodes of every
+    /// run (not a summary of per-run summaries).
+    pub rt_static: Summary,
+    /// Response-time summary over all pooled episodes.
+    pub rt_all: Summary,
+    /// Total meals across runs.
+    pub meals: u64,
+    /// Total messages sent across runs.
+    pub messages_sent: u64,
+    /// Total messages dropped at send time.
+    pub dropped_at_send: u64,
+    /// Total messages dropped in flight.
+    pub dropped_in_flight: u64,
+    /// Total safety violations (must be 0).
+    pub violations: usize,
+    /// Total starving nodes across probe runs.
+    pub starving: usize,
+    /// Worst empirical failure locality across probe runs.
+    pub locality: Option<usize>,
+    pooled_static: Vec<u64>,
+    pooled_all: Vec<u64>,
+}
+
+impl AggregateRow {
+    fn empty(label: &str, alg: &'static str) -> AggregateRow {
+        AggregateRow {
+            label: label.to_string(),
+            alg,
+            runs: 0,
+            rt_static: Summary::default(),
+            rt_all: Summary::default(),
+            meals: 0,
+            messages_sent: 0,
+            dropped_at_send: 0,
+            dropped_in_flight: 0,
+            violations: 0,
+            starving: 0,
+            locality: None,
+            pooled_static: Vec::new(),
+            pooled_all: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, r: &RunReport) {
+        self.runs += 1;
+        self.meals += r.meals;
+        self.messages_sent += r.messages_sent;
+        self.dropped_at_send += r.dropped_at_send;
+        self.dropped_in_flight += r.dropped_in_flight;
+        self.violations += r.violations;
+        self.starving += r.starving;
+        self.locality = self.locality.max(r.locality);
+        self.pooled_static.extend_from_slice(&r.static_responses);
+        self.pooled_all.extend_from_slice(&r.all_responses);
+    }
+
+    fn finish(&mut self) {
+        self.rt_static = Summary::of(&self.pooled_static);
+        self.rt_all = Summary::of(&self.pooled_all);
+    }
+
+    /// Messages per completed critical section across the group.
+    pub fn messages_per_meal(&self) -> f64 {
+        if self.meals == 0 {
+            f64::INFINITY
+        } else {
+            self.messages_sent as f64 / self.meals as f64
+        }
+    }
+
+    /// One JSON line (no trailing newline) for the aggregate, fixed key
+    /// order.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"label\":{},\"alg\":{},\"runs\":{},\"rt_static\":{},\"rt_all\":{},\
+             \"meals\":{},\"messages_sent\":{},\"dropped_at_send\":{},\
+             \"dropped_in_flight\":{},\"violations\":{},\"starving\":{},\
+             \"locality\":{}}}",
+            json_str(&self.label),
+            json_str(self.alg),
+            self.runs,
+            json_summary(&self.rt_static),
+            json_summary(&self.rt_all),
+            self.meals,
+            self.messages_sent,
+            self.dropped_at_send,
+            self.dropped_in_flight,
+            self.violations,
+            self.starving,
+            match self.locality {
+                Some(d) => d.to_string(),
+                None => "null".to_string(),
+            },
+        )
+    }
+}
+
+impl fmt::Display for AggregateRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<13} runs={:<3} static[{}] meals={} msg/meal={:.1} viol={}",
+            self.label,
+            self.alg,
+            self.runs,
+            self.rt_static,
+            self.meals,
+            self.messages_per_meal(),
+            self.violations,
+        )?;
+        if self.starving > 0 || self.locality.is_some() {
+            write!(
+                f,
+                " starving={} locality={}",
+                self.starving,
+                self.locality
+                    .map_or_else(|| "-".to_string(), |d| d.to_string())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// JSON string escaping for labels (ASCII control chars, quotes,
+/// backslash).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Deterministic JSON number: shortest round-trip formatting; non-finite
+/// values become `null` (JSON has no NaN/Infinity).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_summary(s: &Summary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+        s.count,
+        json_num(s.mean),
+        s.p50,
+        s.p95,
+        s.max
+    )
+}
+
+/// Convenience: hop-distance helper re-exported for probe reports.
+pub fn distance_of(outcome: &RunOutcome, from: NodeId, to: NodeId) -> Option<usize> {
+    outcome.distances_from(from)[to.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\tend"), "\"tab\\u0009end\"");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn aggregate_pools_raw_samples() {
+        let mk = |seed: u64, responses: Vec<u64>| RunReport {
+            label: "g".into(),
+            alg: "A2",
+            seed,
+            n: 4,
+            horizon: 100,
+            meals: responses.len() as u64,
+            messages_sent: 10,
+            messages_delivered: 9,
+            dropped_at_send: 1,
+            dropped_in_flight: 0,
+            events: 50,
+            violations: 0,
+            rt_static: Summary::of(&responses),
+            rt_all: Summary::of(&responses),
+            jain: 1.0,
+            starving: 0,
+            locality: None,
+            static_responses: responses.clone(),
+            all_responses: responses,
+        };
+        let report = SweepReport {
+            runs: vec![mk(1, vec![1, 2, 3]), mk(2, vec![100])],
+        };
+        let agg = report.aggregate();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].runs, 2);
+        // Pooled max comes from the second run — a summary-of-summaries
+        // would have averaged it away.
+        assert_eq!(agg[0].rt_static.max, 100);
+        assert_eq!(agg[0].rt_static.count, 4);
+        assert_eq!(agg[0].meals, 4);
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_and_stable() {
+        let r = RunReport {
+            label: "line8".into(),
+            alg: "A2",
+            seed: 7,
+            n: 8,
+            horizon: 1000,
+            meals: 3,
+            messages_sent: 12,
+            messages_delivered: 11,
+            dropped_at_send: 1,
+            dropped_in_flight: 0,
+            events: 99,
+            violations: 0,
+            rt_static: Summary::of(&[4, 6]),
+            rt_all: Summary::of(&[4, 6]),
+            jain: 0.5,
+            starving: 0,
+            locality: None,
+            static_responses: vec![4, 6],
+            all_responses: vec![4, 6],
+        };
+        let line = r.to_jsonl();
+        assert_eq!(line, r.to_jsonl(), "serialization must be stable");
+        assert!(line.starts_with("{\"label\":\"line8\",\"alg\":\"A2\",\"seed\":7,"));
+        assert!(line.contains("\"locality\":null"));
+        // p95 of a 2-sample set floors to the first element (nearest-rank).
+        assert!(
+            line.contains("\"rt_static\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6}")
+        );
+    }
+}

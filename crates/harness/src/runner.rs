@@ -8,10 +8,8 @@ use baselines::{choy_singh, ChandyMisra, StaticColoring};
 use coloring::LinialSchedule;
 use local_mutex::{Algorithm1, Algorithm2};
 use manet_sim::{
-    Command, Engine, NodeId, Position, Protocol, SimConfig, SimTime, World,
+    Command, Engine, EngineStats, NodeId, Position, Protocol, SimConfig, SimRng, SimTime, World,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::metrics::{Metrics, MetricsData};
 use crate::safety::{SafetyMonitor, Violation};
@@ -71,6 +69,8 @@ pub struct RunOutcome {
     pub messages_sent: u64,
     /// Events processed by the engine.
     pub events: u64,
+    /// Full engine counters (deliveries and the two drop classes).
+    pub stats: EngineStats,
     /// Final adjacency lists (index = node ID).
     pub adjacency: Vec<Vec<u32>>,
     /// Nodes crashed during the run.
@@ -178,7 +178,8 @@ where
     engine.add_hook(Box::new(metrics));
     let (monitor, violations) = SafetyMonitor::new(spec.panic_on_violation);
     engine.add_hook(Box::new(monitor));
-    let crash_time: Rc<std::cell::RefCell<Option<SimTime>>> = Rc::new(std::cell::RefCell::new(None));
+    let crash_time: Rc<std::cell::RefCell<Option<SimTime>>> =
+        Rc::new(std::cell::RefCell::new(None));
     if let Some((victim, not_before)) = spec.crash_eating {
         engine.add_hook(Box::new(CrashWhenEating {
             victim,
@@ -192,7 +193,7 @@ where
         Workload::one_shot(spec.eat.clone(), spec.sim.seed)
     };
     engine.add_hook(Box::new(workload));
-    let mut rng = StdRng::seed_from_u64(spec.sim.seed ^ 0x4655_4747);
+    let mut rng = SimRng::seed_from_u64(spec.sim.seed ^ 0x4655_4747);
     let (a, b) = spec.first_hungry;
     for i in 0..n as u32 {
         let t = rng.gen_range(a..=b.max(a));
@@ -216,6 +217,7 @@ where
         violations,
         messages_sent: engine.stats().messages_sent,
         events: engine.stats().events,
+        stats: engine.stats().clone(),
         adjacency,
         crashed,
         crash_time,
@@ -344,7 +346,10 @@ pub fn run_algorithm(
         spec.sim.radio_range,
         positions.iter().map(|&p| Position::from(p)).collect(),
     );
-    let delta = spec.delta_bound.unwrap_or_else(|| init_world.max_degree()).max(1);
+    let delta = spec
+        .delta_bound
+        .unwrap_or_else(|| init_world.max_degree())
+        .max(1);
     match kind {
         AlgKind::A1Greedy => run_protocol(
             spec,
@@ -414,7 +419,10 @@ pub fn run_algorithm_graph(
     commands: &[(SimTime, Command)],
 ) -> RunOutcome {
     let init_world = World::from_adjacency(n, edges);
-    let delta = spec.delta_bound.unwrap_or_else(|| init_world.max_degree()).max(1);
+    let delta = spec
+        .delta_bound
+        .unwrap_or_else(|| init_world.max_degree())
+        .max(1);
     match kind {
         AlgKind::A1Greedy => run_protocol_graph(
             spec,

@@ -57,9 +57,7 @@ impl<M> Hook<M> for SafetyMonitor {
                         );
                     }
                     let mut log = self.violations.borrow_mut();
-                    let dup = log
-                        .last()
-                        .is_some_and(|v: &Violation| v.a == a && v.b == b);
+                    let dup = log.last().is_some_and(|v: &Violation| v.a == a && v.b == b);
                     if !dup {
                         log.push(Violation {
                             at: view.time(),
@@ -93,11 +91,10 @@ mod tests {
 
     #[test]
     fn records_violations_without_panicking() {
-        let mut e: Engine<Rogue> = Engine::new(
-            SimConfig::default(),
-            vec![(0.0, 0.0), (1.0, 0.0)],
-            |_| Rogue(DiningState::Thinking),
-        );
+        let mut e: Engine<Rogue> =
+            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |_| {
+                Rogue(DiningState::Thinking)
+            });
         let (monitor, log) = SafetyMonitor::new(false);
         e.add_hook(Box::new(monitor));
         e.set_hungry_at(SimTime(1), NodeId(0));

@@ -126,7 +126,9 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         // All lines have the same width.
-        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len() || w[1].trim_end().len() <= w[0].len()));
+        assert!(lines
+            .windows(2)
+            .all(|w| w[0].len() == w[1].len() || w[1].trim_end().len() <= w[0].len()));
         assert!(lines[1].starts_with("---"));
     }
 }

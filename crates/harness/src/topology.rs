@@ -3,8 +3,7 @@
 //! All generators target the default radio range of 1.5 distance units: they
 //! place nodes so that exactly the intended pairs fall within range.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use manet_sim::SimRng;
 
 /// A line (path graph): `p_i — p_{i+1}`, unit spacing.
 pub fn line(n: usize) -> Vec<(f64, f64)> {
@@ -57,9 +56,9 @@ pub fn clique(n: usize) -> Vec<(f64, f64)> {
 /// `n` points uniform in a square of side `side` (a random unit-disk graph
 /// once the 1.5 radio range is applied). Deterministic in `seed`.
 pub fn random_points(n: usize, side: f64, seed: u64) -> Vec<(f64, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .map(|_| (rng.gen_f64() * side, rng.gen_f64() * side))
         .collect()
 }
 

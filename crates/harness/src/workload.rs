@@ -2,9 +2,7 @@
 
 use std::ops::RangeInclusive;
 
-use manet_sim::{Command, DiningState, Hook, NodeId, Sink, View};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use manet_sim::{Command, DiningState, Hook, NodeId, SimRng, Sink, View};
 
 /// Drives the thinking→hungry and eating→thinking transitions: every node
 /// eats for a time drawn from `eat` (≤ τ) and, when `cyclic`, becomes
@@ -17,7 +15,7 @@ pub struct Workload {
     eat: RangeInclusive<u64>,
     think: RangeInclusive<u64>,
     cyclic: bool,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl Workload {
@@ -27,7 +25,7 @@ impl Workload {
             eat,
             think,
             cyclic: true,
-            rng: StdRng::seed_from_u64(seed ^ 0x574b_4c44),
+            rng: SimRng::seed_from_u64(seed ^ 0x574b_4c44),
         }
     }
 
@@ -37,7 +35,7 @@ impl Workload {
             eat,
             think: 0..=0,
             cyclic: false,
-            rng: StdRng::seed_from_u64(seed ^ 0x574b_4c44),
+            rng: SimRng::seed_from_u64(seed ^ 0x574b_4c44),
         }
     }
 }
@@ -101,7 +99,11 @@ mod tests {
         e.add_hook(Box::new(Workload::cyclic(5..=10, 5..=10, 1)));
         e.set_hungry_at(SimTime(1), NodeId(0));
         e.run_until(SimTime(1_000));
-        assert!(data.borrow().meals[0] >= 20, "got {}", data.borrow().meals[0]);
+        assert!(
+            data.borrow().meals[0] >= 20,
+            "got {}",
+            data.borrow().meals[0]
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ mod tests {
         let n = NodeId(3);
         let cmds = [
             Command::SetHungry(n),
-            Command::ExitCs { node: n, session: 1 },
+            Command::ExitCs {
+                node: n,
+                session: 1,
+            },
             Command::Crash(n),
             Command::StartMove {
                 node: n,

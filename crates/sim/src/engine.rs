@@ -1,10 +1,7 @@
 //! The discrete-event engine.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
 
 use crate::command::Command;
 use crate::config::SimConfig;
@@ -12,6 +9,7 @@ use crate::event::{Event, LinkUpKind};
 use crate::hooks::{Hook, Sink, View};
 use crate::ids::NodeId;
 use crate::protocol::{Context, DiningState, Protocol};
+use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEntry, TraceKind};
 use crate::world::{LinkChange, Position, World};
@@ -43,9 +41,21 @@ pub struct EngineStats {
     pub messages_sent: u64,
     /// Messages delivered to protocols.
     pub messages_delivered: u64,
-    /// Messages dropped because their link failed (or epoch changed) before
+    /// Messages refused at send time because the destination link had
+    /// already failed inside the sending handler (link-race losses).
+    pub dropped_at_send: u64,
+    /// Messages accepted by the network that died in flight: their link
+    /// failed (or changed incarnation) or their destination crashed before
     /// delivery.
-    pub messages_dropped: u64,
+    pub dropped_in_flight: u64,
+}
+
+impl EngineStats {
+    /// Total messages lost for any reason: [`EngineStats::dropped_at_send`]
+    /// plus [`EngineStats::dropped_in_flight`].
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped_at_send + self.dropped_in_flight
+    }
 }
 
 enum Item<M> {
@@ -93,20 +103,82 @@ impl<M> Ord for Queued<M> {
     }
 }
 
+/// Per-directed-channel FIFO bookkeeping, valid only for one link
+/// incarnation: once the link's epoch moves past `epoch`, the entry is
+/// stale and the clamp restarts — a reconnected link must not inherit
+/// arrival floors from its dead incarnation.
+#[derive(Clone, Copy, Debug, Default)]
+struct FifoSlot {
+    epoch: u64,
+    last: SimTime,
+}
+
+/// Dense per-link bookkeeping, indexed by node-ID pairs. Replaces the
+/// `HashMap`s that used to sit on the per-message hot path: `n` is fixed
+/// for the lifetime of a run, so flat `n²`-sized tables give O(1) access
+/// with no hashing, no allocation, and no unbounded growth under link
+/// churn.
+#[derive(Clone, Debug)]
+struct LinkTable {
+    n: usize,
+    /// Incarnation counter per undirected link (indexed with `a ≤ b`);
+    /// messages of dead incarnations are dropped.
+    epoch: Vec<u64>,
+    /// Last scheduled arrival per directed channel, to enforce FIFO.
+    fifo: Vec<FifoSlot>,
+}
+
+impl LinkTable {
+    fn new(n: usize) -> LinkTable {
+        LinkTable {
+            n,
+            epoch: vec![0; n * n],
+            fifo: vec![FifoSlot::default(); n * n],
+        }
+    }
+
+    fn undirected(&self, a: NodeId, b: NodeId) -> usize {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        lo as usize * self.n + hi as usize
+    }
+
+    fn directed(&self, from: NodeId, to: NodeId) -> usize {
+        from.0 as usize * self.n + to.0 as usize
+    }
+
+    fn current_epoch(&self, a: NodeId, b: NodeId) -> u64 {
+        self.epoch[self.undirected(a, b)]
+    }
+
+    fn bump_epoch(&mut self, a: NodeId, b: NodeId) {
+        let i = self.undirected(a, b);
+        self.epoch[i] += 1;
+    }
+
+    /// FIFO floor of the `from → to` channel in its *current* incarnation,
+    /// or `None` if the recorded floor belongs to a dead incarnation.
+    fn fifo_floor(&self, from: NodeId, to: NodeId) -> Option<SimTime> {
+        let slot = self.fifo[self.directed(from, to)];
+        (slot.epoch == self.current_epoch(from, to)).then_some(slot.last)
+    }
+
+    fn set_fifo_floor(&mut self, from: NodeId, to: NodeId, at: SimTime) {
+        let epoch = self.current_epoch(from, to);
+        let i = self.directed(from, to);
+        self.fifo[i] = FifoSlot { epoch, last: at };
+    }
+}
+
 struct Core<M> {
     cfg: SimConfig,
-    rng: StdRng,
+    rng: SimRng,
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Queued<M>>>,
     world: World,
     dining: Vec<DiningState>,
     eating_session: Vec<u64>,
-    /// Last scheduled arrival per directed pair, to enforce FIFO channels.
-    fifo_last: HashMap<(u32, u32), SimTime>,
-    /// Incarnation counter per undirected link; messages of dead
-    /// incarnations are dropped.
-    link_epoch: HashMap<(u32, u32), u64>,
+    links: LinkTable,
     stats: EngineStats,
     trace: Trace,
 }
@@ -122,11 +194,6 @@ impl<M> Core<M> {
         }));
     }
 
-    fn current_link_epoch(&self, a: NodeId, b: NodeId) -> u64 {
-        let key = norm(a, b);
-        *self.link_epoch.get(&key).unwrap_or(&0)
-    }
-
     fn view<'a>(&'a self) -> View<'a> {
         View {
             now: self.now,
@@ -134,14 +201,6 @@ impl<M> Core<M> {
             dining: &self.dining,
             eating_session: &self.eating_session,
         }
-    }
-}
-
-fn norm(a: NodeId, b: NodeId) -> (u32, u32) {
-    if a.0 <= b.0 {
-        (a.0, b.0)
-    } else {
-        (b.0, a.0)
     }
 }
 
@@ -193,7 +252,7 @@ impl<P: Protocol> Engine<P> {
         };
         Engine {
             core: Core {
-                rng: StdRng::seed_from_u64(cfg.seed),
+                rng: SimRng::seed_from_u64(cfg.seed),
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
@@ -201,8 +260,7 @@ impl<P: Protocol> Engine<P> {
                 world,
                 dining,
                 eating_session: vec![0; n],
-                fifo_last: HashMap::new(),
-                link_epoch: HashMap::new(),
+                links: LinkTable::new(n),
                 stats: EngineStats::default(),
                 trace,
             },
@@ -245,7 +303,7 @@ impl<P: Protocol> Engine<P> {
         };
         Engine {
             core: Core {
-                rng: StdRng::seed_from_u64(cfg.seed),
+                rng: SimRng::seed_from_u64(cfg.seed),
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
@@ -253,8 +311,7 @@ impl<P: Protocol> Engine<P> {
                 world,
                 dining,
                 eating_session: vec![0; n],
-                fifo_last: HashMap::new(),
-                link_epoch: HashMap::new(),
+                links: LinkTable::new(n),
                 stats: EngineStats::default(),
                 trace,
             },
@@ -399,10 +456,10 @@ impl<P: Protocol> Engine<P> {
                 link_epoch,
             } => {
                 let live = self.core.world.linked(from, to)
-                    && self.core.current_link_epoch(from, to) == link_epoch
+                    && self.core.links.current_epoch(from, to) == link_epoch
                     && !self.core.world.is_crashed(to);
                 if !live {
-                    self.core.stats.messages_dropped += 1;
+                    self.core.stats.dropped_in_flight += 1;
                     return;
                 }
                 self.core.stats.messages_delivered += 1;
@@ -419,12 +476,18 @@ impl<P: Protocol> Engine<P> {
                 if self.core.world.is_crashed(node) {
                     return;
                 }
-                let live = self.core.world.motion(node).is_some_and(|m| m.epoch == epoch);
+                let live = self
+                    .core
+                    .world
+                    .motion(node)
+                    .is_some_and(|m| m.epoch == epoch);
                 if !live {
                     return;
                 }
                 self.core.world.end_motion(node);
-                self.core.trace.record(self.core.now, TraceKind::MoveEnd(node));
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::MoveEnd(node));
                 self.fire_hooks(|h, view, sink| h.on_move(view, node, false, sink));
                 self.deliver_proto(node, Event::MovementEnded);
             }
@@ -451,7 +514,9 @@ impl<P: Protocol> Engine<P> {
             Command::Crash(node) => {
                 if !self.core.world.is_crashed(node) {
                     self.core.world.crash(node);
-                    self.core.trace.record(self.core.now, TraceKind::Crash(node));
+                    self.core
+                        .trace
+                        .record(self.core.now, TraceKind::Crash(node));
                     self.fire_hooks(|h, view, sink| h.on_crash(view, node, sink));
                 }
             }
@@ -493,7 +558,11 @@ impl<P: Protocol> Engine<P> {
         if self.core.world.is_crashed(node) {
             return;
         }
-        let live = self.core.world.motion(node).is_some_and(|m| m.epoch == epoch);
+        let live = self
+            .core
+            .world
+            .motion(node)
+            .is_some_and(|m| m.epoch == epoch);
         if !live {
             return;
         }
@@ -512,8 +581,7 @@ impl<P: Protocol> Engine<P> {
         for change in changes {
             match change {
                 LinkChange::Up(a, b) => {
-                    let key = norm(a, b);
-                    *self.core.link_epoch.entry(key).or_insert(0) += 1;
+                    self.core.links.bump_epoch(a, b);
                     // Symmetry breaking biased toward static nodes; ties
                     // between two movers broken by ID (smaller = static).
                     let a_moving = self.core.world.is_moving(a);
@@ -559,7 +627,14 @@ impl<P: Protocol> Engine<P> {
                     );
                 }
                 LinkChange::Down(a, b) => {
-                    self.core.trace.record(self.core.now, TraceKind::LinkDown(a, b));
+                    // Kill the incarnation at once: in-flight messages of
+                    // the dead link can never be delivered, and the FIFO
+                    // floors of both directions become stale immediately
+                    // (a reconnect must not inherit them).
+                    self.core.links.bump_epoch(a, b);
+                    self.core
+                        .trace
+                        .record(self.core.now, TraceKind::LinkDown(a, b));
                     self.fire_hooks(|h, view, sink| h.on_link_down(view, a, b, sink));
                     let now = self.core.now;
                     self.core.push(
@@ -629,7 +704,7 @@ impl<P: Protocol> Engine<P> {
         if !self.core.world.linked(from, to) {
             // The neighbor departed during this very handler; the message
             // would have been lost with the link anyway.
-            self.core.stats.messages_dropped += 1;
+            self.core.stats.dropped_at_send += 1;
             return;
         }
         self.core.stats.messages_sent += 1;
@@ -638,14 +713,16 @@ impl<P: Protocol> Engine<P> {
             .rng
             .gen_range(self.core.cfg.min_message_delay..=self.core.cfg.max_message_delay);
         let mut at = self.core.now + delay;
-        // FIFO per directed channel.
-        if let Some(&last) = self.core.fifo_last.get(&(from.0, to.0)) {
+        // FIFO per directed channel, scoped to the link's current
+        // incarnation: a floor recorded before a flap must not delay
+        // post-reconnect traffic.
+        if let Some(last) = self.core.links.fifo_floor(from, to) {
             if at <= last {
                 at = last + 1;
             }
         }
-        self.core.fifo_last.insert((from.0, to.0), at);
-        let link_epoch = self.core.current_link_epoch(from, to);
+        self.core.links.set_fifo_floor(from, to, at);
+        let link_epoch = self.core.links.current_epoch(from, to);
         self.core.push(
             at,
             Item::Deliver {
@@ -745,8 +822,14 @@ mod tests {
         );
         e.run_until(SimTime(1_000));
         // 0 sent 0; 1 replied 1; 0 replied 2; 1 replied 3 (no further reply).
-        assert_eq!(e.protocol(NodeId(1)).received, vec![(NodeId(0), 0), (NodeId(0), 2)]);
-        assert_eq!(e.protocol(NodeId(0)).received, vec![(NodeId(1), 1), (NodeId(1), 3)]);
+        assert_eq!(
+            e.protocol(NodeId(1)).received,
+            vec![(NodeId(0), 0), (NodeId(0), 2)]
+        );
+        assert_eq!(
+            e.protocol(NodeId(0)).received,
+            vec![(NodeId(1), 1), (NodeId(1), 3)]
+        );
         assert_eq!(e.stats().messages_sent, 4);
         assert_eq!(e.stats().messages_delivered, 4);
     }
@@ -775,11 +858,10 @@ mod tests {
                 DiningState::Thinking
             }
         }
-        let mut e: Engine<Burst> = Engine::new(
-            SimConfig::default(),
-            vec![(0.0, 0.0), (1.0, 0.0)],
-            |_| Burst { got: vec![] },
-        );
+        let mut e: Engine<Burst> =
+            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |_| {
+                Burst { got: vec![] }
+            });
         e.core.push(
             SimTime(1),
             Item::Proto {
@@ -790,7 +872,10 @@ mod tests {
         e.run_until(SimTime(10_000));
         let got = &e.protocol(NodeId(1)).got;
         assert_eq!(got.len(), 50);
-        assert!(got.windows(2).all(|w| w[0] < w[1]), "FIFO violated: {got:?}");
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "FIFO violated: {got:?}"
+        );
     }
 
     #[test]
@@ -901,7 +986,147 @@ mod tests {
         e.teleport_at(SimTime(5), NodeId(1), (50.0, 0.0));
         e.run_until(SimTime(1_000));
         assert!(e.protocol(NodeId(1)).received.is_empty());
-        assert_eq!(e.stats().messages_dropped, 1);
+        assert_eq!(e.stats().dropped_in_flight, 1);
+        assert_eq!(e.stats().dropped_at_send, 0);
+        assert_eq!(e.stats().messages_dropped(), 1);
+    }
+
+    #[test]
+    fn fifo_floor_does_not_survive_a_link_flap() {
+        // Regression: `fifo_last` used to persist across link incarnations,
+        // so a burst sent before a flap kept clamping (delaying) messages
+        // sent after the reconnect. The floor must die with the link.
+        struct Burst {
+            got: Vec<(u64, SimTime)>,
+        }
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+                match ev {
+                    Event::Timer { token } => {
+                        // A burst of 40 messages: FIFO serialization pushes
+                        // the channel's arrival floor far past `now + ν`.
+                        if let Some(&n) = ctx.neighbors().first() {
+                            for i in 0..40 {
+                                ctx.send(n, token + i);
+                            }
+                        }
+                    }
+                    Event::Message { msg, .. } => self.got.push((msg, ctx.time())),
+                    _ => {}
+                }
+            }
+            fn dining_state(&self) -> DiningState {
+                DiningState::Thinking
+            }
+        }
+        let mut e: Engine<Burst> =
+            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |_| {
+                Burst { got: vec![] }
+            });
+        // t=1: node 0 sends a 40-message burst; the FIFO floor of channel
+        // 0→1 climbs to ≥ 40 ticks.
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        // t=5: node 1 teleports away (link down, most of the burst dies in
+        // flight) and immediately back (link up, fresh incarnation).
+        e.teleport_at(SimTime(5), NodeId(1), (50.0, 0.0));
+        e.teleport_at(SimTime(6), NodeId(1), (1.0, 0.0));
+        e.run_until(SimTime(5_000));
+        let floor_before_flap = e
+            .protocol(NodeId(1))
+            .got
+            .iter()
+            .map(|&(_, at)| at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        // t=100: a single post-reconnect message. With the stale floor it
+        // would be clamped to ~t=41+; with epoch-scoped FIFO it arrives
+        // within ν of its send time.
+        let mut e2 = e;
+        e2.core.push(
+            SimTime(100),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 1_000 },
+            },
+        );
+        e2.run_until(SimTime(5_000));
+        let first_post = e2
+            .protocol(NodeId(1))
+            .got
+            .iter()
+            .find(|&&(msg, _)| msg >= 1_000)
+            .map(|&(_, at)| at)
+            .expect("post-reconnect burst delivered");
+        assert!(
+            first_post >= SimTime(101) && first_post <= SimTime(100 + 10),
+            "post-reconnect message clamped by a dead incarnation's FIFO floor: \
+             arrived {first_post:?} (pre-flap floor {floor_before_flap:?})"
+        );
+        // And the flap actually killed in-flight messages, so the scenario
+        // exercises what it claims to.
+        assert!(e2.stats().dropped_in_flight > 0);
+    }
+
+    #[test]
+    fn drop_counters_split_send_races_from_in_flight_losses() {
+        // Node 0 replies to every message; node 1 departs while a reply is
+        // in flight → in-flight loss. A protocol that sends to a neighbor
+        // that vanished within the same handler → at-send loss.
+        struct Pinger;
+        impl Protocol for Pinger {
+            type Msg = u64;
+            fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+                if let Event::Timer { .. } = ev {
+                    // Sent unconditionally: if the link is already gone
+                    // this is a send-time drop.
+                    ctx.send(NodeId(1), 1);
+                }
+            }
+            fn dining_state(&self) -> DiningState {
+                DiningState::Thinking
+            }
+        }
+        let mut e: Engine<Pinger> = Engine::new(
+            SimConfig {
+                min_message_delay: 50,
+                max_message_delay: 60,
+                ..SimConfig::default()
+            },
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            |_| Pinger,
+        );
+        // In flight when the link dies at t=10.
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.teleport_at(SimTime(10), NodeId(1), (50.0, 0.0));
+        // Sent after the link is gone: dropped at send.
+        e.core.push(
+            SimTime(20),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 1 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        let s = e.stats();
+        assert_eq!(s.dropped_in_flight, 1, "{s:?}");
+        assert_eq!(s.dropped_at_send, 1, "{s:?}");
+        assert_eq!(s.messages_dropped(), 2);
+        // At-send drops never entered the network, so the ledger is
+        // sent = delivered + died-in-flight.
+        assert_eq!(s.messages_sent, s.messages_delivered + s.dropped_in_flight);
     }
 
     #[test]
@@ -958,7 +1183,10 @@ mod tests {
         e.set_hungry_at(SimTime(7), NodeId(1));
         e.run_until(SimTime(10));
         let log = log.borrow();
-        assert!(log.contains(&SimTime(3)) && log.contains(&SimTime(7)), "{log:?}");
+        assert!(
+            log.contains(&SimTime(3)) && log.contains(&SimTime(7)),
+            "{log:?}"
+        );
         // Monotone, no duplicates of the same instant in a row beyond re-opens.
         assert!(log.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -64,6 +64,7 @@ mod event;
 mod hooks;
 mod ids;
 mod protocol;
+pub mod rng;
 mod time;
 mod trace;
 mod world;
@@ -75,6 +76,7 @@ pub use event::{Event, LinkUpKind};
 pub use hooks::{Hook, Sink, View};
 pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};
+pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};
 pub use world::{Position, World};

@@ -117,7 +117,10 @@ impl World {
         };
         for &(a, b) in edges {
             assert_ne!(a, b, "self-loop");
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             insert_sorted(&mut world.adj[a as usize], NodeId(b));
             insert_sorted(&mut world.adj[b as usize], NodeId(a));
         }
@@ -203,7 +206,10 @@ impl World {
     }
 
     pub(crate) fn begin_motion(&mut self, n: NodeId, dest: Position, step_len: f64) -> u64 {
-        assert!(!self.explicit, "explicit-graph worlds are immutable: movement rejected");
+        assert!(
+            !self.explicit,
+            "explicit-graph worlds are immutable: movement rejected"
+        );
         let epoch = self.moving[n.index()].as_ref().map_or(0, |m| m.epoch) + 1;
         self.moving[n.index()] = Some(Motion {
             dest,
@@ -246,7 +252,10 @@ impl World {
     /// Set `n`'s position and recompute its incident links; returns the
     /// resulting link changes with peers sorted by ID.
     pub(crate) fn relocate(&mut self, n: NodeId, pos: Position) -> Vec<LinkChange> {
-        assert!(!self.explicit, "explicit-graph worlds are immutable: movement rejected");
+        assert!(
+            !self.explicit,
+            "explicit-graph worlds are immutable: movement rejected"
+        );
         self.positions[n.index()] = pos;
         let mut changes = Vec::new();
         for j in 0..self.len() {
@@ -287,7 +296,15 @@ mod tests {
     use super::*;
 
     fn line(n: usize) -> World {
-        World::new(1.5, (0..n).map(|i| Position { x: i as f64, y: 0.0 }).collect())
+        World::new(
+            1.5,
+            (0..n)
+                .map(|i| Position {
+                    x: i as f64,
+                    y: 0.0,
+                })
+                .collect(),
+        )
     }
 
     #[test]
@@ -346,7 +363,10 @@ mod tests {
         assert!(w.is_explicit());
         assert_eq!(w.neighbors(NodeId(0)).len(), 4);
         assert_eq!(w.neighbors(NodeId(1)), &[NodeId(0)]);
-        assert!(!w.linked(NodeId(1), NodeId(2)), "a true star: leaves unlinked");
+        assert!(
+            !w.linked(NodeId(1), NodeId(2)),
+            "a true star: leaves unlinked"
+        );
         assert_eq!(w.hop_distance(NodeId(1), NodeId(2)), Some(2));
     }
 

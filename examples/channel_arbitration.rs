@@ -21,7 +21,7 @@ fn main() {
     let positions = topology::random_connected(n, 2024);
     let spec = RunSpec {
         horizon: 60_000,
-        eat: 5..=20,    // a transmission burst
+        eat: 5..=20,     // a transmission burst
         think: 40..=120, // sensing / batching interval
         ..RunSpec::default()
     };
@@ -42,10 +42,16 @@ fn main() {
     );
     println!("  collisions (LME violations): {}", out.violations.len());
 
-    assert!(out.violations.is_empty(), "two in-range nodes transmitted at once");
+    assert!(
+        out.violations.is_empty(),
+        "two in-range nodes transmitted at once"
+    );
     assert!(min > 0, "a node never got the channel");
     // Local mutual exclusion gives every node a turn; contention-limited
     // fairness means min and max stay within a small factor.
-    assert!(max <= min.saturating_mul(8).max(8), "grossly unfair: {min}..{max}");
+    assert!(
+        max <= min.saturating_mul(8).max(8),
+        "grossly unfair: {min}..{max}"
+    );
     println!("OK: exclusive channel access with no starvation.");
 }

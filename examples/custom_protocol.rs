@@ -111,13 +111,25 @@ fn main() {
 
     println!("6-node clique, identical workload, 30 000 ticks\n");
     println!("naive polite-backoff : meals {naive_meals:?}");
-    println!("                       violations {naive_violations}, Jain fairness {:.2}", jain_index(&naive_meals));
+    println!(
+        "                       violations {naive_violations}, Jain fairness {:.2}",
+        jain_index(&naive_meals)
+    );
     println!("Algorithm 2          : meals {a2_meals:?}");
-    println!("                       violations {a2_violations}, Jain fairness {:.2}", jain_index(&a2_meals));
+    println!(
+        "                       violations {a2_violations}, Jain fairness {:.2}",
+        jain_index(&a2_meals)
+    );
 
     assert_eq!(a2_violations, 0, "Algorithm 2 must be violation-free");
-    assert!(a2_meals.iter().all(|&m| m > 0), "Algorithm 2 must starve nobody");
-    assert!(naive_violations > 0, "the naive protocol races inside the delay window");
+    assert!(
+        a2_meals.iter().all(|&m| m > 0),
+        "Algorithm 2 must starve nobody"
+    );
+    assert!(
+        naive_violations > 0,
+        "the naive protocol races inside the delay window"
+    );
     assert!(
         jain_index(&a2_meals) > jain_index(&naive_meals),
         "Algorithm 2 should distribute the critical section more fairly"

@@ -58,12 +58,18 @@ fn main() {
 
     println!("Data mule among {} nodes (A1-greedy, mobile)", n);
     println!("  repository accesses per node: {:?}", out.metrics.meals);
-    println!("  mule accesses               : {}", out.metrics.meals[mule.index()]);
+    println!(
+        "  mule accesses               : {}",
+        out.metrics.meals[mule.index()]
+    );
     println!("  LME violations              : {}", out.violations.len());
     println!("  static-episode latency      : {}", out.static_summary());
     println!("  all-episode latency         : {}", out.all_summary());
 
-    assert!(out.violations.is_empty(), "repository accessed concurrently");
+    assert!(
+        out.violations.is_empty(),
+        "repository accessed concurrently"
+    );
     assert!(
         out.metrics.meals[mule.index()] > 0,
         "the mule never got the repository"

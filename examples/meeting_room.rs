@@ -16,7 +16,7 @@ fn main() {
     let positions = topology::clique(n);
     let spec = RunSpec {
         horizon: 60_000,
-        eat: 20..=50,    // a presenter holds the projector for a while
+        eat: 20..=50, // a presenter holds the projector for a while
         think: 100..=300,
         ..RunSpec::default()
     };
@@ -28,7 +28,10 @@ fn main() {
         println!("{}:", kind.name());
         println!("  presentations per device : {meals:?}");
         println!("  acquisition latency      : {}", out.static_summary());
-        println!("  messages per acquisition : {:.1}", out.messages_per_meal());
+        println!(
+            "  messages per acquisition : {:.1}",
+            out.messages_per_meal()
+        );
         println!("  violations               : {}\n", out.violations.len());
         assert!(out.violations.is_empty(), "two devices drove the projector");
         assert!(

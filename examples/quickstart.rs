@@ -15,7 +15,10 @@ fn main() {
 
     let out = run_algorithm(AlgKind::A2, &spec, &positions, &[]);
 
-    println!("Algorithm 2 on a 5-node line, horizon {} ticks", spec.horizon);
+    println!(
+        "Algorithm 2 on a 5-node line, horizon {} ticks",
+        spec.horizon
+    );
     println!("  safety violations : {}", out.violations.len());
     println!("  meals per node    : {:?}", out.metrics.meals);
     println!("  response times    : {}", out.static_summary());

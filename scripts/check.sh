@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, tests. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "All checks passed."

@@ -5,21 +5,19 @@
 //! topology changes).
 
 use manet_local_mutex::harness::{run_algorithm, topology, AlgKind, RunSpec};
-use manet_local_mutex::sim::{Command, NodeId, Position, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use manet_local_mutex::sim::{Command, NodeId, Position, SimRng, SimTime};
 
 /// Heavy churn for the first 60% of the horizon; quiet afterwards.
 fn churn_commands(n: usize, horizon: u64, area: f64, seed: u64) -> Vec<(SimTime, Command)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut cmds = Vec::new();
     let churn_end = horizon * 6 / 10;
     for _ in 0..30 {
         let t = rng.gen_range(500..churn_end);
         let node = NodeId(rng.gen_range(0..n as u32));
         let dest = Position {
-            x: rng.gen::<f64>() * area,
-            y: rng.gen::<f64>() * area,
+            x: rng.gen_f64() * area,
+            y: rng.gen_f64() * area,
         };
         cmds.push((
             SimTime(t),
@@ -99,9 +97,7 @@ fn run_chaos(kind: AlgKind, seed: u64) {
             );
         }
     } else {
-        let total_tail: usize = (0..n)
-            .map(|i| tail_meals_of(NodeId(i as u32)))
-            .sum();
+        let total_tail: usize = (0..n).map(|i| tail_meals_of(NodeId(i as u32))).sum();
         assert!(
             total_tail > 0,
             "{} seed {seed}: the whole system froze after churn",

@@ -3,9 +3,7 @@
 //! chapter) and explicit-graph topologies that unit-disk geometry cannot
 //! embed.
 
-use manet_local_mutex::harness::{
-    run_algorithm, run_protocol_graph, topology, AlgKind, RunSpec,
-};
+use manet_local_mutex::harness::{run_algorithm, run_protocol_graph, topology, AlgKind, RunSpec};
 use manet_local_mutex::lme::{Algorithm1, Algorithm2};
 use manet_local_mutex::sim::{Command, NodeId, Position, SimTime};
 
@@ -71,13 +69,7 @@ fn algorithms_work_on_an_explicit_star() {
         horizon: 60_000,
         ..RunSpec::default()
     };
-    let out = run_protocol_graph(
-        &spec,
-        n,
-        &edges,
-        |seed| Algorithm2::new(&seed),
-        |_| {},
-    );
+    let out = run_protocol_graph(&spec, n, &edges, |seed| Algorithm2::new(&seed), |_| {});
     assert!(out.violations.is_empty());
     assert!(
         out.metrics.meals.iter().all(|&m| m >= 3),
@@ -119,13 +111,7 @@ fn algorithms_work_on_an_explicit_tree() {
         horizon: 60_000,
         ..RunSpec::default()
     };
-    let out = run_protocol_graph(
-        &spec,
-        n,
-        &edges,
-        |seed| Algorithm1::greedy(&seed),
-        |_| {},
-    );
+    let out = run_protocol_graph(&spec, n, &edges, |seed| Algorithm1::greedy(&seed), |_| {});
     assert!(out.violations.is_empty());
     assert!(
         out.metrics.meals.iter().all(|&m| m >= 3),
@@ -144,13 +130,7 @@ fn crash_on_explicit_star_blocks_only_the_hub_side() {
         crash_eating: Some((NodeId(3), 2_000)),
         ..RunSpec::default()
     };
-    let out = run_protocol_graph(
-        &spec,
-        n,
-        &edges,
-        |seed| Algorithm2::new(&seed),
-        |_| {},
-    );
+    let out = run_protocol_graph(&spec, n, &edges, |seed| Algorithm2::new(&seed), |_| {});
     assert!(out.violations.is_empty());
     assert!(out.crash_time.is_some(), "the victim leaf must have eaten");
     for i in 1..n {

@@ -127,9 +127,9 @@ fn recoloring_crash_separates_greedy_from_linial() {
             first_hungry: (5, 5),
             ..RunSpec::default()
         };
-        let sched = std::sync::Arc::new(
-            manet_local_mutex::coloring::LinialSchedule::compute(n as u64, 2),
-        );
+        let sched = std::sync::Arc::new(manet_local_mutex::coloring::LinialSchedule::compute(
+            n as u64, 2,
+        ));
         let out = manet_local_mutex::harness::run_protocol(
             &spec,
             &topology::line(n),

@@ -48,8 +48,15 @@ fn crash_is_contained_and_return_path_frees_p2() {
     // Phase 2: p3 departs; the return path unblocks p2.
     engine.teleport_at(SimTime(4_000), P3, (50.0, 0.0));
     engine.run_until(SimTime(8_000));
-    assert!(engine.protocol(P2).stats.return_paths >= 1, "p2 took the return path");
-    assert_eq!(data.borrow().meals[P2.index()], 1, "p2 eats after the return path");
+    assert!(
+        engine.protocol(P2).stats.return_paths >= 1,
+        "p2 took the return path"
+    );
+    assert_eq!(
+        data.borrow().meals[P2.index()],
+        1,
+        "p2 eats after the return path"
+    );
     assert_eq!(data.borrow().meals[P3.index()], 1, "p3 eats alone");
 }
 

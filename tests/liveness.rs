@@ -55,7 +55,13 @@ fn everyone_eats_in_a_clique() {
 #[test]
 fn everyone_eats_on_a_random_graph() {
     for kind in AlgKind::all() {
-        assert_live(kind, "random-20", &topology::random_connected(20, 5), 60_000, 2);
+        assert_live(
+            kind,
+            "random-20",
+            &topology::random_connected(20, 5),
+            60_000,
+            2,
+        );
     }
 }
 

@@ -33,7 +33,10 @@ fn mover_recolors_and_eats(cfg: RecolorConfig) {
     engine.run_until(SimTime(30_000));
 
     let p = engine.protocol(mover);
-    assert!(p.stats.recolorings >= 1, "mover must run the recoloring module");
+    assert!(
+        p.stats.recolorings >= 1,
+        "mover must run the recoloring module"
+    );
     assert!(
         data.borrow().meals[mover.index()] >= 3,
         "mover starved after joining: {:?}",
@@ -55,7 +58,9 @@ fn greedy_mover_recolors_and_eats() {
 
 #[test]
 fn linial_mover_recolors_and_eats() {
-    mover_recolors_and_eats(RecolorConfig::Linial(Arc::new(LinialSchedule::compute(4, 3))));
+    mover_recolors_and_eats(RecolorConfig::Linial(Arc::new(LinialSchedule::compute(
+        4, 3,
+    ))));
 }
 
 #[test]
@@ -74,8 +79,16 @@ fn eating_mover_is_demoted_for_safety() {
     assert_eq!(engine.dining_state(NodeId(1)), DiningState::Eating);
     engine.teleport_at(SimTime(100), NodeId(1), (1.0, 0.0));
     engine.run_until(SimTime(200));
-    assert_eq!(engine.dining_state(NodeId(0)), DiningState::Eating, "static keeps eating");
-    assert_eq!(engine.dining_state(NodeId(1)), DiningState::Hungry, "mover demoted");
+    assert_eq!(
+        engine.dining_state(NodeId(0)),
+        DiningState::Eating,
+        "static keeps eating"
+    );
+    assert_eq!(
+        engine.dining_state(NodeId(1)),
+        DiningState::Hungry,
+        "mover demoted"
+    );
     assert_eq!(engine.protocol(NodeId(1)).stats.demotions, 1);
 }
 
@@ -195,7 +208,10 @@ fn bootstrap_recoloring_yields_legal_colors_and_liveness() {
     }
     engine.run_until(SimTime(60_000));
     let meals = data.borrow().meals.clone();
-    assert!(meals.iter().all(|&m| m == 1), "bootstrap starved someone: {meals:?}");
+    assert!(
+        meals.iter().all(|&m| m == 1),
+        "bootstrap starved someone: {meals:?}"
+    );
     for i in 0..9u32 {
         assert!(
             engine.protocol(NodeId(i)).stats.recolorings >= 1,

@@ -1,11 +1,14 @@
-//! Property-based safety tests: random topologies, workloads, mobility and
+//! Randomized safety tests: random topologies, workloads, mobility and
 //! crash schedules must never produce two eating neighbors — for any
 //! algorithm. This is the paper's safety theorem (Lemma 3 / Theorem 25)
 //! exercised adversarially.
+//!
+//! Formerly proptest properties; now seeded batteries over the simulator's
+//! own deterministic RNG so the suite builds offline. Each failing case
+//! prints its full scenario, which reproduces it exactly.
 
 use manet_local_mutex::harness::{run_algorithm, AlgKind, RunSpec};
-use manet_local_mutex::sim::{Command, NodeId, Position, SimConfig, SimTime};
-use proptest::prelude::*;
+use manet_local_mutex::sim::{Command, NodeId, Position, SimConfig, SimRng, SimTime};
 
 #[derive(Clone, Debug)]
 struct Scenario {
@@ -16,22 +19,32 @@ struct Scenario {
     crashes: Vec<(u64, u32)>,
 }
 
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    let pos = (0.0f64..8.0, 0.0f64..8.0);
-    (
-        0usize..5,
-        prop::collection::vec(pos, 3..12),
-        any::<u64>(),
-        prop::collection::vec((100u64..6_000, 0u32..12, (0.0f64..8.0, 0.0f64..8.0)), 0..5),
-        prop::collection::vec((100u64..6_000, 0u32..12), 0..2),
-    )
-        .prop_map(|(kind_idx, positions, seed, moves, crashes)| Scenario {
-            kind_idx,
-            positions,
-            seed,
-            moves,
-            crashes,
+fn random_scenario(rng: &mut SimRng) -> Scenario {
+    let kind_idx = rng.gen_range(0..5usize);
+    let n = rng.gen_range(3..12usize);
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_f64() * 8.0, rng.gen_f64() * 8.0))
+        .collect();
+    let seed = rng.next_u64();
+    let moves: Vec<(u64, u32, (f64, f64))> = (0..rng.gen_range(0..5usize))
+        .map(|_| {
+            (
+                rng.gen_range(100..6_000u64),
+                rng.gen_range(0..12u32),
+                (rng.gen_f64() * 8.0, rng.gen_f64() * 8.0),
+            )
         })
+        .collect();
+    let crashes: Vec<(u64, u32)> = (0..rng.gen_range(0..2usize))
+        .map(|_| (rng.gen_range(100..6_000u64), rng.gen_range(0..12u32)))
+        .collect();
+    Scenario {
+        kind_idx,
+        positions,
+        seed,
+        moves,
+        crashes,
+    }
 }
 
 fn run_scenario(s: &Scenario) {
@@ -72,38 +85,41 @@ fn run_scenario(s: &Scenario) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
-
-    /// No algorithm, under any random topology + teleport + crash schedule,
-    /// ever lets two neighbors eat simultaneously.
-    #[test]
-    fn lme_safety_is_never_violated(s in scenario_strategy()) {
+/// No algorithm, under any random topology + teleport + crash schedule,
+/// ever lets two neighbors eat simultaneously.
+#[test]
+fn lme_safety_is_never_violated() {
+    let mut rng = SimRng::seed_from_u64(0x5AFE_0001);
+    for _ in 0..48 {
+        let s = random_scenario(&mut rng);
         run_scenario(&s);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
-
-    /// Smooth (non-teleport) movement sweeps links through many
-    /// intermediate configurations; safety must hold throughout.
-    #[test]
-    fn lme_safety_under_smooth_motion(
-        kind_idx in 0usize..5,
-        seed in any::<u64>(),
-        moves in prop::collection::vec((100u64..4_000, 0u32..8, (0.0f64..6.0, 0.0f64..6.0)), 1..4),
-    ) {
+/// Smooth (non-teleport) movement sweeps links through many
+/// intermediate configurations; safety must hold throughout.
+#[test]
+fn lme_safety_under_smooth_motion() {
+    let mut rng = SimRng::seed_from_u64(0x5AFE_0002);
+    for case in 0..24u32 {
+        let kind_idx = rng.gen_range(0..5usize);
+        let seed = rng.next_u64();
+        let moves: Vec<(u64, u32, (f64, f64))> = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                (
+                    rng.gen_range(100..4_000u64),
+                    rng.gen_range(0..8u32),
+                    (rng.gen_f64() * 6.0, rng.gen_f64() * 6.0),
+                )
+            })
+            .collect();
         let positions = manet_local_mutex::harness::topology::random_points(8, 4.0, seed);
         let kind = AlgKind::all()[kind_idx];
         let spec = RunSpec {
-            sim: SimConfig { seed, ..SimConfig::default() },
+            sim: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
             horizon: 8_000,
             ..RunSpec::default()
         };
@@ -121,9 +137,9 @@ proptest! {
             })
             .collect();
         let out = run_algorithm(kind, &spec, &positions, &commands);
-        prop_assert!(
+        assert!(
             out.violations.is_empty(),
-            "{}: violations {:?}",
+            "case {case} ({}, seed {seed}): violations {:?}",
             kind.name(),
             out.violations
         );
