@@ -157,7 +157,13 @@ impl Protocol for ChandyMisra {
                 };
                 match msg {
                     CmMsg::ReqToken => {
-                        debug_assert!(edge.holds_fork, "token implies the fork is here");
+                        if !edge.holds_fork {
+                            // In a fault-free run the token implies the fork
+                            // is here; under duplication faults a replayed
+                            // request can trail the fork it already won.
+                            // Stale — ignore.
+                            return;
+                        }
                         self.edges.get_mut(&from).expect("known").has_token = true;
                         let withhold = self.state == DiningState::Eating
                             || (self.state == DiningState::Hungry && !edge.dirty);
@@ -169,7 +175,12 @@ impl Protocol for ChandyMisra {
                     }
                     CmMsg::Fork => {
                         let e = self.edges.get_mut(&from).expect("known");
-                        debug_assert!(!e.holds_fork, "duplicate fork");
+                        if e.holds_fork {
+                            // Duplicated delivery of a fork already held
+                            // (or already passed on): accepting it twice
+                            // would double the fork. Stale — ignore.
+                            return;
+                        }
                         e.holds_fork = true;
                         e.dirty = false;
                         self.kick(ctx);

@@ -72,6 +72,8 @@ pub enum Command {
     Probe,
     /// Multi-seed sweep: algorithms × seeds in parallel, aggregated.
     Sweep,
+    /// Fault-injection matrix: every fault class × seeds, aggregated.
+    Chaos,
 }
 
 /// Everything the CLI understood.
@@ -106,6 +108,27 @@ pub struct Cli {
     pub seeds: u64,
     /// Write per-run metrics as JSON lines to this path.
     pub metrics_out: Option<String>,
+    /// Per-message drop probability on faulted links.
+    pub fault_drop: f64,
+    /// Per-message duplication probability on faulted links.
+    pub fault_dup: f64,
+    /// Extra delay (ticks) added to every message on faulted links
+    /// (`0` = off).
+    pub fault_skew: u64,
+    /// Run the adaptive maximum-delay adversary (every message to or from
+    /// a target is charged exactly ν).
+    pub fault_delay: bool,
+    /// Partition window `at..heal_at`: cut `fault_targets` off at `at`,
+    /// heal at `heal_at`.
+    pub fault_partition: Option<(u64, u64)>,
+    /// Nodes the link faults / adversary / partition aim at
+    /// (`None` = every link; the partition requires an explicit side).
+    pub fault_targets: Option<Vec<u32>>,
+    /// Active window `[a, b)` for link faults and the delay adversary
+    /// (`None` = the whole run).
+    pub fault_window: Option<(u64, u64)>,
+    /// Seed of the fault RNG (`0` = derive from the run seed).
+    pub fault_seed: u64,
 }
 
 impl Default for Cli {
@@ -125,19 +148,29 @@ impl Default for Cli {
             jobs: None,
             seeds: 8,
             metrics_out: None,
+            fault_drop: 0.0,
+            fault_dup: 0.0,
+            fault_skew: 0,
+            fault_delay: false,
+            fault_partition: None,
+            fault_targets: None,
+            fault_window: None,
+            fault_seed: 0,
         }
     }
 }
 
 /// Usage text shown for `lme list` and on errors.
 pub const USAGE: &str = "\
-usage: lme <list|run|probe|sweep> [options]
+usage: lme <list|run|probe|sweep|chaos> [options]
 
 commands:
   list    print algorithms and topology syntax
   run     one workload run, full report
   probe   crash the victim mid-CS, report failure locality
   sweep   algorithms x seeds grid in parallel, aggregated report
+  chaos   fault classes x seeds matrix (crash, loss, duplication,
+          partition, max-delay), aggregated report
 
 options:
   --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
@@ -156,6 +189,17 @@ options:
                      results are identical for every value)
   --seeds <n>        sweep: consecutive seeds to run        (default 8)
   --metrics-out <p>  write per-run metrics as JSON lines to <p>
+
+fault injection (run/sweep; chaos builds its own schedule):
+  --fault-drop <p>       drop probability per message          (default 0)
+  --fault-dup <p>        duplication probability per message   (default 0)
+  --fault-skew <ticks>   extra delay added to every message    (default 0)
+  --fault-delay          charge every message the max legal delay
+  --fault-partition a..b cut --fault-targets off at a, heal at b
+  --fault-targets <ids>  comma-separated nodes to aim faults at
+                         (default: every link; required for partitions)
+  --fault-window <a..b>  restrict link faults / delay adversary to [a,b)
+  --fault-seed <n>       fault RNG seed (default: derived from --seed)
 ";
 
 fn parse_alg(s: &str) -> Result<AlgKind, String> {
@@ -171,6 +215,38 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("invalid {what} '{s}'"))
+}
+
+fn parse_prob(s: &str, what: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|_| format!("invalid {what} '{s}'"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{what} '{s}' must be a probability in [0, 1]"));
+    }
+    Ok(p)
+}
+
+/// Parse a half-open tick window `a..b` with `a < b` (zero start allowed,
+/// unlike the eat/think ranges).
+fn parse_window(s: &str, what: &str) -> Result<(u64, u64), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("{what} '{s}' must look like 100..900"))?;
+    let a = parse_u64(a, what)?;
+    let b = parse_u64(b, what)?;
+    if b <= a {
+        return Err(format!("{what} '{s}' must satisfy a < b"));
+    }
+    Ok((a, b))
+}
+
+fn parse_nodes(s: &str) -> Result<Vec<u32>, String> {
+    s.split(',')
+        .map(|id| {
+            id.trim()
+                .parse()
+                .map_err(|_| format!("invalid node id '{id}' in '{s}'"))
+        })
+        .collect()
 }
 
 fn parse_range(s: &str) -> Result<(u64, u64), String> {
@@ -255,6 +331,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         "run" => Command::Run,
         "probe" => Command::Probe,
         "sweep" => Command::Sweep,
+        "chaos" => Command::Chaos,
         other => return Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     while let Some(flag) = it.next() {
@@ -291,6 +368,35 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 }
             }
             "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")?),
+            "--fault-drop" => {
+                cli.fault_drop = parse_prob(&value("--fault-drop")?, "drop probability")?;
+            }
+            "--fault-dup" => {
+                cli.fault_dup = parse_prob(&value("--fault-dup")?, "duplication probability")?;
+            }
+            "--fault-skew" => {
+                cli.fault_skew = parse_u64(&value("--fault-skew")?, "skew ticks")?;
+            }
+            "--fault-delay" => cli.fault_delay = true,
+            "--fault-partition" => {
+                cli.fault_partition = Some(parse_window(
+                    &value("--fault-partition")?,
+                    "partition window",
+                )?);
+            }
+            "--fault-targets" => {
+                let nodes = parse_nodes(&value("--fault-targets")?)?;
+                if nodes.is_empty() {
+                    return Err("--fault-targets needs at least one node".to_string());
+                }
+                cli.fault_targets = Some(nodes);
+            }
+            "--fault-window" => {
+                cli.fault_window = Some(parse_window(&value("--fault-window")?, "fault window")?);
+            }
+            "--fault-seed" => {
+                cli.fault_seed = parse_u64(&value("--fault-seed")?, "fault seed")?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -303,6 +409,20 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 "victim {v} out of range for a {}-node topology",
                 cli.topo.len()
             ));
+        }
+    }
+    if cli.fault_partition.is_some() && cli.fault_targets.is_none() {
+        return Err("--fault-partition needs --fault-targets (the side to cut off)".to_string());
+    }
+    if let Some(targets) = &cli.fault_targets {
+        let n = cli.topo.len();
+        if let Some(&bad) = targets.iter().find(|&&t| t as usize >= n) {
+            return Err(format!(
+                "fault target {bad} out of range for a {n}-node topology"
+            ));
+        }
+        if cli.fault_partition.is_some() && targets.len() >= n {
+            return Err("a partition side must leave at least one node outside".to_string());
         }
     }
     Ok(cli)
@@ -398,6 +518,40 @@ mod tests {
         assert!(parse(argv("run --horizon")).is_err());
         assert!(parse(argv("run --topo star:4 --moves 2")).is_err());
         assert!(parse(argv("probe --topo line:5 --victim 9")).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cli = parse(argv(
+            "run --topo line:6 --fault-drop 0.25 --fault-dup 0.1 --fault-skew 40 \
+             --fault-delay --fault-partition 100..900 --fault-targets 2,3 \
+             --fault-window 50..5000 --fault-seed 99",
+        ))
+        .unwrap();
+        assert_eq!(cli.fault_drop, 0.25);
+        assert_eq!(cli.fault_dup, 0.1);
+        assert_eq!(cli.fault_skew, 40);
+        assert!(cli.fault_delay);
+        assert_eq!(cli.fault_partition, Some((100, 900)));
+        assert_eq!(cli.fault_targets, Some(vec![2, 3]));
+        assert_eq!(cli.fault_window, Some((50, 5000)));
+        assert_eq!(cli.fault_seed, 99);
+        let chaos = parse(argv("chaos --topo line:9 --seeds 4")).unwrap();
+        assert_eq!(chaos.command, Command::Chaos);
+    }
+
+    #[test]
+    fn rejects_malformed_fault_flags() {
+        assert!(parse(argv("run --fault-drop 1.5")).is_err());
+        assert!(parse(argv("run --fault-drop -0.1")).is_err());
+        assert!(parse(argv("run --fault-window 10..10")).is_err());
+        assert!(parse(argv("run --fault-partition 100..900")).is_err()); // no targets
+        assert!(parse(argv("run --topo line:4 --fault-targets 9")).is_err());
+        assert!(parse(argv(
+            "run --topo line:3 --fault-partition 1..2 --fault-targets 0,1,2"
+        ))
+        .is_err()); // nobody left outside the cut
+        assert!(parse(argv("run --fault-targets")).is_err());
     }
 
     #[test]

@@ -2,24 +2,72 @@
 //! report.
 
 use harness::{
-    crash_probe, default_jobs, run_algorithm, run_algorithm_graph, stats::jain_index, topology,
-    AlgKind, RunOutcome, RunReport, RunSpec, SweepReport, SweepSpec, Table, Topo, WaypointPlan,
+    crash_probe, default_jobs, run_algorithm, run_algorithm_graph, run_cells, stats::jain_index,
+    topology, AlgKind, FaultClass, Job, RunOutcome, RunReport, RunSpec, SweepCell, SweepReport,
+    SweepSpec, Table, Topo, WaypointPlan,
 };
-use manet_sim::{NodeId, SimConfig, SimTime};
+use manet_sim::{
+    DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, SimConfig, SimTime,
+};
 
 use crate::args::{Cli, Command, TopoSpec, USAGE};
 
-fn spec_of(cli: &Cli) -> RunSpec {
-    RunSpec {
+fn spec_of(cli: &Cli) -> Result<RunSpec, String> {
+    Ok(RunSpec {
         sim: SimConfig {
             seed: cli.seed,
+            fault: fault_plan_of(cli)?,
             ..SimConfig::default()
         },
         horizon: cli.horizon,
         eat: cli.eat.0..=cli.eat.1,
         think: cli.think.0..=cli.think.1,
         ..RunSpec::default()
+    })
+}
+
+/// Assemble the [`FaultPlan`] the `--fault-*` flags describe (empty when
+/// none were given).
+fn fault_plan_of(cli: &Cli) -> Result<FaultPlan, String> {
+    let targets: Option<Vec<NodeId>> = cli
+        .fault_targets
+        .as_ref()
+        .map(|ts| ts.iter().map(|&t| NodeId(t)).collect());
+    let mut plan = FaultPlan {
+        seed: cli.fault_seed,
+        ..FaultPlan::default()
+    };
+    if cli.fault_drop > 0.0 || cli.fault_dup > 0.0 || cli.fault_skew > 0 {
+        plan.link = Some(LinkFaults {
+            drop: cli.fault_drop,
+            duplicate: cli.fault_dup,
+            skew: if cli.fault_skew > 0 { 1.0 } else { 0.0 },
+            skew_ticks: cli.fault_skew,
+            window: cli.fault_window,
+            targets: targets.clone(),
+            ..LinkFaults::default()
+        });
     }
+    if cli.fault_delay {
+        let adversary_targets = targets
+            .clone()
+            .unwrap_or_else(|| (0..cli.topo.len() as u32).map(NodeId).collect());
+        plan.max_delay = Some(DelayAdversary {
+            targets: adversary_targets,
+            window: cli.fault_window,
+        });
+    }
+    if let Some((at, heal_at)) = cli.fault_partition {
+        let side = targets.ok_or("--fault-partition needs --fault-targets")?;
+        plan.partitions = vec![PartitionWindow {
+            at,
+            side,
+            heal_after: heal_at - at,
+        }];
+    }
+    plan.validate(cli.topo.len())
+        .map_err(|e| format!("invalid fault plan: {e}"))?;
+    Ok(plan)
 }
 
 fn geo_positions(topo: &TopoSpec) -> Vec<(f64, f64)> {
@@ -121,7 +169,7 @@ fn render_run(cli: &Cli, out: &RunOutcome) -> String {
 }
 
 fn render_probe(cli: &Cli) -> Result<String, String> {
-    let spec = spec_of(cli);
+    let spec = spec_of(cli)?;
     if cli.topo.is_explicit() {
         return Err("probe currently supports geometric topologies only".into());
     }
@@ -168,9 +216,8 @@ fn render_probe(cli: &Cli) -> Result<String, String> {
     Ok(s)
 }
 
-fn render_sweep(cli: &Cli) -> Result<String, String> {
-    let base = spec_of(cli);
-    let topo = match cli.topo {
+fn topo_of(cli: &Cli) -> Topo {
+    match cli.topo {
         TopoSpec::Star(leaves) => {
             let (n, edges) = topology::star_edges(leaves);
             Topo::Graph { n, edges }
@@ -180,7 +227,12 @@ fn render_sweep(cli: &Cli) -> Result<String, String> {
             Topo::Graph { n, edges }
         }
         ref geo => Topo::Geo(geo_positions(geo)),
-    };
+    }
+}
+
+fn render_sweep(cli: &Cli) -> Result<String, String> {
+    let base = spec_of(cli)?;
+    let topo = topo_of(cli);
     let n = topo.len();
     let mut sweep = SweepSpec::new(cli.topo.to_string(), topo, base)
         .kinds(cli.algs.iter().copied())
@@ -236,6 +288,108 @@ fn render_sweep(cli: &Cli) -> Result<String, String> {
     Ok(s)
 }
 
+/// The fixed fault matrix the `chaos` subcommand sweeps: one column per
+/// fault class, crash first (matching the paper's fault model), then the
+/// out-of-model link faults, then partition and the ν-adversary.
+const CHAOS_CLASSES: [FaultClass; 5] = [
+    FaultClass::Crash,
+    FaultClass::Loss(0.3),
+    FaultClass::Duplication(0.3),
+    FaultClass::Partition,
+    FaultClass::MaxDelay,
+];
+
+fn render_chaos(cli: &Cli) -> Result<String, String> {
+    if !fault_plan_of(cli)?.is_empty() {
+        return Err("chaos builds its own fault schedule; drop the --fault-* flags".to_string());
+    }
+    let topo = topo_of(cli);
+    let n = topo.len();
+    if n < 2 {
+        return Err("chaos needs at least two nodes".to_string());
+    }
+    let victim = NodeId(cli.victim.unwrap_or(n as u32 / 2));
+    let fault_at = (cli.horizon / 20).max(1);
+    let quiesce = fault_at + (cli.horizon - fault_at) / 2;
+    let mut cells = Vec::with_capacity(CHAOS_CLASSES.len() * cli.seeds as usize);
+    for &class in &CHAOS_CLASSES {
+        for seed in cli.seed..cli.seed + cli.seeds {
+            let mut spec = RunSpec {
+                sim: SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+                horizon: cli.horizon,
+                eat: cli.eat.0..=cli.eat.1,
+                think: cli.think.0..=cli.think.1,
+                ..RunSpec::default()
+            };
+            let job = match class {
+                FaultClass::Crash => Job::Probe {
+                    victim,
+                    crash_at: fault_at,
+                },
+                _ => {
+                    spec.sim.fault = class.plan(victim, (fault_at, quiesce));
+                    Job::Run
+                }
+            };
+            cells.push(SweepCell {
+                label: format!("{}/{}", cli.topo, class.label()),
+                kind: cli.alg,
+                spec,
+                topo: topo.clone(),
+                commands: Vec::new(),
+                job,
+            });
+        }
+    }
+    let jobs = cli.jobs.unwrap_or_else(default_jobs);
+    let report = run_cells(&cells, jobs);
+    emit_metrics(cli, &report)?;
+
+    // The job count is deliberately absent from the output: the chaos
+    // report (and its JSONL) is byte-identical for every --jobs value.
+    let mut s = format!(
+        "chaos: {} on {} (n = {}), victim {victim}, seeds {}..{}, horizon {}\n\
+         faults strike at {fault_at}, quiesce by {quiesce}\n",
+        cli.alg.name(),
+        cli.topo,
+        n,
+        cli.seed,
+        cli.seed + cli.seeds,
+        cli.horizon,
+    );
+    let mut table = Table::new(&[
+        "fault class",
+        "in-model",
+        "runs",
+        "meals",
+        "faults",
+        "unsafe",
+        "starving",
+        "locality",
+    ]);
+    for (row, class) in report.aggregate().iter().zip(CHAOS_CLASSES) {
+        table.row([
+            class.label().to_string(),
+            if class.in_model() { "yes" } else { "no" }.to_string(),
+            row.runs.to_string(),
+            row.meals.to_string(),
+            row.faults_injected.to_string(),
+            row.violations.to_string(),
+            row.starving.to_string(),
+            row.locality
+                .map_or_else(|| "-".to_string(), |d| d.to_string()),
+        ]);
+    }
+    s.push_str(&table.to_string());
+    if let Some(path) = &cli.metrics_out {
+        s.push_str(&format!("per-run metrics written to {path}\n"));
+    }
+    Ok(s)
+}
+
 /// Execute a parsed command and return the rendered report.
 ///
 /// # Errors
@@ -258,7 +412,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             Ok(s)
         }
         Command::Run => {
-            let spec = spec_of(cli);
+            let spec = spec_of(cli)?;
             let out = run_outcome(cli, &spec);
             emit_metrics(
                 cli,
@@ -277,6 +431,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         }
         Command::Probe => render_probe(cli),
         Command::Sweep => render_sweep(cli),
+        Command::Chaos => render_chaos(cli),
     }
 }
 
@@ -366,6 +521,80 @@ mod tests {
         assert_eq!(written.lines().count(), 2);
         assert!(written.starts_with("{\"label\":\"line:3\",\"alg\":\"chandy-misra\",\"seed\":"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_with_fault_flags_stays_safe() {
+        let out = run_cli(argv(
+            "run --alg a2 --topo line:5 --horizon 10000 --fault-drop 0.2 \
+             --fault-dup 0.2 --fault-window 500..4000 --fault-targets 2",
+        ))
+        .unwrap();
+        assert!(out.contains("safety violations : 0"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_partition_without_targets_side() {
+        // Parser-level: partition needs a side.
+        assert!(crate::args::parse(argv("run --fault-partition 10..20")).is_err());
+    }
+
+    #[test]
+    fn sweep_accepts_fault_flags() {
+        let out = run_cli(argv(
+            "sweep --alg a2 --topo line:4 --horizon 6000 --seeds 2 \
+             --fault-delay --fault-targets 1",
+        ))
+        .unwrap();
+        assert!(out.contains("A2"), "{out}");
+    }
+
+    #[test]
+    fn chaos_reports_every_fault_class() {
+        let out = run_cli(argv(
+            "chaos --alg a2 --topo line:5 --horizon 8000 --seeds 2",
+        ))
+        .unwrap();
+        for class in ["crash", "loss", "duplication", "partition", "max-delay"] {
+            assert!(out.contains(class), "missing {class} in:\n{out}");
+        }
+        assert!(out.contains("in-model"), "{out}");
+    }
+
+    #[test]
+    fn chaos_jsonl_is_byte_identical_across_job_counts() {
+        let dir = std::env::temp_dir().join("lme-cli-test-chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("j1.jsonl");
+        let p4 = dir.join("j4.jsonl");
+        let a = run_cli(argv(&format!(
+            "chaos --alg a2 --topo line:5 --horizon 6000 --seed 11 --seeds 2 \
+             --jobs 1 --metrics-out {}",
+            p1.display()
+        )))
+        .unwrap();
+        let b = run_cli(argv(&format!(
+            "chaos --alg a2 --topo line:5 --horizon 6000 --seed 11 --seeds 2 \
+             --jobs 4 --metrics-out {}",
+            p4.display()
+        )))
+        .unwrap();
+        // Neither the rendered report nor the JSONL may depend on --jobs.
+        assert_eq!(
+            a.replace(&p1.display().to_string(), "<out>"),
+            b.replace(&p4.display().to_string(), "<out>")
+        );
+        let j1 = std::fs::read(&p1).unwrap();
+        let j4 = std::fs::read(&p4).unwrap();
+        assert!(!j1.is_empty());
+        assert_eq!(j1, j4, "chaos JSONL must be byte-identical across --jobs");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p4).ok();
+    }
+
+    #[test]
+    fn chaos_rejects_manual_fault_flags() {
+        assert!(run_cli(argv("chaos --topo line:5 --fault-drop 0.5")).is_err());
     }
 
     #[test]

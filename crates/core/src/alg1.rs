@@ -315,8 +315,8 @@ impl Algorithm1 {
         // Line 31: ask for the fork back iff it is a low fork relinquished
         // while competing behind SD^f.
         let flag = self.is_low(j) && self.behind_sdf();
-        ctx.send(j, A1Msg::Fork { flag });
-        self.forks.sent(j);
+        let gen = self.forks.sent(j);
+        ctx.send(j, A1Msg::Fork { flag, gen });
     }
 
     fn release_suspended(&mut self, ctx: &mut Context<'_, A1Msg>) {
@@ -380,11 +380,12 @@ impl Algorithm1 {
         }
     }
 
-    fn on_fork(&mut self, from: NodeId, flag: bool, ctx: &mut Context<'_, A1Msg>) {
-        if !self.forks.knows(from) {
-            return; // link died while the fork was in flight (engine drops these, defensive)
+    fn on_fork(&mut self, from: NodeId, flag: bool, gen: u64, ctx: &mut Context<'_, A1Msg>) {
+        if !self.forks.receive_if_fresh(from, gen) {
+            // Link died while the fork was in flight, or a duplicated
+            // delivery of a transfer already accepted (stale generation).
+            return;
         }
-        self.forks.received(from);
         if self.phase == Phase::Collecting && self.state == DiningState::Hungry && self.all_forks()
         {
             self.state = DiningState::Eating;
@@ -689,7 +690,7 @@ impl Protocol for Algorithm1 {
             Event::Message { from, msg } => match msg {
                 A1Msg::Doorway(dm) => self.on_doorway_msg(from, dm, ctx),
                 A1Msg::Req => self.consider_request(from, ctx),
-                A1Msg::Fork { flag } => self.on_fork(from, flag, ctx),
+                A1Msg::Fork { flag, gen } => self.on_fork(from, flag, gen, ctx),
                 A1Msg::UpdateColor(c) => {
                     if self.colors.contains_key(&from) {
                         self.colors.insert(from, Some(c));

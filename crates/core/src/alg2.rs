@@ -107,8 +107,8 @@ impl Algorithm2 {
         // Line 35: want the fork back iff it is a low fork given away while
         // hungry.
         let flag = self.is_low(j) && self.state == DiningState::Hungry;
-        ctx.send(j, A2Msg::Fork { flag });
-        self.forks.sent(j);
+        let gen = self.forks.sent(j);
+        ctx.send(j, A2Msg::Fork { flag, gen });
     }
 
     fn release_high_forks(&mut self, ctx: &mut Context<'_, A2Msg>) {
@@ -185,11 +185,12 @@ impl Algorithm2 {
         }
     }
 
-    fn on_fork(&mut self, from: NodeId, flag: bool, ctx: &mut Context<'_, A2Msg>) {
-        if !self.forks.knows(from) {
+    fn on_fork(&mut self, from: NodeId, flag: bool, gen: u64, ctx: &mut Context<'_, A2Msg>) {
+        if !self.forks.receive_if_fresh(from, gen) {
+            // Link died while the fork was in flight, or a duplicated
+            // delivery of a transfer already accepted (stale generation).
             return;
         }
-        self.forks.received(from);
         if self.state == DiningState::Hungry && self.all_forks() {
             self.state = DiningState::Eating;
         }
@@ -239,7 +240,7 @@ impl Protocol for Algorithm2 {
             }
             Event::Message { from, msg } => match msg {
                 A2Msg::Req => self.consider_request(from, ctx),
-                A2Msg::Fork { flag } => self.on_fork(from, flag, ctx),
+                A2Msg::Fork { flag, gen } => self.on_fork(from, flag, gen, ctx),
                 A2Msg::Notification => {
                     // Lines 22–25: a thinking node that dominates the newly
                     // hungry sender steps aside entirely.

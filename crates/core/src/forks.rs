@@ -28,6 +28,15 @@ pub struct ForkTable {
     at: BTreeMap<NodeId, bool>,
     suspended: BTreeSet<NodeId>,
     requested: BTreeSet<NodeId>,
+    /// Per-link fork *transfer generation*: the highest generation this
+    /// node has sent or accepted on the link's current incarnation.
+    /// Every transfer carries `gen+1`, so a duplicated fork delivery —
+    /// whose generation was already seen — is recognizably stale. Without
+    /// it, a duplicate arriving after the fork was legitimately passed
+    /// back would leave *both* endpoints believing they hold the fork
+    /// (the one non-idempotent transition of either algorithm, and a
+    /// direct safety hole under message-duplication faults).
+    gen: BTreeMap<NodeId, u64>,
 }
 
 impl ForkTable {
@@ -38,15 +47,19 @@ impl ForkTable {
             at: neighbors.iter().map(|&j| (j, me < j)).collect(),
             suspended: BTreeSet::new(),
             requested: BTreeSet::new(),
+            gen: BTreeMap::new(),
         }
     }
 
     /// A link to `j` came up; `own` says whether this node owns the new
-    /// fork (true on the designated-static side).
+    /// fork (true on the designated-static side). The transfer generation
+    /// restarts with the incarnation: the engine guarantees no message of
+    /// the old incarnation can still arrive.
     pub fn link_up(&mut self, j: NodeId, own: bool) {
         self.at.insert(j, own);
         self.suspended.remove(&j);
         self.requested.remove(&j);
+        self.gen.insert(j, 0);
     }
 
     /// The link to `j` failed: its fork and any pending bookkeeping die.
@@ -54,6 +67,7 @@ impl ForkTable {
         self.at.remove(&j);
         self.suspended.remove(&j);
         self.requested.remove(&j);
+        self.gen.remove(&j);
     }
 
     /// Whether this node holds the fork shared with `j` (`at[j]`).
@@ -71,12 +85,33 @@ impl ForkTable {
         self.at.keys().copied()
     }
 
-    /// Record that the fork shared with `j` was sent away.
-    pub fn sent(&mut self, j: NodeId) {
+    /// Record that the fork shared with `j` was sent away; returns the
+    /// transfer generation to stamp on the outgoing fork message.
+    pub fn sent(&mut self, j: NodeId) -> u64 {
         if let Some(a) = self.at.get_mut(&j) {
             *a = false;
         }
         self.suspended.remove(&j);
+        let g = self.gen.entry(j).or_insert(0);
+        *g += 1;
+        *g
+    }
+
+    /// Record receipt of the fork shared with `j` **iff** the delivery is
+    /// fresh: `j` is a known neighbor and `gen` is newer than every
+    /// transfer seen on this link incarnation. Returns false (ignore the
+    /// message) for unknown links and for stale duplicates.
+    pub fn receive_if_fresh(&mut self, j: NodeId, gen: u64) -> bool {
+        if !self.at.contains_key(&j) {
+            return false; // link died while the fork was in flight
+        }
+        let last = self.gen.get(&j).copied().unwrap_or(0);
+        if gen <= last {
+            return false; // duplicated (or reordered-stale) fork delivery
+        }
+        self.gen.insert(j, gen);
+        self.received(j);
+        true
     }
 
     /// Record receipt of the fork shared with `j`.
@@ -191,6 +226,46 @@ mod tests {
         assert!(!t.try_mark_requested(NodeId(0)));
         t.received(NodeId(0));
         assert!(t.try_mark_requested(NodeId(0)));
+    }
+
+    #[test]
+    fn duplicate_fork_delivery_is_rejected_as_stale() {
+        // The fork ABA scenario of message-duplication faults: receive a
+        // fork, pass it back, then the duplicate of the first delivery
+        // shows up. Accepting it would make both endpoints owners.
+        let mut a = ForkTable::new(NodeId(1), &[NodeId(2)]);
+        let mut b = ForkTable::new(NodeId(2), &[NodeId(1)]);
+        // 1 holds the fork initially and sends it to 2.
+        let g1 = a.sent(NodeId(2));
+        assert!(b.receive_if_fresh(NodeId(1), g1));
+        assert!(b.holds(NodeId(1)) && !a.holds(NodeId(2)));
+        // Replay of the same delivery: stale.
+        assert!(!b.receive_if_fresh(NodeId(1), g1));
+        // 2 passes the fork back; 1 accepts (a fresh, higher generation).
+        let g2 = b.sent(NodeId(1));
+        assert!(g2 > g1);
+        assert!(a.receive_if_fresh(NodeId(2), g2));
+        // The old duplicate finally arrives at 2 — must NOT resurrect
+        // ownership there.
+        assert!(!b.receive_if_fresh(NodeId(1), g1));
+        assert!(a.holds(NodeId(2)) && !b.holds(NodeId(1)), "fork duplicated");
+    }
+
+    #[test]
+    fn link_flap_resets_the_transfer_generation() {
+        let mut t = table();
+        t.sent(NodeId(3));
+        let g = t.sent(NodeId(3));
+        assert_eq!(g, 2);
+        t.link_down(NodeId(3));
+        t.link_up(NodeId(3), false);
+        // Fresh incarnation: generation restarts at 1 and is accepted.
+        assert!(t.receive_if_fresh(NodeId(3), 1));
+        assert!(t.holds(NodeId(3)));
+        assert!(
+            !t.receive_if_fresh(NodeId(9), 1),
+            "unknown links never accept"
+        );
     }
 
     #[test]

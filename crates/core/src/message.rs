@@ -42,6 +42,12 @@ pub enum A1Msg {
         /// The sender wants this (low) fork returned once the receiver has
         /// all its low forks.
         flag: bool,
+        /// Transfer generation on this link incarnation (strictly
+        /// increasing per transfer); receivers discard stale generations,
+        /// which makes fork transfer idempotent under the duplication
+        /// fault adversary. Not part of the paper (its links never
+        /// duplicate).
+        gen: u64,
     },
     /// `update-color(c)`: the sender's color changed to `c`.
     UpdateColor(i64),
@@ -68,6 +74,9 @@ pub enum A2Msg {
         /// The sender wants this (low) fork returned once the receiver has
         /// all its low forks.
         flag: bool,
+        /// Transfer generation on this link incarnation; see
+        /// [`A1Msg::Fork`].
+        gen: u64,
     },
     /// A newly hungry node announces itself (Algorithm 6, Line 2).
     Notification,
@@ -108,12 +117,28 @@ mod tests {
     #[test]
     fn messages_compare_structurally() {
         assert_eq!(A2Msg::Req, A2Msg::Req);
-        assert_ne!(A2Msg::Fork { flag: true }, A2Msg::Fork { flag: false });
+        assert_ne!(
+            A2Msg::Fork { flag: true, gen: 1 },
+            A2Msg::Fork {
+                flag: false,
+                gen: 1
+            }
+        );
+        assert_ne!(
+            A2Msg::Fork { flag: true, gen: 1 },
+            A2Msg::Fork { flag: true, gen: 2 }
+        );
         let g = RecolorMsg::Graph {
             edges: vec![(0, 1)],
             finished: false,
         };
         assert_eq!(g.clone(), g);
-        assert_ne!(A1Msg::Req, A1Msg::Fork { flag: false });
+        assert_ne!(
+            A1Msg::Req,
+            A1Msg::Fork {
+                flag: false,
+                gen: 1
+            }
+        );
     }
 }

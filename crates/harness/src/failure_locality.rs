@@ -8,7 +8,7 @@
 //! hop distance ≤ `m`; the farthest starving node is the empirical
 //! locality.
 
-use manet_sim::{NodeId, SimTime};
+use manet_sim::{DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, SimTime};
 
 use crate::runner::{run_algorithm, AlgKind, RunOutcome, RunSpec};
 
@@ -117,6 +117,199 @@ pub fn response_by_distance(
         .collect()
 }
 
+/// A fault class the generalized probe can inject around a victim node.
+///
+/// `Crash`, `Partition`, and `MaxDelay` are **in-model** faults (the paper
+/// assumes reliable FIFO links whose delay is bounded by ν and a link layer
+/// that reports failures); `Loss` and `Duplication` violate the link
+/// contract and are probed only to measure *graceful degradation*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultClass {
+    /// Crash the victim mid-eating (the adversarial crash of Definition 1).
+    Crash,
+    /// Drop each message on the victim's links with this probability.
+    Loss(f64),
+    /// Duplicate each message on the victim's links with this probability.
+    Duplication(f64),
+    /// Sever every link between the victim and the rest, then heal.
+    Partition,
+    /// Force every message on the victim's links to the maximum legal
+    /// delay ν (the adaptive worst-case delay adversary).
+    MaxDelay,
+}
+
+impl FaultClass {
+    /// Stable label for reports and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Crash => "crash",
+            FaultClass::Loss(_) => "loss",
+            FaultClass::Duplication(_) => "duplication",
+            FaultClass::Partition => "partition",
+            FaultClass::MaxDelay => "max-delay",
+        }
+    }
+
+    /// Whether the paper's system model admits this fault (reliable FIFO
+    /// links rule out loss and duplication).
+    pub fn in_model(&self) -> bool {
+        !matches!(self, FaultClass::Loss(_) | FaultClass::Duplication(_))
+    }
+
+    /// Build the [`FaultPlan`] that realizes this class against `victim`
+    /// over the active window `[start, end)`. `Crash` returns an empty
+    /// plan: the probe arms [`RunSpec::crash_eating`] instead, so the
+    /// victim dies mid-CS (the worst case) rather than at a fixed time.
+    pub fn plan(&self, victim: NodeId, window: (u64, u64)) -> FaultPlan {
+        let targets = Some(vec![victim]);
+        match *self {
+            FaultClass::Crash => FaultPlan::default(),
+            FaultClass::Loss(p) => FaultPlan {
+                link: Some(LinkFaults {
+                    drop: p,
+                    window: Some(window),
+                    targets,
+                    ..LinkFaults::default()
+                }),
+                // A dropped fork is gone for good on a surviving link
+                // incarnation, so loss probes end with a one-tick
+                // partition/heal of the victim: healing re-derives the
+                // links as fresh incarnations with freshly minted forks.
+                partitions: vec![PartitionWindow {
+                    at: window.1,
+                    side: vec![victim],
+                    heal_after: 1,
+                }],
+                ..FaultPlan::default()
+            },
+            FaultClass::Duplication(p) => FaultPlan {
+                link: Some(LinkFaults {
+                    duplicate: p,
+                    window: Some(window),
+                    targets,
+                    ..LinkFaults::default()
+                }),
+                ..FaultPlan::default()
+            },
+            FaultClass::Partition => FaultPlan {
+                partitions: vec![PartitionWindow {
+                    at: window.0,
+                    side: vec![victim],
+                    heal_after: (window.1 - window.0).max(1),
+                }],
+                ..FaultPlan::default()
+            },
+            FaultClass::MaxDelay => FaultPlan {
+                max_delay: Some(DelayAdversary {
+                    targets: vec![victim],
+                    window: Some(window),
+                }),
+                ..FaultPlan::default()
+            },
+        }
+    }
+}
+
+/// Result of one [`fault_probe`]: a baseline run and a faulted run of the
+/// same spec, compared per hop distance from the victim.
+#[derive(Clone, Debug)]
+pub struct FaultProbeReport {
+    /// The injected fault class.
+    pub class: FaultClass,
+    /// When the fault schedule went quiet (faults stop; partitions healed).
+    pub quiesced_at: u64,
+    /// Mean post-`fault_at` response time by hop distance, fault-free run.
+    pub baseline_response: Vec<Option<f64>>,
+    /// Mean post-`fault_at` response time by hop distance, faulted run.
+    pub faulted_response: Vec<Option<f64>>,
+    /// Starvation analysis of the faulted run (starving = continuously
+    /// hungry since before the quiescence point).
+    pub fl: FlReport,
+}
+
+impl FaultProbeReport {
+    /// Per-distance degradation: faulted mean response ÷ baseline mean
+    /// response (`None` where either run has no samples at that distance).
+    pub fn degradation(&self) -> Vec<Option<f64>> {
+        let len = self
+            .baseline_response
+            .len()
+            .max(self.faulted_response.len());
+        (0..len)
+            .map(|d| {
+                match (
+                    self.baseline_response.get(d).copied().flatten(),
+                    self.faulted_response.get(d).copied().flatten(),
+                ) {
+                    (Some(b), Some(f)) if b > 0.0 => Some(f / b),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Graceful-degradation check: every distance bucket strictly beyond
+    /// `radius` (with data in both runs) stayed within `factor`× the
+    /// baseline mean response, and no node beyond `radius` starved.
+    pub fn graceful_beyond(&self, radius: usize, factor: f64) -> bool {
+        let slow = self
+            .degradation()
+            .into_iter()
+            .skip(radius + 1)
+            .flatten()
+            .any(|r| r > factor);
+        let starved = self
+            .fl
+            .starving
+            .iter()
+            .any(|&(_, d)| d.is_none_or(|d| d > radius));
+        !slow && !starved
+    }
+}
+
+/// Generalized fault probe: run `spec` once fault-free and once with
+/// `class` injected around `victim` starting at `fault_at`, and compare.
+///
+/// The fault window is `[fault_at, midpoint)` where the midpoint splits
+/// the post-`fault_at` part of the horizon, so every class (except the
+/// crash, which is permanent) has quiesced by `quiesced_at` and the whole
+/// second half of the window measures recovery. Starvation is judged
+/// against the quiescence point, matching [`analyze_crash`].
+pub fn fault_probe(
+    kind: AlgKind,
+    spec: &RunSpec,
+    positions: &[(f64, f64)],
+    victim: NodeId,
+    class: FaultClass,
+    fault_at: u64,
+) -> FaultProbeReport {
+    assert!(
+        fault_at < spec.horizon,
+        "fault_at {} must precede the horizon {}",
+        fault_at,
+        spec.horizon
+    );
+    let quiesce = fault_at + (spec.horizon - fault_at) / 2;
+    let baseline = run_algorithm(kind, spec, positions, &[]);
+    let baseline_response = response_by_distance(&baseline, victim, SimTime(fault_at));
+
+    let mut faulted = spec.clone();
+    match class {
+        FaultClass::Crash => faulted.crash_eating = Some((victim, fault_at)),
+        _ => faulted.sim.fault = class.plan(victim, (fault_at, quiesce)),
+    }
+    let outcome = run_algorithm(kind, &faulted, positions, &[]);
+    let faulted_response = response_by_distance(&outcome, victim, SimTime(fault_at));
+    let fl = analyze_crash(outcome, victim, fault_at, spec.horizon);
+    FaultProbeReport {
+        class,
+        quiesced_at: quiesce,
+        baseline_response,
+        faulted_response,
+        fl,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +352,118 @@ mod tests {
         assert!(curve[0].is_none());
         // Far nodes have samples.
         assert!(curve.last().expect("non-empty").is_some());
+    }
+
+    #[test]
+    fn loss_probe_recovers_after_quiescence() {
+        let spec = RunSpec {
+            horizon: 40_000,
+            ..RunSpec::default()
+        };
+        let report = fault_probe(
+            AlgKind::A2,
+            &spec,
+            &topology::line(7),
+            NodeId(3),
+            FaultClass::Loss(0.5),
+            2_000,
+        );
+        let out = &report.fl.outcome;
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.stats.faults.msgs_dropped > 0, "loss window never hit");
+        // The heal at quiescence re-incarnates the victim's links; nobody
+        // stays hungry through the whole recovery half of the run.
+        assert!(
+            report.fl.starving.is_empty(),
+            "starving after quiescence: {:?}",
+            report.fl.starving
+        );
+    }
+
+    #[test]
+    fn duplication_probe_is_safe_and_live() {
+        let spec = RunSpec {
+            horizon: 40_000,
+            ..RunSpec::default()
+        };
+        let report = fault_probe(
+            AlgKind::A2,
+            &spec,
+            &topology::line(7),
+            NodeId(3),
+            FaultClass::Duplication(1.0),
+            2_000,
+        );
+        let out = &report.fl.outcome;
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.stats.faults.msgs_duplicated > 0);
+        assert!(report.fl.starving.is_empty(), "{:?}", report.fl.starving);
+    }
+
+    #[test]
+    fn max_delay_adversary_slows_but_never_starves() {
+        let spec = RunSpec {
+            horizon: 40_000,
+            ..RunSpec::default()
+        };
+        let report = fault_probe(
+            AlgKind::A2,
+            &spec,
+            &topology::line(7),
+            NodeId(3),
+            FaultClass::MaxDelay,
+            2_000,
+        );
+        let out = &report.fl.outcome;
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.stats.faults.max_delay_forced > 0);
+        // ν is a legal delay: liveness must be untouched.
+        assert!(report.fl.starving.is_empty(), "{:?}", report.fl.starving);
+    }
+
+    #[test]
+    fn partition_probe_heals_and_victim_rejoins() {
+        let spec = RunSpec {
+            horizon: 40_000,
+            ..RunSpec::default()
+        };
+        let report = fault_probe(
+            AlgKind::A2,
+            &spec,
+            &topology::line(7),
+            NodeId(3),
+            FaultClass::Partition,
+            2_000,
+        );
+        let out = &report.fl.outcome;
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.stats.faults.partitions, 1);
+        assert_eq!(out.stats.faults.heals, 1);
+        assert!(report.fl.starving.is_empty(), "{:?}", report.fl.starving);
+        // The victim itself eats again after the heal.
+        assert!(out.metrics.meals[3] >= 1);
+    }
+
+    #[test]
+    fn crash_probe_class_matches_the_dedicated_probe() {
+        let spec = RunSpec {
+            horizon: 30_000,
+            ..RunSpec::default()
+        };
+        let report = fault_probe(
+            AlgKind::A2,
+            &spec,
+            &topology::line(7),
+            NodeId(3),
+            FaultClass::Crash,
+            1_000,
+        );
+        assert!(report.fl.outcome.crash_time.is_some());
+        if let Some(m) = report.fl.locality {
+            assert!(m <= 2, "{:?}", report.fl.starving);
+        }
+        assert!(!FaultClass::Loss(0.1).in_model());
+        assert!(FaultClass::Partition.in_model());
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod topology;
 pub mod workload;
 
 pub use census::{CensusCounts, MessageCensus};
-pub use failure_locality::{analyze_crash, crash_probe, response_by_distance, FlReport};
+pub use failure_locality::{
+    analyze_crash, crash_probe, fault_probe, response_by_distance, FaultClass, FaultProbeReport,
+    FlReport,
+};
 pub use metrics::{Metrics, MetricsData, Sample};
 pub use mobility::WaypointPlan;
 pub use report::{AggregateRow, RunReport, SweepReport};

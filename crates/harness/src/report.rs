@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use manet_sim::NodeId;
+use manet_sim::{FaultStats, NodeId};
 
 use crate::runner::RunOutcome;
 use crate::stats::{jain_index, Summary};
@@ -55,6 +55,8 @@ pub struct RunReport {
     /// Empirical failure locality from a crash probe (`None` = no
     /// starvation observed, or not a probe).
     pub locality: Option<usize>,
+    /// Injected-fault counters, by kind (all zero for fault-free runs).
+    pub faults: FaultStats,
     /// Raw static-episode response times, kept for pooled aggregation
     /// (not serialized).
     pub static_responses: Vec<u64>,
@@ -95,6 +97,7 @@ impl RunReport {
             jain: jain_index(&outcome.metrics.meals),
             starving,
             locality,
+            faults: outcome.stats.faults.clone(),
             static_responses,
             all_responses,
         }
@@ -108,7 +111,7 @@ impl RunReport {
              \"meals\":{},\"messages_sent\":{},\"messages_delivered\":{},\
              \"dropped_at_send\":{},\"dropped_in_flight\":{},\"events\":{},\
              \"violations\":{},\"rt_static\":{},\"rt_all\":{},\"jain\":{},\
-             \"starving\":{},\"locality\":{}}}",
+             \"starving\":{},\"locality\":{},\"faults\":{}}}",
             json_str(&self.label),
             json_str(self.alg),
             self.seed,
@@ -129,6 +132,7 @@ impl RunReport {
                 Some(d) => d.to_string(),
                 None => "null".to_string(),
             },
+            json_faults(&self.faults),
         )
     }
 }
@@ -211,6 +215,8 @@ pub struct AggregateRow {
     pub starving: usize,
     /// Worst empirical failure locality across probe runs.
     pub locality: Option<usize>,
+    /// Total injected faults (all kinds) across runs.
+    pub faults_injected: u64,
     pooled_static: Vec<u64>,
     pooled_all: Vec<u64>,
 }
@@ -230,6 +236,7 @@ impl AggregateRow {
             violations: 0,
             starving: 0,
             locality: None,
+            faults_injected: 0,
             pooled_static: Vec::new(),
             pooled_all: Vec::new(),
         }
@@ -244,6 +251,7 @@ impl AggregateRow {
         self.violations += r.violations;
         self.starving += r.starving;
         self.locality = self.locality.max(r.locality);
+        self.faults_injected += r.faults.total();
         self.pooled_static.extend_from_slice(&r.static_responses);
         self.pooled_all.extend_from_slice(&r.all_responses);
     }
@@ -269,7 +277,7 @@ impl AggregateRow {
             "{{\"label\":{},\"alg\":{},\"runs\":{},\"rt_static\":{},\"rt_all\":{},\
              \"meals\":{},\"messages_sent\":{},\"dropped_at_send\":{},\
              \"dropped_in_flight\":{},\"violations\":{},\"starving\":{},\
-             \"locality\":{}}}",
+             \"locality\":{},\"faults_injected\":{}}}",
             json_str(&self.label),
             json_str(self.alg),
             self.runs,
@@ -285,6 +293,7 @@ impl AggregateRow {
                 Some(d) => d.to_string(),
                 None => "null".to_string(),
             },
+            self.faults_injected,
         )
     }
 }
@@ -342,6 +351,22 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// Fixed-key-order JSON object for the per-kind fault counters.
+fn json_faults(f: &FaultStats) -> String {
+    format!(
+        "{{\"dropped\":{},\"duplicated\":{},\"delayed\":{},\
+         \"max_delay_forced\":{},\"crashes\":{},\"partitions\":{},\
+         \"heals\":{}}}",
+        f.msgs_dropped,
+        f.msgs_duplicated,
+        f.msgs_delayed,
+        f.max_delay_forced,
+        f.crashes_injected,
+        f.partitions,
+        f.heals,
+    )
+}
+
 fn json_summary(s: &Summary) -> String {
     format!(
         "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
@@ -391,6 +416,7 @@ mod tests {
             jain: 1.0,
             starving: 0,
             locality: None,
+            faults: FaultStats::default(),
             static_responses: responses.clone(),
             all_responses: responses,
         };
@@ -427,6 +453,7 @@ mod tests {
             jain: 0.5,
             starving: 0,
             locality: None,
+            faults: FaultStats::default(),
             static_responses: vec![4, 6],
             all_responses: vec![4, 6],
         };
@@ -434,6 +461,10 @@ mod tests {
         assert_eq!(line, r.to_jsonl(), "serialization must be stable");
         assert!(line.starts_with("{\"label\":\"line8\",\"alg\":\"A2\",\"seed\":7,"));
         assert!(line.contains("\"locality\":null"));
+        assert!(line.contains(
+            "\"faults\":{\"dropped\":0,\"duplicated\":0,\"delayed\":0,\
+             \"max_delay_forced\":0,\"crashes\":0,\"partitions\":0,\"heals\":0}"
+        ));
         // p95 of a 2-sample set floors to the first element (nearest-rank).
         assert!(
             line.contains("\"rt_static\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6}")

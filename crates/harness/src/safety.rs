@@ -1,6 +1,7 @@
 //! The local mutual exclusion safety monitor.
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use manet_sim::{DiningState, Hook, NodeId, SimTime, Sink, View};
@@ -19,13 +20,27 @@ pub struct Violation {
 /// Checks the LME invariant — *no two current neighbors eating* — after
 /// every instant of virtual time (Section 3.2 of the paper).
 ///
+/// A node that crashes **mid-eating** never leaves the critical section:
+/// it provably holds every shared fork, so a neighbor that eats afterwards
+/// is a genuine violation. The monitor tracks such crashed eaters
+/// explicitly (their engine-cached dining state is frozen at crash time
+/// and must not be trusted as a live reading), and de-duplicates repeated
+/// observations by *eating session*, not just by pair — otherwise a new
+/// violating session against the same frozen crashed eater would be
+/// swallowed as a consecutive duplicate (a stale-session false negative).
+///
 /// In `panic_on_violation` mode the first violation aborts the run (the
 /// right default for tests); otherwise violations are recorded for the
-/// caller to assert on, and consecutive duplicates are deduplicated.
+/// caller to assert on.
 #[derive(Debug)]
 pub struct SafetyMonitor {
     violations: Rc<RefCell<Vec<Violation>>>,
     panic_on_violation: bool,
+    /// Nodes that crashed while eating: permanent CS occupants.
+    crashed_eating: BTreeSet<NodeId>,
+    /// Dedup key of the last logged violation:
+    /// `(a, b, session_of_a, session_of_b)`.
+    last_key: Option<(NodeId, NodeId, u64, u64)>,
 }
 
 impl SafetyMonitor {
@@ -36,35 +51,60 @@ impl SafetyMonitor {
             SafetyMonitor {
                 violations: v.clone(),
                 panic_on_violation,
+                crashed_eating: BTreeSet::new(),
+                last_key: None,
             },
             v,
         )
     }
+
+    fn record(&mut self, view: &View<'_>, x: NodeId, y: NodeId) {
+        let (a, b) = if x < y { (x, y) } else { (y, x) };
+        if self.panic_on_violation {
+            panic!(
+                "local mutual exclusion violated at {}: {a} and {b} both eating",
+                view.time()
+            );
+        }
+        // Eating sessions key the dedup: a *new* session of either
+        // participant is a new violation, even against the same pair.
+        let key = (a, b, view.eating_session(a), view.eating_session(b));
+        if self.last_key == Some(key) {
+            return;
+        }
+        self.last_key = Some(key);
+        self.violations.borrow_mut().push(Violation {
+            at: view.time(),
+            a,
+            b,
+        });
+    }
 }
 
 impl<M> Hook<M> for SafetyMonitor {
+    fn on_crash(&mut self, view: &View<'_>, node: NodeId, _sink: &mut Sink) {
+        // The cached dining state is still accurate at the crash instant.
+        if view.dining(node) == DiningState::Eating {
+            self.crashed_eating.insert(node);
+        }
+    }
+
     fn on_quantum_end(&mut self, view: &View<'_>, _sink: &mut Sink) {
+        let world = view.world();
         for a in view.nodes() {
-            if view.dining(a) != DiningState::Eating {
+            // Crashed nodes are handled via `crashed_eating`; their cached
+            // dining state is frozen and not a live reading.
+            if world.is_crashed(a) || view.dining(a) != DiningState::Eating {
                 continue;
             }
-            for &b in view.world().neighbors(a) {
-                if b > a && view.dining(b) == DiningState::Eating {
-                    if self.panic_on_violation {
-                        panic!(
-                            "local mutual exclusion violated at {}: {a} and {b} both eating",
-                            view.time()
-                        );
+            for &b in world.neighbors(a) {
+                if world.is_crashed(b) {
+                    if self.crashed_eating.contains(&b) {
+                        // Eating while a crashed neighbor died mid-CS.
+                        self.record(view, a, b);
                     }
-                    let mut log = self.violations.borrow_mut();
-                    let dup = log.last().is_some_and(|v: &Violation| v.a == a && v.b == b);
-                    if !dup {
-                        log.push(Violation {
-                            at: view.time(),
-                            a,
-                            b,
-                        });
-                    }
+                } else if b > a && view.dining(b) == DiningState::Eating {
+                    self.record(view, a, b);
                 }
             }
         }
@@ -74,14 +114,16 @@ impl<M> Hook<M> for SafetyMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use manet_sim::{Context, Engine, Event, Protocol, SimConfig};
+    use manet_sim::{Command, Context, Engine, Event, Protocol, SimConfig};
 
     struct Rogue(DiningState);
     impl Protocol for Rogue {
         type Msg = ();
         fn on_event(&mut self, ev: Event<()>, _ctx: &mut Context<'_, ()>) {
-            if matches!(ev, Event::Hungry) {
-                self.0 = DiningState::Eating;
+            match ev {
+                Event::Hungry => self.0 = DiningState::Eating,
+                Event::ExitCs => self.0 = DiningState::Thinking,
+                _ => {}
             }
         }
         fn dining_state(&self) -> DiningState {
@@ -89,12 +131,15 @@ mod tests {
         }
     }
 
+    fn rogue_pair() -> Engine<Rogue> {
+        Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |_| {
+            Rogue(DiningState::Thinking)
+        })
+    }
+
     #[test]
     fn records_violations_without_panicking() {
-        let mut e: Engine<Rogue> =
-            Engine::new(SimConfig::default(), vec![(0.0, 0.0), (1.0, 0.0)], |_| {
-                Rogue(DiningState::Thinking)
-            });
+        let mut e = rogue_pair();
         let (monitor, log) = SafetyMonitor::new(false);
         e.add_hook(Box::new(monitor));
         e.set_hungry_at(SimTime(1), NodeId(0));
@@ -105,5 +150,51 @@ mod tests {
         assert_eq!((log[0].a, log[0].b), (NodeId(0), NodeId(1)));
         // Deduplicated: one entry despite many quanta.
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn eating_next_to_a_neighbor_that_crashed_mid_eating_is_flagged() {
+        // Regression: node 1 crashes while eating (it holds every shared
+        // fork forever); each later eating session of node 0 is a distinct
+        // violation. The old pair-keyed dedup logged the first and
+        // swallowed every subsequent session as a "consecutive duplicate".
+        let mut e = rogue_pair();
+        let (monitor, log) = SafetyMonitor::new(false);
+        e.add_hook(Box::new(monitor));
+        e.set_hungry_at(SimTime(1), NodeId(1));
+        e.crash_at(SimTime(5), NodeId(1)); // mid-eating
+                                           // Two separate eating sessions of node 0, both after the crash.
+        e.set_hungry_at(SimTime(10), NodeId(0));
+        e.schedule(
+            SimTime(20),
+            Command::ExitCs {
+                node: NodeId(0),
+                session: 1,
+            },
+        );
+        e.set_hungry_at(SimTime(30), NodeId(0));
+        e.run_until(SimTime(40));
+        let log = log.borrow();
+        assert_eq!(
+            log.len(),
+            2,
+            "each session against the crashed eater is a new violation: {log:?}"
+        );
+        assert!(log.iter().all(|v| (v.a, v.b) == (NodeId(0), NodeId(1))));
+        assert!(
+            log[0].at < SimTime(20) && log[1].at >= SimTime(30),
+            "{log:?}"
+        );
+    }
+
+    #[test]
+    fn crashing_outside_the_cs_is_benign() {
+        let mut e = rogue_pair();
+        let (monitor, log) = SafetyMonitor::new(false);
+        e.add_hook(Box::new(monitor));
+        e.crash_at(SimTime(2), NodeId(1)); // thinking at crash time
+        e.set_hungry_at(SimTime(10), NodeId(0));
+        e.run_until(SimTime(40));
+        assert!(log.borrow().is_empty());
     }
 }

@@ -44,17 +44,32 @@ pub enum Command {
         /// Destination position.
         dest: Position,
     },
+    /// Sever every link crossing the cut between `side` and the rest of
+    /// the network (the fault adversary's scripted partition). Replaces
+    /// any partition already in force. Links go down through the normal
+    /// link-layer notifications; nodes cannot tell a partition from
+    /// mobility-induced link failures.
+    Partition {
+        /// One side of the cut.
+        side: Vec<NodeId>,
+    },
+    /// Lift the current partition, if any: links the connectivity rule
+    /// implies across the former cut come back as *fresh incarnations*
+    /// (LinkUp notifications, new epochs — exactly like a reconnect).
+    Heal,
 }
 
 impl Command {
-    /// The node this command addresses.
-    pub fn node(&self) -> NodeId {
+    /// The node this command addresses, if it addresses a single node
+    /// (partition commands address a node *set*).
+    pub fn node(&self) -> Option<NodeId> {
         match *self {
             Command::SetHungry(n)
             | Command::ExitCs { node: n, .. }
             | Command::Crash(n)
             | Command::StartMove { node: n, .. }
-            | Command::Teleport { node: n, .. } => n,
+            | Command::Teleport { node: n, .. } => Some(n),
+            Command::Partition { .. } | Command::Heal => None,
         }
     }
 }
@@ -84,7 +99,9 @@ mod tests {
             },
         ];
         for c in cmds {
-            assert_eq!(c.node(), n);
+            assert_eq!(c.node(), Some(n));
         }
+        assert_eq!(Command::Partition { side: vec![n] }.node(), None);
+        assert_eq!(Command::Heal.node(), None);
     }
 }

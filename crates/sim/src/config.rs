@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::fault::FaultPlan;
 use crate::time::SimTime;
 
 /// Configuration of a simulation run.
@@ -39,6 +40,9 @@ pub struct SimConfig {
     /// Record a trace of engine-level events (delivery, link changes,
     /// state transitions) for debugging and scenario assertions.
     pub trace: bool,
+    /// The fault-injection adversary schedule (empty by default: no
+    /// faults, and no perturbation of the engine's random stream).
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -52,6 +56,7 @@ impl Default for SimConfig {
             move_step_ticks: 2,
             max_events: 200_000_000,
             trace: false,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -81,6 +86,9 @@ impl SimConfig {
         if self.move_step_ticks == 0 {
             return Err("move_step_ticks must be ≥ 1".into());
         }
+        // Node-count-dependent fault checks re-run in the engine, which
+        // knows the real `n`; here only the size-independent invariants.
+        self.fault.validate(usize::MAX)?;
         Ok(())
     }
 
@@ -138,6 +146,21 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = SimConfig {
             move_step_ticks: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_fault_plan() {
+        let cfg = SimConfig {
+            fault: crate::fault::FaultPlan {
+                link: Some(crate::fault::LinkFaults {
+                    drop: -0.5,
+                    ..crate::fault::LinkFaults::default()
+                }),
+                ..crate::fault::FaultPlan::default()
+            },
             ..SimConfig::default()
         };
         assert!(cfg.validate().is_err());

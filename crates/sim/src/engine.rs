@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use crate::command::Command;
 use crate::config::SimConfig;
 use crate::event::{Event, LinkUpKind};
+use crate::fault::FaultStats;
 use crate::hooks::{Hook, Sink, View};
 use crate::ids::NodeId;
 use crate::protocol::{Context, DiningState, Protocol};
@@ -48,6 +49,9 @@ pub struct EngineStats {
     /// failed (or changed incarnation) or their destination crashed before
     /// delivery.
     pub dropped_in_flight: u64,
+    /// Faults injected by the [`crate::FaultPlan`] adversary, by kind
+    /// (all zero when the plan is empty).
+    pub faults: FaultStats,
 }
 
 impl EngineStats {
@@ -172,6 +176,10 @@ impl LinkTable {
 struct Core<M> {
     cfg: SimConfig,
     rng: SimRng,
+    /// Dedicated stream for fault-adversary decisions, so an empty
+    /// [`crate::FaultPlan`] leaves the engine's own stream — and thus
+    /// every pre-existing experiment — bit-for-bit unchanged.
+    fault_rng: SimRng,
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Queued<M>>>,
@@ -250,9 +258,10 @@ impl<P: Protocol> Engine<P> {
             enabled: cfg.trace,
             ..Trace::default()
         };
-        Engine {
+        let mut engine = Engine {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
+                fault_rng: SimRng::seed_from_u64(fault_seed(&cfg)),
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
@@ -266,7 +275,9 @@ impl<P: Protocol> Engine<P> {
             },
             protocols,
             hooks: Vec::new(),
-        }
+        };
+        engine.install_fault_plan();
+        engine
     }
 
     /// Create an engine over an *explicit* topology (see
@@ -301,9 +312,10 @@ impl<P: Protocol> Engine<P> {
             enabled: cfg.trace,
             ..Trace::default()
         };
-        Engine {
+        let mut engine = Engine {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
+                fault_rng: SimRng::seed_from_u64(fault_seed(&cfg)),
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
@@ -317,6 +329,42 @@ impl<P: Protocol> Engine<P> {
             },
             protocols,
             hooks: Vec::new(),
+        };
+        engine.install_fault_plan();
+        engine
+    }
+
+    /// Validate the configured [`crate::FaultPlan`] against the real node
+    /// count and schedule its scripted parts (crash waves, partition
+    /// windows) as ordinary commands.
+    fn install_fault_plan(&mut self) {
+        self.core
+            .cfg
+            .fault
+            .validate(self.core.world.len())
+            .expect("invalid FaultPlan");
+        if self.core.cfg.fault.is_empty() {
+            return;
+        }
+        let plan = self.core.cfg.fault.clone();
+        for wave in &plan.crash_waves {
+            for &node in &wave.nodes {
+                self.core.stats.faults.crashes_injected += 1;
+                self.core
+                    .push(SimTime(wave.at), Item::Command(Command::Crash(node)));
+            }
+        }
+        for window in &plan.partitions {
+            self.core.push(
+                SimTime(window.at),
+                Item::Command(Command::Partition {
+                    side: window.side.clone(),
+                }),
+            );
+            self.core.push(
+                SimTime(window.at.saturating_add(window.heal_after)),
+                Item::Command(Command::Heal),
+            );
         }
     }
 
@@ -551,6 +599,22 @@ impl<P: Protocol> Engine<P> {
                 let now = self.core.now;
                 self.core.push(now, Item::MotionDone { node, epoch });
             }
+            Command::Partition { side } => {
+                let changes = self.core.world.apply_cut(&side);
+                self.core.stats.faults.partitions += 1;
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::Partition(changes.len()));
+                self.emit_link_changes(changes);
+            }
+            Command::Heal => {
+                let changes = self.core.world.clear_cut();
+                self.core.stats.faults.heals += 1;
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::Heal(changes.len()));
+                self.emit_link_changes(changes);
+            }
         }
     }
 
@@ -712,7 +776,40 @@ impl<P: Protocol> Engine<P> {
             .core
             .rng
             .gen_range(self.core.cfg.min_message_delay..=self.core.cfg.max_message_delay);
-        let mut at = self.core.now + delay;
+        let now = self.core.now;
+        let mut at = now + delay;
+        // ── Fault adversary ────────────────────────────────────────────
+        // All decisions draw from the dedicated fault RNG, in a fixed
+        // order (ν-override, drop, duplicate, skew), so runs replay
+        // byte-for-byte and an empty plan perturbs nothing.
+        if let Some(da) = &self.core.cfg.fault.max_delay {
+            if da.applies(from, to, now) {
+                at = now + self.core.cfg.max_message_delay;
+                self.core.stats.faults.max_delay_forced += 1;
+                self.core.trace.record(now, TraceKind::FaultDelay(from, to));
+            }
+        }
+        let mut duplicate_lag = None;
+        if let Some(lf) = &self.core.cfg.fault.link {
+            if lf.applies(from, to, now) {
+                if self.core.fault_rng.gen_bool(lf.rate(lf.drop, now)) {
+                    // Never handed to the network: the ledger counts it
+                    // under `faults.msgs_dropped` only.
+                    self.core.stats.faults.msgs_dropped += 1;
+                    self.core.trace.record(now, TraceKind::FaultDrop(from, to));
+                    return;
+                }
+                if self.core.fault_rng.gen_bool(lf.rate(lf.duplicate, now)) {
+                    let lag = lf.dup_lag.unwrap_or(self.core.cfg.max_message_delay);
+                    duplicate_lag = Some(lag.max(1));
+                }
+                if self.core.fault_rng.gen_bool(lf.rate(lf.skew, now)) {
+                    at += lf.skew_ticks;
+                    self.core.stats.faults.msgs_delayed += 1;
+                    self.core.trace.record(now, TraceKind::FaultDelay(from, to));
+                }
+            }
+        }
         // FIFO per directed channel, scoped to the link's current
         // incarnation: a floor recorded before a flap must not delay
         // post-reconnect traffic.
@@ -723,6 +820,26 @@ impl<P: Protocol> Engine<P> {
         }
         self.core.links.set_fifo_floor(from, to, at);
         let link_epoch = self.core.links.current_epoch(from, to);
+        if let Some(lag) = duplicate_lag {
+            // The ghost copy trails the original by `lag` ticks on the
+            // same incarnation, and advances the FIFO floor so later
+            // traffic still arrives in order relative to it.
+            let dup_at = at + lag;
+            self.core.links.set_fifo_floor(from, to, dup_at);
+            self.core.stats.faults.msgs_duplicated += 1;
+            self.core
+                .trace
+                .record(now, TraceKind::FaultDuplicate(from, to));
+            self.core.push(
+                dup_at,
+                Item::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    link_epoch,
+                },
+            );
+        }
         self.core.push(
             at,
             Item::Deliver {
@@ -755,6 +872,17 @@ impl<P: Protocol> Engine<P> {
         for (at, cmd) in sink.scheduled {
             self.core.push(at, Item::Command(cmd));
         }
+    }
+}
+
+/// Seed of the dedicated fault RNG: explicit when the plan names one,
+/// otherwise a salt of the run seed (so distinct run seeds explore
+/// distinct fault schedules with no extra configuration).
+fn fault_seed(cfg: &SimConfig) -> u64 {
+    if cfg.fault.seed != 0 {
+        cfg.fault.seed
+    } else {
+        cfg.seed ^ 0xFA01_7001_AD5E_ED00
     }
 }
 
@@ -1164,6 +1292,326 @@ mod tests {
         let (s2, t2) = run();
         assert_eq!(s1, s2);
         assert_eq!(t1, t2);
+    }
+
+    /// One-shot sender: on its timer it sends `count` copies of distinct
+    /// numbered messages to its first neighbor; never replies.
+    struct Sender {
+        got: Vec<(u64, SimTime)>,
+    }
+    impl Protocol for Sender {
+        type Msg = u64;
+        fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+            match ev {
+                Event::Timer { token } => {
+                    if let Some(&n) = ctx.neighbors().first() {
+                        for i in 0..(token % 1_000) {
+                            ctx.send(n, token + i);
+                        }
+                    }
+                }
+                Event::Message { msg, .. } => self.got.push((msg, ctx.time())),
+                _ => {}
+            }
+        }
+        fn dining_state(&self) -> DiningState {
+            DiningState::Thinking
+        }
+    }
+
+    fn sender_engine(cfg: SimConfig) -> Engine<Sender> {
+        Engine::new(cfg, vec![(0.0, 0.0), (1.0, 0.0)], |_| Sender {
+            got: vec![],
+        })
+    }
+
+    #[test]
+    fn fault_drops_never_reach_the_network() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut e = sender_engine(SimConfig {
+            fault: FaultPlan {
+                link: Some(LinkFaults {
+                    drop: 1.0,
+                    ..LinkFaults::default()
+                }),
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        // token = 100 → 100 messages, all dropped by the adversary.
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 100 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        let s = e.stats();
+        assert_eq!(s.messages_sent, 100);
+        assert_eq!(s.faults.msgs_dropped, 100);
+        assert_eq!(s.messages_delivered, 0);
+        assert_eq!(s.dropped_in_flight, 0);
+        assert!(e.protocol(NodeId(1)).got.is_empty());
+    }
+
+    #[test]
+    fn duplicates_arrive_later_same_payload_and_balance_the_ledger() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut e = sender_engine(SimConfig {
+            fault: FaultPlan {
+                link: Some(LinkFaults {
+                    duplicate: 1.0,
+                    dup_lag: Some(25),
+                    ..LinkFaults::default()
+                }),
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 5 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        let s = e.stats();
+        assert_eq!(s.messages_sent, 5);
+        assert_eq!(s.faults.msgs_duplicated, 5);
+        assert_eq!(s.messages_delivered, 10);
+        // sent + duplicated = delivered + fault-dropped + died-in-flight.
+        assert_eq!(
+            s.messages_sent + s.faults.msgs_duplicated,
+            s.messages_delivered + s.faults.msgs_dropped + s.dropped_in_flight
+        );
+        let got = &e.protocol(NodeId(1)).got;
+        // Each payload exactly twice, ghost strictly later.
+        for i in 5..10 {
+            let times: Vec<SimTime> = got
+                .iter()
+                .filter(|&&(m, _)| m == i)
+                .map(|&(_, at)| at)
+                .collect();
+            assert_eq!(times.len(), 2, "payload {i} delivered {times:?}");
+            assert!(times[0] < times[1], "ghost of {i} not strictly later");
+        }
+    }
+
+    #[test]
+    fn skew_and_max_delay_adversary_stretch_delays() {
+        use crate::fault::{DelayAdversary, FaultPlan, LinkFaults};
+        // Adaptive adversary alone: every delivery takes exactly ν.
+        let mut e = sender_engine(SimConfig {
+            fault: FaultPlan {
+                max_delay: Some(DelayAdversary {
+                    targets: vec![NodeId(1)],
+                    window: None,
+                }),
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 1 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        assert_eq!(e.stats().faults.max_delay_forced, 1);
+        assert_eq!(e.protocol(NodeId(1)).got, vec![(1, SimTime(1 + 10))]);
+        // Skew alone: delivery beyond ν of the send instant.
+        let mut e = sender_engine(SimConfig {
+            fault: FaultPlan {
+                link: Some(LinkFaults {
+                    skew: 1.0,
+                    skew_ticks: 40,
+                    ..LinkFaults::default()
+                }),
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 1 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        assert_eq!(e.stats().faults.msgs_delayed, 1);
+        let (_, at) = e.protocol(NodeId(1)).got[0];
+        assert!(at > SimTime(1 + 10), "skew must exceed ν: {at:?}");
+    }
+
+    #[test]
+    fn fault_runs_replay_byte_for_byte_from_the_same_seed() {
+        use crate::fault::{Burst, FaultPlan, LinkFaults};
+        let run = |fault_seed: u64| {
+            let mut e = sender_engine(SimConfig {
+                trace: true,
+                fault: FaultPlan {
+                    seed: fault_seed,
+                    link: Some(LinkFaults {
+                        drop: 0.3,
+                        duplicate: 0.3,
+                        skew: 0.3,
+                        skew_ticks: 15,
+                        burst: Some(Burst {
+                            period: 50,
+                            active: 20,
+                            factor: 2.0,
+                        }),
+                        ..LinkFaults::default()
+                    }),
+                    ..FaultPlan::default()
+                },
+                ..SimConfig::default()
+            });
+            for t in 0..20 {
+                e.core.push(
+                    SimTime(1 + t * 7),
+                    Item::Proto {
+                        node: NodeId(0),
+                        ev: Event::Timer { token: 10 },
+                    },
+                );
+            }
+            e.run_until(SimTime(2_000));
+            (e.stats().clone(), e.trace().to_vec())
+        };
+        let (s1, t1) = run(42);
+        let (s2, t2) = run(42);
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+        assert!(s1.faults.total() > 0, "plan injected nothing: {s1:?}");
+        // A different fault seed explores a different schedule.
+        let (s3, _) = run(43);
+        assert_ne!(s1.faults, s3.faults);
+    }
+
+    #[test]
+    fn empty_plan_with_nonzero_seed_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let run = |fault_seed: u64| {
+            let mut e = sender_engine(SimConfig {
+                trace: true,
+                fault: FaultPlan {
+                    seed: fault_seed,
+                    ..FaultPlan::default()
+                },
+                ..SimConfig::default()
+            });
+            e.core.push(
+                SimTime(1),
+                Item::Proto {
+                    node: NodeId(0),
+                    ev: Event::Timer { token: 30 },
+                },
+            );
+            e.run_until(SimTime(2_000));
+            (e.stats().clone(), e.trace().to_vec())
+        };
+        // The fault RNG is never consulted when the plan is empty, so its
+        // seed is irrelevant: the engine's own stream decides everything.
+        assert_eq!(run(0), run(12_345));
+    }
+
+    #[test]
+    fn partition_heal_cycle_behaves_like_fresh_link_incarnations() {
+        // Satellite of the fault-injection issue, extending the teleport
+        // FIFO regression: a healed partition must not resurrect the dead
+        // incarnation's FIFO floors or its in-flight messages.
+        use crate::fault::{FaultPlan, PartitionWindow};
+        let mut e = sender_engine(SimConfig {
+            trace: true,
+            fault: FaultPlan {
+                partitions: vec![PartitionWindow {
+                    at: 5,
+                    side: vec![NodeId(1)],
+                    heal_after: 30,
+                }],
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        // t=1: a 40-message burst pushes the 0→1 FIFO floor past t=40.
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 40 },
+            },
+        );
+        // t=100 (after the t=35 heal): a single probe message.
+        e.core.push(
+            SimTime(100),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 1_001 },
+            },
+        );
+        e.run_until(SimTime(2_000));
+        let s = e.stats();
+        assert_eq!(s.faults.partitions, 1);
+        assert_eq!(s.faults.heals, 1);
+        assert!(
+            s.dropped_in_flight > 0,
+            "the cut must kill the in-flight burst: {s:?}"
+        );
+        let probe_at = e
+            .protocol(NodeId(1))
+            .got
+            .iter()
+            .find(|&&(m, _)| m >= 1_000)
+            .map(|&(_, at)| at)
+            .expect("post-heal message delivered");
+        assert!(
+            probe_at > SimTime(100) && probe_at <= SimTime(110),
+            "post-heal message clamped by a dead incarnation's FIFO floor: {probe_at:?}"
+        );
+        // The healed link is a fresh incarnation: LinkUp with the
+        // partitioned side (node 1) as the moving side.
+        assert!(e
+            .trace()
+            .iter()
+            .any(|t| t.kind == TraceKind::LinkUp(NodeId(0), NodeId(1)) && t.at == SimTime(35)));
+        assert!(e
+            .trace()
+            .iter()
+            .any(|t| t.kind == TraceKind::LinkDown(NodeId(0), NodeId(1)) && t.at == SimTime(5)));
+    }
+
+    #[test]
+    fn crash_waves_fire_on_schedule() {
+        use crate::fault::{CrashWave, FaultPlan};
+        let mut e: Engine<Echo> = Engine::new(
+            SimConfig {
+                fault: FaultPlan {
+                    crash_waves: vec![CrashWave {
+                        at: 50,
+                        nodes: vec![NodeId(0), NodeId(1)],
+                    }],
+                    ..FaultPlan::default()
+                },
+                ..SimConfig::default()
+            },
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            |_| Echo {
+                state: DiningState::Thinking,
+                received: vec![],
+            },
+        );
+        e.run_until(SimTime(40));
+        assert!(!e.world().is_crashed(NodeId(0)));
+        e.run_until(SimTime(60));
+        assert!(e.world().is_crashed(NodeId(0)));
+        assert!(e.world().is_crashed(NodeId(1)));
+        assert_eq!(e.stats().faults.crashes_injected, 2);
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod command;
 mod config;
 mod engine;
 mod event;
+mod fault;
 mod hooks;
 mod ids;
 mod protocol;
@@ -73,6 +74,9 @@ pub use command::Command;
 pub use config::SimConfig;
 pub use engine::{Engine, EngineStats, NodeSeed};
 pub use event::{Event, LinkUpKind};
+pub use fault::{
+    Burst, CrashWave, DelayAdversary, FaultPlan, FaultStats, LinkFaults, PartitionWindow,
+};
 pub use hooks::{Hook, Sink, View};
 pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};

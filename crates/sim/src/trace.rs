@@ -21,6 +21,19 @@ pub enum TraceKind {
     MoveStart(NodeId),
     /// A node finished moving.
     MoveEnd(NodeId),
+    /// A scripted partition severed the given number of links.
+    Partition(usize),
+    /// The partition healed, restoring the given number of links.
+    Heal(usize),
+    /// The fault adversary dropped a message from the first node to the
+    /// second.
+    FaultDrop(NodeId, NodeId),
+    /// The fault adversary duplicated a message from the first node to
+    /// the second.
+    FaultDuplicate(NodeId, NodeId),
+    /// The fault adversary delayed a message (skew or forced ν) from the
+    /// first node to the second.
+    FaultDelay(NodeId, NodeId),
 }
 
 /// One recorded event of a traced run.

@@ -53,6 +53,13 @@ pub struct World {
     /// Explicit-graph mode: links were given directly instead of being
     /// derived from positions; such worlds are immutable (no movement).
     explicit: bool,
+    /// Active partition cut, as a side mask: links between nodes whose
+    /// mask bits differ are suppressed. `None` = no partition in force.
+    cut: Option<Vec<bool>>,
+    /// Links the active cut severed, as `(outside, inside)` pairs — the
+    /// restoration list for explicit worlds, whose links cannot be
+    /// re-derived from geometry.
+    severed: Vec<(NodeId, NodeId)>,
 }
 
 /// A change to the link set caused by a node's position update.
@@ -75,6 +82,8 @@ impl World {
             crashed: vec![false; n],
             adj: vec![Vec::new(); n],
             explicit: false,
+            cut: None,
+            severed: Vec::new(),
         };
         for i in 0..n {
             for j in (i + 1)..n {
@@ -114,6 +123,8 @@ impl World {
             crashed: vec![false; n],
             adj: vec![Vec::new(); n],
             explicit: true,
+            cut: None,
+            severed: Vec::new(),
         };
         for &(a, b) in edges {
             assert_ne!(a, b, "self-loop");
@@ -249,6 +260,85 @@ impl World {
         (changes, arrived)
     }
 
+    /// Whether the active partition cut suppresses the link `a — b`.
+    pub(crate) fn cut_blocks(&self, a: NodeId, b: NodeId) -> bool {
+        self.cut
+            .as_ref()
+            .is_some_and(|mask| mask[a.index()] != mask[b.index()])
+    }
+
+    /// Whether a partition cut is currently in force.
+    pub fn is_partitioned(&self) -> bool {
+        self.cut.is_some()
+    }
+
+    /// Impose a partition: sever every existing link crossing the cut
+    /// between `side` and the rest of the network, and suppress new ones
+    /// until [`World::clear_cut`]. Replaces any cut already in force
+    /// (healing it first, in the same batch of changes).
+    pub(crate) fn apply_cut(&mut self, side: &[NodeId]) -> Vec<LinkChange> {
+        let mut changes = self.clear_cut();
+        let mut mask = vec![false; self.len()];
+        for &s in side {
+            mask[s.index()] = true;
+        }
+        for i in 0..self.len() {
+            for j in (i + 1)..self.len() {
+                if mask[i] == mask[j] {
+                    continue;
+                }
+                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                if self.linked(a, b) {
+                    remove_sorted(&mut self.adj[i], b);
+                    remove_sorted(&mut self.adj[j], a);
+                    // Record (outside, inside) for heal-time ordering.
+                    let pair = if mask[i] { (b, a) } else { (a, b) };
+                    self.severed.push(pair);
+                    changes.push(LinkChange::Down(a, b));
+                }
+            }
+        }
+        self.cut = Some(mask);
+        changes
+    }
+
+    /// Lift the active partition, if any. Links are restored as fresh
+    /// incarnations: geometric worlds re-derive every cross-cut link from
+    /// the *current* positions (nodes may have moved during the cut),
+    /// explicit worlds restore exactly the severed list. Each `Up` pair is
+    /// ordered `(outside, inside)` so the partitioned-off side rejoins as
+    /// the "moving" side of the paper's link-creation symmetry breaking.
+    pub(crate) fn clear_cut(&mut self) -> Vec<LinkChange> {
+        let Some(mask) = self.cut.take() else {
+            return Vec::new();
+        };
+        let mut changes = Vec::new();
+        if self.explicit {
+            for (outside, inside) in std::mem::take(&mut self.severed) {
+                insert_sorted(&mut self.adj[outside.index()], inside);
+                insert_sorted(&mut self.adj[inside.index()], outside);
+                changes.push(LinkChange::Up(outside, inside));
+            }
+        } else {
+            self.severed.clear();
+            for i in 0..self.len() {
+                for j in (i + 1)..self.len() {
+                    if mask[i] == mask[j] {
+                        continue;
+                    }
+                    let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                    if self.in_range(a, b) && !self.linked(a, b) {
+                        insert_sorted(&mut self.adj[i], b);
+                        insert_sorted(&mut self.adj[j], a);
+                        let pair = if mask[i] { (b, a) } else { (a, b) };
+                        changes.push(LinkChange::Up(pair.0, pair.1));
+                    }
+                }
+            }
+        }
+        changes
+    }
+
     /// Set `n`'s position and recompute its incident links; returns the
     /// resulting link changes with peers sorted by ID.
     pub(crate) fn relocate(&mut self, n: NodeId, pos: Position) -> Vec<LinkChange> {
@@ -263,7 +353,7 @@ impl World {
             if peer == n {
                 continue;
             }
-            let now_linked = self.in_range(n, peer);
+            let now_linked = self.in_range(n, peer) && !self.cut_blocks(n, peer);
             let was_linked = self.linked(n, peer);
             if now_linked && !was_linked {
                 insert_sorted(&mut self.adj[n.index()], peer);
@@ -381,6 +471,65 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn explicit_world_rejects_self_loops() {
         let _ = World::from_adjacency(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn cut_severs_and_heal_restores_geometric_links() {
+        let mut w = line(4);
+        let down = w.apply_cut(&[NodeId(2), NodeId(3)]);
+        assert_eq!(down, vec![LinkChange::Down(NodeId(1), NodeId(2))]);
+        assert!(w.is_partitioned());
+        assert!(!w.linked(NodeId(1), NodeId(2)));
+        assert!(w.linked(NodeId(0), NodeId(1)), "intra-side links survive");
+        assert!(w.linked(NodeId(2), NodeId(3)));
+        let up = w.clear_cut();
+        // (outside, inside): node 1 is outside the cut side, node 2 inside.
+        assert_eq!(up, vec![LinkChange::Up(NodeId(1), NodeId(2))]);
+        assert!(!w.is_partitioned());
+        assert!(w.linked(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn cut_suppresses_links_formed_by_movement() {
+        let mut w = line(4);
+        w.apply_cut(&[NodeId(3)]);
+        // Node 3 walks right next to node 0: the cut must keep them apart.
+        let changes = w.relocate(NodeId(3), Position { x: 0.5, y: 0.0 });
+        assert!(
+            changes.iter().all(|c| matches!(c, LinkChange::Down(_, _))),
+            "no cross-cut link may form during a partition: {changes:?}"
+        );
+        assert!(!w.linked(NodeId(0), NodeId(3)));
+        // After the heal the geometry wins again (from current positions).
+        let up = w.clear_cut();
+        assert!(up.contains(&LinkChange::Up(NodeId(0), NodeId(3))));
+        assert!(w.linked(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn explicit_world_heals_exactly_the_severed_links() {
+        let mut w = World::from_adjacency(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let down = w.apply_cut(&[NodeId(2), NodeId(3)]);
+        assert_eq!(down.len(), 2);
+        assert!(!w.linked(NodeId(1), NodeId(2)));
+        assert!(!w.linked(NodeId(0), NodeId(3)));
+        assert!(w.linked(NodeId(2), NodeId(3)));
+        let up = w.clear_cut();
+        assert_eq!(up.len(), 2);
+        assert!(w.linked(NodeId(1), NodeId(2)));
+        assert!(w.linked(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn reapplying_a_cut_replaces_the_old_one() {
+        let mut w = line(5);
+        w.apply_cut(&[NodeId(0)]);
+        assert!(!w.linked(NodeId(0), NodeId(1)));
+        let changes = w.apply_cut(&[NodeId(4)]);
+        assert!(changes.contains(&LinkChange::Up(NodeId(1), NodeId(0))));
+        assert!(changes.contains(&LinkChange::Down(NodeId(3), NodeId(4))));
+        assert!(w.linked(NodeId(0), NodeId(1)));
+        assert!(!w.linked(NodeId(3), NodeId(4)));
     }
 
     #[test]
