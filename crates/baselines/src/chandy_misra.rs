@@ -29,6 +29,16 @@ pub enum CmMsg {
     Fork,
 }
 
+impl CmMsg {
+    /// Coarse label for traces and message-complexity accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CmMsg::ReqToken => "req-token",
+            CmMsg::Fork => "fork",
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct Edge {
     holds_fork: bool,
@@ -227,6 +237,14 @@ impl Protocol for ChandyMisra {
 
     fn dining_state(&self) -> DiningState {
         self.state
+    }
+
+    fn msg_kind(msg: &CmMsg) -> &'static str {
+        msg.kind()
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(manet_sim::digest_of_debug(self))
     }
 }
 

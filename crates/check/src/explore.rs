@@ -1,0 +1,328 @@
+//! Schedule-space exploration drivers: exhaustive DFS, random walks, PCT.
+
+use std::collections::HashSet;
+
+use crate::spec::CheckSpec;
+use crate::strategy::Plan;
+use crate::verdict::{run_schedule, PropertyViolation};
+use crate::witness::{shrink, Witness};
+
+/// Which exploration strategy to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Bounded exhaustive DFS over earliest/latest branch decisions with
+    /// state-digest deduplication and commuting-deliveries reduction.
+    #[default]
+    Dfs,
+    /// Independent seeded random walks over the full delay windows.
+    Random,
+    /// PCT-style priority schedules, one per seed.
+    Pct,
+}
+
+impl StrategyKind {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Dfs => "dfs",
+            StrategyKind::Random => "random",
+            StrategyKind::Pct => "pct",
+        }
+    }
+
+    /// Parse a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the valid spellings.
+    pub fn parse(s: &str) -> Result<StrategyKind, String> {
+        match s {
+            "dfs" => Ok(StrategyKind::Dfs),
+            "random" => Ok(StrategyKind::Random),
+            "pct" => Ok(StrategyKind::Pct),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected 'dfs', 'random' or 'pct')"
+            )),
+        }
+    }
+}
+
+/// Exploration bounds and options.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Strategy to run.
+    pub strategy: StrategyKind,
+    /// Maximum number of schedules: the DFS backtracking budget, or the
+    /// number of random/PCT walks.
+    pub max_schedules: usize,
+    /// DFS flips only the first `max_depth` branch points of a run (the
+    /// classic preemption/depth bound of stateless model checking).
+    pub max_depth: usize,
+    /// PCT priority change points per walk.
+    pub pct_changes: usize,
+    /// Deduplicate DFS subtrees by engine state digest.
+    pub dedup: bool,
+    /// Maximum replays spent shrinking a found witness.
+    pub shrink_budget: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            strategy: StrategyKind::Dfs,
+            max_schedules: 256,
+            max_depth: 12,
+            pct_changes: 3,
+            dedup: true,
+            shrink_budget: 200,
+        }
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Schedules actually executed (excluding shrink replays).
+    pub schedules: usize,
+    /// DFS: the bounded tree was exhausted. Sampling: every requested walk
+    /// ran. False when the schedule budget cut exploration short.
+    pub complete: bool,
+    /// Largest number of branch points seen in any single run.
+    pub max_branch_points: usize,
+    /// DFS subtrees skipped because their pre-choice state digest was
+    /// already explored.
+    pub dedup_prunes: usize,
+    /// Replays spent shrinking the witness.
+    pub shrink_runs: usize,
+    /// The shrunk counterexample, if any schedule violated a property.
+    pub witness: Option<Witness>,
+}
+
+/// Explore the schedule space of `spec` under `cfg`, stopping at the first
+/// violation (which is then shrunk into the returned witness).
+pub fn explore(spec: &CheckSpec, cfg: &ExploreConfig) -> Exploration {
+    match cfg.strategy {
+        StrategyKind::Dfs => dfs(spec, cfg),
+        StrategyKind::Random | StrategyKind::Pct => sample(spec, cfg),
+    }
+}
+
+fn new_exploration() -> Exploration {
+    Exploration {
+        schedules: 0,
+        complete: false,
+        max_branch_points: 0,
+        dedup_prunes: 0,
+        shrink_runs: 0,
+        witness: None,
+    }
+}
+
+/// Shrink a violating schedule and attach the canonical witness.
+fn finish(
+    spec: &CheckSpec,
+    cfg: &ExploreConfig,
+    delays: Vec<u64>,
+    violation: &PropertyViolation,
+    out: &mut Exploration,
+) {
+    let (shrunk_spec, shrunk_delays, runs) =
+        shrink(spec, delays, &violation.property, cfg.shrink_budget);
+    out.shrink_runs = runs;
+    // One canonical replay of the shrunk schedule yields the final detail
+    // string and trims never-consumed trailing choices.
+    let verdict = run_schedule(
+        &shrunk_spec,
+        &Plan::Replay {
+            delays: shrunk_delays.clone(),
+        },
+    );
+    let consumed = shrunk_delays.len().min(verdict.choices.len());
+    let final_delays = shrunk_delays[..consumed].to_vec();
+    let (property, detail) = match &verdict.violation {
+        Some(v) => (v.property.clone(), v.detail.clone()),
+        // Shrinking always preserves the violation; keep the original as a
+        // defensive fallback.
+        None => (violation.property.clone(), violation.detail.clone()),
+    };
+    out.witness = Some(Witness::new(&shrunk_spec, final_delays, &property, &detail));
+}
+
+/// Stateless DFS over branch decisions, CHESS-style: each run follows a
+/// prefix of forced decisions and defaults to the earliest delay beyond
+/// it; backtracking flips the deepest yet-unflipped branch point (within
+/// the depth bound) to the latest delay and truncates the suffix. With
+/// two-way branching this enumerates every earliest/latest schedule of
+/// the bounded tree; state digests prune subtrees already explored from
+/// an identical engine state.
+fn dfs(spec: &CheckSpec, cfg: &ExploreConfig) -> Exploration {
+    let mut out = new_exploration();
+    let mut prefix: Vec<u8> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    loop {
+        if out.schedules >= cfg.max_schedules {
+            return out; // budget exhausted: incomplete
+        }
+        out.schedules += 1;
+        let verdict = run_schedule(
+            spec,
+            &Plan::Dfs {
+                prefix: prefix.clone(),
+                dedup: cfg.dedup,
+            },
+        );
+        out.max_branch_points = out.max_branch_points.max(verdict.choices.len());
+        if let Some(violation) = &verdict.violation {
+            let delays: Vec<u64> = verdict.choices.iter().map(|c| c.delay).collect();
+            finish(spec, cfg, delays, violation, &mut out);
+            return out;
+        }
+        // Backtrack: deepest branch point still on its first (earliest)
+        // branch, skipping states already explored elsewhere.
+        let limit = verdict.choices.len().min(cfg.max_depth);
+        let mut flip: Option<usize> = None;
+        for i in (0..limit).rev() {
+            let point = &verdict.choices[i];
+            if point.index != 0 {
+                continue; // both branches done at this position
+            }
+            if cfg.dedup {
+                if let Some(digest) = point.digest {
+                    if seen.contains(&digest) {
+                        out.dedup_prunes += 1;
+                        continue;
+                    }
+                }
+            }
+            flip = Some(i);
+            break;
+        }
+        match flip {
+            Some(i) => {
+                if cfg.dedup {
+                    if let Some(digest) = verdict.choices[i].digest {
+                        seen.insert(digest);
+                    }
+                }
+                prefix = verdict.choices[..i].iter().map(|c| c.index).collect();
+                prefix.push(1);
+            }
+            None => {
+                out.complete = true;
+                return out;
+            }
+        }
+    }
+}
+
+/// Independent walks: one run per derived seed, random or PCT.
+fn sample(spec: &CheckSpec, cfg: &ExploreConfig) -> Exploration {
+    let mut out = new_exploration();
+    for walk in 0..cfg.max_schedules as u64 {
+        out.schedules += 1;
+        let seed = spec.seed.wrapping_add(walk);
+        let plan = match cfg.strategy {
+            StrategyKind::Random => Plan::Random { seed },
+            StrategyKind::Pct => Plan::Pct {
+                seed,
+                changes: cfg.pct_changes,
+            },
+            StrategyKind::Dfs => unreachable!("sample() only runs sampling strategies"),
+        };
+        let verdict = run_schedule(spec, &plan);
+        out.max_branch_points = out.max_branch_points.max(verdict.choices.len());
+        if let Some(violation) = &verdict.violation {
+            let delays: Vec<u64> = verdict.choices.iter().map(|c| c.delay).collect();
+            finish(spec, cfg, delays, violation, &mut out);
+            return out;
+        }
+    }
+    out.complete = true;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mutation;
+    use crate::witness::replay;
+    use harness::AlgKind;
+
+    fn line(n: usize) -> Vec<(u32, u32)> {
+        (0..n as u32 - 1).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for k in [StrategyKind::Dfs, StrategyKind::Random, StrategyKind::Pct] {
+            assert_eq!(StrategyKind::parse(k.name()).unwrap(), k);
+        }
+        assert!(StrategyKind::parse("bfs").is_err());
+    }
+
+    #[test]
+    fn dfs_finds_shrinks_and_replays_the_seeded_bug() {
+        let mut spec = CheckSpec::new(AlgKind::A1Greedy, "line:2", 2, line(2));
+        spec.mutation = Mutation::NoSdfGuard;
+        let result = explore(&spec, &ExploreConfig::default());
+        let witness = result.witness.expect("mutation must be found");
+        assert_eq!(witness.property, "lme-safety");
+        let (_, verdict) = replay(&witness).unwrap();
+        let violation = verdict.violation.expect("witness must replay");
+        assert_eq!(violation.property, witness.property);
+        assert_eq!(violation.detail, witness.detail);
+    }
+
+    #[test]
+    fn dfs_on_intact_algorithm_reports_no_witness() {
+        let spec = CheckSpec::new(AlgKind::A1Greedy, "line:2", 2, line(2));
+        let cfg = ExploreConfig {
+            max_schedules: 64,
+            max_depth: 6,
+            ..ExploreConfig::default()
+        };
+        let result = explore(&spec, &cfg);
+        assert!(result.witness.is_none(), "intact A1 must be clean");
+        assert!(result.schedules >= 1);
+    }
+
+    #[test]
+    fn dedup_prunes_without_changing_the_verdict() {
+        let spec = CheckSpec::new(AlgKind::A2, "line:2", 2, line(2));
+        let base = ExploreConfig {
+            max_schedules: 48,
+            max_depth: 5,
+            ..ExploreConfig::default()
+        };
+        let with = explore(&spec, &base);
+        let without = explore(
+            &spec,
+            &ExploreConfig {
+                dedup: false,
+                ..base
+            },
+        );
+        assert!(with.witness.is_none());
+        assert!(without.witness.is_none());
+        assert!(with.schedules <= without.schedules);
+    }
+
+    #[test]
+    fn sampling_strategies_find_the_seeded_bug_too() {
+        for strategy in [StrategyKind::Random, StrategyKind::Pct] {
+            let mut spec = CheckSpec::new(AlgKind::A1Greedy, "line:2", 2, line(2));
+            spec.mutation = Mutation::NoSdfGuard;
+            let cfg = ExploreConfig {
+                strategy,
+                max_schedules: 32,
+                ..ExploreConfig::default()
+            };
+            let result = explore(&spec, &cfg);
+            assert!(
+                result.witness.is_some(),
+                "{} should find the mutation",
+                strategy.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Schedule plans and the recording strategy that executes them.
+//!
+//! Every checker run injects a [`Recorder`] into the engine as its
+//! [`Strategy`]. The recorder resolves each *branch point* — a delivery whose
+//! legal window `[1, ν]` genuinely matters, i.e. [`DeliveryChoice::forced`]
+//! is false — according to the active [`Plan`], and logs the decision as a
+//! [`ChoicePoint`]. Forced points always take the earliest delay and are
+//! *not* logged or counted, so a recorded schedule indexes exactly the
+//! non-forced branch points and replays stably even when prefixes of it are
+//! truncated or edited.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use manet_sim::{DeliveryChoice, RandomDelays, SimRng, Strategy};
+
+/// One resolved branch point of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Which branch was taken: 0 = earliest, 1 = latest, 2 = interior.
+    pub index: u8,
+    /// The chosen delay in ticks.
+    pub delay: u64,
+    /// Engine state digest *before* the choice (only when the plan asked
+    /// for digests, i.e. DFS with deduplication).
+    pub digest: Option<u64>,
+}
+
+/// How to resolve the branch points of one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Depth-first exploration: follow `prefix` (0 = earliest, 1 = latest)
+    /// and default to earliest beyond it. `dedup` additionally asks the
+    /// engine for state digests at each branch point.
+    Dfs {
+        /// Branch indices to follow, outermost first.
+        prefix: Vec<u8>,
+        /// Collect state digests for driver-level deduplication.
+        dedup: bool,
+    },
+    /// Replay recorded delays verbatim (clamped to the legal window);
+    /// earliest beyond the end of the list.
+    Replay {
+        /// Delay per branch point, in encounter order.
+        delays: Vec<u64>,
+    },
+    /// Seeded uniform random walk over the legal windows.
+    Random {
+        /// Walk seed (independent of the engine seed).
+        seed: u64,
+    },
+    /// PCT-style priority schedule: each node gets a random high/low
+    /// priority (high ⇒ earliest delivery, low ⇒ latest), flipped at
+    /// `changes` random change points.
+    Pct {
+        /// Priority/change-point seed.
+        seed: u64,
+        /// Number of priority change points (the `d − 1` of PCT).
+        changes: usize,
+    },
+}
+
+enum Mode {
+    Dfs { prefix: Vec<u8>, cursor: usize },
+    Replay { delays: Vec<u64>, cursor: usize },
+    Free(Box<dyn Strategy>),
+}
+
+struct Inner {
+    mode: Mode,
+    want_digest: bool,
+    log: Vec<ChoicePoint>,
+}
+
+/// A cloneable strategy handle: one clone is boxed into the engine, the
+/// other stays with the driver to read the recorded [`ChoicePoint`] log
+/// after the run.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Recorder {
+    /// Build a recorder executing `plan` over a model with `n` nodes
+    /// (`n` parameterizes the PCT priority table).
+    pub fn new(plan: &Plan, n: usize) -> Recorder {
+        let (mode, want_digest) = match plan {
+            Plan::Dfs { prefix, dedup } => (
+                Mode::Dfs {
+                    prefix: prefix.clone(),
+                    cursor: 0,
+                },
+                *dedup,
+            ),
+            Plan::Replay { delays } => (
+                Mode::Replay {
+                    delays: delays.clone(),
+                    cursor: 0,
+                },
+                false,
+            ),
+            Plan::Random { seed } => (Mode::Free(Box::new(RandomDelays::new(*seed))), false),
+            Plan::Pct { seed, changes } => {
+                (Mode::Free(Box::new(Pct::new(n, *seed, *changes))), false)
+            }
+        };
+        Recorder {
+            inner: Rc::new(RefCell::new(Inner {
+                mode,
+                want_digest,
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    /// The branch points resolved so far, in encounter order.
+    pub fn log(&self) -> Vec<ChoicePoint> {
+        self.inner.borrow().log.clone()
+    }
+}
+
+fn branch_index(delay: u64, choice: &DeliveryChoice) -> u8 {
+    if delay == choice.earliest {
+        0
+    } else if delay == choice.latest {
+        1
+    } else {
+        2
+    }
+}
+
+impl Strategy for Recorder {
+    fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64 {
+        if choice.forced() {
+            return choice.earliest;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let (index, delay) = match &mut inner.mode {
+            Mode::Dfs { prefix, cursor } => {
+                let idx = prefix.get(*cursor).copied().unwrap_or(0);
+                *cursor += 1;
+                let d = if idx == 0 {
+                    choice.earliest
+                } else {
+                    choice.latest
+                };
+                (idx.min(1), d)
+            }
+            Mode::Replay { delays, cursor } => {
+                let d = delays
+                    .get(*cursor)
+                    .copied()
+                    .unwrap_or(choice.earliest)
+                    .clamp(choice.earliest, choice.latest);
+                *cursor += 1;
+                (branch_index(d, choice), d)
+            }
+            Mode::Free(strategy) => {
+                let d = strategy
+                    .choose_delay(choice)
+                    .clamp(choice.earliest, choice.latest);
+                (branch_index(d, choice), d)
+            }
+        };
+        inner.log.push(ChoicePoint {
+            index,
+            delay,
+            digest: choice.digest,
+        });
+        delay
+    }
+
+    fn wants_digest(&self) -> bool {
+        self.inner.borrow().want_digest
+    }
+}
+
+/// Number of branch points over which PCT change points are drawn. Branch
+/// points past this index keep the last priority assignment.
+const PCT_SPAN: u64 = 200;
+
+/// PCT-style priority scheduler (Burckhardt et al.): nodes with *high*
+/// priority get their messages delivered as early as legal, *low* priority
+/// as late as legal, and the priority of a random node flips at each of the
+/// seeded change points. With `d − 1` change points this samples bug
+/// patterns of depth `d` with known probability on bounded runs.
+pub struct Pct {
+    high: Vec<bool>,
+    /// Remaining change points (branch-point indices), largest first so the
+    /// next one to fire is at the end.
+    change_at: Vec<u64>,
+    branch: u64,
+    rng: SimRng,
+}
+
+impl Pct {
+    /// Seeded priority table over `n` nodes with `changes` change points.
+    pub fn new(n: usize, seed: u64, changes: usize) -> Pct {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x9C7_C0DE_0BAD_F00D);
+        let high = (0..n.max(1)).map(|_| rng.gen_bool(0.5)).collect();
+        let mut change_at: Vec<u64> = (0..changes).map(|_| rng.gen_range(0..PCT_SPAN)).collect();
+        change_at.sort_unstable_by(|a, b| b.cmp(a));
+        Pct {
+            high,
+            change_at,
+            branch: 0,
+            rng,
+        }
+    }
+}
+
+impl Strategy for Pct {
+    fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64 {
+        while self.change_at.last().is_some_and(|&cp| cp <= self.branch) {
+            self.change_at.pop();
+            let i = self.rng.gen_range(0..self.high.len());
+            self.high[i] = !self.high[i];
+        }
+        self.branch += 1;
+        let high = self.high.get(choice.from.index()).copied().unwrap_or(true);
+        if high {
+            choice.earliest
+        } else {
+            choice.latest
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::{NodeId, SimTime};
+
+    fn open_choice(earliest: u64, latest: u64) -> DeliveryChoice {
+        DeliveryChoice {
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: "msg",
+            now: SimTime(5),
+            earliest,
+            latest,
+            pending_in_window: 3,
+            fifo_floor: None,
+            digest: Some(42),
+        }
+    }
+
+    #[test]
+    fn forced_points_take_earliest_and_are_not_logged() {
+        let rec = Recorder::new(
+            &Plan::Dfs {
+                prefix: vec![1],
+                dedup: false,
+            },
+            2,
+        );
+        let mut boxed: Box<dyn Strategy> = Box::new(rec.clone());
+        let forced = DeliveryChoice {
+            pending_in_window: 0,
+            ..open_choice(1, 10)
+        };
+        assert_eq!(boxed.choose_delay(&forced), 1);
+        assert!(rec.log().is_empty());
+        // The prefix entry is still unconsumed: the next open point uses it.
+        assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 10);
+        assert_eq!(rec.log().len(), 1);
+        assert_eq!(rec.log()[0].index, 1);
+    }
+
+    #[test]
+    fn dfs_defaults_to_earliest_beyond_the_prefix() {
+        let rec = Recorder::new(
+            &Plan::Dfs {
+                prefix: vec![1],
+                dedup: false,
+            },
+            2,
+        );
+        let mut boxed: Box<dyn Strategy> = Box::new(rec.clone());
+        assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 10);
+        assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 1);
+        assert_eq!(boxed.choose_delay(&open_choice(2, 7)), 2);
+        let log = rec.log();
+        assert_eq!(
+            log.iter().map(|c| c.index).collect::<Vec<_>>(),
+            vec![1, 0, 0]
+        );
+        assert_eq!(log[0].digest, Some(42));
+    }
+
+    #[test]
+    fn replay_clamps_and_defaults_to_earliest() {
+        let rec = Recorder::new(
+            &Plan::Replay {
+                delays: vec![99, 4],
+            },
+            2,
+        );
+        let mut boxed: Box<dyn Strategy> = Box::new(rec.clone());
+        assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 10); // clamped down
+        assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 4);
+        assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 1); // past the end
+        assert_eq!(
+            rec.log().iter().map(|c| c.delay).collect::<Vec<_>>(),
+            vec![10, 4, 1]
+        );
+    }
+
+    #[test]
+    fn pct_is_deterministic_per_seed_and_bipolar() {
+        for seed in 0..20u64 {
+            let mut a = Pct::new(3, seed, 2);
+            let mut b = Pct::new(3, seed, 2);
+            for i in 0..50u64 {
+                let c = DeliveryChoice {
+                    from: NodeId((i % 3) as u32),
+                    ..open_choice(1, 10)
+                };
+                let d = a.choose_delay(&c);
+                assert_eq!(d, b.choose_delay(&c));
+                assert!(d == 1 || d == 10, "PCT must pick an extreme, got {d}");
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! design; see DESIGN.md §6).
 
 use harness::AlgKind;
+use lme_check::{Mutation, StrategyKind};
 
 /// A parsed topology specification.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,6 +75,8 @@ pub enum Command {
     Sweep,
     /// Fault-injection matrix: every fault class × seeds, aggregated.
     Chaos,
+    /// Bounded schedule-space model checking with witness shrink/replay.
+    Check,
 }
 
 /// Everything the CLI understood.
@@ -129,6 +132,18 @@ pub struct Cli {
     pub fault_window: Option<(u64, u64)>,
     /// Seed of the fault RNG (`0` = derive from the run seed).
     pub fault_seed: u64,
+    /// Check: exploration strategy.
+    pub strategy: StrategyKind,
+    /// Check: DFS schedule budget.
+    pub steps: usize,
+    /// Check: DFS flip-depth bound.
+    pub depth: usize,
+    /// Check: write the (shrunk) witness JSON here when a violation is found.
+    pub witness_out: Option<String>,
+    /// Check: replay this witness file instead of exploring.
+    pub replay_witness: Option<String>,
+    /// Check: deliberate algorithm defect for checker self-validation.
+    pub mutate: Mutation,
 }
 
 impl Default for Cli {
@@ -156,13 +171,19 @@ impl Default for Cli {
             fault_targets: None,
             fault_window: None,
             fault_seed: 0,
+            strategy: StrategyKind::Dfs,
+            steps: 256,
+            depth: 12,
+            witness_out: None,
+            replay_witness: None,
+            mutate: Mutation::None,
         }
     }
 }
 
 /// Usage text shown for `lme list` and on errors.
 pub const USAGE: &str = "\
-usage: lme <list|run|probe|sweep|chaos> [options]
+usage: lme <list|run|probe|sweep|chaos|check> [options]
 
 commands:
   list    print algorithms and topology syntax
@@ -171,6 +192,8 @@ commands:
   sweep   algorithms x seeds grid in parallel, aggregated report
   chaos   fault classes x seeds matrix (crash, loss, duplication,
           partition, max-delay), aggregated report
+  check   explore the legal delivery schedules of a small model for
+          safety/liveness violations; shrink and replay witnesses
 
 options:
   --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
@@ -200,6 +223,17 @@ fault injection (run/sweep; chaos builds its own schedule):
                          (default: every link; required for partitions)
   --fault-window <a..b>  restrict link faults / delay adversary to [a,b)
   --fault-seed <n>       fault RNG seed (default: derived from --seed)
+
+model checking (check):
+  --strategy <s>       dfs | random | pct                  (default dfs)
+  --steps <n>          dfs: schedule budget                (default 256)
+  --seeds <n>          random/pct: number of walks         (default 8)
+  --depth <n>          dfs: branch points eligible to flip (default 12)
+  --nodes <n>          shorthand for --topo line:N
+  --mutate <m>         none | no-sdf-guard — deliberately break the
+                       algorithm to validate the checker   (default none)
+  --witness-out <p>    write the shrunk witness JSON to <p>
+  --replay <p>         replay a witness file instead of exploring
 ";
 
 fn parse_alg(s: &str) -> Result<AlgKind, String> {
@@ -332,6 +366,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         "probe" => Command::Probe,
         "sweep" => Command::Sweep,
         "chaos" => Command::Chaos,
+        "check" => Command::Check,
         other => return Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     while let Some(flag) = it.next() {
@@ -397,6 +432,24 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             "--fault-seed" => {
                 cli.fault_seed = parse_u64(&value("--fault-seed")?, "fault seed")?;
             }
+            "--strategy" => cli.strategy = StrategyKind::parse(&value("--strategy")?)?,
+            "--steps" => {
+                cli.steps = parse_usize(&value("--steps")?, "step budget")?;
+                if cli.steps == 0 {
+                    return Err("--steps must be at least 1".to_string());
+                }
+            }
+            "--depth" => cli.depth = parse_usize(&value("--depth")?, "depth bound")?,
+            "--nodes" => {
+                let n = parse_usize(&value("--nodes")?, "node count")?;
+                if n == 0 {
+                    return Err("--nodes must be at least 1".to_string());
+                }
+                cli.topo = TopoSpec::Line(n);
+            }
+            "--mutate" => cli.mutate = Mutation::parse(&value("--mutate")?)?,
+            "--witness-out" => cli.witness_out = Some(value("--witness-out")?),
+            "--replay" => cli.replay_witness = Some(value("--replay")?),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -552,6 +605,33 @@ mod tests {
         ))
         .is_err()); // nobody left outside the cut
         assert!(parse(argv("run --fault-targets")).is_err());
+    }
+
+    #[test]
+    fn parses_check_flags() {
+        let cli = parse(argv(
+            "check --alg a1-greedy --strategy pct --steps 99 --depth 7 \
+             --nodes 4 --mutate no-sdf-guard --witness-out w.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Check);
+        assert_eq!(cli.strategy, StrategyKind::Pct);
+        assert_eq!(cli.steps, 99);
+        assert_eq!(cli.depth, 7);
+        assert_eq!(cli.topo, TopoSpec::Line(4));
+        assert_eq!(cli.mutate, Mutation::NoSdfGuard);
+        assert_eq!(cli.witness_out.as_deref(), Some("w.json"));
+        let replay = parse(argv("check --replay w.json")).unwrap();
+        assert_eq!(replay.replay_witness.as_deref(), Some("w.json"));
+    }
+
+    #[test]
+    fn rejects_malformed_check_flags() {
+        assert!(parse(argv("check --strategy bfs")).is_err());
+        assert!(parse(argv("check --steps 0")).is_err());
+        assert!(parse(argv("check --nodes 0")).is_err());
+        assert!(parse(argv("check --mutate frobnicate")).is_err());
+        assert!(parse(argv("check --witness-out")).is_err());
     }
 
     #[test]

@@ -6,8 +6,10 @@ use harness::{
     topology, AlgKind, FaultClass, Job, RunOutcome, RunReport, RunSpec, SweepCell, SweepReport,
     SweepSpec, Table, Topo, WaypointPlan,
 };
+use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
 use manet_sim::{
-    DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, SimConfig, SimTime,
+    DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, Position, SimConfig, SimTime,
+    World,
 };
 
 use crate::args::{Cli, Command, TopoSpec, USAGE};
@@ -125,7 +127,7 @@ fn run_outcome(cli: &Cli, spec: &RunSpec) -> RunOutcome {
 
 fn render_run(cli: &Cli, out: &RunOutcome) -> String {
     if cli.csv {
-        let mut t = Table::new(&["node", "hungry_at", "eat_at", "response", "moved"]);
+        let mut t = Table::new(&["node", "hungry_at", "eat_at", "response", "moved", "msgs"]);
         for s in &out.metrics.samples {
             t.row([
                 s.node.0.to_string(),
@@ -133,6 +135,7 @@ fn render_run(cli: &Cli, out: &RunOutcome) -> String {
                 s.eat_at.to_string(),
                 s.response().to_string(),
                 s.moved.to_string(),
+                s.msgs.to_string(),
             ]);
         }
         return t.to_csv();
@@ -390,6 +393,153 @@ fn render_chaos(cli: &Cli) -> Result<String, String> {
     Ok(s)
 }
 
+/// Undirected edge list of the chosen topology (unit-disk edges for the
+/// geometric kinds, explicit edges for star/tree).
+fn check_edges(cli: &Cli) -> (usize, Vec<(u32, u32)>) {
+    match cli.topo {
+        TopoSpec::Star(leaves) => topology::star_edges(leaves),
+        TopoSpec::Tree(n) => topology::binary_tree_edges(n),
+        ref geo => {
+            let positions = geo_positions(geo);
+            let n = positions.len();
+            let world = World::new(
+                SimConfig::default().radio_range,
+                positions.into_iter().map(Position::from).collect(),
+            );
+            let mut edges = Vec::new();
+            for i in 0..n as u32 {
+                for &j in world.neighbors(NodeId(i)) {
+                    if j.0 > i {
+                        edges.push((i, j.0));
+                    }
+                }
+            }
+            (n, edges)
+        }
+    }
+}
+
+fn check_spec_of(cli: &Cli) -> Result<CheckSpec, String> {
+    let (n, edges) = check_edges(cli);
+    let mut spec = CheckSpec::new(cli.alg, cli.topo.to_string(), n, edges);
+    spec.seed = cli.seed;
+    spec.horizon = cli.horizon;
+    spec.eat = cli.eat.0;
+    spec.mutation = cli.mutate;
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Replay a witness file: the rendered report (including the full trace) is
+/// a pure function of the file, byte-identical across machines and `--jobs`.
+fn render_replay(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read witness {path}: {e}"))?;
+    let witness = Witness::from_json(text.trim())?;
+    let (_spec, verdict) = replay(&witness)?;
+    let mut s = format!(
+        "replay: {} on {} (n = {}), seed {}, mutation {}, {} recorded choices\n",
+        witness.alg,
+        witness.topo,
+        witness.n,
+        witness.seed,
+        witness.mutation,
+        witness.choices.len(),
+    );
+    match &verdict.violation {
+        Some(v) if v.property == witness.property && v.detail == witness.detail => {
+            s.push_str(&format!("  violation reproduced: {}\n", v.property));
+            s.push_str(&format!("  detail              : {}\n", v.detail));
+        }
+        Some(v) => {
+            s.push_str(&format!(
+                "  MISMATCH: witness claims '{}' ({}) but replay found '{}' ({})\n",
+                witness.property, witness.detail, v.property, v.detail
+            ));
+        }
+        None => {
+            s.push_str(&format!(
+                "  MISMATCH: witness claims '{}' but replay found no violation\n",
+                witness.property
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "  meals {}, drained {}, trace ({} entries):\n",
+        verdict.meals,
+        verdict.drained,
+        verdict.trace.len()
+    ));
+    for entry in &verdict.trace {
+        s.push_str(&format!("    t={:<6} {:?}\n", entry.at.0, entry.kind));
+    }
+    Ok(s)
+}
+
+fn render_check(cli: &Cli) -> Result<String, String> {
+    if let Some(path) = &cli.replay_witness {
+        return render_replay(path);
+    }
+    let spec = check_spec_of(cli)?;
+    let cfg = ExploreConfig {
+        strategy: cli.strategy,
+        max_schedules: match cli.strategy {
+            StrategyKind::Dfs => cli.steps,
+            StrategyKind::Random | StrategyKind::Pct => cli.seeds as usize,
+        },
+        max_depth: cli.depth,
+        ..ExploreConfig::default()
+    };
+    let result = explore(&spec, &cfg);
+    let mut s = format!(
+        "check: {} on {} (n = {}), strategy {}, seed {}, mutation {}\n",
+        spec.alg.name(),
+        spec.topo,
+        spec.n,
+        cli.strategy.name(),
+        spec.seed,
+        spec.mutation.name(),
+    );
+    s.push_str(&format!(
+        "  schedules run     : {}{}\n",
+        result.schedules,
+        if result.complete {
+            match cli.strategy {
+                StrategyKind::Dfs => " (bounded schedule space exhausted)",
+                _ => " (all requested walks)",
+            }
+        } else {
+            " (budget exhausted before the space)"
+        }
+    ));
+    s.push_str(&format!(
+        "  max branch points : {}\n",
+        result.max_branch_points
+    ));
+    if cli.strategy == StrategyKind::Dfs {
+        s.push_str(&format!("  dedup prunes      : {}\n", result.dedup_prunes));
+    }
+    match &result.witness {
+        None => s.push_str("  result            : no property violations\n"),
+        Some(w) => {
+            s.push_str(&format!("  result            : VIOLATION {}\n", w.property));
+            s.push_str(&format!("  detail            : {}\n", w.detail));
+            s.push_str(&format!(
+                "  shrunk witness    : {} choices, {} hungry nodes ({} shrink replays)\n",
+                w.choices.len(),
+                w.hungry.len(),
+                result.shrink_runs
+            ));
+            if let Some(path) = &cli.witness_out {
+                std::fs::write(path, w.to_json() + "\n")
+                    .map_err(|e| format!("cannot write witness to {path}: {e}"))?;
+                s.push_str(&format!("  witness written to: {path}\n"));
+            }
+        }
+    }
+    Ok(s)
+}
+
 /// Execute a parsed command and return the rendered report.
 ///
 /// # Errors
@@ -432,6 +582,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Probe => render_probe(cli),
         Command::Sweep => render_sweep(cli),
         Command::Chaos => render_chaos(cli),
+        Command::Check => render_check(cli),
     }
 }
 
@@ -475,7 +626,10 @@ mod tests {
     fn run_csv_emits_samples() {
         let out = run_cli(argv("run --alg a2 --topo line:3 --horizon 5000 --csv")).unwrap();
         let mut lines = out.lines();
-        assert_eq!(lines.next(), Some("node,hungry_at,eat_at,response,moved"));
+        assert_eq!(
+            lines.next(),
+            Some("node,hungry_at,eat_at,response,moved,msgs")
+        );
         assert!(lines.count() > 10);
     }
 
@@ -595,6 +749,54 @@ mod tests {
     #[test]
     fn chaos_rejects_manual_fault_flags() {
         assert!(run_cli(argv("chaos --topo line:5 --fault-drop 0.5")).is_err());
+    }
+
+    #[test]
+    fn check_intact_algorithm_is_clean() {
+        let out = run_cli(argv(
+            "check --alg a1-greedy --nodes 2 --steps 64 --depth 6 --horizon 4000",
+        ))
+        .unwrap();
+        assert!(out.contains("no property violations"), "{out}");
+        assert!(out.contains("strategy dfs"), "{out}");
+    }
+
+    #[test]
+    fn check_finds_the_mutation_and_replays_it_jobs_invariant() {
+        let dir = std::env::temp_dir().join("lme-cli-test-check");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("witness.json");
+        let out = run_cli(argv(&format!(
+            "check --alg a1-greedy --topo line:3 --mutate no-sdf-guard \
+             --horizon 4000 --witness-out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("VIOLATION lme-safety"), "{out}");
+        assert!(out.contains("witness written to"), "{out}");
+        let a = run_cli(argv(&format!("check --replay {} --jobs 1", path.display()))).unwrap();
+        let b = run_cli(argv(&format!("check --replay {} --jobs 4", path.display()))).unwrap();
+        assert!(a.contains("violation reproduced: lme-safety"), "{a}");
+        assert!(a.contains("trace ("), "{a}");
+        assert_eq!(a, b, "witness replay must not depend on --jobs");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_sampling_strategies_run_via_the_cli() {
+        for strategy in ["random", "pct"] {
+            let out = run_cli(argv(&format!(
+                "check --alg a2 --nodes 3 --strategy {strategy} --seeds 2 --horizon 4000",
+            )))
+            .unwrap();
+            assert!(out.contains("no property violations"), "{strategy}: {out}");
+            assert!(out.contains("(all requested walks)"), "{strategy}: {out}");
+        }
+    }
+
+    #[test]
+    fn check_rejects_mutation_on_non_a1_algorithms() {
+        assert!(run_cli(argv("check --alg a2 --nodes 2 --mutate no-sdf-guard")).is_err());
     }
 
     #[test]

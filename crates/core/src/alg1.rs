@@ -153,6 +153,14 @@ pub struct Algorithm1 {
     /// `p2` blocked forever after `p3` departs, which is exactly why the
     /// paper added the return path.
     pub return_path_enabled: bool,
+    /// Mutation knob for the model checker's sanity suite: when false, the
+    /// `behind SD^f` status check of request arbitration (Lines 10–16) is
+    /// ignored — the node arbitrates every fork request as if it were
+    /// outside the doorway, so a collecting or even *eating* node hands its
+    /// forks away on demand. This deliberately breaks local mutual
+    /// exclusion; `lme check` must find a witness for it. Never disabled on
+    /// production paths.
+    pub sdf_guard_enabled: bool,
     /// Experiment counters.
     pub stats: Alg1Stats,
 }
@@ -184,6 +192,7 @@ impl Algorithm1 {
             record_phases: false,
             recolor_on_move: true,
             return_path_enabled: true,
+            sdf_guard_enabled: true,
             stats: Alg1Stats::default(),
         }
     }
@@ -369,7 +378,7 @@ impl Algorithm1 {
         if !self.forks.holds(j) {
             return; // crossing with a fork already in flight to j
         }
-        let outside = !self.behind_sdf();
+        let outside = !self.behind_sdf() || !self.sdf_guard_enabled;
         if self.is_high(j) && (!self.all_low_forks() || outside) {
             self.send_fork(j, ctx);
         } else if self.is_low(j) && (!self.all_forks() || outside) {
@@ -714,6 +723,14 @@ impl Protocol for Algorithm1 {
 
     fn dining_state(&self) -> DiningState {
         self.state
+    }
+
+    fn msg_kind(msg: &A1Msg) -> &'static str {
+        msg.kind()
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(manet_sim::digest_of_debug(self))
     }
 }
 

@@ -79,6 +79,12 @@ impl Algorithm2 {
         self.higher.get(&j).copied().unwrap_or(false)
     }
 
+    /// Whether this node currently holds the fork shared with `j`
+    /// (observability for fork-conservation checks and tests).
+    pub fn holds_fork(&self, j: NodeId) -> bool {
+        self.forks.holds(j)
+    }
+
     // `j` has priority ⇒ `j` plays the role of a *low* (smaller-color)
     // neighbor of Algorithm 1.
     fn is_low(&self, j: NodeId) -> bool {
@@ -285,6 +291,14 @@ impl Protocol for Algorithm2 {
 
     fn dining_state(&self) -> DiningState {
         self.state
+    }
+
+    fn msg_kind(msg: &A2Msg) -> &'static str {
+        msg.kind()
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(manet_sim::digest_of_debug(self))
     }
 }
 

@@ -18,6 +18,10 @@ pub struct Sample {
     /// episode. Definition 1 of the paper bounds response time only for
     /// nodes that stay static, so experiments usually filter on this.
     pub moved: bool,
+    /// Messages delivered to or from the node during the episode — the
+    /// empirical message complexity of this CS entry (Section 5 of the
+    /// paper counts messages per eating session the same way).
+    pub msgs: u64,
 }
 
 impl Sample {
@@ -31,6 +35,7 @@ impl Sample {
 struct Pending {
     since: SimTime,
     moved: bool,
+    msgs: u64,
 }
 
 /// Data collected by the [`Metrics`] hook, shared via `Rc<RefCell<_>>`.
@@ -56,6 +61,12 @@ impl MetricsData {
     /// Response times of all episodes.
     pub fn all_responses(&self) -> Vec<u64> {
         self.samples.iter().map(Sample::response).collect()
+    }
+
+    /// Per-episode message counts (the message complexity of each CS
+    /// entry), in completion order.
+    pub fn msg_complexities(&self) -> Vec<u64> {
+        self.samples.iter().map(|s| s.msgs).collect()
     }
 
     /// Nodes still hungry, with the time they became hungry; sorted by ID.
@@ -111,6 +122,7 @@ impl<M> Hook<M> for Metrics {
                 d.pending[node.index()] = Some(Pending {
                     since: view.time(),
                     moved: view.world().is_moving(node),
+                    msgs: 0,
                 });
             }
             (DiningState::Eating, DiningState::Hungry) => {
@@ -119,6 +131,7 @@ impl<M> Hook<M> for Metrics {
                 d.pending[node.index()] = Some(Pending {
                     since: view.time(),
                     moved: true,
+                    msgs: 0,
                 });
             }
             (DiningState::Hungry, DiningState::Eating) => {
@@ -128,6 +141,7 @@ impl<M> Hook<M> for Metrics {
                         hungry_at: p.since,
                         eat_at: view.time(),
                         moved: p.moved,
+                        msgs: p.msgs,
                     });
                 }
             }
@@ -139,12 +153,32 @@ impl<M> Hook<M> for Metrics {
                     hungry_at: view.time(),
                     eat_at: view.time(),
                     moved: view.world().is_moving(node),
+                    msgs: 0,
                 });
             }
             (DiningState::Eating, DiningState::Thinking) => {
                 d.meals[node.index()] += 1;
             }
             _ => {}
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        _view: &View<'_>,
+        from: NodeId,
+        to: NodeId,
+        _msg: &M,
+        _sink: &mut Sink,
+    ) {
+        // Every delivery is charged to the open episodes of both endpoints:
+        // a hungry node pays for the traffic its quest causes in either
+        // direction.
+        let mut d = self.data.borrow_mut();
+        for node in [from, to] {
+            if let Some(p) = d.pending[node.index()].as_mut() {
+                p.msgs += 1;
+            }
         }
     }
 

@@ -57,6 +57,9 @@ pub struct RunReport {
     pub locality: Option<usize>,
     /// Injected-fault counters, by kind (all zero for fault-free runs).
     pub faults: FaultStats,
+    /// Summary of per-episode message counts — the empirical message
+    /// complexity of a CS entry under this algorithm.
+    pub msg_complexity: Summary,
     /// Raw static-episode response times, kept for pooled aggregation
     /// (not serialized).
     pub static_responses: Vec<u64>,
@@ -78,6 +81,7 @@ impl RunReport {
     ) -> RunReport {
         let static_responses = outcome.metrics.static_responses();
         let all_responses = outcome.metrics.all_responses();
+        let msg_complexity = Summary::of(&outcome.metrics.msg_complexities());
         let (starving, locality) = probe.unwrap_or((0, None));
         RunReport {
             label: label.to_string(),
@@ -98,6 +102,7 @@ impl RunReport {
             starving,
             locality,
             faults: outcome.stats.faults.clone(),
+            msg_complexity,
             static_responses,
             all_responses,
         }
@@ -111,7 +116,7 @@ impl RunReport {
              \"meals\":{},\"messages_sent\":{},\"messages_delivered\":{},\
              \"dropped_at_send\":{},\"dropped_in_flight\":{},\"events\":{},\
              \"violations\":{},\"rt_static\":{},\"rt_all\":{},\"jain\":{},\
-             \"starving\":{},\"locality\":{},\"faults\":{}}}",
+             \"starving\":{},\"locality\":{},\"faults\":{},\"msg_complexity\":{}}}",
             json_str(&self.label),
             json_str(self.alg),
             self.seed,
@@ -133,6 +138,7 @@ impl RunReport {
                 None => "null".to_string(),
             },
             json_faults(&self.faults),
+            json_summary(&self.msg_complexity),
         )
     }
 }
@@ -417,6 +423,7 @@ mod tests {
             starving: 0,
             locality: None,
             faults: FaultStats::default(),
+            msg_complexity: Summary::default(),
             static_responses: responses.clone(),
             all_responses: responses,
         };
@@ -454,6 +461,7 @@ mod tests {
             starving: 0,
             locality: None,
             faults: FaultStats::default(),
+            msg_complexity: Summary::of(&[5, 9]),
             static_responses: vec![4, 6],
             all_responses: vec![4, 6],
         };
@@ -469,5 +477,10 @@ mod tests {
         assert!(
             line.contains("\"rt_static\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6}")
         );
+        // The message-complexity summary is suffix-appended after faults,
+        // so pre-existing consumers keyed on the prefix keep working.
+        assert!(line.ends_with(
+            ",\"msg_complexity\":{\"count\":2,\"mean\":7,\"p50\":5,\"p95\":5,\"max\":9}}"
+        ));
     }
 }

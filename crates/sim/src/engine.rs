@@ -11,6 +11,7 @@ use crate::hooks::{Hook, Sink, View};
 use crate::ids::NodeId;
 use crate::protocol::{Context, DiningState, Protocol};
 use crate::rng::SimRng;
+use crate::sched::{self, DeliveryChoice, Strategy};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEntry, TraceKind};
 use crate::world::{LinkChange, Position, World};
@@ -117,6 +118,14 @@ struct FifoSlot {
     last: SimTime,
 }
 
+/// Per-directed-channel delivery counter, scoped to one link incarnation
+/// exactly like [`FifoSlot`]: a reconnected link restarts numbering at 1.
+#[derive(Clone, Copy, Debug, Default)]
+struct DeliverSlot {
+    epoch: u64,
+    count: u64,
+}
+
 /// Dense per-link bookkeeping, indexed by node-ID pairs. Replaces the
 /// `HashMap`s that used to sit on the per-message hot path: `n` is fixed
 /// for the lifetime of a run, so flat `n²`-sized tables give O(1) access
@@ -130,6 +139,8 @@ struct LinkTable {
     epoch: Vec<u64>,
     /// Last scheduled arrival per directed channel, to enforce FIFO.
     fifo: Vec<FifoSlot>,
+    /// Delivered-message counter per directed channel (trace numbering).
+    deliver: Vec<DeliverSlot>,
 }
 
 impl LinkTable {
@@ -138,6 +149,7 @@ impl LinkTable {
             n,
             epoch: vec![0; n * n],
             fifo: vec![FifoSlot::default(); n * n],
+            deliver: vec![DeliverSlot::default(); n * n],
         }
     }
 
@@ -171,6 +183,19 @@ impl LinkTable {
         let i = self.directed(from, to);
         self.fifo[i] = FifoSlot { epoch, last: at };
     }
+
+    /// 1-based sequence number of the next delivery on `from → to` within
+    /// the link's current incarnation.
+    fn next_deliver_seq(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let epoch = self.current_epoch(from, to);
+        let i = self.directed(from, to);
+        let slot = &mut self.deliver[i];
+        if slot.epoch != epoch {
+            *slot = DeliverSlot { epoch, count: 0 };
+        }
+        slot.count += 1;
+        slot.count
+    }
 }
 
 struct Core<M> {
@@ -189,6 +214,9 @@ struct Core<M> {
     links: LinkTable,
     stats: EngineStats,
     trace: Trace,
+    /// Injected schedule strategy; `None` keeps the historical seeded
+    /// uniform delay draw, bit-for-bit.
+    sched: Option<Box<dyn Strategy>>,
 }
 
 impl<M> Core<M> {
@@ -272,6 +300,7 @@ impl<P: Protocol> Engine<P> {
                 links: LinkTable::new(n),
                 stats: EngineStats::default(),
                 trace,
+                sched: None,
             },
             protocols,
             hooks: Vec::new(),
@@ -326,6 +355,7 @@ impl<P: Protocol> Engine<P> {
                 links: LinkTable::new(n),
                 stats: EngineStats::default(),
                 trace,
+                sched: None,
             },
             protocols,
             hooks: Vec::new(),
@@ -429,6 +459,60 @@ impl<P: Protocol> Engine<P> {
         &self.protocols[node.index()]
     }
 
+    /// Install a schedule [`Strategy`]: from now on it picks every delivery
+    /// delay within the legal `[min_delay, ν]` window, replacing the seeded
+    /// uniform draw. Install before running — choices already made are not
+    /// revisited.
+    pub fn set_strategy(&mut self, strategy: Box<dyn Strategy>) {
+        self.core.sched = Some(strategy);
+    }
+
+    /// Number of queued, not-yet-dispatched events. Zero at the end of a
+    /// run means the run reached quiescence (rather than the horizon).
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Deterministic digest of the global engine state — every protocol's
+    /// `state_digest`, all dining states and eating sessions, and the
+    /// ordered signature of the pending event queue. `None` if any protocol
+    /// does not implement `state_digest`.
+    ///
+    /// The current instant is deliberately excluded: two executions that
+    /// reach identical protocol states and identical *absolute* pending
+    /// times at different `now`s evolve identically, and schedule explorers
+    /// want to deduplicate exactly those.
+    pub fn state_digest(&self) -> Option<u64> {
+        let mut h = sched::Fnv::new();
+        for p in &self.protocols {
+            h.write_u64(p.state_digest()?);
+        }
+        for (d, s) in self.core.dining.iter().zip(&self.core.eating_session) {
+            h.write_u64(match d {
+                DiningState::Thinking => 0,
+                DiningState::Hungry => 1,
+                DiningState::Eating => 2,
+            });
+            h.write_u64(*s);
+        }
+        // Queue signature in dispatch order: sort by (at, seq) but hash
+        // only (at, content) — the insertion-order seq values differ across
+        // histories even when the executions are equivalent, while the
+        // *relative* order they induce is exactly what matters.
+        let mut items: Vec<(SimTime, u64, u64)> = self
+            .core
+            .queue
+            .iter()
+            .map(|Reverse(q)| (q.at, q.seq, item_digest(&q.item)))
+            .collect();
+        items.sort_unstable();
+        for (at, _, content) in items {
+            h.write_u64(at.0);
+            h.write_u64(content);
+        }
+        Some(h.finish())
+    }
+
     /// Run until the queue is exhausted or virtual time would exceed
     /// `t_end`; returns the time reached.
     ///
@@ -511,9 +595,16 @@ impl<P: Protocol> Engine<P> {
                     return;
                 }
                 self.core.stats.messages_delivered += 1;
-                self.core
-                    .trace
-                    .record(self.core.now, TraceKind::Deliver(from, to));
+                let seq = self.core.links.next_deliver_seq(from, to);
+                self.core.trace.record(
+                    self.core.now,
+                    TraceKind::Deliver {
+                        from,
+                        to,
+                        kind: P::msg_kind(&msg),
+                        seq,
+                    },
+                );
                 self.fire_hooks(|h, view, sink| h.on_deliver(view, from, to, &msg, sink));
                 self.deliver_proto(to, Event::Message { from, msg });
             }
@@ -772,10 +863,45 @@ impl<P: Protocol> Engine<P> {
             return;
         }
         self.core.stats.messages_sent += 1;
-        let delay = self
-            .core
-            .rng
-            .gen_range(self.core.cfg.min_message_delay..=self.core.cfg.max_message_delay);
+        let earliest = self.core.cfg.min_message_delay;
+        let latest = self.core.cfg.max_message_delay;
+        // Strategy path: hand the legal window (and what the delivery can
+        // be ordered against) to the injected policy. The default path is
+        // untouched so strategy-less runs stay bit-for-bit identical to
+        // every pre-existing experiment. The choice is assembled first
+        // (immutable borrows only) so the policy can then be borrowed
+        // mutably.
+        let choice = self.core.sched.is_some().then(|| {
+            let deadline = self.core.now + latest;
+            let pending_in_window = self
+                .core
+                .queue
+                .iter()
+                .filter(|Reverse(q)| q.at <= deadline)
+                .count();
+            let digest = self
+                .core
+                .sched
+                .as_ref()
+                .is_some_and(|s| s.wants_digest())
+                .then(|| self.state_digest())
+                .flatten();
+            DeliveryChoice {
+                from,
+                to,
+                kind: P::msg_kind(&msg),
+                now: self.core.now,
+                earliest,
+                latest,
+                pending_in_window,
+                fifo_floor: self.core.links.fifo_floor(from, to),
+                digest,
+            }
+        });
+        let delay = match (&choice, self.core.sched.as_mut()) {
+            (Some(choice), Some(strategy)) => strategy.choose_delay(choice).clamp(earliest, latest),
+            _ => self.core.rng.gen_range(earliest..=latest),
+        };
         let now = self.core.now;
         let mut at = now + delay;
         // ── Fault adversary ────────────────────────────────────────────
@@ -873,6 +999,47 @@ impl<P: Protocol> Engine<P> {
             self.core.push(at, Item::Command(cmd));
         }
     }
+}
+
+/// Content fingerprint of one queued item, for [`Engine::state_digest`].
+/// Message and event payloads are hashed via their `Debug` rendering
+/// (deterministic; `Protocol::Msg: Debug` is already required).
+fn item_digest<M: std::fmt::Debug>(item: &Item<M>) -> u64 {
+    let mut h = sched::Fnv::new();
+    match item {
+        Item::Deliver {
+            from,
+            to,
+            msg,
+            link_epoch,
+        } => {
+            h.write_u64(1);
+            h.write_u64(from.0 as u64);
+            h.write_u64(to.0 as u64);
+            h.write_u64(*link_epoch);
+            h.write_u64(sched::digest_of_debug(msg));
+        }
+        Item::Proto { node, ev } => {
+            h.write_u64(2);
+            h.write_u64(node.0 as u64);
+            h.write_u64(sched::digest_of_debug(ev));
+        }
+        Item::Command(cmd) => {
+            h.write_u64(3);
+            h.write_u64(sched::digest_of_debug(cmd));
+        }
+        Item::MoveStep { node, epoch } => {
+            h.write_u64(4);
+            h.write_u64(node.0 as u64);
+            h.write_u64(*epoch);
+        }
+        Item::MotionDone { node, epoch } => {
+            h.write_u64(5);
+            h.write_u64(node.0 as u64);
+            h.write_u64(*epoch);
+        }
+    }
+    h.finish()
 }
 
 /// Seed of the dedicated fault RNG: explicit when the plan names one,
@@ -1612,6 +1779,77 @@ mod tests {
         assert!(e.world().is_crashed(NodeId(0)));
         assert!(e.world().is_crashed(NodeId(1)));
         assert_eq!(e.stats().faults.crashes_injected, 2);
+    }
+
+    #[test]
+    fn strategy_picks_delays_and_deliver_traces_carry_kind_and_seq() {
+        struct AlwaysLatest;
+        impl Strategy for AlwaysLatest {
+            fn choose_delay(&mut self, c: &DeliveryChoice) -> u64 {
+                c.latest
+            }
+        }
+        let mut e = engine2();
+        e.set_strategy(Box::new(AlwaysLatest));
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        assert_eq!(e.pending_events(), 0, "run must reach quiescence");
+        let delivers: Vec<(SimTime, NodeId, u64)> = e
+            .trace()
+            .iter()
+            .filter_map(|t| match t.kind {
+                TraceKind::Deliver {
+                    from, kind, seq, ..
+                } => {
+                    assert_eq!(kind, "msg", "Echo uses the default label");
+                    Some((t.at, from, seq))
+                }
+                _ => None,
+            })
+            .collect();
+        // Ping-pong of 4 messages, each delivered exactly ν after its send:
+        // t = 11, 21, 31, 41.
+        assert_eq!(
+            delivers.iter().map(|&(at, _, _)| at).collect::<Vec<_>>(),
+            vec![SimTime(11), SimTime(21), SimTime(31), SimTime(41)]
+        );
+        // Per-directed-channel numbering: each channel carries 2 messages.
+        assert_eq!(
+            delivers
+                .iter()
+                .map(|&(_, from, seq)| (from, seq))
+                .collect::<Vec<_>>(),
+            vec![
+                (NodeId(0), 1),
+                (NodeId(1), 1),
+                (NodeId(0), 2),
+                (NodeId(1), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn random_delay_strategy_replays_from_its_seed() {
+        let run = |seed: u64| {
+            let mut e = engine2();
+            e.set_strategy(Box::new(crate::sched::RandomDelays::new(seed)));
+            e.core.push(
+                SimTime(1),
+                Item::Proto {
+                    node: NodeId(0),
+                    ev: Event::Timer { token: 0 },
+                },
+            );
+            e.run_until(SimTime(1_000));
+            (e.stats().clone(), e.trace().to_vec())
+        };
+        assert_eq!(run(3), run(3));
     }
 
     #[test]

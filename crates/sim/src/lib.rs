@@ -66,6 +66,7 @@ mod hooks;
 mod ids;
 mod protocol;
 pub mod rng;
+mod sched;
 mod time;
 mod trace;
 mod world;
@@ -81,6 +82,7 @@ pub use hooks::{Hook, Sink, View};
 pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};
 pub use rng::SimRng;
+pub use sched::{digest_of_debug, DeliveryChoice, Fnv, RandomDelays, Strategy};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};
 pub use world::{Position, World};

@@ -52,6 +52,23 @@ pub trait Protocol {
 
     /// The node's current position in the thinking/hungry/eating cycle.
     fn dining_state(&self) -> DiningState;
+
+    /// Coarse, static label of a message — used in delivery trace entries
+    /// and message-complexity accounting. The default labels everything
+    /// `"msg"`; algorithms override it to distinguish requests, forks, etc.
+    fn msg_kind(_msg: &Self::Msg) -> &'static str {
+        "msg"
+    }
+
+    /// Deterministic fingerprint of this node's protocol state, consulted
+    /// by schedule explorers for state-hash deduplication. `None` (the
+    /// default) opts out: exploration still works, just without dedup
+    /// pruning. Implementations must be pure and history-independent —
+    /// equal states must digest equally regardless of how they were
+    /// reached.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Handle through which a protocol interacts with the simulated world during

@@ -1,0 +1,200 @@
+//! Injectable schedule strategies.
+//!
+//! The engine's *only* source of nondeterminism is the per-message delivery
+//! delay: any arrival in `[send + min_delay, send + ν]` is legal under the
+//! paper's timing model, and because events are totally ordered by
+//! `(time, sequence)`, choosing the delays *is* choosing the interleaving.
+//! By default the engine draws each delay uniformly from its seeded RNG;
+//! installing a [`Strategy`] (see `Engine::set_strategy`) replaces that draw
+//! with an arbitrary policy — a random walk, an exhaustive enumerator, a
+//! priority-based adversary — without touching the engine's semantics. Runs
+//! without a strategy are bit-for-bit identical to runs before this module
+//! existed.
+
+use crate::ids::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Everything a [`Strategy`] may consult when picking the delivery delay of
+/// one message. All fields are snapshots taken at send time.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryChoice {
+    /// The sender.
+    pub from: NodeId,
+    /// The destination.
+    pub to: NodeId,
+    /// Coarse label of the message (see `Protocol::msg_kind`).
+    pub kind: &'static str,
+    /// The send instant.
+    pub now: SimTime,
+    /// Smallest legal delay (`SimConfig::min_message_delay`).
+    pub earliest: u64,
+    /// Largest legal delay (the paper's ν, `SimConfig::max_message_delay`).
+    pub latest: u64,
+    /// Number of already-queued events that dispatch at or before
+    /// `now + latest` — the events this delivery can be ordered against.
+    pub pending_in_window: usize,
+    /// FIFO floor of the `from → to` channel in its current incarnation
+    /// (the delivery will be clamped above it regardless of the choice).
+    pub fifo_floor: Option<SimTime>,
+    /// Digest of the global engine state, present only when the strategy
+    /// asked for it via [`Strategy::wants_digest`] and every protocol
+    /// implements `state_digest`.
+    pub digest: Option<u64>,
+}
+
+impl DeliveryChoice {
+    /// True when every legal delay yields the same *event ordering*: either
+    /// the window is a single point, the FIFO floor clamps every choice to
+    /// the same arrival, or no other queued event can dispatch within the
+    /// window (commuting deliveries — the delivery is the next relevant
+    /// event no matter which delay is picked). Enumerating strategies use
+    /// this as a partial-order reduction and skip branching here; see
+    /// DESIGN.md §9 for the soundness argument and its caveat.
+    pub fn forced(&self) -> bool {
+        self.earliest == self.latest
+            || self.fifo_floor.is_some_and(|f| f >= self.now + self.latest)
+            || self.pending_in_window == 0
+    }
+}
+
+/// A schedule strategy: called once per accepted send to pick the delivery
+/// delay. The returned value is clamped to `[earliest, latest]`, then flows
+/// through the unchanged fault-adversary and FIFO machinery.
+pub trait Strategy {
+    /// Pick the delivery delay for one message.
+    fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64;
+
+    /// Whether the engine should compute [`DeliveryChoice::digest`] for this
+    /// strategy. Defaults to `false`: the digest walks every protocol's
+    /// state on each send, which only state-deduplicating explorers need.
+    fn wants_digest(&self) -> bool {
+        false
+    }
+}
+
+/// Seeded random walk over legal schedules: every delay is drawn uniformly
+/// from the full legal window, from a stream independent of the engine's
+/// own RNG. Two walks with the same seed replay byte-for-byte.
+#[derive(Clone, Debug)]
+pub struct RandomDelays {
+    rng: SimRng,
+}
+
+impl RandomDelays {
+    /// Create a walk from `seed`.
+    pub fn new(seed: u64) -> RandomDelays {
+        RandomDelays {
+            rng: SimRng::seed_from_u64(seed ^ 0x5C4E_D01E_4A1C_0001),
+        }
+    }
+}
+
+impl Strategy for RandomDelays {
+    fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64 {
+        self.rng.gen_range(choice.earliest..=choice.latest)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher, used for schedule-exploration state
+/// digests. Not cryptographic; collisions merely weaken dedup pruning.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one word (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+/// FNV-1a digest of a value's `Debug` rendering — the lazy but fully
+/// deterministic way to fingerprint protocol state without a `Hash` bound.
+pub fn digest_of_debug<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv::new();
+    h.write_bytes(format!("{value:?}").as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choice(earliest: u64, latest: u64, pending: usize, floor: Option<u64>) -> DeliveryChoice {
+        DeliveryChoice {
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: "msg",
+            now: SimTime(100),
+            earliest,
+            latest,
+            pending_in_window: pending,
+            fifo_floor: floor.map(SimTime),
+            digest: None,
+        }
+    }
+
+    #[test]
+    fn forced_when_window_degenerate_or_clamped_or_alone() {
+        assert!(choice(3, 3, 5, None).forced(), "single-point window");
+        assert!(choice(1, 10, 5, Some(110)).forced(), "FIFO floor at ν");
+        assert!(choice(1, 10, 0, None).forced(), "nothing else in window");
+        assert!(!choice(1, 10, 5, Some(105)).forced());
+        assert!(!choice(1, 10, 1, None).forced());
+    }
+
+    #[test]
+    fn random_delays_stay_in_window_and_replay() {
+        let mut a = RandomDelays::new(7);
+        let mut b = RandomDelays::new(7);
+        let mut c = RandomDelays::new(8);
+        let mut diverged = false;
+        for _ in 0..200 {
+            let ch = choice(1, 10, 3, None);
+            let da = a.choose_delay(&ch);
+            assert!((1..=10).contains(&da));
+            assert_eq!(da, b.choose_delay(&ch), "same seed must replay");
+            diverged |= da != c.choose_delay(&ch);
+        }
+        assert!(diverged, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn debug_digest_is_stable_and_discriminating() {
+        assert_eq!(
+            digest_of_debug(&(1u64, 2u64)),
+            digest_of_debug(&(1u64, 2u64))
+        );
+        assert_ne!(
+            digest_of_debug(&(1u64, 2u64)),
+            digest_of_debug(&(2u64, 1u64))
+        );
+    }
+}

@@ -7,8 +7,18 @@ use crate::time::SimTime;
 /// The kind of a trace entry.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceKind {
-    /// A message was delivered from the first node to the second.
-    Deliver(NodeId, NodeId),
+    /// A message was delivered.
+    Deliver {
+        /// The sender.
+        from: NodeId,
+        /// The receiver.
+        to: NodeId,
+        /// Coarse label of the message (see `Protocol::msg_kind`).
+        kind: &'static str,
+        /// 1-based delivery sequence number on the `from → to` channel,
+        /// scoped to the link incarnation (a reconnect restarts at 1).
+        seq: u64,
+    },
     /// A link came up between the two nodes (first = designated static side).
     LinkUp(NodeId, NodeId),
     /// A link between the two nodes failed.

@@ -16,7 +16,9 @@
 //!   Algorithm 2;
 //! * [`baselines`] — Chandy–Misra and Choy–Singh comparators;
 //! * [`harness`] — topologies, workloads, safety/liveness checkers,
-//!   metrics, failure-locality probes, and the one-call runner.
+//!   metrics, failure-locality probes, and the one-call runner;
+//! * [`check`] — bounded schedule-space model checker with witness
+//!   shrinking and byte-for-byte replay (`lme check`).
 //!
 //! ## Quickstart
 //!
@@ -41,5 +43,6 @@ pub use baselines;
 pub use coloring;
 pub use doorway;
 pub use harness;
+pub use lme_check as check;
 pub use local_mutex as lme;
 pub use manet_sim as sim;
