@@ -77,6 +77,8 @@ pub enum Command {
     Chaos,
     /// Bounded schedule-space model checking with witness shrink/replay.
     Check,
+    /// Scaling benchmark of the link engines (`lme bench scale`).
+    Bench,
 }
 
 /// Everything the CLI understood.
@@ -144,6 +146,15 @@ pub struct Cli {
     pub replay_witness: Option<String>,
     /// Check: deliberate algorithm defect for checker self-validation.
     pub mutate: Mutation,
+    /// Bench: node counts of the scaling ladder.
+    pub bench_ns: Vec<usize>,
+    /// Bench: relocation steps measured per node count.
+    pub bench_steps: usize,
+    /// Bench: where the JSON trajectory is written.
+    pub bench_out: String,
+    /// Bench: largest n at which the pairwise reference engine also runs
+    /// (it is O(n²); past this only the grid engine is measured).
+    pub bench_pairwise_cap: usize,
 }
 
 impl Default for Cli {
@@ -177,13 +188,17 @@ impl Default for Cli {
             witness_out: None,
             replay_witness: None,
             mutate: Mutation::None,
+            bench_ns: vec![1_000, 2_500, 5_000, 10_000],
+            bench_steps: 20_000,
+            bench_out: "BENCH_scale.json".to_string(),
+            bench_pairwise_cap: 2_500,
         }
     }
 }
 
 /// Usage text shown for `lme list` and on errors.
 pub const USAGE: &str = "\
-usage: lme <list|run|probe|sweep|chaos|check> [options]
+usage: lme <list|run|probe|sweep|chaos|check|bench> [options]
 
 commands:
   list    print algorithms and topology syntax
@@ -194,6 +209,9 @@ commands:
           partition, max-delay), aggregated report
   check   explore the legal delivery schedules of a small model for
           safety/liveness violations; shrink and replay witnesses
+  bench   `bench scale`: random-waypoint link-derivation cost of the
+          spatial-grid engine vs the pairwise reference across a node
+          ladder, written as a JSON trajectory
 
 options:
   --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
@@ -234,6 +252,13 @@ model checking (check):
                        algorithm to validate the checker   (default none)
   --witness-out <p>    write the shrunk witness JSON to <p>
   --replay <p>         replay a witness file instead of exploring
+
+scaling benchmark (bench scale):
+  --ns <a,b,...>       node-count ladder        (default 1000,2500,5000,10000)
+  --steps-per-n <k>    relocation steps per n   (default 20000)
+  --out <p>            JSON trajectory path     (default BENCH_scale.json)
+  --pairwise-cap <n>   largest n that also runs the O(n^2) reference
+                       engine                   (default 2500)
 ";
 
 fn parse_alg(s: &str) -> Result<AlgKind, String> {
@@ -367,8 +392,21 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         "sweep" => Command::Sweep,
         "chaos" => Command::Chaos,
         "check" => Command::Check,
+        "bench" => Command::Bench,
         other => return Err(format!("unknown command '{other}'\n{USAGE}")),
     };
+    if cli.command == Command::Bench {
+        // `bench` takes a positional mode; `scale` is the only one (and
+        // the default when omitted).
+        if it.peek().is_some_and(|a| !a.starts_with("--")) {
+            let mode = it.next().expect("peeked");
+            if mode != "scale" {
+                return Err(format!(
+                    "unknown bench mode '{mode}'; try `lme bench scale`"
+                ));
+            }
+        }
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -450,6 +488,26 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             "--mutate" => cli.mutate = Mutation::parse(&value("--mutate")?)?,
             "--witness-out" => cli.witness_out = Some(value("--witness-out")?),
             "--replay" => cli.replay_witness = Some(value("--replay")?),
+            "--ns" => {
+                let ns: Result<Vec<usize>, String> = value("--ns")?
+                    .split(',')
+                    .map(|s| parse_usize(s.trim(), "node count"))
+                    .collect();
+                cli.bench_ns = ns?;
+                if cli.bench_ns.is_empty() || cli.bench_ns.contains(&0) {
+                    return Err("--ns needs at least one positive node count".to_string());
+                }
+            }
+            "--steps-per-n" => {
+                cli.bench_steps = parse_usize(&value("--steps-per-n")?, "step count")?;
+                if cli.bench_steps == 0 {
+                    return Err("--steps-per-n must be at least 1".to_string());
+                }
+            }
+            "--out" => cli.bench_out = value("--out")?,
+            "--pairwise-cap" => {
+                cli.bench_pairwise_cap = parse_usize(&value("--pairwise-cap")?, "pairwise cap")?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -632,6 +690,33 @@ mod tests {
         assert!(parse(argv("check --nodes 0")).is_err());
         assert!(parse(argv("check --mutate frobnicate")).is_err());
         assert!(parse(argv("check --witness-out")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let cli = parse(argv(
+            "bench scale --ns 100,200 --steps-per-n 500 --out b.json --pairwise-cap 150",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Bench);
+        assert_eq!(cli.bench_ns, vec![100, 200]);
+        assert_eq!(cli.bench_steps, 500);
+        assert_eq!(cli.bench_out, "b.json");
+        assert_eq!(cli.bench_pairwise_cap, 150);
+        // The mode word is optional (scale is the only mode).
+        let default = parse(argv("bench")).unwrap();
+        assert_eq!(default.command, Command::Bench);
+        assert_eq!(default.bench_ns, vec![1_000, 2_500, 5_000, 10_000]);
+        assert_eq!(default.bench_out, "BENCH_scale.json");
+    }
+
+    #[test]
+    fn rejects_malformed_bench_flags() {
+        assert!(parse(argv("bench warp")).is_err());
+        assert!(parse(argv("bench scale --ns")).is_err());
+        assert!(parse(argv("bench scale --ns 0")).is_err());
+        assert!(parse(argv("bench scale --ns 10,x")).is_err());
+        assert!(parse(argv("bench scale --steps-per-n 0")).is_err());
     }
 
     #[test]

@@ -8,8 +8,8 @@ use harness::{
 };
 use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
 use manet_sim::{
-    DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, Position, SimConfig, SimTime,
-    World,
+    DelayAdversary, FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position,
+    SimConfig, SimRng, SimTime, World,
 };
 
 use crate::args::{Cli, Command, TopoSpec, USAGE};
@@ -406,15 +406,7 @@ fn check_edges(cli: &Cli) -> (usize, Vec<(u32, u32)>) {
                 SimConfig::default().radio_range,
                 positions.into_iter().map(Position::from).collect(),
             );
-            let mut edges = Vec::new();
-            for i in 0..n as u32 {
-                for &j in world.neighbors(NodeId(i)) {
-                    if j.0 > i {
-                        edges.push((i, j.0));
-                    }
-                }
-            }
-            (n, edges)
+            (n, world.csr_snapshot().edges().collect())
         }
     }
 }
@@ -540,6 +532,147 @@ fn render_check(cli: &Cli) -> Result<String, String> {
     Ok(s)
 }
 
+/// One measured cell of the scaling benchmark.
+struct BenchRow {
+    n: usize,
+    engine: &'static str,
+    steps: usize,
+    elapsed_ns: u128,
+    /// Candidate peers examined across all relocations — the
+    /// machine-independent cost witness ([`World::candidates_examined`]).
+    candidates: u64,
+    link_changes: u64,
+    avg_degree: f64,
+}
+
+impl BenchRow {
+    fn ns_per_step(&self) -> f64 {
+        self.elapsed_ns as f64 / self.steps as f64
+    }
+
+    fn candidates_per_step(&self) -> f64 {
+        self.candidates as f64 / self.steps as f64
+    }
+}
+
+/// Measure `steps` random local motions on an `n`-node constant-density
+/// random deployment under one link engine. Constant density (the
+/// `random_connected` convention: ≈ 1.6 nodes per unit square) is the
+/// regime where the grid's cost stays flat while the pairwise scan grows
+/// linearly with n.
+fn bench_cell(n: usize, seed: u64, steps: usize, engine: LinkEngine) -> BenchRow {
+    let side = (n as f64 / 1.6).sqrt().max(2.0);
+    let positions: Vec<Position> = topology::random_points(n, side, seed)
+        .into_iter()
+        .map(Position::from)
+        .collect();
+    let mut world = World::with_engine(SimConfig::default().radio_range, positions, engine);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5CA1_E000);
+    let step_len = 0.25;
+    let mut link_changes = 0u64;
+    let start = std::time::Instant::now();
+    for _ in 0..steps {
+        let node = NodeId(rng.gen_range(0..=(n as u64 - 1)) as u32);
+        let p = world.position(node);
+        let angle = rng.gen_f64() * std::f64::consts::TAU;
+        let next = Position {
+            x: (p.x + angle.cos() * step_len).clamp(0.0, side),
+            y: (p.y + angle.sin() * step_len).clamp(0.0, side),
+        };
+        link_changes += world.relocate(node, next).len() as u64;
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let degree_total: usize = (0..n as u32)
+        .map(|i| world.neighbors(NodeId(i)).len())
+        .sum();
+    BenchRow {
+        n,
+        engine: match engine {
+            LinkEngine::Grid => "grid",
+            LinkEngine::Pairwise => "pairwise",
+        },
+        steps,
+        elapsed_ns,
+        candidates: world.candidates_examined(),
+        link_changes,
+        avg_degree: degree_total as f64 / n as f64,
+    }
+}
+
+fn render_bench_scale(cli: &Cli) -> Result<String, String> {
+    let mut rows = Vec::new();
+    for &n in &cli.bench_ns {
+        rows.push(bench_cell(n, cli.seed, cli.bench_steps, LinkEngine::Grid));
+        if n <= cli.bench_pairwise_cap {
+            rows.push(bench_cell(
+                n,
+                cli.seed,
+                cli.bench_steps,
+                LinkEngine::Pairwise,
+            ));
+        }
+    }
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"scale\",\n");
+    json.push_str(&format!(
+        "  \"radio_range\": {},\n",
+        SimConfig::default().radio_range
+    ));
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"steps_per_n\": {},\n", cli.bench_steps));
+    json.push_str(&format!(
+        "  \"pairwise_cap\": {},\n",
+        cli.bench_pairwise_cap
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"engine\": \"{}\", \"steps\": {}, \"elapsed_ns\": {}, \
+             \"ns_per_step\": {:.1}, \"candidates_per_step\": {:.2}, \
+             \"avg_degree\": {:.2}, \"link_changes\": {}}}{}\n",
+            r.n,
+            r.engine,
+            r.steps,
+            r.elapsed_ns,
+            r.ns_per_step(),
+            r.candidates_per_step(),
+            r.avg_degree,
+            r.link_changes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cli.bench_out, &json)
+        .map_err(|e| format!("cannot write {}: {e}", cli.bench_out))?;
+    let mut s = format!(
+        "bench scale: {} relocation steps per n, seed {}, radio range {}\n",
+        cli.bench_steps,
+        cli.seed,
+        SimConfig::default().radio_range
+    );
+    let mut table = Table::new(&[
+        "n",
+        "engine",
+        "ns/step",
+        "candidates/step",
+        "avg degree",
+        "link changes",
+    ]);
+    for r in &rows {
+        table.row([
+            r.n.to_string(),
+            r.engine.to_string(),
+            format!("{:.0}", r.ns_per_step()),
+            format!("{:.2}", r.candidates_per_step()),
+            format!("{:.2}", r.avg_degree),
+            r.link_changes.to_string(),
+        ]);
+    }
+    s.push_str(&table.to_string());
+    s.push_str(&format!("trajectory written to {}\n", cli.bench_out));
+    Ok(s)
+}
+
 /// Execute a parsed command and return the rendered report.
 ///
 /// # Errors
@@ -583,6 +716,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Sweep => render_sweep(cli),
         Command::Chaos => render_chaos(cli),
         Command::Check => render_check(cli),
+        Command::Bench => render_bench_scale(cli),
     }
 }
 
@@ -797,6 +931,35 @@ mod tests {
     #[test]
     fn check_rejects_mutation_on_non_a1_algorithms() {
         assert!(run_cli(argv("check --alg a2 --nodes 2 --mutate no-sdf-guard")).is_err());
+    }
+
+    #[test]
+    fn bench_scale_records_sublinear_grid_cost() {
+        let dir = std::env::temp_dir().join("lme-cli-test-bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scale.json");
+        let out = run_cli(argv(&format!(
+            "bench scale --ns 64,256 --steps-per-n 200 --pairwise-cap 256 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("trajectory written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        // The pairwise engine examines exactly n − 1 candidates per step.
+        assert!(json.contains("\"candidates_per_step\": 63.00"), "{json}");
+        assert!(json.contains("\"candidates_per_step\": 255.00"), "{json}");
+        // The grid engine's candidate count tracks local density (≈ 30 at
+        // 1.6 nodes per unit² and range 1.5), independent of n.
+        for line in json.lines().filter(|l| l.contains("\"engine\": \"grid\"")) {
+            let c = line
+                .split("\"candidates_per_step\": ")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap();
+            assert!(c < 64.0, "grid candidates/step {c} not local:\n{line}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -8,7 +8,8 @@ use baselines::{choy_singh, ChandyMisra, StaticColoring};
 use coloring::LinialSchedule;
 use local_mutex::{Algorithm1, Algorithm2};
 use manet_sim::{
-    Command, Engine, EngineStats, NodeId, Position, Protocol, SimConfig, SimRng, SimTime, World,
+    Command, CsrAdjacency, Engine, EngineStats, NodeId, Position, Protocol, SimConfig, SimRng,
+    SimTime, World,
 };
 
 use crate::metrics::{Metrics, MetricsData};
@@ -71,8 +72,8 @@ pub struct RunOutcome {
     pub events: u64,
     /// Full engine counters (deliveries and the two drop classes).
     pub stats: EngineStats,
-    /// Final adjacency lists (index = node ID).
-    pub adjacency: Vec<Vec<u32>>,
+    /// Final adjacency as an immutable CSR snapshot (sorted rows).
+    pub adjacency: CsrAdjacency,
     /// Nodes crashed during the run.
     pub crashed: Vec<NodeId>,
     /// When the [`RunSpec::crash_eating`] fault fired, if it did.
@@ -115,13 +116,13 @@ impl RunOutcome {
         let mut dist = vec![None; n];
         let mut queue = std::collections::VecDeque::new();
         dist[src.index()] = Some(0);
-        queue.push_back(src.index());
+        queue.push_back(src);
         while let Some(u) = queue.pop_front() {
-            let du = dist[u].expect("queued implies visited");
-            for &v in &self.adjacency[u] {
-                if dist[v as usize].is_none() {
-                    dist[v as usize] = Some(du + 1);
-                    queue.push_back(v as usize);
+            let du = dist[u.index()].expect("queued implies visited");
+            for &v in self.adjacency.neighbors(u) {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
                 }
             }
         }
@@ -202,9 +203,7 @@ where
     setup(&mut engine);
     engine.run_until(SimTime(spec.horizon));
     let world = engine.world();
-    let adjacency = (0..n as u32)
-        .map(|i| world.neighbors(NodeId(i)).iter().map(|j| j.0).collect())
-        .collect();
+    let adjacency = world.csr_snapshot();
     let crashed = (0..n as u32)
         .map(NodeId)
         .filter(|&i| world.is_crashed(i))
@@ -389,14 +388,7 @@ pub fn run_algorithm(
             |e| schedule_all(e, commands),
         ),
         AlgKind::ChoySingh => {
-            let mut edges = Vec::new();
-            for i in 0..n as u32 {
-                for j in init_world.neighbors(NodeId(i)) {
-                    if j.0 > i {
-                        edges.push((i, j.0));
-                    }
-                }
-            }
+            let edges: Vec<(u32, u32)> = init_world.csr_snapshot().edges().collect();
             let coloring = Rc::new(StaticColoring::compute(n, edges));
             run_protocol(
                 spec,

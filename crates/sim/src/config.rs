@@ -2,6 +2,7 @@
 
 use crate::fault::FaultPlan;
 use crate::time::SimTime;
+use crate::world::LinkEngine;
 
 /// Configuration of a simulation run.
 ///
@@ -43,6 +44,13 @@ pub struct SimConfig {
     /// The fault-injection adversary schedule (empty by default: no
     /// faults, and no perturbation of the engine's random stream).
     pub fault: FaultPlan,
+    /// Which link-derivation engine geometric worlds use. The default is
+    /// the spatial-grid fast path ([`LinkEngine::Grid`]) unless the crate
+    /// is built with the `reference` feature, which restores the pairwise
+    /// O(n²) scan. Both paths are bit-for-bit equivalent (pinned by the
+    /// differential suite); this knob exists so one binary can compare
+    /// them.
+    pub link_engine: LinkEngine,
 }
 
 impl Default for SimConfig {
@@ -57,6 +65,7 @@ impl Default for SimConfig {
             max_events: 200_000_000,
             trace: false,
             fault: FaultPlan::default(),
+            link_engine: LinkEngine::default(),
         }
     }
 }

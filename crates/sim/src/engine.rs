@@ -264,9 +264,10 @@ impl<P: Protocol> Engine<P> {
         F: FnMut(NodeSeed) -> P,
     {
         cfg.validate().expect("invalid SimConfig");
-        let world = World::new(
+        let world = World::with_engine(
             cfg.radio_range,
             positions.into_iter().map(Into::into).collect(),
+            cfg.link_engine,
         );
         let n = world.len();
         let max_degree = world.max_degree();

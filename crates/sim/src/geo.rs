@@ -1,0 +1,287 @@
+//! Spatial indexing for the link engine: a uniform hash grid over node
+//! positions plus an immutable CSR adjacency snapshot.
+//!
+//! The grid partitions the plane into square cells slightly wider than the
+//! radio range, so any two nodes within range of each other always sit in
+//! the same cell or in horizontally/vertically/diagonally adjacent cells.
+//! Link re-derivation after a node moves therefore only needs to examine
+//! the ≤ 9 cells around the node instead of all `n` peers — the candidate
+//! set scales with *local density*, not with the network size.
+//!
+//! Correctness does not depend on the grid being tight: the grid only
+//! *prunes* candidates, and every surviving candidate is still checked
+//! with the exact unit-disk predicate. The only hazard is a false
+//! negative (a peer within range missing from the 3×3 neighborhood),
+//! which the 1-ppb cell padding in [`cell_size`] rules out (see below).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::ids::NodeId;
+use crate::world::Position;
+
+/// Cell width for a given radio range.
+///
+/// The width is the radio range padded by one part per billion. With cells
+/// exactly as wide as the range, a pair at distance *exactly* the range
+/// whose coordinates round unluckily in `x / cell` could land two whole
+/// cells apart and be missed. The padding makes the true cell-index gap of
+/// an in-range pair at most `1 − 1e-9`, while the floating-point error of
+/// the key computation is bounded by a few ulps of `x / cell` — many
+/// orders of magnitude below the slack for any realistic coordinate
+/// magnitude. A non-positive range (only coincident nodes can link)
+/// degenerates to unit cells.
+fn cell_size(radio_range: f64) -> f64 {
+    if radio_range > 0.0 {
+        radio_range * (1.0 + 1e-9)
+    } else {
+        1.0
+    }
+}
+
+/// FNV-1a over the raw key bytes: a fixed, deterministic cell hasher (the
+/// default `RandomState` would also be *observationally* deterministic —
+/// the grid never iterates the whole map — but a fixed hasher keeps even
+/// internal layout independent of the process).
+#[derive(Clone)]
+pub(crate) struct CellHasher(u64);
+
+impl Default for CellHasher {
+    fn default() -> CellHasher {
+        CellHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for CellHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+type CellMap = HashMap<(i64, i64), Vec<NodeId>, BuildHasherDefault<CellHasher>>;
+
+/// A uniform spatial hash grid: cell (slightly wider than the radio range)
+/// → the nodes currently inside it. Nodes migrate between cells
+/// incrementally as they move.
+#[derive(Clone, Debug)]
+pub(crate) struct Grid {
+    cell: f64,
+    cells: CellMap,
+    /// Current cell key of every node (index = node ID).
+    key_of: Vec<(i64, i64)>,
+}
+
+impl Grid {
+    /// Build the grid for `positions` with cells sized for `radio_range`.
+    pub(crate) fn new(radio_range: f64, positions: &[Position]) -> Grid {
+        let mut grid = Grid {
+            cell: cell_size(radio_range),
+            cells: CellMap::default(),
+            key_of: Vec::with_capacity(positions.len()),
+        };
+        for (i, &p) in positions.iter().enumerate() {
+            let key = grid.key(p);
+            grid.key_of.push(key);
+            grid.cells.entry(key).or_default().push(NodeId(i as u32));
+        }
+        grid
+    }
+
+    fn key(&self, p: Position) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Migrate `n` to the cell of `new_pos` (no-op when it stays put).
+    pub(crate) fn relocate(&mut self, n: NodeId, new_pos: Position) {
+        let new_key = self.key(new_pos);
+        let old_key = self.key_of[n.index()];
+        if new_key == old_key {
+            return;
+        }
+        let old = self.cells.get_mut(&old_key).expect("node's cell exists");
+        let at = old.iter().position(|&m| m == n).expect("node in its cell");
+        old.swap_remove(at);
+        if old.is_empty() {
+            // Keep the map proportional to *occupied* cells even under
+            // unbounded motion.
+            self.cells.remove(&old_key);
+        }
+        self.cells.entry(new_key).or_default().push(n);
+        self.key_of[n.index()] = new_key;
+    }
+
+    /// Append every node in the 3×3 cell neighborhood of `p` to `out`
+    /// (unsorted, may include the querying node itself). This is a
+    /// superset of all nodes within radio range of `p`.
+    pub(crate) fn near(&self, p: Position, out: &mut Vec<NodeId>) {
+        let (cx, cy) = self.key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cell) = self.cells.get(&(cx + dx, cy + dy)) {
+                    out.extend_from_slice(cell);
+                }
+            }
+        }
+    }
+}
+
+/// An immutable compressed-sparse-row snapshot of a [`crate::World`]'s
+/// adjacency: `offsets[i]..offsets[i + 1]` indexes the sorted neighbor
+/// slice of node `i` inside `targets`. One flat allocation replaces the
+/// per-node `Vec` collections consumers used to build, and sortedness is
+/// a checked invariant rather than a convention.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Flatten per-node neighbor lists into CSR form.
+    ///
+    /// Debug builds assert that every row is strictly sorted by ID — the
+    /// invariant all downstream consumers (BFS, edge extraction, protocol
+    /// seeding) rely on instead of defensively re-sorting.
+    pub(crate) fn from_lists(adj: &[Vec<NodeId>]) -> CsrAdjacency {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for row in adj {
+            debug_assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "adjacency row must be strictly sorted: {row:?}"
+            );
+            targets.extend_from_slice(row);
+            offsets.push(targets.len() as u32);
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the snapshot covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Neighbors of `n`, sorted by ID.
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        let (a, b) = (self.offsets[n.index()], self.offsets[n.index() + 1]);
+        &self.targets[a as usize..b as usize]
+    }
+
+    /// Degree of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors(n).len()
+    }
+
+    /// All undirected edges as `(a, b)` pairs with `a < b`, in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.len() as u32).flat_map(move |i| {
+            self.neighbors(NodeId(i))
+                .iter()
+                .filter(move |j| j.0 > i)
+                .map(move |j| (i, j.0))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_migration_tracks_cells() {
+        let positions = vec![Position { x: 0.0, y: 0.0 }, Position { x: 10.0, y: 0.0 }];
+        let mut g = Grid::new(1.5, &positions);
+        let mut near0 = Vec::new();
+        g.near(positions[0], &mut near0);
+        assert_eq!(near0, vec![NodeId(0)]);
+        // Walk node 1 next to node 0: it must appear in the neighborhood.
+        g.relocate(NodeId(1), Position { x: 1.0, y: 0.0 });
+        near0.clear();
+        g.near(positions[0], &mut near0);
+        near0.sort_unstable();
+        assert_eq!(near0, vec![NodeId(0), NodeId(1)]);
+        // And vanish again when it leaves.
+        g.relocate(NodeId(1), Position { x: -40.0, y: 7.0 });
+        near0.clear();
+        g.near(positions[0], &mut near0);
+        assert_eq!(near0, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn near_covers_exact_range_distance() {
+        // Two nodes exactly one radio range apart, sitting exactly on cell
+        // corners: the 3x3 neighborhood must still pair them up.
+        for r in [1.0, 1.5, 2.5] {
+            for k in -3i32..=3 {
+                let a = Position {
+                    x: f64::from(k) * r,
+                    y: 0.0,
+                };
+                let b = Position {
+                    x: f64::from(k) * r + r,
+                    y: 0.0,
+                };
+                let g = Grid::new(r, &[a, b]);
+                let mut out = Vec::new();
+                g.near(a, &mut out);
+                assert!(out.contains(&NodeId(1)), "r={r} k={k}: missed peer");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cells_are_dropped() {
+        let mut g = Grid::new(1.0, &[Position { x: 0.0, y: 0.0 }]);
+        for i in 0..100 {
+            g.relocate(
+                NodeId(0),
+                Position {
+                    x: f64::from(i) * 5.0,
+                    y: 0.0,
+                },
+            );
+        }
+        assert_eq!(g.cells.len(), 1, "stale cells must be garbage-collected");
+    }
+
+    #[test]
+    fn csr_round_trips_lists() {
+        let lists = vec![
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(0)],
+            vec![NodeId(0)],
+            vec![],
+        ];
+        let csr = CsrAdjacency::from_lists(&lists);
+        assert_eq!(csr.len(), 4);
+        assert!(!csr.is_empty());
+        assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(csr.neighbors(NodeId(3)), &[]);
+        assert_eq!(csr.degree(NodeId(0)), 2);
+        assert_eq!(csr.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn csr_rejects_unsorted_rows() {
+        let _ = CsrAdjacency::from_lists(&[vec![NodeId(2), NodeId(1)]]);
+    }
+}

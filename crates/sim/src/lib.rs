@@ -62,6 +62,7 @@ mod config;
 mod engine;
 mod event;
 mod fault;
+mod geo;
 mod hooks;
 mod ids;
 mod protocol;
@@ -78,6 +79,7 @@ pub use event::{Event, LinkUpKind};
 pub use fault::{
     Burst, CrashWave, DelayAdversary, FaultPlan, FaultStats, LinkFaults, PartitionWindow,
 };
+pub use geo::CsrAdjacency;
 pub use hooks::{Hook, Sink, View};
 pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};
@@ -85,4 +87,4 @@ pub use rng::SimRng;
 pub use sched::{digest_of_debug, DeliveryChoice, Fnv, RandomDelays, Strategy};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};
-pub use world::{Position, World};
+pub use world::{LinkChange, LinkEngine, Position, World};

@@ -1,6 +1,7 @@
 //! The physical world: node positions, unit-disk connectivity, motion and
 //! crash status.
 
+use crate::geo::{CsrAdjacency, Grid};
 use crate::ids::NodeId;
 
 /// A point in the 2D plane.
@@ -22,6 +23,37 @@ impl Position {
 impl From<(f64, f64)> for Position {
     fn from((x, y): (f64, f64)) -> Self {
         Position { x, y }
+    }
+}
+
+/// Which link-derivation engine a geometric [`World`] uses.
+///
+/// Both engines implement the same unit-disk semantics and produce
+/// bit-for-bit identical link-change sequences (the differential suite in
+/// `tests/engine_equivalence.rs` pins this); they differ only in cost:
+///
+/// * [`LinkEngine::Grid`] — the default: a uniform spatial hash grid
+///   (see [`crate::geo`]) restricts every link re-derivation to the ≤ 9
+///   cells around the affected node, so per-step cost scales with local
+///   density instead of the network size.
+/// * [`LinkEngine::Pairwise`] — the reference O(n²) scan kept as the
+///   semantic anchor; it becomes the default when the crate is compiled
+///   with the `reference` feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkEngine {
+    /// Spatial-hash-grid fast path (default).
+    Grid,
+    /// Pairwise O(n²) reference path.
+    Pairwise,
+}
+
+impl Default for LinkEngine {
+    fn default() -> LinkEngine {
+        if cfg!(feature = "reference") {
+            LinkEngine::Pairwise
+        } else {
+            LinkEngine::Grid
+        }
     }
 }
 
@@ -50,6 +82,14 @@ pub struct World {
     crashed: Vec<bool>,
     /// Adjacency sets, kept sorted for deterministic iteration.
     adj: Vec<Vec<NodeId>>,
+    /// Spatial index over `positions`; `Some` iff this is a geometric
+    /// world running the [`LinkEngine::Grid`] fast path.
+    grid: Option<Grid>,
+    /// Candidate peers examined by [`World::relocate`] since construction —
+    /// a deterministic, machine-independent measure of link-update cost
+    /// (the grid path examines O(local density) candidates per step, the
+    /// pairwise path always examines `n − 1`).
+    scanned: u64,
     /// Explicit-graph mode: links were given directly instead of being
     /// derived from positions; such worlds are immutable (no movement).
     explicit: bool,
@@ -64,37 +104,74 @@ pub struct World {
 
 /// A change to the link set caused by a node's position update.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum LinkChange {
+pub enum LinkChange {
+    /// A link formed between the two nodes.
     Up(NodeId, NodeId),
+    /// The link between the two nodes broke.
     Down(NodeId, NodeId),
 }
 
 impl World {
     /// Create a world with the given positions; links are derived from the
     /// unit-disk rule immediately (this is the initial topology, established
-    /// without LinkUp notifications).
+    /// without LinkUp notifications). Uses the default [`LinkEngine`].
     pub fn new(radio_range: f64, positions: Vec<Position>) -> World {
+        World::with_engine(radio_range, positions, LinkEngine::default())
+    }
+
+    /// Create a world with an explicitly chosen link-derivation engine.
+    /// Both engines produce identical link sets and change sequences; see
+    /// [`LinkEngine`].
+    pub fn with_engine(radio_range: f64, positions: Vec<Position>, engine: LinkEngine) -> World {
         let n = positions.len();
+        let grid = match engine {
+            LinkEngine::Grid => Some(Grid::new(radio_range, &positions)),
+            LinkEngine::Pairwise => None,
+        };
         let mut world = World {
             radio_range,
             positions,
             moving: vec![None; n],
             crashed: vec![false; n],
             adj: vec![Vec::new(); n],
+            grid,
+            scanned: 0,
             explicit: false,
             cut: None,
             severed: Vec::new(),
         };
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if world.in_range(NodeId(i as u32), NodeId(j as u32)) {
-                    world.adj[i].push(NodeId(j as u32));
-                    world.adj[j].push(NodeId(i as u32));
+        if let Some(grid) = &world.grid {
+            // One candidate query per node; each in-range candidate pair is
+            // seen from both sides, so no cross-wiring pass is needed.
+            let mut cand = Vec::new();
+            for i in 0..n {
+                let me = NodeId(i as u32);
+                cand.clear();
+                grid.near(world.positions[i], &mut cand);
+                let mut row: Vec<NodeId> = cand
+                    .iter()
+                    .copied()
+                    .filter(|&j| {
+                        j != me
+                            && world.positions[i].distance(world.positions[j.index()])
+                                <= world.radio_range
+                    })
+                    .collect();
+                row.sort_unstable();
+                world.adj[i] = row;
+            }
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if world.in_range(NodeId(i as u32), NodeId(j as u32)) {
+                        world.adj[i].push(NodeId(j as u32));
+                        world.adj[j].push(NodeId(i as u32));
+                    }
                 }
             }
-        }
-        for a in &mut world.adj {
-            a.sort_unstable();
+            for a in &mut world.adj {
+                a.sort_unstable();
+            }
         }
         world
     }
@@ -122,6 +199,8 @@ impl World {
             moving: vec![None; n],
             crashed: vec![false; n],
             adj: vec![Vec::new(); n],
+            grid: None,
+            scanned: 0,
             explicit: true,
             cut: None,
             severed: Vec::new(),
@@ -142,6 +221,15 @@ impl World {
     /// topology).
     pub fn is_explicit(&self) -> bool {
         self.explicit
+    }
+
+    /// The link-derivation engine in force.
+    pub fn link_engine(&self) -> LinkEngine {
+        if self.grid.is_some() {
+            LinkEngine::Grid
+        } else {
+            LinkEngine::Pairwise
+        }
     }
 
     /// Number of nodes.
@@ -174,6 +262,14 @@ impl World {
         &self.adj[n.index()]
     }
 
+    /// An immutable CSR snapshot of the whole adjacency (sorted rows,
+    /// checked in debug builds). Bulk consumers — BFS, edge extraction,
+    /// protocol seeding — should take this instead of re-collecting
+    /// per-node `Vec`s.
+    pub fn csr_snapshot(&self) -> CsrAdjacency {
+        CsrAdjacency::from_lists(&self.adj)
+    }
+
     /// Whether a link currently exists between `a` and `b`.
     pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
         self.adj[a.index()].binary_search(&b).is_ok()
@@ -182,6 +278,13 @@ impl World {
     /// Maximum node degree in the current topology (the paper's δ).
     pub fn max_degree(&self) -> usize {
         self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Candidate peers examined by [`World::relocate`] so far — a
+    /// deterministic cost counter used by `lme bench scale` to show the
+    /// grid path's per-step work tracks local density, not `n`.
+    pub fn candidates_examined(&self) -> u64 {
+        self.scanned
     }
 
     /// Hop distance between `a` and `b` in the current communication graph,
@@ -282,19 +385,41 @@ impl World {
         for &s in side {
             mask[s.index()] = true;
         }
-        for i in 0..self.len() {
-            for j in (i + 1)..self.len() {
-                if mask[i] == mask[j] {
-                    continue;
+        if self.grid.is_some() {
+            // Fast path: only existing links can be severed, so scanning
+            // the adjacency (O(Σ degree)) replaces the O(n²) pair scan.
+            // Outer index ascending over sorted rows restricted to `j > i`
+            // yields the same lexicographic (i, j) order as the pair scan.
+            let mut cross = Vec::new();
+            for i in 0..self.len() {
+                for &j in &self.adj[i] {
+                    if (j.index()) > i && mask[i] != mask[j.index()] {
+                        cross.push((NodeId(i as u32), j));
+                    }
                 }
-                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
-                if self.linked(a, b) {
-                    remove_sorted(&mut self.adj[i], b);
-                    remove_sorted(&mut self.adj[j], a);
-                    // Record (outside, inside) for heal-time ordering.
-                    let pair = if mask[i] { (b, a) } else { (a, b) };
-                    self.severed.push(pair);
-                    changes.push(LinkChange::Down(a, b));
+            }
+            for (a, b) in cross {
+                remove_sorted(&mut self.adj[a.index()], b);
+                remove_sorted(&mut self.adj[b.index()], a);
+                // Record (outside, inside) for heal-time ordering.
+                let pair = if mask[a.index()] { (b, a) } else { (a, b) };
+                self.severed.push(pair);
+                changes.push(LinkChange::Down(a, b));
+            }
+        } else {
+            for i in 0..self.len() {
+                for j in (i + 1)..self.len() {
+                    if mask[i] == mask[j] {
+                        continue;
+                    }
+                    let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                    if self.linked(a, b) {
+                        remove_sorted(&mut self.adj[i], b);
+                        remove_sorted(&mut self.adj[j], a);
+                        let pair = if mask[i] { (b, a) } else { (a, b) };
+                        self.severed.push(pair);
+                        changes.push(LinkChange::Down(a, b));
+                    }
                 }
             }
         }
@@ -319,6 +444,32 @@ impl World {
                 insert_sorted(&mut self.adj[inside.index()], outside);
                 changes.push(LinkChange::Up(outside, inside));
             }
+        } else if self.grid.is_some() {
+            // Fast path: a healed link must join nodes within range, so
+            // candidates come from the 3×3 cell neighborhood of each node.
+            // Ascending outer index over a sorted candidate row restricted
+            // to `j > i` reproduces the pair scan's lexicographic order.
+            self.severed.clear();
+            let mut cand = Vec::new();
+            for i in 0..self.len() {
+                let a = NodeId(i as u32);
+                cand.clear();
+                let grid = self.grid.as_ref().expect("grid mode");
+                grid.near(self.positions[i], &mut cand);
+                cand.sort_unstable();
+                cand.dedup();
+                for &b in &cand {
+                    if b.index() <= i || mask[i] == mask[b.index()] {
+                        continue;
+                    }
+                    if self.in_range(a, b) && !self.linked(a, b) {
+                        insert_sorted(&mut self.adj[i], b);
+                        insert_sorted(&mut self.adj[b.index()], a);
+                        let pair = if mask[i] { (b, a) } else { (a, b) };
+                        changes.push(LinkChange::Up(pair.0, pair.1));
+                    }
+                }
+            }
         } else {
             self.severed.clear();
             for i in 0..self.len() {
@@ -340,32 +491,66 @@ impl World {
     }
 
     /// Set `n`'s position and recompute its incident links; returns the
-    /// resulting link changes with peers sorted by ID.
-    pub(crate) fn relocate(&mut self, n: NodeId, pos: Position) -> Vec<LinkChange> {
+    /// resulting link changes with peers sorted by ID. This is the
+    /// teleport primitive; smooth motion goes through the engine's
+    /// `StartMove` command.
+    ///
+    /// # Panics
+    ///
+    /// Panics on explicit-graph worlds, whose topology is immutable.
+    pub fn relocate(&mut self, n: NodeId, pos: Position) -> Vec<LinkChange> {
         assert!(
             !self.explicit,
             "explicit-graph worlds are immutable: movement rejected"
         );
         self.positions[n.index()] = pos;
         let mut changes = Vec::new();
-        for j in 0..self.len() {
-            let peer = NodeId(j as u32);
-            if peer == n {
-                continue;
+        if let Some(grid) = self.grid.as_mut() {
+            grid.relocate(n, pos);
+            // A link can only break with a *current* neighbor and only
+            // form with a node in range of the new position — i.e. inside
+            // the 3×3 cell neighborhood. The sorted union of both sets,
+            // walked in ascending ID order, visits exactly the peers the
+            // pairwise scan would have flagged, in the same order.
+            let mut cand = Vec::new();
+            grid.near(pos, &mut cand);
+            cand.extend_from_slice(&self.adj[n.index()]);
+            cand.sort_unstable();
+            cand.dedup();
+            self.scanned += cand.len() as u64;
+            for peer in cand {
+                if peer == n {
+                    continue;
+                }
+                self.diff_link(n, peer, &mut changes);
             }
-            let now_linked = self.in_range(n, peer) && !self.cut_blocks(n, peer);
-            let was_linked = self.linked(n, peer);
-            if now_linked && !was_linked {
-                insert_sorted(&mut self.adj[n.index()], peer);
-                insert_sorted(&mut self.adj[peer.index()], n);
-                changes.push(LinkChange::Up(n, peer));
-            } else if !now_linked && was_linked {
-                remove_sorted(&mut self.adj[n.index()], peer);
-                remove_sorted(&mut self.adj[peer.index()], n);
-                changes.push(LinkChange::Down(n, peer));
+        } else {
+            self.scanned += (self.len() as u64).saturating_sub(1);
+            for j in 0..self.len() {
+                let peer = NodeId(j as u32);
+                if peer == n {
+                    continue;
+                }
+                self.diff_link(n, peer, &mut changes);
             }
         }
         changes
+    }
+
+    /// Re-evaluate the single link `n — peer` against geometry and the
+    /// active cut, updating the adjacency and appending any change.
+    fn diff_link(&mut self, n: NodeId, peer: NodeId, changes: &mut Vec<LinkChange>) {
+        let now_linked = self.in_range(n, peer) && !self.cut_blocks(n, peer);
+        let was_linked = self.linked(n, peer);
+        if now_linked && !was_linked {
+            insert_sorted(&mut self.adj[n.index()], peer);
+            insert_sorted(&mut self.adj[peer.index()], n);
+            changes.push(LinkChange::Up(n, peer));
+        } else if !now_linked && was_linked {
+            remove_sorted(&mut self.adj[n.index()], peer);
+            remove_sorted(&mut self.adj[peer.index()], n);
+            changes.push(LinkChange::Down(n, peer));
+        }
     }
 }
 
@@ -397,6 +582,27 @@ mod tests {
         )
     }
 
+    /// Run `f` against a line world under both engines and require the
+    /// returned observations to match.
+    fn both_engines<T: PartialEq + std::fmt::Debug>(n: usize, f: impl Fn(&mut World) -> T) {
+        let positions: Vec<Position> = (0..n)
+            .map(|i| Position {
+                x: i as f64,
+                y: 0.0,
+            })
+            .collect();
+        let mut grid = World::with_engine(1.5, positions.clone(), LinkEngine::Grid);
+        let mut pair = World::with_engine(1.5, positions, LinkEngine::Pairwise);
+        assert_eq!(f(&mut grid), f(&mut pair), "engines disagree");
+        for i in 0..n as u32 {
+            assert_eq!(
+                grid.neighbors(NodeId(i)),
+                pair.neighbors(NodeId(i)),
+                "adjacency of {i} diverged"
+            );
+        }
+    }
+
     #[test]
     fn initial_links_follow_unit_disk() {
         let w = line(4);
@@ -404,6 +610,70 @@ mod tests {
         assert!(!w.linked(NodeId(0), NodeId(2)));
         assert_eq!(w.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
         assert_eq!(w.max_degree(), 2);
+    }
+
+    #[test]
+    fn engines_agree_on_initial_topology_and_relocation() {
+        both_engines(6, |w| {
+            vec![
+                w.relocate(NodeId(5), Position { x: 0.5, y: 0.5 }),
+                w.relocate(NodeId(0), Position { x: 9.0, y: 0.0 }),
+                // Land exactly on a cell edge (x = 2 · cell ≈ 3.0).
+                w.relocate(NodeId(0), Position { x: 3.0, y: 0.0 }),
+            ]
+        });
+    }
+
+    #[test]
+    fn engines_agree_on_cut_and_heal() {
+        both_engines(7, |w| {
+            vec![
+                w.apply_cut(&[NodeId(3), NodeId(4)]),
+                w.relocate(NodeId(4), Position { x: 0.5, y: 0.2 }),
+                w.clear_cut(),
+                w.apply_cut(&[NodeId(0)]),
+                w.apply_cut(&[NodeId(6)]),
+                w.clear_cut(),
+            ]
+        });
+    }
+
+    #[test]
+    fn csr_snapshot_matches_neighbors() {
+        let w = line(5);
+        let csr = w.csr_snapshot();
+        assert_eq!(csr.len(), 5);
+        for i in 0..5u32 {
+            assert_eq!(csr.neighbors(NodeId(i)), w.neighbors(NodeId(i)));
+        }
+        assert_eq!(
+            csr.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn grid_engine_scans_locally() {
+        // 40 nodes spread far apart: a grid relocate should examine a
+        // handful of candidates, the pairwise one all n − 1.
+        let positions: Vec<Position> = (0..40)
+            .map(|i| Position {
+                x: f64::from(i) * 10.0,
+                y: 0.0,
+            })
+            .collect();
+        let mut g = World::with_engine(1.5, positions.clone(), LinkEngine::Grid);
+        let mut p = World::with_engine(1.5, positions, LinkEngine::Pairwise);
+        g.relocate(NodeId(0), Position { x: 1.0, y: 0.0 });
+        p.relocate(NodeId(0), Position { x: 1.0, y: 0.0 });
+        assert!(
+            g.candidates_examined() <= 4,
+            "grid scanned {}",
+            g.candidates_examined()
+        );
+        assert_eq!(p.candidates_examined(), 39);
+        assert_eq!(g.link_engine(), LinkEngine::Grid);
+        assert_eq!(p.link_engine(), LinkEngine::Pairwise);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Empirical conformance suite for the paper's headline analytic bounds
+//! (Attiya/Kogan/Welch, ICDCS 2008, Table 1):
+//!
+//! * Algorithm 2 has failure locality 2 — a crash starves nothing beyond
+//!   two hops (Theorem 26). Checked actively in tier-1.
+//! * Algorithm 2's static response time is O(n) — the measured growth
+//!   over n ∈ {8, 16, 32, 64} must not be superlinear. Nightly (release).
+//! * Algorithm 1's greedy (O((n + δ³)δ)) and Linial (O((log* n + δ⁴)δ))
+//!   variants trade response time in opposite directions as δ grows: on
+//!   bounded-δ graphs with large n the Linial doorway wins, at large δ
+//!   the greedy one does. Nightly (release).
+//!
+//! The heavy fits are `#[ignore]`d so `cargo test -q` stays fast; the CI
+//! nightly matrix runs them with `--release -- --include-ignored`.
+
+use harness::{crash_probe, run_algorithm, topology, AlgKind, RunSpec};
+use manet_sim::{NodeId, SimConfig};
+
+fn spec(seed: u64, horizon: u64) -> RunSpec {
+    RunSpec {
+        sim: SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+        horizon,
+        ..RunSpec::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure locality (tier-1).
+// ---------------------------------------------------------------------
+
+/// A2 crash probes: no node more than 2 hops from a mid-CS crash may
+/// starve, on a line and on random unit-disk deployments.
+#[test]
+fn a2_crash_probes_confirm_failure_locality_two() {
+    let cells = [
+        ("line:9", topology::line(9), NodeId(4)),
+        ("random:16:1", topology::random_connected(16, 1), NodeId(7)),
+        ("random:16:2", topology::random_connected(16, 2), NodeId(3)),
+    ];
+    for (label, positions, victim) in cells {
+        for seed in [11, 23] {
+            let report = crash_probe(AlgKind::A2, &spec(seed, 30_000), &positions, victim, 4_000);
+            assert!(
+                report.locality.is_none_or(|d| d <= 2),
+                "{label} seed {seed}: A2 starved a node {}(>2) hops from the crash; starving: {:?}",
+                report.locality.unwrap(),
+                report.starving
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response-time growth (nightly, release).
+// ---------------------------------------------------------------------
+
+/// Mean static response time of `kind` on `positions`, pooled over seeds.
+fn mean_static_rt(kind: AlgKind, positions: &[(f64, f64)], horizon: u64) -> f64 {
+    let mut samples = Vec::new();
+    for seed in [3, 5, 7] {
+        let out = run_algorithm(kind, &spec(seed, horizon), positions, &[]);
+        assert!(out.violations.is_empty(), "{}: unsafe run", kind.name());
+        samples.extend(out.metrics.static_responses());
+    }
+    assert!(!samples.is_empty(), "{}: no static samples", kind.name());
+    samples.iter().sum::<u64>() as f64 / samples.len() as f64
+}
+
+/// Least-squares slope of ln(rt) against ln(n): the empirical growth
+/// exponent of the response time.
+fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let k = points.len() as f64;
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x.ln(), b + y.ln()));
+    let (mx, my) = (sx / k, sy / k);
+    let num: f64 = points
+        .iter()
+        .map(|&(x, y)| (x.ln() - mx) * (y.ln() - my))
+        .sum();
+    let den: f64 = points.iter().map(|&(x, _)| (x.ln() - mx).powi(2)).sum();
+    num / den
+}
+
+/// A2's static response time on cliques (the max-contention regime where
+/// the O(n) bound binds: δ = n − 1, every meal serializes against every
+/// other) must grow at most linearly in n. A superlinear regression —
+/// growth exponent ≥ 1.5, i.e. closer to n² than to n — fails the test.
+#[test]
+#[ignore = "heavy fit; run in the nightly matrix with --release -- --include-ignored"]
+fn a2_static_response_time_grows_linearly_in_n() {
+    let mut points = Vec::new();
+    for n in [8usize, 16, 32, 64] {
+        let rt = mean_static_rt(AlgKind::A2, &topology::clique(n), 60_000 * n as u64 / 8);
+        points.push((n as f64, rt));
+    }
+    let slope = loglog_slope(&points);
+    assert!(
+        slope < 1.5,
+        "A2 static RT grows superlinearly (exponent {slope:.2}): {points:?}"
+    );
+    assert!(
+        slope > 0.2,
+        "A2 static RT did not grow with n at all (exponent {slope:.2}): {points:?} — \
+         the contention regime is not binding; fix the workload"
+    );
+}
+
+/// The δ³-vs-δ⁴ tradeoff direction of the two Algorithm 1 doorways
+/// (Theorems 16 and 22): on a bounded-δ graph with many nodes (ring:48,
+/// δ = 2) the Linial variant must not lose to greedy by more than the
+/// slack, and at large δ (clique:10, δ = 9, n = δ + 1) the greedy variant
+/// must not lose to Linial by more than the slack. The slack absorbs
+/// constant factors; what may not happen is the *ordering inverting by a
+/// wide margin* in either regime.
+#[test]
+#[ignore = "heavy fit; run in the nightly matrix with --release -- --include-ignored"]
+fn a1_greedy_vs_linial_tradeoff_direction() {
+    const SLACK: f64 = 1.5;
+    // Bounded δ, large n: greedy pays O(n·δ) recoloring worst case, the
+    // Linial schedule pays O(log* n + δ⁴) — Linial's regime.
+    let ring = topology::ring(48);
+    let greedy_ring = mean_static_rt(AlgKind::A1Greedy, &ring, 60_000);
+    let linial_ring = mean_static_rt(AlgKind::A1Linial, &ring, 60_000);
+    assert!(
+        linial_ring <= greedy_ring * SLACK,
+        "bounded-δ regime inverted: linial {linial_ring:.0} vs greedy {greedy_ring:.0}"
+    );
+    // Large δ: greedy's δ³ beats Linial's δ⁴ — greedy's regime.
+    let clique = topology::clique(10);
+    let greedy_clique = mean_static_rt(AlgKind::A1Greedy, &clique, 80_000);
+    let linial_clique = mean_static_rt(AlgKind::A1Linial, &clique, 80_000);
+    assert!(
+        greedy_clique <= linial_clique * SLACK,
+        "large-δ regime inverted: greedy {greedy_clique:.0} vs linial {linial_clique:.0}"
+    );
+}
