@@ -17,14 +17,15 @@ use lme_bench::sized;
 use lme_bench::svg::{BarChart, LineChart, Series};
 use manet_sim::NodeId;
 
-fn write(name: &str, svg: &str) {
-    std::fs::create_dir_all("figures").expect("create figures/");
+fn write(name: &str, svg: &str) -> Result<(), String> {
+    std::fs::create_dir_all("figures").map_err(|e| format!("cannot create figures/: {e}"))?;
     let path = format!("figures/{name}");
-    std::fs::write(&path, svg).expect("write figure");
+    std::fs::write(&path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("wrote {path}");
+    Ok(())
 }
 
-fn failure_locality_figure() {
+fn failure_locality_figure() -> Result<(), String> {
     let n = sized(31, 13);
     let spec = RunSpec {
         horizon: sized(100_000, 20_000),
@@ -49,10 +50,10 @@ fn failure_locality_figure() {
         y_label: "starvation distance (hops)".into(),
         bars,
     };
-    write("failure_locality.svg", &chart.render());
+    write("failure_locality.svg", &chart.render())
 }
 
-fn bootstrap_figure() {
+fn bootstrap_figure() -> Result<(), String> {
     let sizes = sized(vec![8usize, 16, 32, 48], vec![8, 16]);
     let mut greedy = Vec::new();
     let mut linial = Vec::new();
@@ -101,10 +102,10 @@ fn bootstrap_figure() {
             },
         ],
     };
-    write("bootstrap_recoloring.svg", &chart.render());
+    write("bootstrap_recoloring.svg", &chart.render())
 }
 
-fn delta_figure() {
+fn delta_figure() -> Result<(), String> {
     let sizes = sized(vec![3usize, 5, 9, 13, 17], vec![3, 5, 9]);
     let kinds = [AlgKind::ChandyMisra, AlgKind::A1Greedy, AlgKind::A2];
     let mut series: Vec<Series> = kinds
@@ -133,11 +134,17 @@ fn delta_figure() {
         y_label: "p95 response (ticks)".into(),
         series,
     };
-    write("response_vs_delta.svg", &chart.render());
+    write("response_vs_delta.svg", &chart.render())
 }
 
 fn main() {
-    failure_locality_figure();
-    bootstrap_figure();
-    delta_figure();
+    let run = || -> Result<(), String> {
+        failure_locality_figure()?;
+        bootstrap_figure()?;
+        delta_figure()
+    };
+    if let Err(e) = run() {
+        eprintln!("figures: {e}");
+        std::process::exit(2);
+    }
 }

@@ -3,6 +3,7 @@
 
 use harness::AlgKind;
 use lme_check::{Mutation, StrategyKind};
+use lme_net::TransportKind;
 
 /// A parsed topology specification.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,8 +78,19 @@ pub enum Command {
     Chaos,
     /// Bounded schedule-space model checking with witness shrink/replay.
     Check,
-    /// Scaling benchmark of the link engines (`lme bench scale`).
+    /// Benchmarks (`lme bench scale`, `lme bench live`).
     Bench,
+    /// Live thread-per-node run over a real transport (`lme live`).
+    Live,
+}
+
+/// Which benchmark `lme bench` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Link-engine scaling ladder (virtual time).
+    Scale,
+    /// Live-runtime throughput/latency over a real transport (wall time).
+    Live,
 }
 
 /// Everything the CLI understood.
@@ -146,15 +158,34 @@ pub struct Cli {
     pub replay_witness: Option<String>,
     /// Check: deliberate algorithm defect for checker self-validation.
     pub mutate: Mutation,
+    /// Bench: which benchmark to run.
+    pub bench_mode: BenchMode,
     /// Bench: node counts of the scaling ladder.
     pub bench_ns: Vec<usize>,
     /// Bench: relocation steps measured per node count.
     pub bench_steps: usize,
-    /// Bench: where the JSON trajectory is written.
-    pub bench_out: String,
+    /// Bench: where the JSON output is written (`None` = the mode's
+    /// default: `BENCH_scale.json` / `BENCH_live.json`).
+    pub bench_out: Option<String>,
     /// Bench: largest n at which the pairwise reference engine also runs
     /// (it is O(n²); past this only the grid engine is measured).
     pub bench_pairwise_cap: usize,
+    /// Live: which transport carries the frames.
+    pub transport: TransportKind,
+    /// Live: wall-clock run length in milliseconds.
+    pub duration_ms: u64,
+    /// Live: mean hungry-cycle rate per node, in cycles per second.
+    pub rate: f64,
+    /// Live: eating time per session in milliseconds.
+    pub eat_ms: u64,
+    /// Live: one hungry cycle per node, stop once everyone has eaten.
+    pub one_shot: bool,
+    /// Live: after the run, replay its delivery timing in the simulator
+    /// and check safety + census conformance (needs `--oneshot`).
+    pub conformance: bool,
+    /// Live: run the full 4-algorithm × 2-topology matrix instead of a
+    /// single cell.
+    pub matrix: bool,
 }
 
 impl Default for Cli {
@@ -188,17 +219,25 @@ impl Default for Cli {
             witness_out: None,
             replay_witness: None,
             mutate: Mutation::None,
+            bench_mode: BenchMode::Scale,
             bench_ns: vec![1_000, 2_500, 5_000, 10_000],
             bench_steps: 20_000,
-            bench_out: "BENCH_scale.json".to_string(),
+            bench_out: None,
             bench_pairwise_cap: 2_500,
+            transport: TransportKind::Mpsc,
+            duration_ms: 2_000,
+            rate: 25.0,
+            eat_ms: 2,
+            one_shot: false,
+            conformance: false,
+            matrix: false,
         }
     }
 }
 
 /// Usage text shown for `lme list` and on errors.
 pub const USAGE: &str = "\
-usage: lme <list|run|probe|sweep|chaos|check|bench> [options]
+usage: lme <list|run|probe|sweep|chaos|check|bench|live> [options]
 
 commands:
   list    print algorithms and topology syntax
@@ -212,6 +251,11 @@ commands:
   bench   `bench scale`: random-waypoint link-derivation cost of the
           spatial-grid engine vs the pairwise reference across a node
           ladder, written as a JSON trajectory
+          `bench live`: wall-clock throughput (eating sessions/sec) and
+          hungry->eat latency percentiles of every live-capable
+          algorithm over a real transport, written as BENCH_live.json
+  live    one thread per node, real message passing (mpsc channels or
+          UDP on loopback), live trace validated by the safety monitor
 
 options:
   --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
@@ -259,6 +303,23 @@ scaling benchmark (bench scale):
   --out <p>            JSON trajectory path     (default BENCH_scale.json)
   --pairwise-cap <n>   largest n that also runs the O(n^2) reference
                        engine                   (default 2500)
+
+live runtime (live, bench live):
+  --transport <t>      mpsc | udp               (default mpsc)
+  --duration <ms>      wall-clock run length    (default 2000)
+  --rate <r>           hungry cycles per node-second        (default 25)
+  --eat-ms <ms>        eating time per session  (default 2; must fit
+                       under the model's tau)
+  --oneshot            one hungry cycle per node, stop when everyone ate
+  --conformance        after the run, replay its delivery timing in the
+                       simulator and check safety + census (needs
+                       --oneshot on a fault-free static topology)
+  --matrix             run every live algorithm x {clique:5, ring:6}
+                       instead of a single cell; nonzero exit on any
+                       safety violation
+  --victim <node>      crash this node a quarter into the run
+  --moves <k>          teleport waypoints pushed by the driver
+  --out <p>            bench live: JSON path    (default BENCH_live.json)
 ";
 
 fn parse_alg(s: &str) -> Result<AlgKind, String> {
@@ -274,6 +335,14 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("invalid {what} '{s}'"))
+}
+
+fn parse_pos_f64(s: &str, what: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("invalid {what} '{s}'"))?;
+    if v <= 0.0 || !v.is_finite() {
+        return Err(format!("{what} '{s}' must be a positive number"));
+    }
+    Ok(v)
 }
 
 fn parse_prob(s: &str, what: &str) -> Result<f64, String> {
@@ -393,18 +462,23 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         "chaos" => Command::Chaos,
         "check" => Command::Check,
         "bench" => Command::Bench,
+        "live" => Command::Live,
         other => return Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     if cli.command == Command::Bench {
-        // `bench` takes a positional mode; `scale` is the only one (and
-        // the default when omitted).
+        // `bench` takes a positional mode; `scale` is the default when
+        // omitted.
         if it.peek().is_some_and(|a| !a.starts_with("--")) {
             let mode = it.next().expect("peeked");
-            if mode != "scale" {
-                return Err(format!(
-                    "unknown bench mode '{mode}'; try `lme bench scale`"
-                ));
-            }
+            cli.bench_mode = match mode.as_str() {
+                "scale" => BenchMode::Scale,
+                "live" => BenchMode::Live,
+                _ => {
+                    return Err(format!(
+                        "unknown bench mode '{mode}'; try `lme bench scale` or `lme bench live`"
+                    ))
+                }
+            };
         }
     }
     while let Some(flag) = it.next() {
@@ -504,10 +578,27 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                     return Err("--steps-per-n must be at least 1".to_string());
                 }
             }
-            "--out" => cli.bench_out = value("--out")?,
+            "--out" => cli.bench_out = Some(value("--out")?),
             "--pairwise-cap" => {
                 cli.bench_pairwise_cap = parse_usize(&value("--pairwise-cap")?, "pairwise cap")?;
             }
+            "--transport" => cli.transport = TransportKind::parse(&value("--transport")?)?,
+            "--duration" => {
+                cli.duration_ms = parse_u64(&value("--duration")?, "duration")?;
+                if cli.duration_ms == 0 {
+                    return Err("--duration must be at least 1 ms".to_string());
+                }
+            }
+            "--rate" => cli.rate = parse_pos_f64(&value("--rate")?, "rate")?,
+            "--eat-ms" => {
+                cli.eat_ms = parse_u64(&value("--eat-ms")?, "eating time")?;
+                if cli.eat_ms == 0 {
+                    return Err("--eat-ms must be at least 1 ms".to_string());
+                }
+            }
+            "--oneshot" => cli.one_shot = true,
+            "--conformance" => cli.conformance = true,
+            "--matrix" => cli.matrix = true,
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -534,6 +625,24 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         }
         if cli.fault_partition.is_some() && targets.len() >= n {
             return Err("a partition side must leave at least one node outside".to_string());
+        }
+    }
+    if cli.command == Command::Live {
+        if cli.topo.is_explicit() {
+            return Err(
+                "live runs need a geometric topology (the driver owns positions)".to_string(),
+            );
+        }
+        if cli.conformance {
+            if !cli.one_shot {
+                return Err("--conformance needs --oneshot (see `lme list`)".to_string());
+            }
+            if cli.victim.is_some() || cli.moves > 0 {
+                return Err(
+                    "--conformance needs a fault-free, static run (drop --victim/--moves)"
+                        .to_string(),
+                );
+            }
         }
     }
     Ok(cli)
@@ -699,15 +808,17 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(cli.command, Command::Bench);
+        assert_eq!(cli.bench_mode, BenchMode::Scale);
         assert_eq!(cli.bench_ns, vec![100, 200]);
         assert_eq!(cli.bench_steps, 500);
-        assert_eq!(cli.bench_out, "b.json");
+        assert_eq!(cli.bench_out.as_deref(), Some("b.json"));
         assert_eq!(cli.bench_pairwise_cap, 150);
-        // The mode word is optional (scale is the only mode).
+        // The mode word is optional (scale is the default).
         let default = parse(argv("bench")).unwrap();
         assert_eq!(default.command, Command::Bench);
+        assert_eq!(default.bench_mode, BenchMode::Scale);
         assert_eq!(default.bench_ns, vec![1_000, 2_500, 5_000, 10_000]);
-        assert_eq!(default.bench_out, "BENCH_scale.json");
+        assert_eq!(default.bench_out, None);
     }
 
     #[test]
@@ -717,6 +828,43 @@ mod tests {
         assert!(parse(argv("bench scale --ns 0")).is_err());
         assert!(parse(argv("bench scale --ns 10,x")).is_err());
         assert!(parse(argv("bench scale --steps-per-n 0")).is_err());
+    }
+
+    #[test]
+    fn parses_live_flags() {
+        let cli = parse(argv(
+            "live --transport udp --alg a1-greedy --topo ring:6 --duration 500 \
+             --rate 40 --eat-ms 1 --oneshot --conformance --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Live);
+        assert_eq!(cli.transport, TransportKind::Udp);
+        assert_eq!(cli.alg, AlgKind::A1Greedy);
+        assert_eq!(cli.topo, TopoSpec::Ring(6));
+        assert_eq!(cli.duration_ms, 500);
+        assert_eq!(cli.rate, 40.0);
+        assert_eq!(cli.eat_ms, 1);
+        assert!(cli.one_shot && cli.conformance);
+        assert_eq!(cli.seed, 9);
+        let matrix = parse(argv("live --matrix --duration 250")).unwrap();
+        assert!(matrix.matrix);
+        let bench = parse(argv("bench live --duration 300 --rate 50")).unwrap();
+        assert_eq!(bench.command, Command::Bench);
+        assert_eq!(bench.bench_mode, BenchMode::Live);
+        assert_eq!(bench.duration_ms, 300);
+    }
+
+    #[test]
+    fn rejects_malformed_live_flags() {
+        assert!(parse(argv("live --transport tcp")).is_err());
+        assert!(parse(argv("live --duration 0")).is_err());
+        assert!(parse(argv("live --rate 0")).is_err());
+        assert!(parse(argv("live --rate -3")).is_err());
+        assert!(parse(argv("live --eat-ms 0")).is_err());
+        assert!(parse(argv("live --topo star:4")).is_err());
+        assert!(parse(argv("live --conformance")).is_err()); // needs --oneshot
+        assert!(parse(argv("live --conformance --oneshot --victim 0")).is_err());
+        assert!(parse(argv("live --conformance --oneshot --moves 2")).is_err());
     }
 
     #[test]

@@ -3,16 +3,17 @@
 
 use harness::{
     crash_probe, default_jobs, run_algorithm, run_algorithm_graph, run_cells, stats::jain_index,
-    topology, AlgKind, FaultClass, Job, RunOutcome, RunReport, RunSpec, SweepCell, SweepReport,
-    SweepSpec, Table, Topo, WaypointPlan,
+    topology, AlgKind, FaultClass, Job, RunOutcome, RunReport, RunSpec, Summary, SweepCell,
+    SweepReport, SweepSpec, Table, Topo, WaypointPlan,
 };
 use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
+use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome};
 use manet_sim::{
     DelayAdversary, FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position,
     SimConfig, SimRng, SimTime, World,
 };
 
-use crate::args::{Cli, Command, TopoSpec, USAGE};
+use crate::args::{BenchMode, Cli, Command, TopoSpec, USAGE};
 
 fn spec_of(cli: &Cli) -> Result<RunSpec, String> {
     Ok(RunSpec {
@@ -599,7 +600,266 @@ fn bench_cell(n: usize, seed: u64, steps: usize, engine: LinkEngine) -> BenchRow
     }
 }
 
+/// Map the generic `--alg` flag onto the live-capable subset (everything
+/// but `choy-singh`, whose shared coloring cannot cross threads, and
+/// `a1-random`, whose RNG stream is engine-owned).
+fn live_alg_of(kind: AlgKind) -> Result<LiveAlg, String> {
+    LiveAlg::parse(kind.name())
+}
+
+/// Assemble one live-run configuration from the flags. `--victim` crashes
+/// a quarter into the run; `--moves` reuses the harness random-waypoint
+/// generator as driver-pushed teleports.
+fn live_config_of(cli: &Cli, alg: LiveAlg, positions: Vec<(f64, f64)>) -> LiveConfig {
+    let n = positions.len();
+    let mut cfg = LiveConfig::new(alg, cli.transport, positions);
+    cfg.duration_ms = cli.duration_ms;
+    cfg.rate = cli.rate;
+    cfg.eat_ms = cli.eat_ms;
+    cfg.one_shot = cli.one_shot;
+    cfg.seed = cli.seed;
+    if let Some(v) = cli.victim {
+        cfg.crash = Some((v, (cli.duration_ms / 4).max(1)));
+    }
+    if cli.moves > 0 {
+        let plan = WaypointPlan {
+            area_side: (n as f64 / 1.6).sqrt().max(2.0),
+            moves: cli.moves,
+            window: (cli.duration_ms / 10, (cli.duration_ms * 9 / 10).max(1)),
+            speed: None,
+            seed: cli.seed ^ 0xB0B,
+        };
+        for (t, cmd) in plan.commands(n) {
+            if let manet_sim::Command::Teleport { node, dest } = cmd {
+                cfg.moves.push((t.0, node.0, (dest.x, dest.y)));
+            }
+        }
+    }
+    cfg
+}
+
+/// Render a pooled hungry→eat latency summary in milliseconds.
+fn fmt_latency_ms(s: &Summary) -> String {
+    if s.count == 0 {
+        return "n=0".to_string();
+    }
+    format!(
+        "n={} p50={:.2} p95={:.2} max={:.2} ms",
+        s.count,
+        s.p50 as f64 / 1e6,
+        s.p95 as f64 / 1e6,
+        s.max as f64 / 1e6
+    )
+}
+
+fn render_live(cli: &Cli) -> Result<String, String> {
+    if cli.matrix {
+        return render_live_matrix(cli);
+    }
+    let alg = live_alg_of(cli.alg)?;
+    let positions = geo_positions(&cli.topo);
+    let cfg = live_config_of(cli, alg, positions);
+    let out = run_live(&cfg)?;
+    let lat = Summary::of(&out.latencies_ns);
+    let mut s = format!(
+        "live: {} over {} on {} (n = {}), {} ms, rate {}/s, seed {}\n",
+        alg.name(),
+        cli.transport.name(),
+        cli.topo,
+        cli.topo.len(),
+        out.elapsed_ms,
+        cli.rate,
+        cli.seed,
+    );
+    s.push_str(&format!("  safety violations : {}\n", out.violations.len()));
+    s.push_str(&format!(
+        "  eating sessions   : {} ({:.1}/s)\n",
+        out.total_meals(),
+        out.sessions_per_sec()
+    ));
+    s.push_str(&format!("  hungry→eat        : {}\n", fmt_latency_ms(&lat)));
+    s.push_str(&format!(
+        "  messages          : {} sent, {} delivered, {} decode errors\n",
+        out.messages_sent, out.messages_delivered, out.decode_errors
+    ));
+    s.push_str(&format!(
+        "  threads joined    : {}/{}\n",
+        out.threads_joined,
+        cli.topo.len()
+    ));
+    if cli.conformance {
+        let report = conformance_replay(&cfg, &out)?;
+        s.push_str(&format!(
+            "  conformance       : {} delays imported, sim census {:?} vs live {:?}, \
+             {} sim violations\n",
+            report.imported_delays, report.sim_census, report.live_census, report.sim_violations
+        ));
+        if !report.conforms() {
+            return Err(format!("conformance replay diverged\n{s}"));
+        }
+        s.push_str("  conformance       : PASS (replay safe, census match)\n");
+    }
+    Ok(s)
+}
+
+/// The fixed 4-algorithm × 2-topology acceptance matrix: every
+/// live-capable algorithm over a clique and a ring, each cell validated
+/// by the safety monitor. Nonzero exit on any violation.
+fn render_live_matrix(cli: &Cli) -> Result<String, String> {
+    let topos = [TopoSpec::Clique(5), TopoSpec::Ring(6)];
+    if let Some(v) = cli.victim {
+        if v as usize >= 5 {
+            return Err(format!(
+                "matrix cells have 5–6 nodes; victim {v} out of range"
+            ));
+        }
+    }
+    let mut s = format!(
+        "live matrix: {} over {}, {} ms per cell, rate {}/s, seed {}\n",
+        if cli.victim.is_some() {
+            "4 algorithms x 2 topologies + crash"
+        } else {
+            "4 algorithms x 2 topologies"
+        },
+        cli.transport.name(),
+        cli.duration_ms,
+        cli.rate,
+        cli.seed,
+    );
+    let mut table = Table::new(&[
+        "algorithm",
+        "topology",
+        "meals",
+        "sessions/s",
+        "hungry→eat p95",
+        "delivered",
+        "unsafe",
+        "joined",
+    ]);
+    let mut bad_cells = 0;
+    for alg in LiveAlg::all() {
+        for topo in &topos {
+            let cfg = live_config_of(cli, alg, geo_positions(topo));
+            let n = cfg.positions.len();
+            let out = run_live(&cfg)?;
+            let lat = Summary::of(&out.latencies_ns);
+            if !out.violations.is_empty() || out.threads_joined != n {
+                bad_cells += 1;
+            }
+            table.row([
+                alg.name().to_string(),
+                topo.to_string(),
+                out.total_meals().to_string(),
+                format!("{:.1}", out.sessions_per_sec()),
+                format!("{:.2} ms", lat.p95 as f64 / 1e6),
+                out.messages_delivered.to_string(),
+                out.violations.len().to_string(),
+                format!("{}/{n}", out.threads_joined),
+            ]);
+        }
+    }
+    s.push_str(&table.to_string());
+    if bad_cells > 0 {
+        return Err(format!(
+            "{bad_cells} live matrix cell(s) violated safety or leaked threads\n{s}"
+        ));
+    }
+    s.push_str("matrix: all 8 cells safe, all threads joined\n");
+    Ok(s)
+}
+
+/// `lme bench live`: wall-clock throughput and pooled hungry→eat latency
+/// percentiles for every live-capable algorithm, written as JSON.
+fn render_bench_live(cli: &Cli) -> Result<String, String> {
+    let out_path = cli
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_live.json".to_string());
+    let positions = geo_positions(&cli.topo);
+    let n = positions.len();
+    let mut results: Vec<(LiveAlg, LiveOutcome, Summary)> = Vec::new();
+    for alg in LiveAlg::all() {
+        let cfg = live_config_of(cli, alg, positions.clone());
+        let out = run_live(&cfg)?;
+        if !out.violations.is_empty() {
+            return Err(format!(
+                "bench live: {} on {} had {} safety violations",
+                alg.name(),
+                cli.topo,
+                out.violations.len()
+            ));
+        }
+        let lat = Summary::of(&out.latencies_ns);
+        results.push((alg, out, lat));
+    }
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"live\",\n");
+    json.push_str(&format!("  \"transport\": \"{}\",\n", cli.transport.name()));
+    json.push_str(&format!("  \"topo\": \"{}\",\n", cli.topo));
+    json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!("  \"duration_ms\": {},\n", cli.duration_ms));
+    json.push_str(&format!("  \"rate_per_node_sec\": {},\n", cli.rate));
+    json.push_str(&format!("  \"eat_ms\": {},\n", cli.eat_ms));
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str("  \"rows\": [\n");
+    for (i, (alg, out, lat)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"alg\": \"{}\", \"elapsed_ms\": {}, \"meals\": {}, \
+             \"sessions_per_sec\": {:.2}, \"latency_ns\": {{\"count\": {}, \
+             \"mean\": {:.0}, \"p50\": {}, \"p95\": {}, \"max\": {}}}, \
+             \"messages_sent\": {}, \"messages_delivered\": {}, \
+             \"decode_errors\": {}, \"violations\": {}}}{}\n",
+            alg.name(),
+            out.elapsed_ms,
+            out.total_meals(),
+            out.sessions_per_sec(),
+            lat.count,
+            lat.mean,
+            lat.p50,
+            lat.p95,
+            lat.max,
+            out.messages_sent,
+            out.messages_delivered,
+            out.decode_errors,
+            out.violations.len(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut s = format!(
+        "bench live: {} on {} (n = {n}), {} ms per algorithm, rate {}/s\n",
+        cli.transport.name(),
+        cli.topo,
+        cli.duration_ms,
+        cli.rate,
+    );
+    let mut table = Table::new(&[
+        "algorithm",
+        "meals",
+        "sessions/s",
+        "hungry→eat (pooled)",
+        "delivered",
+    ]);
+    for (alg, out, lat) in &results {
+        table.row([
+            alg.name().to_string(),
+            out.total_meals().to_string(),
+            format!("{:.1}", out.sessions_per_sec()),
+            fmt_latency_ms(lat),
+            out.messages_delivered.to_string(),
+        ]);
+    }
+    s.push_str(&table.to_string());
+    s.push_str(&format!("results written to {out_path}\n"));
+    Ok(s)
+}
+
 fn render_bench_scale(cli: &Cli) -> Result<String, String> {
+    let out_path = cli
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
     let mut rows = Vec::new();
     for &n in &cli.bench_ns {
         rows.push(bench_cell(n, cli.seed, cli.bench_steps, LinkEngine::Grid));
@@ -642,8 +902,7 @@ fn render_bench_scale(cli: &Cli) -> Result<String, String> {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&cli.bench_out, &json)
-        .map_err(|e| format!("cannot write {}: {e}", cli.bench_out))?;
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let mut s = format!(
         "bench scale: {} relocation steps per n, seed {}, radio range {}\n",
         cli.bench_steps,
@@ -669,7 +928,7 @@ fn render_bench_scale(cli: &Cli) -> Result<String, String> {
         ]);
     }
     s.push_str(&table.to_string());
-    s.push_str(&format!("trajectory written to {}\n", cli.bench_out));
+    s.push_str(&format!("trajectory written to {out_path}\n"));
     Ok(s)
 }
 
@@ -716,7 +975,11 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Sweep => render_sweep(cli),
         Command::Chaos => render_chaos(cli),
         Command::Check => render_check(cli),
-        Command::Bench => render_bench_scale(cli),
+        Command::Bench => match cli.bench_mode {
+            BenchMode::Scale => render_bench_scale(cli),
+            BenchMode::Live => render_bench_live(cli),
+        },
+        Command::Live => render_live(cli),
     }
 }
 
@@ -726,6 +989,23 @@ mod tests {
 
     fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
         s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn unwritable_output_paths_are_errors_not_panics() {
+        // `run --metrics-out` and `bench live --out` both surface write
+        // failures as Err (main exits 2), never a panic.
+        let err = run_cli(argv(
+            "run --alg a2 --topo line:3 --horizon 5000 --metrics-out /nonexistent-dir/m.json",
+        ))
+        .unwrap_err();
+        assert!(err.contains("cannot write"), "{err}");
+        let err = run_cli(argv(
+            "bench live --topo line:2 --duration 120 --rate 40 --eat-ms 1 \
+             --out /nonexistent-dir/b.json",
+        ))
+        .unwrap_err();
+        assert!(err.contains("cannot write"), "{err}");
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub enum RecolorOutcome {
 }
 
 /// A message-driven recoloring procedure, driven by the Algorithm 1 wrapper.
-pub trait RecolorProcedure: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a node hosting Algorithm 1 can live on its
+/// own OS thread (the live runtime); every procedure is plain owned data.
+pub trait RecolorProcedure: std::fmt::Debug + Send {
     /// Begin the procedure with participant set `r` (the paper's `R := N`).
     /// Messages to send are appended to `out`.
     fn start(&mut self, r: BTreeSet<NodeId>, out: &mut Vec<(NodeId, RecolorMsg)>)

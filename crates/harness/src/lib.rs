@@ -49,8 +49,8 @@ pub use metrics::{Metrics, MetricsData, Sample};
 pub use mobility::WaypointPlan;
 pub use report::{AggregateRow, RunReport, SweepReport};
 pub use runner::{
-    run_algorithm, run_algorithm_graph, run_protocol, run_protocol_graph, AlgKind, RunOutcome,
-    RunSpec,
+    run_algorithm, run_algorithm_graph, run_algorithm_with_strategy, run_protocol,
+    run_protocol_graph, AlgKind, RunOutcome, RunSpec,
 };
 pub use safety::{SafetyMonitor, Violation};
 pub use stats::Summary;

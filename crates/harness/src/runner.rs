@@ -9,7 +9,7 @@ use coloring::LinialSchedule;
 use local_mutex::{Algorithm1, Algorithm2};
 use manet_sim::{
     Command, CsrAdjacency, Engine, EngineStats, NodeId, Position, Protocol, SimConfig, SimRng,
-    SimTime, World,
+    SimTime, Strategy, World,
 };
 
 use crate::metrics::{Metrics, MetricsData};
@@ -340,6 +340,20 @@ pub fn run_algorithm(
     positions: &[(f64, f64)],
     commands: &[(SimTime, Command)],
 ) -> RunOutcome {
+    run_algorithm_with_strategy(kind, spec, positions, commands, None)
+}
+
+/// Like [`run_algorithm`], but with an injectable delivery-delay
+/// [`Strategy`] (see `manet_sim::Strategy`) installed on the engine before
+/// the run — the hook through which a recorded live execution is replayed
+/// deterministically in the simulator for conformance checking.
+pub fn run_algorithm_with_strategy(
+    kind: AlgKind,
+    spec: &RunSpec,
+    positions: &[(f64, f64)],
+    commands: &[(SimTime, Command)],
+    strategy: Option<Box<dyn Strategy>>,
+) -> RunOutcome {
     let n = positions.len();
     let init_world = World::new(
         spec.sim.radio_range,
@@ -354,7 +368,7 @@ pub fn run_algorithm(
             spec,
             positions,
             |seed| Algorithm1::greedy(&seed),
-            |e| schedule_all(e, commands),
+            |e| install_and_schedule(e, commands, strategy),
         ),
         AlgKind::A1Linial => {
             let sched = Arc::new(LinialSchedule::compute(n as u64, delta as u64));
@@ -362,7 +376,7 @@ pub fn run_algorithm(
                 spec,
                 positions,
                 move |seed| Algorithm1::linial(&seed, sched.clone()),
-                |e| schedule_all(e, commands),
+                |e| install_and_schedule(e, commands, strategy),
             )
         }
         AlgKind::A1Random => {
@@ -372,20 +386,20 @@ pub fn run_algorithm(
                 spec,
                 positions,
                 move |seed| Algorithm1::randomized(&seed, delta, rng_seed),
-                |e| schedule_all(e, commands),
+                |e| install_and_schedule(e, commands, strategy),
             )
         }
         AlgKind::A2 => run_protocol(
             spec,
             positions,
             |seed| Algorithm2::new(&seed),
-            |e| schedule_all(e, commands),
+            |e| install_and_schedule(e, commands, strategy),
         ),
         AlgKind::ChandyMisra => run_protocol(
             spec,
             positions,
             |seed| ChandyMisra::new(&seed),
-            |e| schedule_all(e, commands),
+            |e| install_and_schedule(e, commands, strategy),
         ),
         AlgKind::ChoySingh => {
             let edges: Vec<(u32, u32)> = init_world.csr_snapshot().edges().collect();
@@ -394,10 +408,21 @@ pub fn run_algorithm(
                 spec,
                 positions,
                 move |seed| choy_singh(&seed, &coloring),
-                |e| schedule_all(e, commands),
+                |e| install_and_schedule(e, commands, strategy),
             )
         }
     }
+}
+
+fn install_and_schedule<P: Protocol>(
+    engine: &mut Engine<P>,
+    commands: &[(SimTime, Command)],
+    strategy: Option<Box<dyn Strategy>>,
+) {
+    if let Some(s) = strategy {
+        engine.set_strategy(s);
+    }
+    schedule_all(engine, commands);
 }
 
 /// Run one of the implemented algorithms over an *explicit* topology (`n`

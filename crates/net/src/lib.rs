@@ -1,0 +1,52 @@
+//! # `lme-net` — the live runtime
+//!
+//! Everything else in this workspace runs the paper's algorithms inside a
+//! deterministic discrete-event simulator, where "time" is a counter and
+//! "the network" is a priority queue. This crate runs the *same*
+//! [`manet_sim::Protocol`] automata as real concurrent programs: one OS
+//! thread per node, real message passing, wall-clock time.
+//!
+//! The layering:
+//!
+//! * [`codec`] — hand-rolled length-prefixed wire format (version byte,
+//!   algorithm tag, payload, FNV-1a checksum) for every protocol message;
+//!   strict decoding, no panics on hostile bytes;
+//! * [`transport`] — the [`transport::Transport`] trait and its two
+//!   implementations: in-process `std::sync::mpsc` channels and
+//!   `std::net::UdpSocket` datagrams on loopback, plus the
+//!   [`transport::LinkGate`] the driver flips to sever links;
+//! * [`runtime`] — node threads, the self-driven workload, and the driver
+//!   that injects mobility, crashes, and partitions under the simulator's
+//!   rules ([`runtime::run_live`]);
+//! * [`trace`] — totally-ordered capture of everything observable, safety
+//!   validation through the harness [`harness::SafetyMonitor`], and export
+//!   of delivery timings as a simulator schedule;
+//! * [`replay`] — the conformance bridge: re-run a live execution's
+//!   timing shape inside the deterministic engine and check that safety
+//!   and the eating census survive the crossing.
+//!
+//! What is *lost* relative to the simulator — and deliberately so — is
+//! virtual-time determinism: a live run's interleaving comes from the OS
+//! scheduler and real queues. What is *kept* is the model: the automata,
+//! the ν-bounded-delay assumption (ticks map to wall time via
+//! `tick_ns`), the crash and partition semantics, and the safety
+//! invariant, checked by the very same monitor that audits simulated
+//! runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod replay;
+pub mod runtime;
+pub mod trace;
+pub mod transport;
+
+pub use codec::{decode_frame, encode_frame, CodecError, WireMsg, WIRE_VERSION};
+pub use replay::{conformance_replay, ConformanceReport};
+pub use runtime::{run_live, LiveAlg, LiveConfig, LiveOutcome};
+pub use trace::{LiveEventKind, LiveRecord, LiveTrace};
+pub use transport::{
+    decode_envelope, encode_envelope, mpsc_mesh, udp_mesh, LinkGate, MpscTransport, Transport,
+    TransportKind, UdpTransport,
+};

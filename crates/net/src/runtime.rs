@@ -1,0 +1,935 @@
+//! The live runtime: one OS thread per node, real transports, and a
+//! driver that injects mobility and faults by the same rules the
+//! simulator uses.
+//!
+//! Each node thread owns one protocol automaton (`sim::Protocol` — the
+//! *same* state machines the deterministic engine runs), one transport
+//! endpoint, and a self-driven workload clocked by a per-node [`SimRng`].
+//! The thread loop is: drain control messages from the driver, fire due
+//! workload/timer deadlines, then block briefly on the transport. Wall
+//! time divided by `tick_ns` plays the role of virtual time in the
+//! `Context` handed to the automaton.
+//!
+//! The driver (the calling thread) owns the mirror [`World`]: it
+//! teleports nodes along the configured waypoints, translates the
+//! resulting [`LinkChange`]s into per-node control events with the
+//! engine's static/moving symmetry breaking, and injects crashes and
+//! partitions by flipping the [`LinkGate`] — severing transports without
+//! telling the protocols, exactly like the simulator's fault adversary.
+//!
+//! Everything observable lands in a [`LiveTrace`] (see [`crate::trace`])
+//! which is validated by the harness safety monitor and exportable as a
+//! simulator schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use baselines::ChandyMisra;
+use coloring::LinialSchedule;
+use harness::Violation;
+use local_mutex::{Algorithm1, Algorithm2};
+use manet_sim::{
+    Context, DiningState, Event, LinkChange, LinkUpKind, NodeId, NodeSeed, Position, Protocol,
+    SimConfig, SimRng, SimTime, World,
+};
+
+use crate::codec::{decode_frame, encode_frame, WireMsg};
+use crate::trace::{LiveEventKind, LiveRecord, LiveTrace};
+use crate::transport::{
+    decode_envelope, encode_envelope, mpsc_mesh, udp_mesh, LinkGate, Transport, TransportKind,
+};
+
+/// Which protocol a live run hosts.
+///
+/// The set is the thread-safe subset of [`harness::AlgKind`]:
+/// `choy-singh` shares its coloring via `Rc` and cannot cross threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiveAlg {
+    /// Algorithm 1 with the greedy doorway coloring.
+    A1Greedy,
+    /// Algorithm 1 with the Linial-schedule coloring.
+    A1Linial,
+    /// Algorithm 2 (doorway-free).
+    A2,
+    /// The Chandy–Misra baseline.
+    ChandyMisra,
+}
+
+impl LiveAlg {
+    /// All live-capable algorithms, in canonical order.
+    pub fn all() -> [LiveAlg; 4] {
+        [
+            LiveAlg::A1Greedy,
+            LiveAlg::A1Linial,
+            LiveAlg::A2,
+            LiveAlg::ChandyMisra,
+        ]
+    }
+
+    /// Canonical name (also the `--alg` flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            LiveAlg::A1Greedy => "A1-greedy",
+            LiveAlg::A1Linial => "A1-linial",
+            LiveAlg::A2 => "A2",
+            LiveAlg::ChandyMisra => "chandy-misra",
+        }
+    }
+
+    /// Parse an `--alg` flag value (case-insensitive).
+    pub fn parse(s: &str) -> Result<LiveAlg, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "a1-greedy" => Ok(LiveAlg::A1Greedy),
+            "a1-linial" => Ok(LiveAlg::A1Linial),
+            "a2" => Ok(LiveAlg::A2),
+            "chandy-misra" => Ok(LiveAlg::ChandyMisra),
+            other => Err(format!(
+                "unknown live algorithm '{other}'; live runs support \
+                 A1-greedy, A1-linial, A2, chandy-misra"
+            )),
+        }
+    }
+
+    /// The corresponding simulator algorithm (for conformance replay).
+    pub fn as_alg_kind(self) -> harness::AlgKind {
+        match self {
+            LiveAlg::A1Greedy => harness::AlgKind::A1Greedy,
+            LiveAlg::A1Linial => harness::AlgKind::A1Linial,
+            LiveAlg::A2 => harness::AlgKind::A2,
+            LiveAlg::ChandyMisra => harness::AlgKind::ChandyMisra,
+        }
+    }
+}
+
+/// Everything that defines one live run.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Which protocol to host.
+    pub alg: LiveAlg,
+    /// Which transport carries the frames.
+    pub transport: TransportKind,
+    /// Node positions; links follow the unit-disk rule with the
+    /// simulator's default radio range.
+    pub positions: Vec<(f64, f64)>,
+    /// Wall-clock run length in milliseconds.
+    pub duration_ms: u64,
+    /// Mean hungry-cycle rate per node, in cycles per second.
+    pub rate: f64,
+    /// Eating time per session in milliseconds (must fit under τ ticks).
+    pub eat_ms: u64,
+    /// One hungry cycle per node instead of a cyclic workload. The run
+    /// ends early once every node has eaten (plus a drain window), which
+    /// is what makes the eating census schedule-independent — the
+    /// property the conformance replay asserts on.
+    pub one_shot: bool,
+    /// Seed for the per-node workload RNGs.
+    pub seed: u64,
+    /// Wall nanoseconds per virtual tick (the live analogue of the
+    /// simulator quantum; ν = 10 ticks of this).
+    pub tick_ns: u64,
+    /// Crash `(node, at_ms)`: sever every adjacent transport and stop the
+    /// node's thread from processing anything but shutdown.
+    pub crash: Option<(u32, u64)>,
+    /// Partition `(side, at_ms, heal_ms)`: silently sever every link
+    /// between `side` and its complement for the window.
+    pub partition: Option<(Vec<u32>, u64, u64)>,
+    /// Teleport waypoints `(at_ms, node, destination)`.
+    pub moves: Vec<(u64, u32, (f64, f64))>,
+}
+
+impl LiveConfig {
+    /// A config with the standard knobs: 2 s runs, 25 hungry cycles per
+    /// node-second, 2 ms meals, 0.1 ms ticks (so ν = 10 ticks = 1 ms of
+    /// wall time).
+    pub fn new(alg: LiveAlg, transport: TransportKind, positions: Vec<(f64, f64)>) -> LiveConfig {
+        LiveConfig {
+            alg,
+            transport,
+            positions,
+            duration_ms: 2_000,
+            rate: 25.0,
+            eat_ms: 2,
+            one_shot: false,
+            seed: 0xA77D_2008,
+            tick_ns: 100_000,
+            crash: None,
+            partition: None,
+            moves: Vec::new(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let n = self.positions.len();
+        if n == 0 {
+            return Err("live run needs at least one node".into());
+        }
+        if self.rate <= 0.0 || !self.rate.is_finite() {
+            return Err(format!(
+                "--rate must be a positive number, got {}",
+                self.rate
+            ));
+        }
+        if self.tick_ns == 0 {
+            return Err("tick_ns must be positive".into());
+        }
+        let tau_ns = SimConfig::default().max_eating_ticks * self.tick_ns;
+        if self.eat_ms.saturating_mul(1_000_000) > tau_ns {
+            return Err(format!(
+                "--eat-ms {} exceeds τ ({} ms at the configured tick)",
+                self.eat_ms,
+                tau_ns / 1_000_000
+            ));
+        }
+        for &(_, node, _) in &self.moves {
+            if node as usize >= n {
+                return Err(format!("move targets node {node}, but n = {n}"));
+            }
+        }
+        if let Some((victim, _)) = self.crash {
+            if victim as usize >= n {
+                return Err(format!("crash targets node {victim}, but n = {n}"));
+            }
+        }
+        if let Some((side, at, heal)) = &self.partition {
+            if heal <= at {
+                return Err("partition must heal after it starts".into());
+            }
+            if let Some(&bad) = side.iter().find(|&&m| m as usize >= n) {
+                return Err(format!("partition side contains node {bad}, but n = {n}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What one live run produced.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// The totally-ordered trace (already sorted).
+    pub trace: LiveTrace,
+    /// Eating sessions entered, per node.
+    pub meals: Vec<u64>,
+    /// Pooled hungry→eating latencies in nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Safety violations found by replaying the trace through the
+    /// harness monitor (empty = the run was safe).
+    pub violations: Vec<Violation>,
+    /// Envelopes handed to transports.
+    pub messages_sent: u64,
+    /// Envelopes decoded and delivered to protocols.
+    pub messages_delivered: u64,
+    /// Envelopes or frames that failed to decode (0 on healthy transports).
+    pub decode_errors: u64,
+    /// Wall-clock length of the run in milliseconds.
+    pub elapsed_ms: u64,
+    /// Node threads that exited cleanly (always `n` on success).
+    pub threads_joined: usize,
+}
+
+impl LiveOutcome {
+    /// Total eating sessions across all nodes.
+    pub fn total_meals(&self) -> u64 {
+        self.meals.iter().sum()
+    }
+
+    /// Throughput: eating sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.elapsed_ms.max(1) as f64 / 1_000.0;
+        self.total_meals() as f64 / secs
+    }
+}
+
+/// State shared by the driver and every node thread.
+struct Shared {
+    origin: Instant,
+    order: AtomicU64,
+    gate: LinkGate,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    decode_errors: AtomicU64,
+    /// Nodes that have eaten at least once (one-shot early stop).
+    ate: AtomicU64,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn ticket(&self) -> u64 {
+        self.order.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Driver → node control plane. Kept separate from the data plane so
+/// topology changes and shutdown cannot be lost to a severed transport.
+enum Ctrl {
+    LinkUp { peer: NodeId, kind: LinkUpKind },
+    LinkDown { peer: NodeId },
+    MoveStarted,
+    MoveEnded,
+    Crash,
+    Shutdown,
+}
+
+/// Per-node immutable parameters.
+struct NodeParams {
+    me: NodeId,
+    neighbors: Vec<NodeId>,
+    n: usize,
+    seed: u64,
+    tick_ns: u64,
+    rate: f64,
+    eat_ns: u64,
+    one_shot: bool,
+}
+
+/// The mutable heart of one node thread.
+struct NodeCore<P: Protocol> {
+    me: NodeId,
+    tick_ns: u64,
+    eat_ns: u64,
+    one_shot: bool,
+    mean_think_ns: u64,
+    rng: SimRng,
+    proto: P,
+    neighbors: Vec<NodeId>,
+    moving: bool,
+    crashed: bool,
+    dining: DiningState,
+    session: u64,
+    ate_once: bool,
+    send_seq: Vec<u64>,
+    /// `(deadline_ns, token)` pairs from `Context::set_timer`.
+    timers: Vec<(u64, u64)>,
+    next_hungry: Option<u64>,
+    exit_at: Option<u64>,
+    outbox: Vec<(NodeId, P::Msg)>,
+    timer_buf: Vec<(u64, u64)>,
+    shared: Arc<Shared>,
+    out: Sender<LiveRecord>,
+}
+
+impl<P> NodeCore<P>
+where
+    P: Protocol,
+    P::Msg: WireMsg,
+{
+    fn record(&self, kind: LiveEventKind) {
+        let at_ns = self.shared.now_ns();
+        let order = self.shared.ticket();
+        let _ = self.out.send(LiveRecord { at_ns, order, kind });
+    }
+
+    /// Feed one event to the automaton, flush what it emitted, and do the
+    /// workload bookkeeping for any dining transition.
+    fn apply(&mut self, ev: Event<P::Msg>, transport: &mut dyn Transport) {
+        let now = self.shared.now_ns();
+        {
+            let mut ctx = Context::for_host(
+                self.me,
+                SimTime(now / self.tick_ns),
+                &self.neighbors,
+                self.moving,
+                &mut self.outbox,
+                &mut self.timer_buf,
+            );
+            self.proto.on_event(ev, &mut ctx);
+        }
+        for (delay_ticks, token) in std::mem::take(&mut self.timer_buf) {
+            self.timers
+                .push((now + delay_ticks.saturating_mul(self.tick_ns), token));
+        }
+        // Record any dining transition BEFORE transmitting the messages
+        // that announce it. A send is a wakeup point: the receiver thread
+        // can run the whole delivery path (and take trace tickets) before
+        // this thread gets the CPU back, and a fork handover recorded
+        // send-first would read as two neighbors eating at once. Ticketing
+        // the transition first pins exit < send < deliver < entry in the
+        // total order.
+        let new = self.proto.dining_state();
+        let old = self.dining;
+        if new != old {
+            self.dining = new;
+            if new == DiningState::Eating {
+                self.session += 1;
+                self.exit_at = Some(self.shared.now_ns() + self.eat_ns);
+                if !self.ate_once {
+                    self.ate_once = true;
+                    self.shared.ate.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if old == DiningState::Eating {
+                // Covers both a normal exit and a mobility demotion back to
+                // hungry: either way the meal is over.
+                self.exit_at = None;
+                if new == DiningState::Thinking && !self.one_shot {
+                    self.next_hungry = Some(self.shared.now_ns() + self.draw_think());
+                }
+            }
+            self.record(LiveEventKind::State {
+                node: self.me,
+                old,
+                new,
+                session: self.session,
+            });
+        }
+        for (to, msg) in std::mem::take(&mut self.outbox) {
+            self.transmit(to, msg, transport);
+        }
+    }
+
+    fn draw_think(&mut self) -> u64 {
+        // Uniform in [0.5, 1.5] of the mean, like the sim workload's
+        // jittered think times.
+        let lo = (self.mean_think_ns / 2).max(1);
+        let hi = lo + self.mean_think_ns;
+        self.rng.gen_range(lo..=hi)
+    }
+
+    fn transmit(&mut self, to: NodeId, msg: P::Msg, transport: &mut dyn Transport) {
+        if self.crashed || to == self.me || !self.neighbors.contains(&to) {
+            return;
+        }
+        if self.shared.gate.is_severed(self.me, to) {
+            // Severed at send time: the message dies silently, exactly like
+            // the engine's `dropped_at_send`.
+            return;
+        }
+        let seq = &mut self.send_seq[to.index()];
+        *seq += 1;
+        let frame = encode_frame(&msg);
+        let env = encode_envelope(self.me, *seq, self.shared.now_ns(), &frame);
+        let _ = transport.send(to, &env);
+        self.shared.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns `true` when the driver asked for shutdown.
+    fn handle_ctrl(&mut self, ctrl: Ctrl, transport: &mut dyn Transport) -> bool {
+        match ctrl {
+            Ctrl::Shutdown => return true,
+            Ctrl::Crash => {
+                // From here on the node is inert: the crash record is
+                // emitted by us (not the driver) so it is serialized
+                // against our own state records.
+                self.crashed = true;
+                self.record(LiveEventKind::Crash { node: self.me });
+            }
+            _ if self.crashed => {}
+            Ctrl::LinkUp { peer, kind } => {
+                if let Err(slot) = self.neighbors.binary_search(&peer) {
+                    self.neighbors.insert(slot, peer);
+                }
+                self.apply(Event::LinkUp { peer, kind }, transport);
+            }
+            Ctrl::LinkDown { peer } => {
+                if let Ok(slot) = self.neighbors.binary_search(&peer) {
+                    self.neighbors.remove(slot);
+                }
+                self.apply(Event::LinkDown { peer }, transport);
+            }
+            Ctrl::MoveStarted => {
+                self.moving = true;
+                self.apply(Event::MovementStarted, transport);
+            }
+            Ctrl::MoveEnded => {
+                self.moving = false;
+                self.apply(Event::MovementEnded, transport);
+            }
+        }
+        false
+    }
+
+    /// Fire every due workload deadline and timer.
+    fn tick(&mut self, transport: &mut dyn Transport) {
+        let now = self.shared.now_ns();
+        if self.dining == DiningState::Thinking {
+            if let Some(at) = self.next_hungry {
+                if at <= now {
+                    self.next_hungry = None;
+                    self.apply(Event::Hungry, transport);
+                }
+            }
+        }
+        if self.dining == DiningState::Eating {
+            if let Some(at) = self.exit_at {
+                if at <= now {
+                    self.exit_at = None;
+                    self.apply(Event::ExitCs, transport);
+                }
+            }
+        }
+        while let Some(i) = self.timers.iter().position(|&(at, _)| at <= now) {
+            let (_, token) = self.timers.swap_remove(i);
+            self.apply(Event::Timer { token }, transport);
+        }
+    }
+
+    /// How long the transport poll may block before the next deadline.
+    fn poll_timeout(&self) -> Duration {
+        let now = self.shared.now_ns();
+        let mut deadline = now + 1_000_000; // re-check at least every 1 ms
+        for at in self
+            .next_hungry
+            .iter()
+            .chain(self.exit_at.iter())
+            .chain(self.timers.iter().map(|(at, _)| at))
+        {
+            deadline = deadline.min(*at);
+        }
+        Duration::from_nanos(deadline.saturating_sub(now).clamp(50_000, 1_000_000))
+    }
+
+    fn on_envelope(&mut self, env: &[u8], transport: &mut dyn Transport) {
+        let (from, seq, sent_ns, frame) = match decode_envelope(env) {
+            Ok(parts) => parts,
+            Err(_) => {
+                self.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        // In-flight losses: traffic from a peer that is no longer a
+        // neighbor (the link died under the message) or across a severed
+        // link is dropped before the protocol sees it, like the engine's
+        // `dropped_in_flight`.
+        if self.neighbors.binary_search(&from).is_err()
+            || self.shared.gate.is_severed(from, self.me)
+        {
+            return;
+        }
+        match decode_frame::<P::Msg>(frame) {
+            Ok(msg) => {
+                let latency_ns = self.shared.now_ns().saturating_sub(sent_ns);
+                self.record(LiveEventKind::Deliver {
+                    from,
+                    to: self.me,
+                    seq,
+                    kind: P::msg_kind(&msg),
+                    latency_ns,
+                });
+                self.shared.delivered.fetch_add(1, Ordering::Relaxed);
+                self.apply(Event::Message { from, msg }, transport);
+            }
+            Err(_) => {
+                self.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn node_main<P>(
+    proto: P,
+    p: NodeParams,
+    mut transport: Box<dyn Transport>,
+    ctrl: Receiver<Ctrl>,
+    out: Sender<LiveRecord>,
+    shared: Arc<Shared>,
+) where
+    P: Protocol,
+    P::Msg: WireMsg,
+{
+    let mut rng = SimRng::seed_from_u64(p.seed ^ 0x11FE_0000 ^ ((p.me.0 as u64) << 32));
+    let mean_think_ns = ((1e9 / p.rate) as u64).max(1);
+    // Stagger the first hunger so the run opens with contention, not a
+    // thundering herd at t = 0.
+    let first = shared.now_ns() + rng.gen_range(0..=mean_think_ns / 2);
+    let dining = proto.dining_state();
+    let mut core = NodeCore {
+        me: p.me,
+        tick_ns: p.tick_ns,
+        eat_ns: p.eat_ns,
+        one_shot: p.one_shot,
+        mean_think_ns,
+        rng,
+        proto,
+        neighbors: p.neighbors,
+        moving: false,
+        crashed: false,
+        dining,
+        session: 0,
+        ate_once: false,
+        send_seq: vec![0; p.n],
+        timers: Vec::new(),
+        next_hungry: Some(first),
+        exit_at: None,
+        outbox: Vec::new(),
+        timer_buf: Vec::new(),
+        shared,
+        out,
+    };
+    loop {
+        loop {
+            match ctrl.try_recv() {
+                Ok(c) => {
+                    if core.handle_ctrl(c, transport.as_mut()) {
+                        return;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        if core.crashed {
+            // Inert: ignore the data plane, wait for shutdown.
+            match ctrl.recv_timeout(Duration::from_millis(20)) {
+                Ok(c) => {
+                    if core.handle_ctrl(c, transport.as_mut()) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            continue;
+        }
+        core.tick(transport.as_mut());
+        let timeout = core.poll_timeout();
+        if let Some(env) = transport.recv(timeout) {
+            core.on_envelope(&env, transport.as_mut());
+            // Drain whatever else is already queued before re-checking
+            // deadlines, so bursts don't pay a poll timeout per message.
+            while let Some(env) = transport.recv(Duration::ZERO) {
+                core.on_envelope(&env, transport.as_mut());
+            }
+        }
+    }
+}
+
+/// A driver-side fault/mobility action, due at `0` ns.
+enum Action {
+    Crash(NodeId),
+    PartitionStart,
+    PartitionEnd,
+    Move(NodeId, Position),
+}
+
+/// Run one live execution and validate its trace.
+///
+/// # Errors
+///
+/// Configuration errors (bad rate, out-of-range fault targets, eating
+/// time above τ), transport setup failures, and node-thread panics are
+/// reported as `Err`; safety violations are *not* an error — they are
+/// returned in [`LiveOutcome::violations`] for the caller to assert on.
+pub fn run_live(cfg: &LiveConfig) -> Result<LiveOutcome, String> {
+    cfg.validate()?;
+    match cfg.alg {
+        LiveAlg::A1Greedy => run_live_with(cfg, Algorithm1::greedy),
+        LiveAlg::A1Linial => {
+            let radio_range = SimConfig::default().radio_range;
+            let world = World::new(
+                radio_range,
+                cfg.positions.iter().map(|&p| p.into()).collect(),
+            );
+            let sched = Arc::new(LinialSchedule::compute(
+                world.len() as u64,
+                world.max_degree() as u64,
+            ));
+            run_live_with(cfg, move |seed| Algorithm1::linial(seed, sched.clone()))
+        }
+        LiveAlg::A2 => run_live_with(cfg, Algorithm2::new),
+        LiveAlg::ChandyMisra => run_live_with(cfg, ChandyMisra::new),
+    }
+}
+
+fn run_live_with<P, F>(cfg: &LiveConfig, mut factory: F) -> Result<LiveOutcome, String>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireMsg + Send,
+    F: FnMut(&NodeSeed) -> P,
+{
+    let n = cfg.positions.len();
+    let radio_range = SimConfig::default().radio_range;
+    let mut world = World::new(
+        radio_range,
+        cfg.positions.iter().map(|&p| p.into()).collect(),
+    );
+    let max_degree = world.max_degree();
+    let shared = Arc::new(Shared {
+        origin: Instant::now(),
+        order: AtomicU64::new(0),
+        gate: LinkGate::new(n),
+        sent: AtomicU64::new(0),
+        delivered: AtomicU64::new(0),
+        decode_errors: AtomicU64::new(0),
+        ate: AtomicU64::new(0),
+    });
+    let transports: Vec<Box<dyn Transport>> = match cfg.transport {
+        TransportKind::Mpsc => mpsc_mesh(n)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect(),
+        TransportKind::Udp => udp_mesh(n)?
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect(),
+    };
+
+    let (rec_tx, rec_rx) = channel::<LiveRecord>();
+    let mut ctrls = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (i, transport) in transports.into_iter().enumerate() {
+        let me = NodeId(i as u32);
+        let seed = NodeSeed {
+            id: me,
+            neighbors: world.neighbors(me).to_vec(),
+            n_nodes: n,
+            max_degree,
+        };
+        let proto = factory(&seed);
+        let (ctx, crx) = channel::<Ctrl>();
+        ctrls.push(ctx);
+        let params = NodeParams {
+            me,
+            neighbors: seed.neighbors,
+            n,
+            seed: cfg.seed,
+            tick_ns: cfg.tick_ns,
+            rate: cfg.rate,
+            eat_ns: cfg.eat_ms.saturating_mul(1_000_000),
+            one_shot: cfg.one_shot,
+        };
+        let out = rec_tx.clone();
+        let sh = shared.clone();
+        handles.push(
+            thread::Builder::new()
+                .name(format!("lme-node-{i}"))
+                .spawn(move || node_main(proto, params, transport, crx, out, sh))
+                .map_err(|e| format!("failed to spawn node thread {i}: {e}"))?,
+        );
+    }
+
+    // Build the driver's action timeline in nanoseconds.
+    let mut actions: Vec<(u64, Action)> = Vec::new();
+    if let Some((victim, at_ms)) = cfg.crash {
+        actions.push((at_ms * 1_000_000, Action::Crash(NodeId(victim))));
+    }
+    if let Some((_, at_ms, heal_ms)) = &cfg.partition {
+        actions.push((at_ms * 1_000_000, Action::PartitionStart));
+        actions.push((heal_ms * 1_000_000, Action::PartitionEnd));
+    }
+    for &(at_ms, node, dest) in &cfg.moves {
+        actions.push((at_ms * 1_000_000, Action::Move(NodeId(node), dest.into())));
+    }
+    actions.sort_by_key(|&(at, _)| at);
+    let cut_pairs: Vec<(NodeId, NodeId)> = match &cfg.partition {
+        Some((side, _, _)) => {
+            let inside: Vec<bool> = {
+                let mut v = vec![false; n];
+                for &m in side {
+                    v[m as usize] = true;
+                }
+                v
+            };
+            (0..n as u32)
+                .flat_map(|a| (0..n as u32).map(move |b| (NodeId(a), NodeId(b))))
+                .filter(|&(a, b)| a < b && inside[a.index()] != inside[b.index()])
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    let deadline_ns = cfg.duration_ms.saturating_mul(1_000_000);
+    let mut records: Vec<LiveRecord> = Vec::new();
+    let mut ai = 0;
+    let mut quiesce_at: Option<u64> = None;
+    loop {
+        let now = shared.now_ns();
+        while ai < actions.len() && actions[ai].0 <= now {
+            let (_, action) = &actions[ai];
+            ai += 1;
+            match action {
+                Action::Crash(victim) => {
+                    // Sever first so no further traffic leaks, then tell the
+                    // victim (it records the crash, serialized against its
+                    // own state records). Peers are NOT notified: a crash
+                    // is silent, exactly as in the simulator.
+                    shared.gate.sever_all(*victim);
+                    world.mark_crashed(*victim);
+                    let _ = ctrls[victim.index()].send(Ctrl::Crash);
+                }
+                Action::PartitionStart => {
+                    for &(a, b) in &cut_pairs {
+                        shared.gate.set_pair(a, b, true);
+                    }
+                }
+                Action::PartitionEnd => {
+                    for &(a, b) in &cut_pairs {
+                        if !world.is_crashed(a) && !world.is_crashed(b) {
+                            shared.gate.set_pair(a, b, false);
+                        }
+                    }
+                }
+                Action::Move(m, dest) => {
+                    if world.is_crashed(*m) {
+                        continue;
+                    }
+                    // Record the relocation *before* the link records so a
+                    // trace validator's mirror world updates its adjacency
+                    // at the right point in the total order.
+                    records.push(LiveRecord {
+                        at_ns: shared.now_ns(),
+                        order: shared.ticket(),
+                        kind: LiveEventKind::Relocate {
+                            node: *m,
+                            x: dest.x,
+                            y: dest.y,
+                        },
+                    });
+                    let _ = ctrls[m.index()].send(Ctrl::MoveStarted);
+                    for change in world.relocate(*m, *dest) {
+                        match change {
+                            LinkChange::Up(a, b) => {
+                                // The moved node is the moving side; the
+                                // peer is static and owns the new fork —
+                                // the engine's symmetry breaking.
+                                let (stat, mov) = if a == *m { (b, a) } else { (a, b) };
+                                records.push(LiveRecord {
+                                    at_ns: shared.now_ns(),
+                                    order: shared.ticket(),
+                                    kind: LiveEventKind::LinkUp { a: stat, b: mov },
+                                });
+                                let _ = ctrls[stat.index()].send(Ctrl::LinkUp {
+                                    peer: mov,
+                                    kind: LinkUpKind::AsStatic,
+                                });
+                                let _ = ctrls[mov.index()].send(Ctrl::LinkUp {
+                                    peer: stat,
+                                    kind: LinkUpKind::AsMoving,
+                                });
+                            }
+                            LinkChange::Down(a, b) => {
+                                records.push(LiveRecord {
+                                    at_ns: shared.now_ns(),
+                                    order: shared.ticket(),
+                                    kind: LiveEventKind::LinkDown { a, b },
+                                });
+                                let _ = ctrls[a.index()].send(Ctrl::LinkDown { peer: b });
+                                let _ = ctrls[b.index()].send(Ctrl::LinkDown { peer: a });
+                            }
+                        }
+                    }
+                    let _ = ctrls[m.index()].send(Ctrl::MoveEnded);
+                }
+            }
+        }
+        if now >= deadline_ns {
+            break;
+        }
+        // One-shot runs end early once every node has eaten, after a short
+        // drain window for trailing records.
+        if cfg.one_shot && cfg.crash.is_none() && shared.ate.load(Ordering::Relaxed) as usize >= n {
+            let at = *quiesce_at.get_or_insert(now + 50_000_000);
+            if now >= at {
+                break;
+            }
+        }
+        let next_action = actions
+            .get(ai)
+            .map(|&(at, _)| at)
+            .unwrap_or(u64::MAX)
+            .min(deadline_ns);
+        let wait_ns = next_action
+            .saturating_sub(shared.now_ns())
+            .clamp(100_000, 5_000_000);
+        match rec_rx.recv_timeout(Duration::from_nanos(wait_ns)) {
+            Ok(r) => records.push(r),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    for c in &ctrls {
+        let _ = c.send(Ctrl::Shutdown);
+    }
+    drop(rec_tx);
+    // Drain until every node thread has dropped its sender.
+    for r in rec_rx.iter() {
+        records.push(r);
+    }
+    let mut threads_joined = 0;
+    for (i, h) in handles.into_iter().enumerate() {
+        h.join()
+            .map_err(|_| format!("node thread {i} panicked during the live run"))?;
+        threads_joined += 1;
+    }
+    let elapsed_ms = shared.now_ns() / 1_000_000;
+
+    let trace = LiveTrace::new(records);
+    let violations = trace.check_safety(radio_range, &cfg.positions);
+    let meals = trace.census(n);
+    let latencies_ns = trace.hungry_to_eat_latencies_ns(n);
+    Ok(LiveOutcome {
+        trace,
+        meals,
+        latencies_ns,
+        violations,
+        messages_sent: shared.sent.load(Ordering::Relaxed),
+        messages_delivered: shared.delivered.load(Ordering::Relaxed),
+        decode_errors: shared.decode_errors.load(Ordering::Relaxed),
+        elapsed_ms,
+        threads_joined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> Vec<(f64, f64)> {
+        vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = LiveConfig::new(LiveAlg::A2, TransportKind::Mpsc, vec![]);
+        assert!(run_live(&cfg).is_err(), "empty topology");
+        cfg.positions = line3();
+        cfg.rate = 0.0;
+        assert!(run_live(&cfg).is_err(), "zero rate");
+        cfg.rate = 25.0;
+        cfg.eat_ms = 10_000;
+        assert!(run_live(&cfg).is_err(), "eating beyond tau");
+        cfg.eat_ms = 2;
+        cfg.crash = Some((9, 10));
+        assert!(run_live(&cfg).is_err(), "crash target out of range");
+    }
+
+    #[test]
+    fn short_mpsc_run_is_safe_and_joins_all_threads() {
+        let mut cfg = LiveConfig::new(LiveAlg::A1Greedy, TransportKind::Mpsc, line3());
+        cfg.duration_ms = 300;
+        cfg.rate = 60.0;
+        cfg.eat_ms = 1;
+        let out = run_live(&cfg).expect("live run");
+        assert_eq!(out.threads_joined, 3);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.total_meals() > 0, "nobody ate in 300 ms");
+        assert_eq!(out.decode_errors, 0);
+        assert!(out.messages_delivered > 0);
+    }
+
+    #[test]
+    fn one_shot_run_feeds_every_node_exactly_once() {
+        let mut cfg = LiveConfig::new(LiveAlg::ChandyMisra, TransportKind::Mpsc, line3());
+        cfg.duration_ms = 2_000;
+        cfg.one_shot = true;
+        cfg.eat_ms = 1;
+        let out = run_live(&cfg).expect("live run");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.meals, vec![1, 1, 1]);
+        // Early stop: nowhere near the 2 s deadline.
+        assert!(out.elapsed_ms < 1_500, "one-shot run did not stop early");
+    }
+
+    #[test]
+    fn alg_names_round_trip() {
+        for alg in LiveAlg::all() {
+            assert_eq!(LiveAlg::parse(alg.name()).unwrap(), alg);
+        }
+        assert!(LiveAlg::parse("choy-singh").is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Live trace capture and validation.
+//!
+//! Every node thread and the driver stamp the records they emit with a
+//! ticket from one shared atomic counter plus a nanosecond reading of the
+//! run's shared monotonic origin. Sorting by ticket therefore yields a
+//! *total order consistent with real time*: a record stamped earlier
+//! happened-before (or was concurrent with) one stamped later, and the
+//! per-link envelope sequence numbers embed FIFO delivery inside it.
+//!
+//! That total order is what lets two sim-grade facilities run over a live
+//! execution:
+//!
+//! * [`LiveTrace::check_safety`] replays the trace against a mirror
+//!   [`World`] and feeds it through the very same [`SafetyMonitor`] hook
+//!   that audits simulated runs — no second implementation of the
+//!   invariant;
+//! * [`LiveTrace::to_schedule`] quantizes each observed delivery latency
+//!   into virtual-time delivery delays, producing an [`ImportedSchedule`]
+//!   the deterministic engine can replay (the conformance bridge).
+
+use harness::{SafetyMonitor, Violation};
+use manet_sim::{DiningState, Hook, ImportedSchedule, NodeId, SimTime, Sink, View, World};
+
+/// What happened, as observed by one thread of the live run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LiveEventKind {
+    /// A node's dining state changed. `session` is the node's eating-session
+    /// counter *after* the transition (incremented on entering `Eating`).
+    State {
+        /// The node that changed state.
+        node: NodeId,
+        /// State before the transition.
+        old: DiningState,
+        /// State after the transition.
+        new: DiningState,
+        /// Eating-session counter after the transition.
+        session: u64,
+    },
+    /// A message was decoded and handed to the receiving protocol.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver (the recording node).
+        to: NodeId,
+        /// Per-directed-link sequence number from the envelope.
+        seq: u64,
+        /// Protocol-reported message kind (for the census).
+        kind: &'static str,
+        /// Receive instant minus the envelope's send instant.
+        latency_ns: u64,
+    },
+    /// A link came up; `a` is the designated static side.
+    LinkUp {
+        /// Static endpoint.
+        a: NodeId,
+        /// Moving endpoint.
+        b: NodeId,
+    },
+    /// A link went down.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The driver crashed a node.
+    Crash {
+        /// The victim.
+        node: NodeId,
+    },
+    /// The driver teleported a node (recorded *before* the resulting
+    /// link records, so a validator's mirror world stays in sync).
+    Relocate {
+        /// The node that moved.
+        node: NodeId,
+        /// New horizontal coordinate.
+        x: f64,
+        /// New vertical coordinate.
+        y: f64,
+    },
+}
+
+/// One totally-ordered trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LiveRecord {
+    /// Nanoseconds since the run's shared monotonic origin.
+    pub at_ns: u64,
+    /// Ticket from the run's shared order counter; the sort key.
+    pub order: u64,
+    /// The observation itself.
+    pub kind: LiveEventKind,
+}
+
+/// A captured live run, sorted into its total order.
+#[derive(Clone, Debug, Default)]
+pub struct LiveTrace {
+    records: Vec<LiveRecord>,
+}
+
+impl LiveTrace {
+    /// Sort `records` by order ticket and wrap them.
+    pub fn new(mut records: Vec<LiveRecord>) -> LiveTrace {
+        records.sort_by_key(|r| r.order);
+        LiveTrace { records }
+    }
+
+    /// The records, in total order.
+    pub fn records(&self) -> &[LiveRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Eating sessions entered per node (the live census).
+    pub fn census(&self, n: usize) -> Vec<u64> {
+        let mut meals = vec![0u64; n];
+        for r in &self.records {
+            if let LiveEventKind::State {
+                node,
+                new: DiningState::Eating,
+                ..
+            } = r.kind
+            {
+                meals[node.index()] += 1;
+            }
+        }
+        meals
+    }
+
+    /// Number of message deliveries observed.
+    pub fn deliveries(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.kind, LiveEventKind::Deliver { .. }))
+            .count()
+    }
+
+    /// Hungry→eating latencies in nanoseconds, pooled over all nodes.
+    /// Measured from the *first* entry into hungry (a demotion back to
+    /// hungry does not restart the clock, matching the paper's response
+    /// time).
+    pub fn hungry_to_eat_latencies_ns(&self, n: usize) -> Vec<u64> {
+        let mut since = vec![None; n];
+        let mut out = Vec::new();
+        for r in &self.records {
+            if let LiveEventKind::State { node, old, new, .. } = r.kind {
+                let slot = &mut since[node.index()];
+                match (old, new) {
+                    (DiningState::Thinking, DiningState::Hungry) => {
+                        slot.get_or_insert(r.at_ns);
+                    }
+                    (_, DiningState::Eating) => {
+                        if let Some(h) = slot.take() {
+                            out.push(r.at_ns.saturating_sub(h));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Quantize every observed delivery latency into a virtual-time delay
+    /// and build the per-channel schedule the deterministic engine can
+    /// replay. Latencies are clamped into `[min_delay, max_delay]` ticks —
+    /// the engine would clamp out-of-range delays anyway, this just keeps
+    /// the import counters honest.
+    pub fn to_schedule(&self, tick_ns: u64, min_delay: u64, max_delay: u64) -> ImportedSchedule {
+        let tick_ns = tick_ns.max(1);
+        let lo = min_delay.max(1);
+        let mut sched = ImportedSchedule::new(lo);
+        for r in &self.records {
+            if let LiveEventKind::Deliver {
+                from,
+                to,
+                latency_ns,
+                ..
+            } = r.kind
+            {
+                let ticks = (latency_ns / tick_ns).clamp(lo, max_delay.max(lo));
+                sched.push(from, to, ticks);
+            }
+        }
+        sched
+    }
+
+    /// Replay the trace against a mirror world and run it through the
+    /// harness [`SafetyMonitor`] — the same hook that audits simulated
+    /// runs. Returns every recorded violation (empty = the live run never
+    /// had two current neighbors eating at once, and never ate next to a
+    /// neighbor that crashed mid-meal).
+    pub fn check_safety(&self, radio_range: f64, positions: &[(f64, f64)]) -> Vec<Violation> {
+        let mut world = World::new(radio_range, positions.iter().map(|&p| p.into()).collect());
+        let n = world.len();
+        let mut dining = vec![DiningState::Thinking; n];
+        let mut sessions = vec![0u64; n];
+        let (mut monitor, log) = SafetyMonitor::new(false);
+        let mut sink = Sink::detached();
+        for r in &self.records {
+            let now = SimTime(r.at_ns);
+            match r.kind {
+                LiveEventKind::State {
+                    node, new, session, ..
+                } => {
+                    dining[node.index()] = new;
+                    sessions[node.index()] = session;
+                }
+                LiveEventKind::Crash { node } => {
+                    // The dining cache is still a live reading at the crash
+                    // instant: notify the monitor before freezing the node.
+                    let view = View::compose(now, &world, &dining, &sessions);
+                    Hook::<()>::on_crash(&mut monitor, &view, node, &mut sink);
+                    world.mark_crashed(node);
+                }
+                LiveEventKind::Relocate { node, x, y } => {
+                    // The adjacency change is what matters for the
+                    // invariant; the LinkUp/LinkDown records that follow
+                    // are documentation of what the nodes were told.
+                    let _ = world.relocate(node, (x, y).into());
+                }
+                LiveEventKind::Deliver { .. }
+                | LiveEventKind::LinkUp { .. }
+                | LiveEventKind::LinkDown { .. } => {}
+            }
+            let view = View::compose(now, &world, &dining, &sessions);
+            Hook::<()>::on_quantum_end(&mut monitor, &view, &mut sink);
+            sink.drain();
+        }
+        let out = log.borrow().clone();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(
+        order: u64,
+        node: u32,
+        old: DiningState,
+        new: DiningState,
+        session: u64,
+    ) -> LiveRecord {
+        LiveRecord {
+            at_ns: order * 1_000,
+            order,
+            kind: LiveEventKind::State {
+                node: NodeId(node),
+                old,
+                new,
+                session,
+            },
+        }
+    }
+
+    const T: DiningState = DiningState::Thinking;
+    const H: DiningState = DiningState::Hungry;
+    const E: DiningState = DiningState::Eating;
+
+    #[test]
+    fn serial_eating_by_neighbors_is_safe() {
+        let trace = LiveTrace::new(vec![
+            state(1, 0, T, H, 0),
+            state(2, 0, H, E, 1),
+            state(3, 0, E, T, 1),
+            state(4, 1, T, H, 0),
+            state(5, 1, H, E, 1),
+            state(6, 1, E, T, 1),
+        ]);
+        let violations = trace.check_safety(1.5, &[(0.0, 0.0), (1.0, 0.0)]);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(trace.census(2), vec![1, 1]);
+        assert_eq!(trace.hungry_to_eat_latencies_ns(2), vec![1_000, 1_000]);
+    }
+
+    #[test]
+    fn concurrent_neighbor_eating_is_flagged() {
+        let trace = LiveTrace::new(vec![
+            state(1, 0, T, H, 0),
+            state(2, 1, T, H, 0),
+            state(3, 0, H, E, 1),
+            state(4, 1, H, E, 1),
+        ]);
+        let violations = trace.check_safety(1.5, &[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!((violations[0].a, violations[0].b), (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn non_neighbors_may_eat_concurrently() {
+        // Same schedule as above, but the nodes are out of radio range.
+        let trace = LiveTrace::new(vec![
+            state(1, 0, T, H, 0),
+            state(2, 1, T, H, 0),
+            state(3, 0, H, E, 1),
+            state(4, 1, H, E, 1),
+        ]);
+        let violations = trace.check_safety(1.5, &[(0.0, 0.0), (10.0, 0.0)]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn eating_beside_a_neighbor_crashed_mid_meal_is_flagged() {
+        let mut records = vec![
+            state(1, 1, T, H, 0),
+            state(2, 1, H, E, 1),
+            LiveRecord {
+                at_ns: 3_000,
+                order: 3,
+                kind: LiveEventKind::Crash { node: NodeId(1) },
+            },
+            state(4, 0, T, H, 0),
+            state(5, 0, H, E, 1),
+        ];
+        // Out-of-order input exercises the sort.
+        records.reverse();
+        let trace = LiveTrace::new(records);
+        let violations = trace.check_safety(1.5, &[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+    }
+
+    #[test]
+    fn relocation_updates_the_mirror_adjacency() {
+        // Node 1 teleports next to node 0, then both eat: violation only
+        // because the mirror world tracked the move.
+        let trace = LiveTrace::new(vec![
+            LiveRecord {
+                at_ns: 500,
+                order: 1,
+                kind: LiveEventKind::Relocate {
+                    node: NodeId(1),
+                    x: 1.0,
+                    y: 0.0,
+                },
+            },
+            state(2, 0, T, H, 0),
+            state(3, 1, T, H, 0),
+            state(4, 0, H, E, 1),
+            state(5, 1, H, E, 1),
+        ]);
+        let violations = trace.check_safety(1.5, &[(0.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+    }
+
+    #[test]
+    fn schedule_export_quantizes_latencies_per_channel() {
+        let deliver = |order: u64, from: u32, to: u32, latency_ns: u64| LiveRecord {
+            at_ns: order * 1_000,
+            order,
+            kind: LiveEventKind::Deliver {
+                from: NodeId(from),
+                to: NodeId(to),
+                seq: order,
+                kind: "req",
+                latency_ns,
+            },
+        };
+        let trace = LiveTrace::new(vec![
+            deliver(1, 0, 1, 2_500),  // 2 ticks at tick_ns = 1000
+            deliver(2, 0, 1, 25_000), // clamped to ν = 10
+            deliver(3, 1, 0, 0),      // clamped up to the minimum delay
+        ]);
+        let sched = trace.to_schedule(1_000, 1, 10);
+        assert_eq!(sched.imported(), 3);
+    }
+}

@@ -84,7 +84,7 @@ pub use hooks::{Hook, Sink, View};
 pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};
 pub use rng::SimRng;
-pub use sched::{digest_of_debug, DeliveryChoice, Fnv, RandomDelays, Strategy};
+pub use sched::{digest_of_debug, DeliveryChoice, Fnv, ImportedSchedule, RandomDelays, Strategy};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};
 pub use world::{LinkChange, LinkEngine, Position, World};

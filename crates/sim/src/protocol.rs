@@ -83,6 +83,35 @@ pub struct Context<'a, M> {
     pub(crate) timers: &'a mut Vec<(u64, u64)>,
 }
 
+impl<'a, M> Context<'a, M> {
+    /// Build a context for a host *outside* the simulation engine — the
+    /// live runtime drives the same [`Protocol`] automata from OS threads
+    /// and real transports, and needs to hand them a context per event.
+    ///
+    /// `outbox` collects `(destination, message)` pairs issued via
+    /// [`Context::send`]/[`Context::broadcast`]; `timers` collects
+    /// `(delay_ticks, token)` pairs issued via [`Context::set_timer`]. The
+    /// host owns delivery and timer semantics; the engine's own event loop
+    /// never uses this constructor.
+    pub fn for_host(
+        me: NodeId,
+        now: SimTime,
+        neighbors: &'a [NodeId],
+        moving: bool,
+        outbox: &'a mut Vec<(NodeId, M)>,
+        timers: &'a mut Vec<(u64, u64)>,
+    ) -> Context<'a, M> {
+        Context {
+            me,
+            now,
+            neighbors,
+            moving,
+            outbox,
+            timers,
+        }
+    }
+}
+
 impl<M: Clone> Context<'_, M> {
     /// The ID of the node executing the handler.
     pub fn me(&self) -> NodeId {

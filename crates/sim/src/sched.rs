@@ -96,6 +96,77 @@ impl Strategy for RandomDelays {
     }
 }
 
+/// A schedule imported from a recorded execution — typically a live run of
+/// the thread-per-node runtime, whose observed per-message latencies are
+/// quantized to ticks and replayed here for deterministic conformance
+/// checking in the simulator.
+///
+/// Delays are keyed by *directed channel* `(from, to)` and consumed in
+/// recording order, mirroring the per-link FIFO delivery of both the
+/// engine and real transports. Exact event-order replay of a live run is
+/// a fixed point (the messages themselves depend on the interleaving), so
+/// an imported schedule reproduces the live run's *timing shape*: once the
+/// recorded delays of a channel are exhausted — the simulated run may send
+/// more or fewer messages than the live one — the strategy falls back to
+/// `fallback` (clamped to the legal window like every choice).
+#[derive(Clone, Debug, Default)]
+pub struct ImportedSchedule {
+    per_channel: std::collections::BTreeMap<(NodeId, NodeId), std::collections::VecDeque<u64>>,
+    fallback: u64,
+    imported: usize,
+    consumed: usize,
+}
+
+impl ImportedSchedule {
+    /// An empty schedule whose every choice is `fallback` ticks.
+    pub fn new(fallback: u64) -> ImportedSchedule {
+        ImportedSchedule {
+            per_channel: std::collections::BTreeMap::new(),
+            fallback,
+            imported: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Append one recorded delay (in ticks) for the `from → to` channel.
+    /// Delays must be pushed in the channel's delivery order.
+    pub fn push(&mut self, from: NodeId, to: NodeId, delay: u64) {
+        self.per_channel
+            .entry((from, to))
+            .or_default()
+            .push_back(delay);
+        self.imported += 1;
+    }
+
+    /// Total recorded delays imported.
+    pub fn imported(&self) -> usize {
+        self.imported
+    }
+
+    /// Recorded delays consumed so far (the rest of the run used the
+    /// fallback).
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+}
+
+impl Strategy for ImportedSchedule {
+    fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64 {
+        let recorded = self
+            .per_channel
+            .get_mut(&(choice.from, choice.to))
+            .and_then(|q| q.pop_front());
+        let delay = match recorded {
+            Some(d) => {
+                self.consumed += 1;
+                d
+            }
+            None => self.fallback,
+        };
+        delay.clamp(choice.earliest, choice.latest)
+    }
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -184,6 +255,30 @@ mod tests {
             diverged |= da != c.choose_delay(&ch);
         }
         assert!(diverged, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn imported_schedule_pops_per_channel_then_falls_back() {
+        let mut s = ImportedSchedule::new(2);
+        s.push(NodeId(0), NodeId(1), 7);
+        s.push(NodeId(0), NodeId(1), 4);
+        s.push(NodeId(1), NodeId(0), 9);
+        assert_eq!(s.imported(), 3);
+        let ch01 = choice(1, 10, 3, None);
+        let mut ch10 = choice(1, 10, 3, None);
+        ch10.from = NodeId(1);
+        ch10.to = NodeId(0);
+        // Recorded delays come back in channel order…
+        assert_eq!(s.choose_delay(&ch01), 7);
+        assert_eq!(s.choose_delay(&ch10), 9);
+        assert_eq!(s.choose_delay(&ch01), 4);
+        // …then the channel is dry and the fallback takes over.
+        assert_eq!(s.choose_delay(&ch01), 2);
+        assert_eq!(s.consumed(), 3);
+        // Out-of-window recordings are clamped to the legal window.
+        let mut t = ImportedSchedule::new(1);
+        t.push(NodeId(0), NodeId(1), 99);
+        assert_eq!(t.choose_delay(&ch01), 10);
     }
 
     #[test]

@@ -343,6 +343,14 @@ impl World {
         self.moving[n.index()] = None;
     }
 
+    /// Mark `n` crashed from *outside* the engine — used by hosts (the
+    /// live runtime's trace validator) that maintain a mirror world while
+    /// replaying a recorded execution through hooks. Same semantics as an
+    /// engine crash: the node never moves again and its links stay up.
+    pub fn mark_crashed(&mut self, n: NodeId) {
+        self.crash(n);
+    }
+
     /// Move `n` one motion step toward its destination; returns the link
     /// changes caused and whether the destination has been reached.
     pub(crate) fn step_motion(&mut self, n: NodeId) -> (Vec<LinkChange>, bool) {

@@ -1,0 +1,87 @@
+//! Live-runtime safety and conformance (DESIGN.md §11).
+//!
+//! Short in-process mpsc runs of every live-capable algorithm on a clique
+//! and a ring, each with one mid-run crash: the captured trace must be
+//! safe under the harness monitor, every node thread must join, and the
+//! wire codec must not drop a single frame. A separate test exports one
+//! fault-free one-shot run's delivery timings as a simulator schedule and
+//! asserts the deterministic replay is safe and reproduces the same
+//! eating census — the sim-conformance bridge.
+
+use harness::topology;
+use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, TransportKind};
+
+fn crash_cfg(alg: LiveAlg, positions: Vec<(f64, f64)>) -> LiveConfig {
+    let mut cfg = LiveConfig::new(alg, TransportKind::Mpsc, positions);
+    cfg.duration_ms = 300;
+    cfg.rate = 60.0;
+    cfg.eat_ms = 1;
+    cfg.crash = Some((0, 100));
+    cfg
+}
+
+#[test]
+fn crashed_mpsc_runs_stay_safe_on_clique_and_ring() {
+    for alg in LiveAlg::all() {
+        for (name, positions) in [
+            ("clique:4", topology::clique(4)),
+            ("ring:5", topology::ring(5)),
+        ] {
+            let n = positions.len();
+            let cfg = crash_cfg(alg, positions);
+            let out = run_live(&cfg).unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
+            assert!(
+                out.violations.is_empty(),
+                "{} on {name}: {:?}",
+                alg.name(),
+                out.violations
+            );
+            assert_eq!(
+                out.threads_joined,
+                n,
+                "{} on {name}: leaked node threads",
+                alg.name()
+            );
+            assert_eq!(
+                out.decode_errors,
+                0,
+                "{} on {name}: wire frames failed to decode",
+                alg.name()
+            );
+            // The crash severs node 0 at 100 ms; survivors must keep the
+            // trace non-trivial (states, deliveries) without it.
+            assert!(
+                !out.trace.is_empty(),
+                "{} on {name}: empty trace",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn live_delivery_order_replays_safely_in_the_simulator() {
+    // One-shot and fault-free: every node eats exactly once, so the
+    // eating census is schedule-independent and the sim replay of the
+    // observed delivery timings must reproduce it exactly.
+    let mut cfg = LiveConfig::new(LiveAlg::A1Greedy, TransportKind::Mpsc, topology::ring(5));
+    cfg.one_shot = true;
+    cfg.eat_ms = 1;
+    cfg.duration_ms = 5_000;
+    let out = run_live(&cfg).expect("live run");
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert_eq!(out.meals, vec![1; 5], "one-shot run must feed every node");
+
+    let report = conformance_replay(&cfg, &out).expect("replay");
+    assert!(
+        report.imported_delays > 0,
+        "no live delivery delays were imported"
+    );
+    assert_eq!(report.sim_violations, 0, "sim replay was unsafe");
+    assert!(
+        report.census_match,
+        "sim census {:?} != live census {:?}",
+        report.sim_census, report.live_census
+    );
+    assert!(report.conforms());
+}
