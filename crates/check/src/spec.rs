@@ -3,6 +3,7 @@
 //! (used to validate that the checker actually finds bugs).
 
 use harness::AlgKind;
+use manet_sim::EventQueueKind;
 
 /// A deliberate, test-only defect injected into the algorithm under check.
 ///
@@ -73,6 +74,11 @@ pub struct CheckSpec {
     pub hungry: Vec<u32>,
     /// Optional deliberate defect (see [`Mutation`]).
     pub mutation: Mutation,
+    /// Event-queue core the engine runs schedules on. Both cores produce
+    /// identical verdicts (that equivalence is itself under test in
+    /// `tests/queue_equivalence.rs`); the knob exists so the checker can be
+    /// pointed at either implementation.
+    pub event_queue: EventQueueKind,
 }
 
 impl CheckSpec {
@@ -96,6 +102,7 @@ impl CheckSpec {
             eat: 10,
             hungry: (0..n as u32).collect(),
             mutation: Mutation::None,
+            event_queue: EventQueueKind::default(),
         }
     }
 

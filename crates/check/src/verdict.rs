@@ -45,6 +45,10 @@ pub struct RunVerdict {
     pub drained: bool,
     /// Completed critical sections across all nodes.
     pub meals: u64,
+    /// Structured abort raised by the engine (rendered
+    /// [`manet_sim::RunAbort`]), if the run stopped abnormally — e.g. a
+    /// malformed replay schedule or an exhausted event budget.
+    pub abort: Option<String>,
 }
 
 /// What the property checks need from a protocol, beyond [`Protocol`].
@@ -132,6 +136,7 @@ where
         max_message_delay: spec.nu,
         max_eating_ticks: spec.eat,
         trace: true,
+        event_queue: spec.event_queue,
         ..SimConfig::default()
     };
     let mut engine = Engine::new_graph(cfg, spec.n, &spec.edges, factory);
@@ -169,12 +174,15 @@ where
                 .flatten()
         });
 
+    let abort = engine.abort().map(|a| a.to_string());
+
     RunVerdict {
         choices: recorder.log(),
         violation,
         trace,
         drained,
         meals,
+        abort,
     }
 }
 

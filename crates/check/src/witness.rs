@@ -90,6 +90,7 @@ impl Witness {
             eat: self.eat,
             hungry: self.hungry.clone(),
             mutation: Mutation::parse(&self.mutation)?,
+            event_queue: manet_sim::EventQueueKind::default(),
         };
         spec.validate()?;
         Ok(spec)

@@ -78,7 +78,7 @@ pub enum Command {
     Chaos,
     /// Bounded schedule-space model checking with witness shrink/replay.
     Check,
-    /// Benchmarks (`lme bench scale`, `lme bench live`).
+    /// Benchmarks (`lme bench scale`, `lme bench live`, `lme bench engine`).
     Bench,
     /// Live thread-per-node run over a real transport (`lme live`).
     Live,
@@ -91,6 +91,9 @@ pub enum BenchMode {
     Scale,
     /// Live-runtime throughput/latency over a real transport (wall time).
     Live,
+    /// Event-queue core ladder: ns/event of the heap vs the timing wheel
+    /// on a dispatch-bound workload.
+    Engine,
 }
 
 /// Everything the CLI understood.
@@ -165,7 +168,8 @@ pub struct Cli {
     /// Bench: relocation steps measured per node count.
     pub bench_steps: usize,
     /// Bench: where the JSON output is written (`None` = the mode's
-    /// default: `BENCH_scale.json` / `BENCH_live.json`).
+    /// default: `BENCH_scale.json` / `BENCH_live.json` /
+    /// `BENCH_engine.json`).
     pub bench_out: Option<String>,
     /// Bench: largest n at which the pairwise reference engine also runs
     /// (it is O(n²); past this only the grid engine is measured).
@@ -254,6 +258,9 @@ commands:
           `bench live`: wall-clock throughput (eating sessions/sec) and
           hungry->eat latency percentiles of every live-capable
           algorithm over a real transport, written as BENCH_live.json
+          `bench engine`: ns/event of the binary-heap vs timing-wheel
+          event cores on a dispatch-bound workload across a node
+          ladder, written as BENCH_engine.json
   live    one thread per node, real message passing (mpsc channels or
           UDP on loopback), live trace validated by the safety monitor
 
@@ -303,6 +310,12 @@ scaling benchmark (bench scale):
   --out <p>            JSON trajectory path     (default BENCH_scale.json)
   --pairwise-cap <n>   largest n that also runs the O(n^2) reference
                        engine                   (default 2500)
+
+event-core benchmark (bench engine):
+  --ns <a,b,...>       node-count ladder        (default 1000,2500,5000,10000)
+  --steps-per-n <k>    minimum events per cell  (default 20000; at least
+                       50 x n events are always dispatched)
+  --out <p>            JSON path                (default BENCH_engine.json)
 
 live runtime (live, bench live):
   --transport <t>      mpsc | udp               (default mpsc)
@@ -473,9 +486,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             cli.bench_mode = match mode.as_str() {
                 "scale" => BenchMode::Scale,
                 "live" => BenchMode::Live,
+                "engine" => BenchMode::Engine,
                 _ => {
                     return Err(format!(
-                        "unknown bench mode '{mode}'; try `lme bench scale` or `lme bench live`"
+                        "unknown bench mode '{mode}'; try `lme bench scale`, \
+                         `lme bench live`, or `lme bench engine`"
                     ))
                 }
             };
@@ -819,11 +834,18 @@ mod tests {
         assert_eq!(default.bench_mode, BenchMode::Scale);
         assert_eq!(default.bench_ns, vec![1_000, 2_500, 5_000, 10_000]);
         assert_eq!(default.bench_out, None);
+        let engine = parse(argv("bench engine --ns 50 --steps-per-n 2000 --out e.json")).unwrap();
+        assert_eq!(engine.bench_mode, BenchMode::Engine);
+        assert_eq!(engine.bench_ns, vec![50]);
+        assert_eq!(engine.bench_steps, 2000);
+        assert_eq!(engine.bench_out.as_deref(), Some("e.json"));
     }
 
     #[test]
     fn rejects_malformed_bench_flags() {
         assert!(parse(argv("bench warp")).is_err());
+        assert!(parse(argv("bench engine --ns 0")).is_err());
+        assert!(parse(argv("bench engine --steps-per-n 0")).is_err());
         assert!(parse(argv("bench scale --ns")).is_err());
         assert!(parse(argv("bench scale --ns 0")).is_err());
         assert!(parse(argv("bench scale --ns 10,x")).is_err());

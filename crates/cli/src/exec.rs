@@ -9,8 +9,8 @@ use harness::{
 use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
 use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome};
 use manet_sim::{
-    DelayAdversary, FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position,
-    SimConfig, SimRng, SimTime, World,
+    Context, DelayAdversary, DiningState, Engine, Event, EventQueueKind, FaultPlan, LinkEngine,
+    LinkFaults, NodeId, PartitionWindow, Position, Protocol, SimConfig, SimRng, SimTime, World,
 };
 
 use crate::args::{BenchMode, Cli, Command, TopoSpec, USAGE};
@@ -600,6 +600,195 @@ fn bench_cell(n: usize, seed: u64, steps: usize, engine: LinkEngine) -> BenchRow
     }
 }
 
+/// Dispatch-bound workload for the event-core benchmark: every node runs a
+/// self-rescheduling timer chain and pings one neighbor per firing. The
+/// handlers do (almost) no work, so wall time is dominated by event-queue
+/// push/pop/dispatch — the quantity `bench engine` measures.
+struct Ticker {
+    token: u64,
+    pings: u64,
+}
+
+impl Protocol for Ticker {
+    type Msg = u8;
+
+    fn on_event(&mut self, ev: Event<u8>, ctx: &mut Context<'_, u8>) {
+        match ev {
+            Event::Hungry => {
+                // Fan out four independent timer chains per node so the
+                // pending set is a few times n — the regime where the
+                // O(log n) heap pays per event and the wheel does not.
+                for lane in 0..4 {
+                    ctx.set_timer(1 + lane, lane);
+                }
+            }
+            Event::Timer { token } => {
+                self.token = self.token.wrapping_add(1);
+                // Varying short delays spread the chain across nearby
+                // buckets instead of hammering a single tick.
+                ctx.set_timer(1 + (self.token & 7), token);
+                // Ping a neighbor on a quarter of the firings: enough to
+                // keep the delivery path honest without letting the O(n)
+                // world machinery swamp the queue cost under measurement.
+                if self.token & 3 == 0 {
+                    let nbrs = ctx.neighbors();
+                    let to = nbrs.get(self.token as usize % nbrs.len().max(1)).copied();
+                    if let Some(to) = to {
+                        ctx.send(to, 0);
+                    }
+                }
+            }
+            Event::Message { .. } => self.pings = self.pings.wrapping_add(1),
+            _ => {}
+        }
+    }
+
+    fn dining_state(&self) -> DiningState {
+        DiningState::Thinking
+    }
+}
+
+/// One measured cell of the event-core benchmark.
+struct BenchEngineRow {
+    n: usize,
+    core: &'static str,
+    events: u64,
+    elapsed_ns: u128,
+}
+
+impl BenchEngineRow {
+    fn ns_per_event(&self) -> f64 {
+        self.elapsed_ns as f64 / self.events as f64
+    }
+}
+
+/// Run the ticker workload on an `n`-node constant-density deployment
+/// under one event-queue core until at least `min_events` events have
+/// dispatched. Only the run loop is timed (world construction is core-
+/// independent and excluded).
+fn bench_engine_cell(
+    n: usize,
+    seed: u64,
+    min_events: u64,
+    queue: EventQueueKind,
+) -> Result<(BenchEngineRow, manet_sim::EngineStats), String> {
+    let side = (n as f64 / 1.6).sqrt().max(2.0);
+    let positions = topology::random_points(n, side, seed);
+    let cfg = SimConfig {
+        seed,
+        event_queue: queue,
+        ..SimConfig::default()
+    };
+    let mut eng = Engine::new(cfg, positions, |_| Ticker { token: 0, pings: 0 });
+    for i in 0..n as u32 {
+        eng.set_hungry_at(SimTime(1 + u64::from(i % 7)), NodeId(i));
+    }
+    let start = std::time::Instant::now();
+    let mut horizon = 0u64;
+    while eng.stats().events < min_events {
+        horizon += 500;
+        eng.run_until(SimTime(horizon));
+        if let Some(abort) = eng.abort() {
+            return Err(format!("bench engine: n = {n} aborted: {abort}"));
+        }
+        if eng.pending_events() == 0 {
+            return Err(format!("bench engine: n = {n} drained unexpectedly"));
+        }
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let stats = eng.stats().clone();
+    Ok((
+        BenchEngineRow {
+            n,
+            core: queue.name(),
+            events: stats.events,
+            elapsed_ns,
+        },
+        stats,
+    ))
+}
+
+/// `lme bench engine`: ns/event of the binary-heap vs timing-wheel event
+/// cores on the dispatch-bound ticker workload, written as JSON. The two
+/// cores must agree on every [`manet_sim::EngineStats`] counter — the
+/// benchmark doubles as a cheap conformance check.
+fn render_bench_engine(cli: &Cli) -> Result<String, String> {
+    let out_path = cli
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut rows = Vec::new();
+    let mut pairs = Vec::new();
+    for &n in &cli.bench_ns {
+        let target = (cli.bench_steps as u64).max(50 * n as u64);
+        let (heap, heap_stats) = bench_engine_cell(n, cli.seed, target, EventQueueKind::Heap)?;
+        let (wheel, wheel_stats) = bench_engine_cell(n, cli.seed, target, EventQueueKind::Wheel)?;
+        if heap_stats != wheel_stats {
+            return Err(format!(
+                "bench engine: cores diverged at n = {n}\n  heap:  {heap_stats:?}\n  wheel: {wheel_stats:?}"
+            ));
+        }
+        pairs.push((n, heap.ns_per_event(), wheel.ns_per_event()));
+        rows.push(heap);
+        rows.push(wheel);
+    }
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"engine\",\n");
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"min_events_per_n\": {},\n", cli.bench_steps));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"core\": \"{}\", \"events\": {}, \"elapsed_ns\": {}, \
+             \"ns_per_event\": {:.1}}}{}\n",
+            r.n,
+            r.core,
+            r.events,
+            r.elapsed_ns,
+            r.ns_per_event(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup\": [\n");
+    for (i, (n, heap_ns, wheel_ns)) in pairs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {n}, \"heap_ns_per_event\": {heap_ns:.1}, \
+             \"wheel_ns_per_event\": {wheel_ns:.1}, \"wheel_speedup\": {:.2}}}{}\n",
+            heap_ns / wheel_ns,
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut s = format!(
+        "bench engine: dispatch-bound ticker workload, seed {}, >= max({}, 50n) events per cell\n",
+        cli.seed, cli.bench_steps
+    );
+    let mut table = Table::new(&["n", "core", "events", "ns/event", "wheel speedup"]);
+    for r in &rows {
+        let speedup = pairs
+            .iter()
+            .find(|(n, _, _)| *n == r.n)
+            .map(|(_, h, w)| h / w)
+            .unwrap_or(1.0);
+        table.row([
+            r.n.to_string(),
+            r.core.to_string(),
+            r.events.to_string(),
+            format!("{:.0}", r.ns_per_event()),
+            if r.core == "wheel" {
+                format!("{speedup:.2}x")
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    s.push_str(&table.to_string());
+    s.push_str(&format!("results written to {out_path}\n"));
+    Ok(s)
+}
+
 /// Map the generic `--alg` flag onto the live-capable subset (everything
 /// but `choy-singh`, whose shared coloring cannot cross threads, and
 /// `a1-random`, whose RNG stream is engine-owned).
@@ -978,6 +1167,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Bench => match cli.bench_mode {
             BenchMode::Scale => render_bench_scale(cli),
             BenchMode::Live => render_bench_live(cli),
+            BenchMode::Engine => render_bench_engine(cli),
         },
         Command::Live => render_live(cli),
     }

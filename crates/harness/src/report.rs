@@ -60,6 +60,11 @@ pub struct RunReport {
     /// Summary of per-episode message counts — the empirical message
     /// complexity of a CS entry under this algorithm.
     pub msg_complexity: Summary,
+    /// Why the engine stopped early, if it did (e.g. the event-budget
+    /// livelock guard): the rendered `manet_sim::RunAbort`. `None` for
+    /// healthy runs. A cell carrying an abort failed gracefully — its
+    /// siblings in a parallel sweep still complete.
+    pub abort: Option<String>,
     /// Raw static-episode response times, kept for pooled aggregation
     /// (not serialized).
     pub static_responses: Vec<u64>,
@@ -103,6 +108,7 @@ impl RunReport {
             locality,
             faults: outcome.stats.faults.clone(),
             msg_complexity,
+            abort: outcome.abort.clone(),
             static_responses,
             all_responses,
         }
@@ -116,7 +122,8 @@ impl RunReport {
              \"meals\":{},\"messages_sent\":{},\"messages_delivered\":{},\
              \"dropped_at_send\":{},\"dropped_in_flight\":{},\"events\":{},\
              \"violations\":{},\"rt_static\":{},\"rt_all\":{},\"jain\":{},\
-             \"starving\":{},\"locality\":{},\"faults\":{},\"msg_complexity\":{}}}",
+             \"starving\":{},\"locality\":{},\"faults\":{},\"msg_complexity\":{},\
+             \"abort\":{}}}",
             json_str(&self.label),
             json_str(self.alg),
             self.seed,
@@ -139,6 +146,10 @@ impl RunReport {
             },
             json_faults(&self.faults),
             json_summary(&self.msg_complexity),
+            match &self.abort {
+                Some(reason) => json_str(reason),
+                None => "null".to_string(),
+            },
         )
     }
 }
@@ -424,6 +435,7 @@ mod tests {
             locality: None,
             faults: FaultStats::default(),
             msg_complexity: Summary::default(),
+            abort: None,
             static_responses: responses.clone(),
             all_responses: responses,
         };
@@ -462,6 +474,7 @@ mod tests {
             locality: None,
             faults: FaultStats::default(),
             msg_complexity: Summary::of(&[5, 9]),
+            abort: None,
             static_responses: vec![4, 6],
             all_responses: vec![4, 6],
         };
@@ -477,10 +490,18 @@ mod tests {
         assert!(
             line.contains("\"rt_static\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6}")
         );
-        // The message-complexity summary is suffix-appended after faults,
-        // so pre-existing consumers keyed on the prefix keep working.
+        // New keys are suffix-appended (msg_complexity, then abort), so
+        // pre-existing consumers keyed on the prefix keep working.
         assert!(line.ends_with(
-            ",\"msg_complexity\":{\"count\":2,\"mean\":7,\"p50\":5,\"p95\":5,\"max\":9}}"
+            ",\"msg_complexity\":{\"count\":2,\"mean\":7,\"p50\":5,\"p95\":5,\"max\":9},\
+             \"abort\":null}"
         ));
+        let aborted = RunReport {
+            abort: Some("event budget exceeded (100 events): livelock?".into()),
+            ..r.clone()
+        };
+        assert!(aborted
+            .to_jsonl()
+            .ends_with(",\"abort\":\"event budget exceeded (100 events): livelock?\"}"));
     }
 }

@@ -80,6 +80,10 @@ pub struct RunOutcome {
     pub crash_time: Option<SimTime>,
     /// The time the run ended.
     pub end: SimTime,
+    /// Why the engine stopped early, if it did (rendered
+    /// [`manet_sim::RunAbort`]): the event-budget livelock guard or a
+    /// malformed injected schedule. `None` for healthy runs.
+    pub abort: Option<String>,
 }
 
 impl RunOutcome {
@@ -221,6 +225,7 @@ where
         crashed,
         crash_time,
         end: engine.now(),
+        abort: engine.abort().map(|a| a.to_string()),
     }
 }
 

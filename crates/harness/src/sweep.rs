@@ -393,6 +393,43 @@ mod tests {
     }
 
     #[test]
+    fn budget_overrun_cell_aborts_without_sinking_its_siblings() {
+        // Three identical cells except the middle one's event budget is far
+        // too small to finish. The old engine panicked there, and par_map
+        // propagates worker panics — the whole sweep would have died. Now
+        // the overrun is a structured abort on that one report.
+        let spec = SweepSpec::new(
+            "line5",
+            Topo::Geo(topology::line(5)),
+            RunSpec {
+                horizon: 3_000,
+                ..RunSpec::default()
+            },
+        )
+        .kinds([AlgKind::A2])
+        .seeds([1, 2, 3]);
+        let mut cells = spec.cells();
+        cells[1].spec.sim.max_events = 40;
+        let report = run_cells(&cells, 2);
+        assert_eq!(report.runs.len(), 3);
+        let aborted = &report.runs[1];
+        assert!(
+            aborted
+                .abort
+                .as_deref()
+                .is_some_and(|a| a.contains("event budget exceeded")),
+            "abort: {:?}",
+            aborted.abort
+        );
+        assert!(aborted.to_jsonl().contains("\"abort\":\"event budget exceeded"));
+        for sibling in [&report.runs[0], &report.runs[2]] {
+            assert_eq!(sibling.abort, None);
+            assert!(sibling.meals > 0);
+            assert!(sibling.to_jsonl().ends_with("\"abort\":null}"));
+        }
+    }
+
+    #[test]
     fn graph_topology_cells_run() {
         let (n, edges) = topology::star_edges(5);
         let spec = SweepSpec::new(

@@ -172,8 +172,9 @@ impl LiveTrace {
     /// Quantize every observed delivery latency into a virtual-time delay
     /// and build the per-channel schedule the deterministic engine can
     /// replay. Latencies are clamped into `[min_delay, max_delay]` ticks —
-    /// the engine would clamp out-of-range delays anyway, this just keeps
-    /// the import counters honest.
+    /// the engine rejects out-of-window replay delays as malformed
+    /// schedules, so quantization is where real latencies get squeezed into
+    /// the model's legal window.
     pub fn to_schedule(&self, tick_ns: u64, min_delay: u64, max_delay: u64) -> ImportedSchedule {
         let tick_ns = tick_ns.max(1);
         let lo = min_delay.max(1);

@@ -2,6 +2,7 @@
 
 use crate::fault::FaultPlan;
 use crate::time::SimTime;
+use crate::wheel::EventQueueKind;
 use crate::world::LinkEngine;
 
 /// Configuration of a simulation run.
@@ -35,8 +36,10 @@ pub struct SimConfig {
     /// Interval, in ticks, between position updates of a smoothly moving
     /// node. Link changes are detected at each step.
     pub move_step_ticks: u64,
-    /// Hard cap on processed events; exceeding it panics. Guards against
-    /// accidental livelock in tests and experiments.
+    /// Hard cap on processed events. Guards against accidental livelock in
+    /// tests and experiments: reaching it stops the run and surfaces a
+    /// structured [`crate::RunAbort`] through `Engine::abort` (it does not
+    /// panic).
     pub max_events: u64,
     /// Record a trace of engine-level events (delivery, link changes,
     /// state transitions) for debugging and scenario assertions.
@@ -51,6 +54,13 @@ pub struct SimConfig {
     /// differential suite); this knob exists so one binary can compare
     /// them.
     pub link_engine: LinkEngine,
+    /// Which event-queue core the engine dispatches from. The default is
+    /// the bounded-horizon timing wheel ([`EventQueueKind::Wheel`]) unless
+    /// the crate is built with the `reference` feature, which restores the
+    /// binary heap. Both cores are bit-for-bit equivalent (pinned by the
+    /// `queue_equivalence` differential suite); this knob exists so one
+    /// binary can compare them.
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for SimConfig {
@@ -66,6 +76,7 @@ impl Default for SimConfig {
             trace: false,
             fault: FaultPlan::default(),
             link_engine: LinkEngine::default(),
+            event_queue: EventQueueKind::default(),
         }
     }
 }

@@ -1,8 +1,5 @@
 //! The discrete-event engine.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::command::Command;
 use crate::config::SimConfig;
 use crate::event::{Event, LinkUpKind};
@@ -14,6 +11,7 @@ use crate::rng::SimRng;
 use crate::sched::{self, DeliveryChoice, Strategy};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEntry, TraceKind};
+use crate::wheel::EventQueue;
 use crate::world::{LinkChange, Position, World};
 
 /// Information handed to the node factory when constructing each protocol
@@ -85,26 +83,54 @@ enum Item<M> {
     },
 }
 
-struct Queued<M> {
-    at: SimTime,
-    seq: u64,
-    item: Item<M>,
+/// A structured reason a run stopped early. Replaces the panics that used
+/// to fire inside worker threads (killing whole parallel sweeps when one
+/// pathological cell tripped): the engine records the abort, stops
+/// dispatching, and reports surface it in their JSONL rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunAbort {
+    /// The livelock guard tripped: the run dispatched
+    /// [`SimConfig::max_events`] events before reaching its horizon.
+    EventBudgetExceeded {
+        /// The configured budget ([`SimConfig::max_events`]).
+        limit: u64,
+    },
+    /// An injected [`Strategy`] returned a delivery delay outside the
+    /// legal `[min_delay, ν]` window — a malformed imported schedule or a
+    /// buggy policy. The engine used to clamp such delays silently, which
+    /// masked the corruption while reordering the replayed run.
+    DelayOutOfWindow {
+        /// The sender of the offending delivery.
+        from: NodeId,
+        /// The destination of the offending delivery.
+        to: NodeId,
+        /// The delay the strategy returned.
+        delay: u64,
+        /// Smallest legal delay ([`SimConfig::min_message_delay`]).
+        earliest: u64,
+        /// Largest legal delay (the paper's ν).
+        latest: u64,
+    },
 }
 
-impl<M> PartialEq for Queued<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Queued<M> {}
-impl<M> PartialOrd for Queued<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Queued<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl std::fmt::Display for RunAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunAbort::EventBudgetExceeded { limit } => {
+                write!(f, "event budget exceeded ({limit} events): livelock?")
+            }
+            RunAbort::DelayOutOfWindow {
+                from,
+                to,
+                delay,
+                earliest,
+                latest,
+            } => write!(
+                f,
+                "strategy delay {delay} on channel {}->{} outside legal window [{earliest}, {latest}]",
+                from.0, to.0
+            ),
+        }
     }
 }
 
@@ -207,7 +233,10 @@ struct Core<M> {
     fault_rng: SimRng,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Queued<M>>>,
+    queue: EventQueue<Item<M>>,
+    /// Set when the run stops early (budget overrun, malformed schedule);
+    /// once set, `run_until` dispatches nothing further.
+    abort: Option<RunAbort>,
     world: World,
     dining: Vec<DiningState>,
     eating_session: Vec<u64>,
@@ -220,14 +249,19 @@ struct Core<M> {
 }
 
 impl<M> Core<M> {
+    /// Queue `item` at `at`. Internal callers must never schedule in the
+    /// past — the old `at.max(now)` clamp silently reordered events and
+    /// masked such bugs; injected-schedule inputs are validated explicitly
+    /// at their entry points (`Engine::schedule`, hook sinks, strategy
+    /// delays) before they reach this seam.
     fn push(&mut self, at: SimTime, item: Item<M>) {
-        let at = at.max(self.now);
+        debug_assert!(
+            at >= self.now,
+            "internal event scheduled in the past: at {at:?} < now {:?}",
+            self.now
+        );
         self.seq += 1;
-        self.queue.push(Reverse(Queued {
-            at,
-            seq: self.seq,
-            item,
-        }));
+        self.queue.push(at, self.seq, item);
     }
 
     fn view<'a>(&'a self) -> View<'a> {
@@ -291,10 +325,11 @@ impl<P: Protocol> Engine<P> {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
                 fault_rng: SimRng::seed_from_u64(fault_seed(&cfg)),
+                queue: EventQueue::from_config(&cfg),
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                abort: None,
                 world,
                 dining,
                 eating_session: vec![0; n],
@@ -346,10 +381,11 @@ impl<P: Protocol> Engine<P> {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
                 fault_rng: SimRng::seed_from_u64(fault_seed(&cfg)),
+                queue: EventQueue::from_config(&cfg),
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                abort: None,
                 world,
                 dining,
                 eating_session: vec![0; n],
@@ -406,6 +442,10 @@ impl<P: Protocol> Engine<P> {
 
     /// Schedule a [`Command`] at absolute time `at` (clamped to now).
     pub fn schedule(&mut self, at: SimTime, cmd: Command) {
+        // External surface: callers may legitimately hand in an instant the
+        // run has already passed (e.g. re-scheduling between `run_until`
+        // calls), so the clamp is part of the contract here.
+        let at = at.max(self.core.now);
         self.core.push(at, Item::Command(cmd));
     }
 
@@ -448,6 +488,14 @@ impl<P: Protocol> Engine<P> {
     /// Accumulated counters.
     pub fn stats(&self) -> &EngineStats {
         &self.core.stats
+    }
+
+    /// Why the run stopped early, if it did: `None` while the run is
+    /// healthy, the structured reason once the livelock guard trips or an
+    /// injected schedule misbehaves (see [`RunAbort`]). Once set, further
+    /// [`Engine::run_until`] calls dispatch nothing.
+    pub fn abort(&self) -> Option<&RunAbort> {
+        self.core.abort.as_ref()
     }
 
     /// The recorded trace (empty unless [`SimConfig::trace`] was set).
@@ -504,7 +552,7 @@ impl<P: Protocol> Engine<P> {
             .core
             .queue
             .iter()
-            .map(|Reverse(q)| (q.at, q.seq, item_digest(&q.item)))
+            .map(|(at, seq, item)| (at, seq, item_digest(item)))
             .collect();
         items.sort_unstable();
         for (at, _, content) in items {
@@ -517,15 +565,20 @@ impl<P: Protocol> Engine<P> {
     /// Run until the queue is exhausted or virtual time would exceed
     /// `t_end`; returns the time reached.
     ///
-    /// # Panics
-    ///
-    /// Panics if more than [`SimConfig::max_events`] events are processed
-    /// (livelock guard).
+    /// The run can also stop early with a structured [`RunAbort`] (see
+    /// [`Engine::abort`]): when [`SimConfig::max_events`] events have been
+    /// dispatched (livelock guard), or when an injected [`Strategy`]
+    /// returns a delivery delay outside the legal window. Aborted engines
+    /// stay inspectable — stats, trace and queue are all intact — but
+    /// dispatch nothing further.
     pub fn run_until(&mut self, t_end: SimTime) -> SimTime {
         let mut quantum_checked = false;
         loop {
-            let next_at = match self.core.queue.peek() {
-                Some(Reverse(q)) => q.at,
+            if self.core.abort.is_some() {
+                break;
+            }
+            let next_at = match self.core.queue.next_at() {
+                Some(at) => at,
                 None => {
                     if !quantum_checked {
                         self.fire_quantum_end();
@@ -537,12 +590,7 @@ impl<P: Protocol> Engine<P> {
                 if !quantum_checked {
                     self.fire_quantum_end();
                     // Hooks may have scheduled events at the current instant.
-                    if self
-                        .core
-                        .queue
-                        .peek()
-                        .is_some_and(|Reverse(q)| q.at <= t_end)
-                    {
+                    if self.core.queue.next_at().is_some_and(|at| at <= t_end) {
                         quantum_checked = false;
                         continue;
                     }
@@ -560,16 +608,25 @@ impl<P: Protocol> Engine<P> {
                 quantum_checked = false;
                 continue;
             }
-            // next_at == now: process one event.
+            // next_at == now: process one event. The budget check runs
+            // before the pop so the guard is a clean stop, not a panic
+            // mid-dispatch: exactly `max_events` events get dispatched,
+            // same boundary the old assert enforced.
             quantum_checked = false;
-            let Reverse(q) = self.core.queue.pop().expect("peeked event vanished");
+            if self.core.stats.events >= self.core.cfg.max_events {
+                self.core.abort = Some(RunAbort::EventBudgetExceeded {
+                    limit: self.core.cfg.max_events,
+                });
+                break;
+            }
+            // The queue's peek caches the exact entry its pop returns, so
+            // the two cannot desynchronize; an empty pop here is impossible
+            // but degrades to a clean stop instead of a panic.
+            let Some((_, _, item)) = self.core.queue.pop() else {
+                break;
+            };
             self.core.stats.events += 1;
-            assert!(
-                self.core.stats.events <= self.core.cfg.max_events,
-                "event budget exceeded ({} events): livelock?",
-                self.core.cfg.max_events
-            );
-            self.dispatch(q.item);
+            self.dispatch(item);
         }
         self.core.now
     }
@@ -878,7 +935,7 @@ impl<P: Protocol> Engine<P> {
                 .core
                 .queue
                 .iter()
-                .filter(|Reverse(q)| q.at <= deadline)
+                .filter(|(at, _, _)| *at <= deadline)
                 .count();
             let digest = self
                 .core
@@ -900,7 +957,25 @@ impl<P: Protocol> Engine<P> {
             }
         });
         let delay = match (&choice, self.core.sched.as_mut()) {
-            (Some(choice), Some(strategy)) => strategy.choose_delay(choice).clamp(earliest, latest),
+            (Some(choice), Some(strategy)) => {
+                let picked = strategy.choose_delay(choice);
+                if picked < earliest || picked > latest {
+                    // A malformed imported schedule or buggy policy. The
+                    // old silent clamp reordered the replay while claiming
+                    // conformance; now the run aborts at the next loop
+                    // iteration. The clamped value still schedules the
+                    // delivery so the aborted engine's state stays
+                    // coherent for inspection.
+                    self.core.abort.get_or_insert(RunAbort::DelayOutOfWindow {
+                        from,
+                        to,
+                        delay: picked,
+                        earliest,
+                        latest,
+                    });
+                }
+                picked.clamp(earliest, latest)
+            }
             _ => self.core.rng.gen_range(earliest..=latest),
         };
         let now = self.core.now;
@@ -997,6 +1072,9 @@ impl<P: Protocol> Engine<P> {
             }
         }
         for (at, cmd) in sink.scheduled {
+            // Hooks are an external surface like `Engine::schedule`: a
+            // request for an already-passed instant means "now".
+            let at = at.max(self.core.now);
             self.core.push(at, Item::Command(cmd));
         }
     }
@@ -1851,6 +1929,112 @@ mod tests {
             (e.stats().clone(), e.trace().to_vec())
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn malformed_replay_schedule_is_rejected_not_reordered() {
+        // Regression: a delay below the legal window used to be clamped
+        // silently, so a corrupt imported schedule replayed as a *different*
+        // run that still claimed conformance. It must abort instead.
+        let mut s = crate::sched::ImportedSchedule::new(5);
+        s.push(NodeId(0), NodeId(1), 0); // below min_message_delay = 1
+        let mut e = engine2();
+        e.set_strategy(Box::new(s));
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        let reached = e.run_until(SimTime(1_000));
+        assert_eq!(
+            e.abort(),
+            Some(&RunAbort::DelayOutOfWindow {
+                from: NodeId(0),
+                to: NodeId(1),
+                delay: 0,
+                earliest: 1,
+                latest: 10,
+            })
+        );
+        assert!(reached < SimTime(1_000), "run must stop early");
+        // The abort is sticky: nothing further dispatches.
+        let events = e.stats().events;
+        e.run_until(SimTime(2_000));
+        assert_eq!(e.stats().events, events);
+        // And a delay above ν is rejected the same way.
+        let mut s = crate::sched::ImportedSchedule::new(5);
+        s.push(NodeId(0), NodeId(1), 99);
+        let mut e = engine2();
+        e.set_strategy(Box::new(s));
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        assert!(matches!(
+            e.abort(),
+            Some(&RunAbort::DelayOutOfWindow { delay: 99, .. })
+        ));
+        // In-window schedules still run to quiescence with no abort.
+        let mut s = crate::sched::ImportedSchedule::new(5);
+        s.push(NodeId(0), NodeId(1), 3);
+        let mut e = engine2();
+        e.set_strategy(Box::new(s));
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.run_until(SimTime(1_000));
+        assert_eq!(e.abort(), None);
+        assert_eq!(e.pending_events(), 0);
+    }
+
+    #[test]
+    fn event_budget_overrun_aborts_instead_of_panicking() {
+        // Echo ping-pong is finite, so drive an infinite timer loop.
+        struct Ticker;
+        impl Protocol for Ticker {
+            type Msg = ();
+            fn on_event(&mut self, ev: Event<()>, ctx: &mut Context<'_, ()>) {
+                if let Event::Timer { token } = ev {
+                    ctx.set_timer(1, token);
+                }
+            }
+            fn dining_state(&self) -> DiningState {
+                DiningState::Thinking
+            }
+        }
+        let mut e: Engine<Ticker> = Engine::new(
+            SimConfig {
+                max_events: 100,
+                ..SimConfig::default()
+            },
+            vec![(0.0, 0.0)],
+            |_| Ticker,
+        );
+        e.core.push(
+            SimTime(1),
+            Item::Proto {
+                node: NodeId(0),
+                ev: Event::Timer { token: 0 },
+            },
+        );
+        e.run_until(SimTime(1_000_000));
+        assert_eq!(e.abort(), Some(&RunAbort::EventBudgetExceeded { limit: 100 }));
+        // Exactly the budget is dispatched — the boundary the old panic
+        // enforced — and the engine stays inspectable and inert.
+        assert_eq!(e.stats().events, 100);
+        e.run_until(SimTime(2_000_000));
+        assert_eq!(e.stats().events, 100);
+        assert!(e.abort().unwrap().to_string().contains("livelock"));
     }
 
     #[test]

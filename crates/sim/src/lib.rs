@@ -70,11 +70,12 @@ pub mod rng;
 mod sched;
 mod time;
 mod trace;
+mod wheel;
 mod world;
 
 pub use command::Command;
 pub use config::SimConfig;
-pub use engine::{Engine, EngineStats, NodeSeed};
+pub use engine::{Engine, EngineStats, NodeSeed, RunAbort};
 pub use event::{Event, LinkUpKind};
 pub use fault::{
     Burst, CrashWave, DelayAdversary, FaultPlan, FaultStats, LinkFaults, PartitionWindow,
@@ -87,4 +88,5 @@ pub use rng::SimRng;
 pub use sched::{digest_of_debug, DeliveryChoice, Fnv, ImportedSchedule, RandomDelays, Strategy};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};
+pub use wheel::EventQueueKind;
 pub use world::{LinkChange, LinkEngine, Position, World};

@@ -59,8 +59,12 @@ impl DeliveryChoice {
 }
 
 /// A schedule strategy: called once per accepted send to pick the delivery
-/// delay. The returned value is clamped to `[earliest, latest]`, then flows
-/// through the unchanged fault-adversary and FIFO machinery.
+/// delay. The returned value must lie within `[earliest, latest]`: an
+/// out-of-window value is a malformed schedule, and the engine aborts the
+/// run with [`crate::RunAbort::DelayOutOfWindow`] instead of silently
+/// clamping (which would reorder the run while claiming conformance).
+/// In-window values flow through the unchanged fault-adversary and FIFO
+/// machinery.
 pub trait Strategy {
     /// Pick the delivery delay for one message.
     fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64;
@@ -108,7 +112,13 @@ impl Strategy for RandomDelays {
 /// an imported schedule reproduces the live run's *timing shape*: once the
 /// recorded delays of a channel are exhausted — the simulated run may send
 /// more or fewer messages than the live one — the strategy falls back to
-/// `fallback` (clamped to the legal window like every choice).
+/// `fallback`.
+///
+/// Recorded and fallback delays are returned verbatim: a delay outside the
+/// legal `[min_delay, ν]` window means the recording does not conform to
+/// the model being replayed against, and the engine rejects the run with
+/// [`crate::RunAbort::DelayOutOfWindow`] rather than silently reordering
+/// it. Importers quantizing real latencies clamp at conversion time.
 #[derive(Clone, Debug, Default)]
 pub struct ImportedSchedule {
     per_channel: std::collections::BTreeMap<(NodeId, NodeId), std::collections::VecDeque<u64>>,
@@ -156,14 +166,13 @@ impl Strategy for ImportedSchedule {
             .per_channel
             .get_mut(&(choice.from, choice.to))
             .and_then(|q| q.pop_front());
-        let delay = match recorded {
+        match recorded {
             Some(d) => {
                 self.consumed += 1;
                 d
             }
             None => self.fallback,
-        };
-        delay.clamp(choice.earliest, choice.latest)
+        }
     }
 }
 
@@ -275,10 +284,11 @@ mod tests {
         // …then the channel is dry and the fallback takes over.
         assert_eq!(s.choose_delay(&ch01), 2);
         assert_eq!(s.consumed(), 3);
-        // Out-of-window recordings are clamped to the legal window.
+        // Out-of-window recordings are returned verbatim — the engine, not
+        // this strategy, decides that the replay is malformed and aborts.
         let mut t = ImportedSchedule::new(1);
         t.push(NodeId(0), NodeId(1), 99);
-        assert_eq!(t.choose_delay(&ch01), 10);
+        assert_eq!(t.choose_delay(&ch01), 99);
     }
 
     #[test]

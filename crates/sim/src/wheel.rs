@@ -1,0 +1,463 @@
+//! Pluggable event-queue cores: binary heap and bounded-horizon timing wheel.
+//!
+//! The engine dispatches events in `(time, sequence)` order. The classic
+//! core is a `BinaryHeap` keyed on exactly that pair; the timing wheel
+//! exploits the model's bounded scheduling horizon — message delays are
+//! capped by ν and motion steps by `move_step_ticks`, so almost every event
+//! lands within a small window above the current instant — to make both
+//! `push` and `pop` O(1): events hash into per-tick buckets, ties within a
+//! bucket are consumed in insertion (= sequence) order, and the rare event
+//! beyond the window parks in a small overflow heap consulted alongside the
+//! wheel. Both cores are proven bit-for-bit equivalent by the
+//! `queue_equivalence` suite; see DESIGN.md §12 for the argument.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::SimConfig;
+use crate::time::SimTime;
+
+/// Which event-queue core the engine uses. The default is the timing wheel
+/// ([`EventQueueKind::Wheel`]) unless the crate is built with the
+/// `reference` feature, which restores the binary heap. Both cores are
+/// bit-for-bit equivalent (pinned by the `queue_equivalence` differential
+/// suite); this knob exists so one binary can compare them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventQueueKind {
+    /// `BinaryHeap<Reverse<(at, seq, item)>>` — the reference core.
+    Heap,
+    /// Bounded-horizon timing wheel with an overflow heap for far events.
+    Wheel,
+}
+
+impl Default for EventQueueKind {
+    fn default() -> EventQueueKind {
+        if cfg!(feature = "reference") {
+            EventQueueKind::Heap
+        } else {
+            EventQueueKind::Wheel
+        }
+    }
+}
+
+impl EventQueueKind {
+    /// Short lowercase label (`"heap"` / `"wheel"`), for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventQueueKind::Heap => "heap",
+            EventQueueKind::Wheel => "wheel",
+        }
+    }
+}
+
+/// A heap entry ordered by `(at, seq)` — the engine's total event order.
+pub(crate) struct HeapEntry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue behind the engine: one of the two interchangeable cores.
+/// `seq` values are assigned by the caller (strictly increasing across
+/// pushes); the queue yields entries in ascending `(at, seq)` order.
+pub(crate) enum EventQueue<T> {
+    Heap(BinaryHeap<Reverse<HeapEntry<T>>>),
+    Wheel(TimingWheel<T>),
+}
+
+impl<T> EventQueue<T> {
+    /// Build the queue the configuration asks for. The wheel window is
+    /// sized to the config's scheduling horizon (ν and the motion step),
+    /// with a generous floor so harness-level timers stay on the wheel.
+    pub(crate) fn from_config(cfg: &SimConfig) -> EventQueue<T> {
+        match cfg.event_queue {
+            EventQueueKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            EventQueueKind::Wheel => {
+                let span = cfg.max_message_delay + cfg.move_step_ticks + 2;
+                let size = span.next_power_of_two().max(256) as usize;
+                EventQueue::Wheel(TimingWheel::new(size))
+            }
+        }
+    }
+
+    /// Insert an entry. `seq` must exceed every previously pushed `seq`.
+    pub(crate) fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(HeapEntry { at, seq, item })),
+            EventQueue::Wheel(w) => w.push(at, seq, item),
+        }
+    }
+
+    /// Time of the next entry in `(at, seq)` order, without removing it.
+    /// The following [`EventQueue::pop`] returns exactly this entry — peek
+    /// and pop share one candidate, so the two can never desynchronize.
+    pub(crate) fn next_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|Reverse(e)| e.at),
+            EventQueue::Wheel(w) => w.peek().map(|(at, _)| at),
+        }
+    }
+
+    /// Remove and return the smallest entry in `(at, seq)` order.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(e)| (e.at, e.seq, e.item)),
+            EventQueue::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// Number of queued entries.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len,
+        }
+    }
+
+    /// Visit every queued entry in unspecified order.
+    pub(crate) fn iter(&self) -> Box<dyn Iterator<Item = (SimTime, u64, &T)> + '_> {
+        match self {
+            EventQueue::Heap(h) => Box::new(h.iter().map(|Reverse(e)| (e.at, e.seq, &e.item))),
+            EventQueue::Wheel(w) => Box::new(
+                w.slab
+                    .iter()
+                    .filter_map(|s| s.item.as_ref().map(|it| (s.at, s.seq, it))),
+            ),
+        }
+    }
+}
+
+/// Slab cell: payload plus the key it was queued under. `item` is `None`
+/// when the cell is on the free list.
+struct Slot<T> {
+    at: SimTime,
+    seq: u64,
+    item: Option<T>,
+}
+
+/// One wheel bucket: slab indices in insertion (= sequence) order,
+/// consumed FIFO through `head`. All live entries of a bucket share one
+/// `at` — the window invariant maps each pending tick to its own bucket.
+#[derive(Default)]
+struct Bucket {
+    entries: Vec<u32>,
+    head: usize,
+}
+
+/// Where the cached peek candidate lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    Bucket,
+    Overflow,
+}
+
+/// The cached peek candidate: the global `(at, seq)` minimum, computed at
+/// most once between structural changes.
+#[derive(Clone, Copy)]
+struct Cand {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    loc: Loc,
+}
+
+/// A bounded-horizon timing wheel over slab-allocated entries.
+///
+/// Invariants:
+/// * every bucket-resident entry satisfies `base ≤ at < base + size`, so
+///   `at & mask` is injective over pending ticks and each bucket holds one
+///   `at` value, in sequence order;
+/// * `base` only advances, to the `at` of each popped entry (the global
+///   minimum, so nothing pending is ever below `base`);
+/// * entries outside the window go to the `overflow` heap and are popped
+///   from there — they are never redistributed onto the wheel.
+pub(crate) struct TimingWheel<T> {
+    slab: Vec<Slot<T>>,
+    free: Vec<u32>,
+    buckets: Vec<Bucket>,
+    mask: u64,
+    base: SimTime,
+    overflow: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    cached: Option<Cand>,
+    len: usize,
+}
+
+impl<T> TimingWheel<T> {
+    fn new(size: usize) -> TimingWheel<T> {
+        debug_assert!(size.is_power_of_two());
+        TimingWheel {
+            slab: Vec::new(),
+            free: Vec::new(),
+            buckets: (0..size).map(|_| Bucket::default()).collect(),
+            mask: size as u64 - 1,
+            base: SimTime::ZERO,
+            overflow: BinaryHeap::new(),
+            cached: None,
+            len: 0,
+        }
+    }
+
+    fn alloc(&mut self, at: SimTime, seq: u64, item: T) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slab[slot as usize] = Slot {
+                at,
+                seq,
+                item: Some(item),
+            };
+            slot
+        } else {
+            self.slab.push(Slot {
+                at,
+                seq,
+                item: Some(item),
+            });
+            (self.slab.len() - 1) as u32
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        if self.len == 0 {
+            // Nothing pending: re-anchor the window so a long quiet gap
+            // does not force future near-term events into the overflow.
+            self.base = at;
+            self.cached = None;
+        }
+        let slot = self.alloc(at, seq, item);
+        let size = self.buckets.len() as u64;
+        let loc = if at >= self.base && at.0 - self.base.0 < size {
+            self.buckets[(at.0 & self.mask) as usize].entries.push(slot);
+            Loc::Bucket
+        } else {
+            // Beyond the window (or, defensively, below the base).
+            self.overflow.push(Reverse((at, seq, slot)));
+            Loc::Overflow
+        };
+        self.len += 1;
+        // A fresh entry can only displace the cached minimum with a
+        // strictly smaller time: its seq is larger than everything queued.
+        if let Some(c) = self.cached {
+            if at < c.at {
+                self.cached = Some(Cand { at, seq, slot, loc });
+            }
+        }
+    }
+
+    /// Compute (or reuse) the global minimum candidate.
+    fn ensure_cand(&mut self) {
+        if self.cached.is_some() || self.len == 0 {
+            return;
+        }
+        let mut best: Option<Cand> = None;
+        if self.len > self.overflow.len() {
+            // At least one bucket-resident entry: scan ticks upward from
+            // `base`; the first non-empty bucket holds the wheel minimum,
+            // and its FIFO head is the smallest seq at that tick.
+            let size = self.buckets.len() as u64;
+            for i in 0..size {
+                let t = self.base.0.wrapping_add(i);
+                let b = &self.buckets[(t & self.mask) as usize];
+                if b.head < b.entries.len() {
+                    let slot = b.entries[b.head];
+                    let s = &self.slab[slot as usize];
+                    best = Some(Cand {
+                        at: s.at,
+                        seq: s.seq,
+                        slot,
+                        loc: Loc::Bucket,
+                    });
+                    break;
+                }
+            }
+            debug_assert!(best.is_some(), "wheel count says an entry exists");
+        }
+        if let Some(&Reverse((at, seq, slot))) = self.overflow.peek() {
+            if best.is_none_or(|c| (at, seq) < (c.at, c.seq)) {
+                best = Some(Cand {
+                    at,
+                    seq,
+                    slot,
+                    loc: Loc::Overflow,
+                });
+            }
+        }
+        self.cached = best;
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64)> {
+        self.ensure_cand();
+        self.cached.map(|c| (c.at, c.seq))
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.ensure_cand();
+        let c = self.cached.take()?;
+        match c.loc {
+            Loc::Bucket => {
+                let b = &mut self.buckets[(c.at.0 & self.mask) as usize];
+                debug_assert_eq!(b.entries.get(b.head), Some(&c.slot));
+                b.head += 1;
+                if b.head == b.entries.len() {
+                    b.entries.clear();
+                    b.head = 0;
+                }
+            }
+            Loc::Overflow => {
+                let popped = self.overflow.pop();
+                debug_assert_eq!(popped, Some(Reverse((c.at, c.seq, c.slot))));
+            }
+        }
+        // Advance-only: a below-base overflow entry (pushed after an
+        // empty-queue re-anchor picked a later base) must not drag the
+        // window backwards under the remaining bucket entries.
+        self.base = self.base.max(c.at);
+        self.len -= 1;
+        let cell = &mut self.slab[c.slot as usize];
+        let item = cell.item.take().expect("candidate slot is live");
+        self.free.push(c.slot);
+        Some((c.at, c.seq, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn cfg_with(kind: EventQueueKind) -> SimConfig {
+        SimConfig {
+            event_queue: kind,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_kind_tracks_the_reference_feature() {
+        let expect = if cfg!(feature = "reference") {
+            EventQueueKind::Heap
+        } else {
+            EventQueueKind::Wheel
+        };
+        assert_eq!(EventQueueKind::default(), expect);
+        assert_eq!(EventQueueKind::Heap.name(), "heap");
+        assert_eq!(EventQueueKind::Wheel.name(), "wheel");
+    }
+
+    #[test]
+    fn both_cores_drain_in_at_seq_order() {
+        let mut heap: EventQueue<u32> = EventQueue::from_config(&cfg_with(EventQueueKind::Heap));
+        let mut wheel: EventQueue<u32> = EventQueue::from_config(&cfg_with(EventQueueKind::Wheel));
+        // Same instant, interleaved pushes: ties must break by seq (FIFO).
+        for (seq, at) in [(1, 5u64), (2, 3), (3, 5), (4, 3), (5, 4)] {
+            heap.push(SimTime(at), seq, seq as u32);
+            wheel.push(SimTime(at), seq, seq as u32);
+        }
+        let drain = |q: &mut EventQueue<u32>| {
+            let mut out = vec![];
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        let h = drain(&mut heap);
+        assert_eq!(h, drain(&mut wheel));
+        assert_eq!(
+            h,
+            vec![
+                (SimTime(3), 2, 2),
+                (SimTime(3), 4, 4),
+                (SimTime(4), 5, 5),
+                (SimTime(5), 1, 1),
+                (SimTime(5), 3, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn peek_always_matches_the_next_pop() {
+        // Randomized differential run, including far events (overflow),
+        // interleaved pushes and pops, and peeks between every step.
+        let mut rng = SimRng::seed_from_u64(0xBEE5_0001);
+        let mut heap: EventQueue<u64> = EventQueue::from_config(&cfg_with(EventQueueKind::Heap));
+        let mut wheel: EventQueue<u64> = EventQueue::from_config(&cfg_with(EventQueueKind::Wheel));
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for step in 0..20_000 {
+            if rng.gen_bool(0.55) || heap.len() == 0 {
+                // Mostly near-term events; occasionally far beyond the
+                // 256-tick window, and sometimes exactly `now`.
+                let delay = match rng.gen_range(0..10u32) {
+                    0 => 0,
+                    1..=7 => rng.gen_range(0..12u64),
+                    8 => rng.gen_range(200..300u64),
+                    _ => rng.gen_range(1_000..50_000u64),
+                };
+                seq += 1;
+                heap.push(SimTime(now + delay), seq, seq);
+                wheel.push(SimTime(now + delay), seq, seq);
+            } else {
+                assert_eq!(heap.next_at(), wheel.next_at(), "peek diverged @{step}");
+                let h = heap.pop();
+                let w = wheel.pop();
+                assert_eq!(h, w, "pop diverged @{step}");
+                if let Some((at, _, _)) = h {
+                    assert!(at.0 >= now, "time went backwards @{step}");
+                    now = at.0;
+                }
+            }
+            assert_eq!(heap.len(), wheel.len());
+        }
+        while let Some(h) = heap.pop() {
+            assert_eq!(Some(h), wheel.pop());
+        }
+        assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn iter_visits_every_pending_entry() {
+        for kind in [EventQueueKind::Heap, EventQueueKind::Wheel] {
+            let mut q: EventQueue<u32> = EventQueue::from_config(&cfg_with(kind));
+            q.push(SimTime(2), 1, 10);
+            q.push(SimTime(9_999), 2, 20); // overflow on the wheel
+            q.push(SimTime(2), 3, 30);
+            assert_eq!(q.pop(), Some((SimTime(2), 1, 10)));
+            let mut seen: Vec<(u64, u64, u32)> =
+                q.iter().map(|(at, seq, &it)| (at.0, seq, it)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![(2, 3, 30), (9_999, 2, 20)], "{kind:?}");
+            assert_eq!(q.len(), 2);
+        }
+    }
+
+    #[test]
+    fn window_reanchors_after_a_quiet_gap() {
+        let mut q: EventQueue<u32> = EventQueue::from_config(&cfg_with(EventQueueKind::Wheel));
+        q.push(SimTime(1), 1, 1);
+        assert_eq!(q.pop(), Some((SimTime(1), 1, 1)));
+        // Far in the future relative to the drained window: must still be
+        // an O(1) wheel insert (re-anchored base), and pop correctly.
+        q.push(SimTime(1_000_000), 2, 2);
+        q.push(SimTime(1_000_001), 3, 3);
+        if let EventQueue::Wheel(w) = &q {
+            assert!(w.overflow.is_empty(), "base must re-anchor when empty");
+        }
+        assert_eq!(q.pop(), Some((SimTime(1_000_000), 2, 2)));
+        assert_eq!(q.pop(), Some((SimTime(1_000_001), 3, 3)));
+    }
+}
