@@ -35,20 +35,24 @@ fn bench_line_run() {
 /// dispatch-bound ladder lives in `lme bench engine`.
 fn bench_event_cores() {
     for kind in [EventQueueKind::Heap, EventQueueKind::Wheel] {
-        lme_bench::bench(&format!("engine/a2_ring24_core_{}", kind.name()), 10, || {
-            let cfg = SimConfig {
-                event_queue: kind,
-                ..SimConfig::default()
-            };
-            let mut e: Engine<Algorithm2> =
-                Engine::new(cfg, topology::ring(24), |seed| Algorithm2::new(&seed));
-            e.add_hook(Box::new(Workload::cyclic(10..=30, 50..=150, 1)));
-            for i in 0..24 {
-                e.set_hungry_at(SimTime(1), NodeId(i));
-            }
-            e.run_until(SimTime(8_000));
-            e.stats().events
-        });
+        lme_bench::bench(
+            &format!("engine/a2_ring24_core_{}", kind.name()),
+            10,
+            || {
+                let cfg = SimConfig {
+                    event_queue: kind,
+                    ..SimConfig::default()
+                };
+                let mut e: Engine<Algorithm2> =
+                    Engine::new(cfg, topology::ring(24), |seed| Algorithm2::new(&seed));
+                e.add_hook(Box::new(Workload::cyclic(10..=30, 50..=150, 1)));
+                for i in 0..24 {
+                    e.set_hungry_at(SimTime(1), NodeId(i));
+                }
+                e.run_until(SimTime(8_000));
+                e.stats().events
+            },
+        );
     }
 }
 

@@ -197,7 +197,7 @@ fn recoloring_locality(jobs: usize) {
         let out = harness::run_protocol(
             &spec,
             &harness::topology::line(n),
-            |seed| {
+            move |seed| {
                 let mut node = match kind {
                     AlgKind::A1Greedy => local_mutex::Algorithm1::greedy(&seed),
                     _ => local_mutex::Algorithm1::linial(&seed, sched.clone()),

@@ -31,11 +31,12 @@ fn main() {
     let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)];
     // Colors: p4 = 1, p3 = 0, p2 = 2, p1 = 3 (so p3 < p4 and p3 < p2 < p1).
     let colors = [1i64, 0, 2, 3];
-    let mut engine: Engine<Algorithm1> = Engine::new(SimConfig::default(), positions, |seed| {
-        let mut node = Algorithm1::greedy(&seed);
-        node.set_initial_coloring(&colors);
-        node
-    });
+    let mut engine: Engine<Algorithm1> =
+        Engine::new(SimConfig::default(), positions, move |seed| {
+            let mut node = Algorithm1::greedy(&seed);
+            node.set_initial_coloring(&colors);
+            node
+        });
     let (metrics, data) = Metrics::new(4);
     engine.add_hook(Box::new(metrics));
     let (monitor, _violations) = SafetyMonitor::new(true);

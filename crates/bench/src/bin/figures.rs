@@ -72,7 +72,7 @@ fn bootstrap_figure() -> Result<(), String> {
             let out = run_protocol(
                 &spec,
                 &topology::line(n),
-                |seed| {
+                move |seed| {
                     let mut node = match kind {
                         AlgKind::A1Greedy => local_mutex::Algorithm1::greedy(&seed),
                         _ => local_mutex::Algorithm1::linial(&seed, sched.clone()),

@@ -33,7 +33,7 @@ fn run_with<P, F>(
 where
     P: Protocol,
     P::Msg: 'static,
-    F: FnMut(manet_sim::NodeSeed) -> P,
+    F: FnMut(manet_sim::NodeSeed) -> P + 'static,
 {
     let positions = topology::random_connected(n, 41);
     let mut engine: Engine<P> = Engine::new(SimConfig::default(), positions, factory);

@@ -334,7 +334,7 @@ fn bootstrap_recoloring(jobs: usize) {
         let out = harness::run_protocol(
             &spec,
             &positions,
-            |seed| {
+            move |seed| {
                 let mut node = match kind {
                     AlgKind::A1Greedy => local_mutex::Algorithm1::greedy(&seed),
                     _ => local_mutex::Algorithm1::linial(&seed, sched.clone()),

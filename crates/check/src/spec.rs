@@ -3,7 +3,7 @@
 //! (used to validate that the checker actually finds bugs).
 
 use harness::AlgKind;
-use manet_sim::EventQueueKind;
+use manet_sim::{ArqConfig, EventQueueKind};
 
 /// A deliberate, test-only defect injected into the algorithm under check.
 ///
@@ -79,6 +79,10 @@ pub struct CheckSpec {
     /// `tests/queue_equivalence.rs`); the knob exists so the checker can be
     /// pointed at either implementation.
     pub event_queue: EventQueueKind,
+    /// Optional ARQ shim configuration. `None` (the default) checks the
+    /// bare channel exactly as before; `Some` interposes the reliable-
+    /// delivery shim so schedules explore its retransmission machinery too.
+    pub arq: Option<ArqConfig>,
 }
 
 impl CheckSpec {
@@ -103,6 +107,7 @@ impl CheckSpec {
             hungry: (0..n as u32).collect(),
             mutation: Mutation::None,
             event_queue: EventQueueKind::default(),
+            arq: None,
         }
     }
 
@@ -144,6 +149,9 @@ impl CheckSpec {
         }
         if self.eat == 0 {
             return Err("eat must be ≥ 1".into());
+        }
+        if let Some(arq) = &self.arq {
+            arq.validate()?;
         }
         if self.mutation == Mutation::NoSdfGuard
             && !matches!(

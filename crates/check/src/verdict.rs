@@ -95,8 +95,9 @@ impl Checkable for ChandyMisra {
 pub fn run_schedule(spec: &CheckSpec, plan: &Plan) -> RunVerdict {
     let mutate = spec.mutation == Mutation::NoSdfGuard;
     let delta = spec.max_degree().max(1) as u64;
+    let run_seed = spec.seed;
     match spec.alg {
-        AlgKind::A1Greedy => drive(spec, plan, |seed| {
+        AlgKind::A1Greedy => drive(spec, plan, move |seed| {
             prep_a1(Algorithm1::greedy(&seed), mutate)
         }),
         AlgKind::A1Linial => {
@@ -106,7 +107,7 @@ pub fn run_schedule(spec: &CheckSpec, plan: &Plan) -> RunVerdict {
             })
         }
         AlgKind::A1Random => drive(spec, plan, move |seed| {
-            prep_a1(Algorithm1::randomized(&seed, delta, spec.seed), mutate)
+            prep_a1(Algorithm1::randomized(&seed, delta, run_seed), mutate)
         }),
         AlgKind::ChoySingh => {
             let coloring = Rc::new(StaticColoring::compute(spec.n, spec.edges.iter().copied()));
@@ -128,7 +129,7 @@ fn prep_a1(mut node: Algorithm1, mutate: bool) -> Algorithm1 {
 fn drive<P, F>(spec: &CheckSpec, plan: &Plan, factory: F) -> RunVerdict
 where
     P: Checkable,
-    F: FnMut(manet_sim::NodeSeed) -> P,
+    F: FnMut(manet_sim::NodeSeed) -> P + 'static,
 {
     let recorder = Recorder::new(plan, spec.n);
     let cfg = SimConfig {
@@ -137,6 +138,7 @@ where
         max_eating_ticks: spec.eat,
         trace: true,
         event_queue: spec.event_queue,
+        arq: spec.arq.clone(),
         ..SimConfig::default()
     };
     let mut engine = Engine::new_graph(cfg, spec.n, &spec.edges, factory);

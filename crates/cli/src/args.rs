@@ -120,6 +120,12 @@ pub struct Cli {
     pub moves: usize,
     /// Crash-probe victim (probe) or optional mid-run crash (run).
     pub victim: Option<u32>,
+    /// Arm the reliable-delivery ARQ shim in simulator runs.
+    pub arq: bool,
+    /// Recover the crashed `--victim`: ticks for `run`, ms for `live`.
+    pub recover_at: Option<u64>,
+    /// Live: per-link ARQ (retransmit + ack) over the real transport.
+    pub reliable: bool,
     /// Emit per-episode samples as CSV instead of the text report.
     pub csv: bool,
     /// Sweep worker threads (`None` = the machine's parallelism).
@@ -205,6 +211,9 @@ impl Default for Cli {
             think: (50, 150),
             moves: 0,
             victim: None,
+            arq: false,
+            recover_at: None,
+            reliable: false,
             csv: false,
             jobs: None,
             seeds: 8,
@@ -248,8 +257,10 @@ commands:
   run     one workload run, full report
   probe   crash the victim mid-CS, report failure locality
   sweep   algorithms x seeds grid in parallel, aggregated report
-  chaos   fault classes x seeds matrix (crash, loss, duplication,
-          partition, max-delay), aggregated report
+  chaos   fault classes x seeds matrix (crash, recover, windowed-loss,
+          sustained-loss, windowed-duplication, partition, max-delay),
+          aggregated report; sustained-loss arms the ARQ shim and the
+          command exits nonzero if that class stalls
   check   explore the legal delivery schedules of a small model for
           safety/liveness violations; shrink and replay witnesses
   bench   `bench scale`: random-waypoint link-derivation cost of the
@@ -292,6 +303,16 @@ fault injection (run/sweep; chaos builds its own schedule):
                          (default: every link; required for partitions)
   --fault-window <a..b>  restrict link faults / delay adversary to [a,b)
   --fault-seed <n>       fault RNG seed (default: derived from --seed)
+
+reliable delivery and recovery:
+  --arq                  run/sweep/probe: arm the per-link ARQ shim
+                         (retransmit + cumulative ack) between every
+                         protocol and its channel
+  --recover <t>          run/sweep: crash --victim at horizon/4 and
+                         recover it as a fresh incarnation at tick <t>
+                         live: recover the crashed --victim at <t> ms
+  --reliable             live: per-link ARQ (retransmit + ack) over the
+                         real transport
 
 model checking (check):
   --strategy <s>       dfs | random | pct                  (default dfs)
@@ -515,6 +536,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             "--victim" => {
                 cli.victim = Some(parse_u64(&value("--victim")?, "victim")? as u32);
             }
+            "--arq" => cli.arq = true,
+            "--recover" => {
+                cli.recover_at = Some(parse_u64(&value("--recover")?, "recover time")?);
+            }
+            "--reliable" => cli.reliable = true,
             "--csv" => cli.csv = true,
             "--jobs" => {
                 let jobs = parse_usize(&value("--jobs")?, "job count")?;
@@ -627,6 +653,12 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 cli.topo.len()
             ));
         }
+    }
+    if cli.recover_at.is_some() && cli.victim.is_none() {
+        return Err("--recover needs --victim (the node that crashes)".to_string());
+    }
+    if cli.recover_at.is_some() && cli.command == Command::Probe {
+        return Err("probe crashes the victim mid-CS for good; --recover is not supported".into());
     }
     if cli.fault_partition.is_some() && cli.fault_targets.is_none() {
         return Err("--fault-partition needs --fault-targets (the side to cut off)".to_string());
@@ -753,6 +785,23 @@ mod tests {
         assert!(parse(argv("run --horizon")).is_err());
         assert!(parse(argv("run --topo star:4 --moves 2")).is_err());
         assert!(parse(argv("probe --topo line:5 --victim 9")).is_err());
+    }
+
+    #[test]
+    fn parses_reliability_flags() {
+        let cli = parse(argv("run --topo line:5 --arq --victim 2 --recover 5000")).unwrap();
+        assert!(cli.arq);
+        assert_eq!(cli.victim, Some(2));
+        assert_eq!(cli.recover_at, Some(5000));
+        assert!(!cli.reliable);
+        let live = parse(argv(
+            "live --topo ring:6 --reliable --victim 1 --recover 800",
+        ))
+        .unwrap();
+        assert!(live.reliable);
+        assert_eq!(live.recover_at, Some(800));
+        assert!(parse(argv("run --topo line:5 --recover 5000")).is_err()); // no victim
+        assert!(parse(argv("probe --topo line:5 --victim 2 --recover 5000")).is_err());
     }
 
     #[test]

@@ -9,8 +9,9 @@ use harness::{
 use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
 use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome};
 use manet_sim::{
-    Context, DelayAdversary, DiningState, Engine, Event, EventQueueKind, FaultPlan, LinkEngine,
-    LinkFaults, NodeId, PartitionWindow, Position, Protocol, SimConfig, SimRng, SimTime, World,
+    ArqConfig, Context, CrashWave, DelayAdversary, DiningState, Engine, Event, EventQueueKind,
+    FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position, Protocol, SimConfig,
+    SimRng, SimTime, World,
 };
 
 use crate::args::{BenchMode, Cli, Command, TopoSpec, USAGE};
@@ -20,6 +21,7 @@ fn spec_of(cli: &Cli) -> Result<RunSpec, String> {
         sim: SimConfig {
             seed: cli.seed,
             fault: fault_plan_of(cli)?,
+            arq: cli.arq.then(ArqConfig::default),
             ..SimConfig::default()
         },
         horizon: cli.horizon,
@@ -67,6 +69,26 @@ fn fault_plan_of(cli: &Cli) -> Result<FaultPlan, String> {
             side,
             heal_after: heal_at - at,
         }];
+    }
+    if let Some(at) = cli.recover_at {
+        // `live` interprets --recover itself (in ms); here it is a tick
+        // against the sim fault plan: crash --victim at horizon/4,
+        // restart it as a fresh incarnation at the given tick.
+        let victim = cli.victim.ok_or("--recover needs --victim")?;
+        let crash_at = (cli.horizon / 4).max(1);
+        if at <= crash_at {
+            return Err(format!(
+                "--recover {at} must come after the crash at tick {crash_at} (horizon/4)"
+            ));
+        }
+        plan.crash_waves.push(CrashWave {
+            at: crash_at,
+            nodes: vec![NodeId(victim)],
+        });
+        plan.recovers.push(CrashWave {
+            at,
+            nodes: vec![NodeId(victim)],
+        });
     }
     plan.validate(cli.topo.len())
         .map_err(|e| format!("invalid fault plan: {e}"))?;
@@ -163,6 +185,20 @@ fn render_run(cli: &Cli, out: &RunOutcome) -> String {
         out.messages_sent,
         out.messages_per_meal()
     ));
+    if cli.arq {
+        report.push_str(&format!(
+            "  arq shim          : {} retransmissions, {} acks, buffer high water {}\n",
+            out.stats.shim.retransmissions,
+            out.stats.shim.acks_sent,
+            out.stats.shim.buffer_high_water
+        ));
+    }
+    if out.stats.faults.recoveries > 0 {
+        report.push_str(&format!(
+            "  recoveries        : {}\n",
+            out.stats.faults.recoveries
+        ));
+    }
     let starving = out.metrics.starving_since(SimTime(cli.horizon / 2));
     if starving.is_empty() {
         report.push_str("  starvation        : none\n");
@@ -293,11 +329,15 @@ fn render_sweep(cli: &Cli) -> Result<String, String> {
 }
 
 /// The fixed fault matrix the `chaos` subcommand sweeps: one column per
-/// fault class, crash first (matching the paper's fault model), then the
-/// out-of-model link faults, then partition and the ν-adversary.
-const CHAOS_CLASSES: [FaultClass; 5] = [
+/// fault class, crash and crash→recover first (matching the paper's fault
+/// model), then the out-of-model link faults, then partition and the
+/// ν-adversary. Sustained loss runs with the ARQ shim armed — it is the
+/// one class whose liveness depends on reliable delivery.
+const CHAOS_CLASSES: [FaultClass; 7] = [
     FaultClass::Crash,
+    FaultClass::Recover,
     FaultClass::Loss(0.3),
+    FaultClass::SustainedLoss(0.3),
     FaultClass::Duplication(0.3),
     FaultClass::Partition,
     FaultClass::MaxDelay,
@@ -335,6 +375,9 @@ fn render_chaos(cli: &Cli) -> Result<String, String> {
                 },
                 _ => {
                     spec.sim.fault = class.plan(victim, (fault_at, quiesce));
+                    if matches!(class, FaultClass::SustainedLoss(_)) {
+                        spec.sim.arq = Some(ArqConfig::default());
+                    }
                     Job::Run
                 }
             };
@@ -390,6 +433,16 @@ fn render_chaos(cli: &Cli) -> Result<String, String> {
     s.push_str(&table.to_string());
     if let Some(path) = &cli.metrics_out {
         s.push_str(&format!("per-run metrics written to {path}\n"));
+    }
+    // Sustained loss is survivable only through the ARQ shim; a stall
+    // there means reliable delivery is broken, so the command fails.
+    for (row, class) in report.aggregate().iter().zip(CHAOS_CLASSES) {
+        if matches!(class, FaultClass::SustainedLoss(_)) && row.starving > 0 {
+            return Err(format!(
+                "sustained-loss stalled: {} starving node-run(s) despite the ARQ shim\n{s}",
+                row.starving
+            ));
+        }
     }
     Ok(s)
 }
@@ -807,8 +860,12 @@ fn live_config_of(cli: &Cli, alg: LiveAlg, positions: Vec<(f64, f64)>) -> LiveCo
     cfg.eat_ms = cli.eat_ms;
     cfg.one_shot = cli.one_shot;
     cfg.seed = cli.seed;
+    cfg.reliable = cli.reliable;
     if let Some(v) = cli.victim {
         cfg.crash = Some((v, (cli.duration_ms / 4).max(1)));
+        if let Some(at) = cli.recover_at {
+            cfg.recover = Some((v, at));
+        }
     }
     if cli.moves > 0 {
         let plan = WaypointPlan {
@@ -868,9 +925,16 @@ fn render_live(cli: &Cli) -> Result<String, String> {
     ));
     s.push_str(&format!("  hungry→eat        : {}\n", fmt_latency_ms(&lat)));
     s.push_str(&format!(
-        "  messages          : {} sent, {} delivered, {} decode errors\n",
-        out.messages_sent, out.messages_delivered, out.decode_errors
+        "  messages          : {} sent, {} delivered, {} decode errors, \
+         {} send failures\n",
+        out.messages_sent, out.messages_delivered, out.decode_errors, out.send_failures
     ));
+    if cli.reliable || cli.recover_at.is_some() {
+        s.push_str(&format!(
+            "  reliability       : {} retransmissions, {} acks, {} recoveries\n",
+            out.retransmissions, out.acks_sent, out.recoveries
+        ));
+    }
     s.push_str(&format!(
         "  threads joined    : {}/{}\n",
         out.threads_joined,
@@ -997,7 +1061,9 @@ fn render_bench_live(cli: &Cli) -> Result<String, String> {
              \"sessions_per_sec\": {:.2}, \"latency_ns\": {{\"count\": {}, \
              \"mean\": {:.0}, \"p50\": {}, \"p95\": {}, \"max\": {}}}, \
              \"messages_sent\": {}, \"messages_delivered\": {}, \
-             \"decode_errors\": {}, \"violations\": {}}}{}\n",
+             \"decode_errors\": {}, \"violations\": {}, \
+             \"send_failures\": {}, \"retransmissions\": {}, \
+             \"acks_sent\": {}, \"recoveries\": {}}}{}\n",
             alg.name(),
             out.elapsed_ms,
             out.total_meals(),
@@ -1011,6 +1077,10 @@ fn render_bench_live(cli: &Cli) -> Result<String, String> {
             out.messages_delivered,
             out.decode_errors,
             out.violations.len(),
+            out.send_failures,
+            out.retransmissions,
+            out.acks_sent,
+            out.recoveries,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -1313,10 +1383,29 @@ mod tests {
             "chaos --alg a2 --topo line:5 --horizon 8000 --seeds 2",
         ))
         .unwrap();
-        for class in ["crash", "loss", "duplication", "partition", "max-delay"] {
+        for class in [
+            "crash",
+            "recover",
+            "windowed-loss",
+            "sustained-loss",
+            "windowed-duplication",
+            "partition",
+            "max-delay",
+        ] {
             assert!(out.contains(class), "missing {class} in:\n{out}");
         }
         assert!(out.contains("in-model"), "{out}");
+    }
+
+    #[test]
+    fn run_with_arq_and_recover_stays_safe() {
+        let out = run_cli(argv(
+            "run --alg a2 --topo line:5 --horizon 12000 --arq --victim 2 --recover 6000",
+        ))
+        .unwrap();
+        assert!(out.contains("safety violations : 0"), "{out}");
+        assert!(out.contains("arq shim"), "{out}");
+        assert!(out.contains("recoveries        : 1"), "{out}");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! hop distance ≤ `m`; the farthest starving node is the empirical
 //! locality.
 
-use manet_sim::{DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, SimTime};
+use manet_sim::{
+    CrashWave, DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, SimTime,
+};
 
 use crate::runner::{run_algorithm, AlgKind, RunOutcome, RunSpec};
 
@@ -127,8 +129,18 @@ pub fn response_by_distance(
 pub enum FaultClass {
     /// Crash the victim mid-eating (the adversarial crash of Definition 1).
     Crash,
-    /// Drop each message on the victim's links with this probability.
+    /// Crash the victim at the window start and recover it as a fresh
+    /// incarnation at the window end (crash → rejoin handshake).
+    Recover,
+    /// Drop each message on the victim's links with this probability,
+    /// within a bounded window (a partition/heal at the window end
+    /// re-incarnates the links, restoring any forks lost in flight).
     Loss(f64),
+    /// Drop each message on the victim's links with this probability for
+    /// the *entire run* — no window, no healing partition. Only an ARQ
+    /// shim (see `manet_sim::ArqConfig`) can restore liveness under this
+    /// class; without it, runs are expected to stall.
+    SustainedLoss(f64),
     /// Duplicate each message on the victim's links with this probability.
     Duplication(f64),
     /// Sever every link between the victim and the rest, then heal.
@@ -143,8 +155,10 @@ impl FaultClass {
     pub fn label(&self) -> &'static str {
         match self {
             FaultClass::Crash => "crash",
-            FaultClass::Loss(_) => "loss",
-            FaultClass::Duplication(_) => "duplication",
+            FaultClass::Recover => "recover",
+            FaultClass::Loss(_) => "windowed-loss",
+            FaultClass::SustainedLoss(_) => "sustained-loss",
+            FaultClass::Duplication(_) => "windowed-duplication",
             FaultClass::Partition => "partition",
             FaultClass::MaxDelay => "max-delay",
         }
@@ -153,7 +167,10 @@ impl FaultClass {
     /// Whether the paper's system model admits this fault (reliable FIFO
     /// links rule out loss and duplication).
     pub fn in_model(&self) -> bool {
-        !matches!(self, FaultClass::Loss(_) | FaultClass::Duplication(_))
+        !matches!(
+            self,
+            FaultClass::Loss(_) | FaultClass::SustainedLoss(_) | FaultClass::Duplication(_)
+        )
     }
 
     /// Build the [`FaultPlan`] that realizes this class against `victim`
@@ -164,6 +181,17 @@ impl FaultClass {
         let targets = Some(vec![victim]);
         match *self {
             FaultClass::Crash => FaultPlan::default(),
+            FaultClass::Recover => FaultPlan {
+                crash_waves: vec![CrashWave {
+                    at: window.0,
+                    nodes: vec![victim],
+                }],
+                recovers: vec![CrashWave {
+                    at: window.1,
+                    nodes: vec![victim],
+                }],
+                ..FaultPlan::default()
+            },
             FaultClass::Loss(p) => FaultPlan {
                 link: Some(LinkFaults {
                     drop: p,
@@ -180,6 +208,17 @@ impl FaultClass {
                     side: vec![victim],
                     heal_after: 1,
                 }],
+                ..FaultPlan::default()
+            },
+            // Sustained loss runs unbounded and gets no healing partition:
+            // recovery is the ARQ shim's job, not the fault schedule's.
+            FaultClass::SustainedLoss(p) => FaultPlan {
+                link: Some(LinkFaults {
+                    drop: p,
+                    window: None,
+                    targets,
+                    ..LinkFaults::default()
+                }),
                 ..FaultPlan::default()
             },
             FaultClass::Duplication(p) => FaultPlan {
@@ -463,7 +502,14 @@ mod tests {
             assert!(m <= 2, "{:?}", report.fl.starving);
         }
         assert!(!FaultClass::Loss(0.1).in_model());
+        assert!(!FaultClass::SustainedLoss(0.3).in_model());
         assert!(FaultClass::Partition.in_model());
+        assert_eq!(FaultClass::Loss(0.1).label(), "windowed-loss");
+        assert_eq!(FaultClass::SustainedLoss(0.3).label(), "sustained-loss");
+        assert!(FaultClass::SustainedLoss(0.3)
+            .plan(NodeId(3), (0, 100))
+            .partitions
+            .is_empty());
     }
 
     #[test]

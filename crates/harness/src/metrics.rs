@@ -182,6 +182,12 @@ impl<M> Hook<M> for Metrics {
         }
     }
 
+    fn on_recover(&mut self, _view: &View<'_>, node: NodeId, _sink: &mut Sink) {
+        // Any episode left open by the dead incarnation belongs to it, not
+        // to the fresh protocol instance (which starts Thinking).
+        self.data.borrow_mut().pending[node.index()] = None;
+    }
+
     fn on_move(&mut self, _view: &View<'_>, node: NodeId, started: bool, _sink: &mut Sink) {
         if started {
             let mut d = self.data.borrow_mut();

@@ -65,6 +65,15 @@ pub struct RunReport {
     /// healthy runs. A cell carrying an abort failed gracefully — its
     /// siblings in a parallel sweep still complete.
     pub abort: Option<String>,
+    /// Data frames retransmitted by the ARQ shim (0 when the shim is off).
+    pub retransmissions: u64,
+    /// Standalone acknowledgment frames emitted by the ARQ shim.
+    pub acks_sent: u64,
+    /// Crash recoveries executed during the run.
+    pub recoveries: u64,
+    /// Largest number of unacknowledged frames buffered on any directed
+    /// link by the ARQ shim.
+    pub buffer_high_water: u64,
     /// Raw static-episode response times, kept for pooled aggregation
     /// (not serialized).
     pub static_responses: Vec<u64>,
@@ -109,6 +118,10 @@ impl RunReport {
             faults: outcome.stats.faults.clone(),
             msg_complexity,
             abort: outcome.abort.clone(),
+            retransmissions: outcome.stats.shim.retransmissions,
+            acks_sent: outcome.stats.shim.acks_sent,
+            recoveries: outcome.stats.faults.recoveries,
+            buffer_high_water: outcome.stats.shim.buffer_high_water,
             static_responses,
             all_responses,
         }
@@ -123,7 +136,8 @@ impl RunReport {
              \"dropped_at_send\":{},\"dropped_in_flight\":{},\"events\":{},\
              \"violations\":{},\"rt_static\":{},\"rt_all\":{},\"jain\":{},\
              \"starving\":{},\"locality\":{},\"faults\":{},\"msg_complexity\":{},\
-             \"abort\":{}}}",
+             \"abort\":{},\"retransmissions\":{},\"acks_sent\":{},\
+             \"recoveries\":{},\"buffer_high_water\":{}}}",
             json_str(&self.label),
             json_str(self.alg),
             self.seed,
@@ -150,6 +164,10 @@ impl RunReport {
                 Some(reason) => json_str(reason),
                 None => "null".to_string(),
             },
+            self.retransmissions,
+            self.acks_sent,
+            self.recoveries,
+            self.buffer_high_water,
         )
     }
 }
@@ -436,6 +454,10 @@ mod tests {
             faults: FaultStats::default(),
             msg_complexity: Summary::default(),
             abort: None,
+            retransmissions: 0,
+            acks_sent: 0,
+            recoveries: 0,
+            buffer_high_water: 0,
             static_responses: responses.clone(),
             all_responses: responses,
         };
@@ -475,6 +497,10 @@ mod tests {
             faults: FaultStats::default(),
             msg_complexity: Summary::of(&[5, 9]),
             abort: None,
+            retransmissions: 2,
+            acks_sent: 1,
+            recoveries: 1,
+            buffer_high_water: 3,
             static_responses: vec![4, 6],
             all_responses: vec![4, 6],
         };
@@ -490,18 +516,24 @@ mod tests {
         assert!(
             line.contains("\"rt_static\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6}")
         );
-        // New keys are suffix-appended (msg_complexity, then abort), so
-        // pre-existing consumers keyed on the prefix keep working.
-        assert!(line.ends_with(
+        // New keys are suffix-appended (msg_complexity, abort, then the
+        // reliability counters), so pre-existing consumers keyed on the
+        // prefix keep working.
+        assert!(line.contains(
             ",\"msg_complexity\":{\"count\":2,\"mean\":7,\"p50\":5,\"p95\":5,\"max\":9},\
-             \"abort\":null}"
+             \"abort\":null"
+        ));
+        assert!(line.ends_with(
+            ",\"abort\":null,\"retransmissions\":2,\"acks_sent\":1,\
+             \"recoveries\":1,\"buffer_high_water\":3}"
         ));
         let aborted = RunReport {
             abort: Some("event budget exceeded (100 events): livelock?".into()),
             ..r.clone()
         };
-        assert!(aborted
-            .to_jsonl()
-            .ends_with(",\"abort\":\"event budget exceeded (100 events): livelock?\"}"));
+        assert!(aborted.to_jsonl().contains(
+            ",\"abort\":\"event budget exceeded (100 events): livelock?\",\
+             \"retransmissions\":"
+        ));
     }
 }

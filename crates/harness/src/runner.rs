@@ -145,7 +145,7 @@ pub fn run_protocol<P, F, S>(
 ) -> RunOutcome
 where
     P: Protocol,
-    F: FnMut(manet_sim::NodeSeed) -> P,
+    F: FnMut(manet_sim::NodeSeed) -> P + 'static,
     S: FnOnce(&mut Engine<P>),
 {
     let engine = Engine::new(spec.sim.clone(), positions.to_vec(), factory);
@@ -164,7 +164,7 @@ pub fn run_protocol_graph<P, F, S>(
 ) -> RunOutcome
 where
     P: Protocol,
-    F: FnMut(manet_sim::NodeSeed) -> P,
+    F: FnMut(manet_sim::NodeSeed) -> P + 'static,
     S: FnOnce(&mut Engine<P>),
 {
     let engine = Engine::new_graph(spec.sim.clone(), n, edges, factory);

@@ -89,6 +89,19 @@ impl<M> Hook<M> for SafetyMonitor {
         }
     }
 
+    fn on_recover(&mut self, _view: &View<'_>, node: NodeId, _sink: &mut Sink) {
+        // The new incarnation starts Thinking: it no longer occupies the CS,
+        // so the frozen-eater record of the dead incarnation must not keep
+        // flagging its neighbors. The dedup key is also dropped if it names
+        // the node — a post-recovery re-violation is a fresh violation.
+        self.crashed_eating.remove(&node);
+        if let Some((a, b, _, _)) = self.last_key {
+            if a == node || b == node {
+                self.last_key = None;
+            }
+        }
+    }
+
     fn on_quantum_end(&mut self, view: &View<'_>, _sink: &mut Sink) {
         let world = view.world();
         for a in view.nodes() {

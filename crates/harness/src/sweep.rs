@@ -105,7 +105,16 @@ impl SweepCell {
             }
         };
         let probe = match self.job {
-            Job::Run => None,
+            // Plain runs still report starvation (continuously hungry
+            // through the back half of the horizon) so fault sweeps can
+            // flag stalls; locality stays probe-only.
+            Job::Run => {
+                let starving = outcome
+                    .metrics
+                    .starving_since(SimTime(spec.horizon / 2))
+                    .len();
+                Some((starving, None))
+            }
             Job::Probe { victim, crash_at } => {
                 let fl = analyze_crash(outcome, victim, crash_at, spec.horizon);
                 let probe = (fl.starving.len(), fl.locality);
@@ -421,11 +430,16 @@ mod tests {
             "abort: {:?}",
             aborted.abort
         );
-        assert!(aborted.to_jsonl().contains("\"abort\":\"event budget exceeded"));
+        assert!(aborted
+            .to_jsonl()
+            .contains("\"abort\":\"event budget exceeded"));
         for sibling in [&report.runs[0], &report.runs[2]] {
             assert_eq!(sibling.abort, None);
             assert!(sibling.meals > 0);
-            assert!(sibling.to_jsonl().ends_with("\"abort\":null}"));
+            assert!(sibling.to_jsonl().ends_with(
+                "\"abort\":null,\"retransmissions\":0,\"acks_sent\":0,\
+                 \"recoveries\":0,\"buffer_high_water\":0}"
+            ));
         }
     }
 

@@ -45,8 +45,8 @@ pub mod transport;
 pub use codec::{decode_frame, encode_frame, CodecError, WireMsg, WIRE_VERSION};
 pub use replay::{conformance_replay, ConformanceReport};
 pub use runtime::{run_live, LiveAlg, LiveConfig, LiveOutcome};
-pub use trace::{LiveEventKind, LiveRecord, LiveTrace};
+pub use trace::{LiveEventKind, LiveRecord, LiveTrace, NodeNetStats};
 pub use transport::{
     decode_envelope, encode_envelope, mpsc_mesh, udp_mesh, LinkGate, MpscTransport, Transport,
-    TransportKind, UdpTransport,
+    TransportKind, UdpTransport, ENV_ACK, ENV_DATA,
 };

@@ -36,10 +36,13 @@ use manet_sim::{
     SimConfig, SimRng, SimTime, World,
 };
 
+use std::collections::VecDeque;
+
 use crate::codec::{decode_frame, encode_frame, WireMsg};
 use crate::trace::{LiveEventKind, LiveRecord, LiveTrace};
 use crate::transport::{
     decode_envelope, encode_envelope, mpsc_mesh, udp_mesh, LinkGate, Transport, TransportKind,
+    ENV_ACK, ENV_DATA,
 };
 
 /// Which protocol a live run hosts.
@@ -133,6 +136,17 @@ pub struct LiveConfig {
     /// Crash `(node, at_ms)`: sever every adjacent transport and stop the
     /// node's thread from processing anything but shutdown.
     pub crash: Option<(u32, u64)>,
+    /// Recover `(node, at_ms)`: restart the crashed node as a fresh
+    /// protocol incarnation, heal its transports, and rejoin it to its
+    /// neighbors with link flaps — the live mirror of the simulator's
+    /// `Command::Recover`. Requires a matching `crash` of the same node at
+    /// an earlier time.
+    pub recover: Option<(u32, u64)>,
+    /// Arm the per-link reliable-delivery shim: go-back-N retransmission
+    /// with capped exponential backoff, cumulative acks piggybacked on
+    /// data frames, and standalone acks after an idle timeout — the live
+    /// mirror of `manet_sim::ArqConfig`.
+    pub reliable: bool,
     /// Partition `(side, at_ms, heal_ms)`: silently sever every link
     /// between `side` and its complement for the window.
     pub partition: Option<(Vec<u32>, u64, u64)>,
@@ -156,8 +170,10 @@ impl LiveConfig {
             seed: 0xA77D_2008,
             tick_ns: 100_000,
             crash: None,
+            recover: None,
             partition: None,
             moves: Vec::new(),
+            reliable: false,
         }
     }
 
@@ -193,6 +209,18 @@ impl LiveConfig {
                 return Err(format!("crash targets node {victim}, but n = {n}"));
             }
         }
+        if let Some((node, at_ms)) = self.recover {
+            match self.crash {
+                Some((victim, crash_ms)) if victim == node && at_ms > crash_ms => {}
+                Some((victim, _)) if victim != node => {
+                    return Err(format!(
+                        "recover targets node {node}, but the crash targets {victim}"
+                    ));
+                }
+                Some(_) => return Err("recover must come after the crash".into()),
+                None => return Err("recover needs a preceding crash".into()),
+            }
+        }
         if let Some((side, at, heal)) = &self.partition {
             if heal <= at {
                 return Err("partition must heal after it starts".into());
@@ -223,6 +251,16 @@ pub struct LiveOutcome {
     pub messages_delivered: u64,
     /// Envelopes or frames that failed to decode (0 on healthy transports).
     pub decode_errors: u64,
+    /// Transport send calls that returned an error (0 on healthy
+    /// transports; previously these failures were swallowed invisibly).
+    pub send_failures: u64,
+    /// Data frames retransmitted by the reliable shim (0 with
+    /// `reliable: false`).
+    pub retransmissions: u64,
+    /// Standalone acknowledgment frames sent by the reliable shim.
+    pub acks_sent: u64,
+    /// Crash recoveries executed by the driver.
+    pub recoveries: u64,
     /// Wall-clock length of the run in milliseconds.
     pub elapsed_ms: u64,
     /// Node threads that exited cleanly (always `n` on success).
@@ -250,6 +288,9 @@ struct Shared {
     sent: AtomicU64,
     delivered: AtomicU64,
     decode_errors: AtomicU64,
+    send_failures: AtomicU64,
+    retransmissions: AtomicU64,
+    acks_sent: AtomicU64,
     /// Nodes that have eaten at least once (one-shot early stop).
     ate: AtomicU64,
 }
@@ -272,7 +313,33 @@ enum Ctrl {
     MoveStarted,
     MoveEnded,
     Crash,
+    Recover,
     Shutdown,
+}
+
+/// Reliable-shim sender state for one directed link: the unacknowledged
+/// frame buffer (go-back-N) and its retransmission timer.
+#[derive(Clone, Default)]
+struct ArqSend {
+    /// Buffered `(seq, frame)` pairs awaiting acknowledgment.
+    buf: VecDeque<(u64, Vec<u8>)>,
+    /// Wall deadline of the armed retransmission timer.
+    rto_at: Option<u64>,
+    /// Consecutive silent timeouts (drives the backoff and the give-up).
+    attempts: u32,
+}
+
+/// Reliable-shim receiver state for one directed link.
+#[derive(Clone, Copy, Default)]
+struct ArqRecv {
+    /// Next in-order sequence expected; 0 = resynchronize on the next
+    /// frame (link incarnations reset here, and live envelope sequence
+    /// numbers start at 1, so 0 is free as the sentinel).
+    next: u64,
+    /// A cumulative ack is owed to the peer.
+    ack_owed: bool,
+    /// Wall deadline of the armed standalone-ack idle timer.
+    ack_at: Option<u64>,
 }
 
 /// Per-node immutable parameters.
@@ -285,6 +352,7 @@ struct NodeParams {
     rate: f64,
     eat_ns: u64,
     one_shot: bool,
+    reliable: bool,
 }
 
 /// The mutable heart of one node thread.
@@ -309,9 +377,28 @@ struct NodeCore<P: Protocol> {
     exit_at: Option<u64>,
     outbox: Vec<(NodeId, P::Msg)>,
     timer_buf: Vec<(u64, u64)>,
+    /// Reliable shim armed (`LiveConfig::reliable`).
+    reliable: bool,
+    /// ν in wall nanoseconds (the sim's delay bound times `tick_ns`).
+    nu_ns: u64,
+    /// Per-peer sender shim state (indexed by peer, empty when off).
+    arq_send: Vec<ArqSend>,
+    /// Per-peer receiver shim state.
+    arq_recv: Vec<ArqRecv>,
+    /// Fresh protocol instance swapped in on `Ctrl::Recover`.
+    spare: Option<P>,
+    // Per-node counters behind the shutdown NetStats record.
+    n_decode_errors: u64,
+    n_send_failures: u64,
+    n_retransmissions: u64,
+    n_acks_sent: u64,
     shared: Arc<Shared>,
     out: Sender<LiveRecord>,
 }
+
+/// Give up retransmitting to a silent peer after this many consecutive
+/// timeouts (a crashed neighbor never acks; its links stay up).
+const ARQ_MAX_RETRIES: u32 = 16;
 
 impl<P> NodeCore<P>
 where
@@ -390,6 +477,69 @@ where
         self.rng.gen_range(lo..=hi)
     }
 
+    /// Push one already-framed envelope onto the wire, counting (not
+    /// swallowing) transport failures.
+    fn raw_send(
+        &mut self,
+        to: NodeId,
+        kind: u8,
+        seq: u64,
+        ack: u64,
+        frame: &[u8],
+        transport: &mut dyn Transport,
+    ) {
+        let env = encode_envelope(self.me, kind, seq, ack, self.shared.now_ns(), frame);
+        if transport.send(to, &env).is_err() {
+            self.n_send_failures += 1;
+            self.shared.send_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The cumulative ack to piggyback on traffic toward `to` (clears the
+    /// owed flag and the standalone-ack timer; 0 when nothing to ack).
+    fn take_piggyback_ack(&mut self, to: NodeId) -> u64 {
+        if !self.reliable {
+            return 0;
+        }
+        let slot = &mut self.arq_recv[to.index()];
+        slot.ack_owed = false;
+        slot.ack_at = None;
+        slot.next.saturating_sub(1)
+    }
+
+    /// Backoff delay before the next retransmission, with jitter.
+    fn arq_backoff(&mut self, attempts: u32) -> u64 {
+        let init = (2 * self.nu_ns).max(1);
+        let cap = 16 * self.nu_ns;
+        let base = init
+            .checked_shl(attempts.min(32))
+            .unwrap_or(u64::MAX)
+            .min(cap.max(init));
+        base + self.rng.gen_range(0..=init / 4)
+    }
+
+    /// Apply a cumulative ack from `peer` to the send buffer toward it.
+    fn apply_ack(&mut self, peer: NodeId, ack: u64) {
+        if !self.reliable || ack == 0 {
+            return;
+        }
+        let slot = &mut self.arq_send[peer.index()];
+        let before = slot.buf.len();
+        while slot.buf.front().is_some_and(|&(seq, _)| seq <= ack) {
+            slot.buf.pop_front();
+        }
+        if slot.buf.len() == before {
+            return;
+        }
+        slot.attempts = 0;
+        if slot.buf.is_empty() {
+            slot.rto_at = None;
+        } else {
+            let at = self.shared.now_ns() + self.arq_backoff(0);
+            self.arq_send[peer.index()].rto_at = Some(at);
+        }
+    }
+
     fn transmit(&mut self, to: NodeId, msg: P::Msg, transport: &mut dyn Transport) {
         if self.crashed || to == self.me || !self.neighbors.contains(&to) {
             return;
@@ -401,16 +551,100 @@ where
         }
         let seq = &mut self.send_seq[to.index()];
         *seq += 1;
+        let seq = *seq;
         let frame = encode_frame(&msg);
-        let env = encode_envelope(self.me, *seq, self.shared.now_ns(), &frame);
-        let _ = transport.send(to, &env);
+        let ack = self.take_piggyback_ack(to);
+        if self.reliable {
+            let slot = &mut self.arq_send[to.index()];
+            slot.buf.push_back((seq, frame.clone()));
+            if slot.rto_at.is_none() {
+                let at = self.shared.now_ns() + self.arq_backoff(0);
+                self.arq_send[to.index()].rto_at = Some(at);
+            }
+        }
+        self.raw_send(to, ENV_DATA, seq, ack, &frame, transport);
         self.shared.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fire a due retransmission timer toward `peer`: resend every
+    /// buffered frame (go-back-N), double the backoff, and give up on a
+    /// peer that stayed silent through [`ARQ_MAX_RETRIES`] timeouts.
+    fn fire_rto(&mut self, peer: NodeId, transport: &mut dyn Transport) {
+        let slot = &mut self.arq_send[peer.index()];
+        slot.rto_at = None;
+        if slot.buf.is_empty() {
+            return;
+        }
+        slot.attempts += 1;
+        if slot.attempts > ARQ_MAX_RETRIES {
+            // The peer is gone (crashed, or the link died without notice):
+            // stop retransmitting so the timer load stays bounded. A later
+            // link flap resynchronizes both ends.
+            slot.buf.clear();
+            slot.attempts = 0;
+            return;
+        }
+        let attempts = slot.attempts;
+        let frames: Vec<(u64, Vec<u8>)> = slot.buf.iter().cloned().collect();
+        if self.shared.gate.is_severed(self.me, peer) || !self.neighbors.contains(&peer) {
+            // Keep backing off while the path is dark; frames stay buffered.
+            let at = self.shared.now_ns() + self.arq_backoff(attempts);
+            self.arq_send[peer.index()].rto_at = Some(at);
+            return;
+        }
+        self.n_retransmissions += frames.len() as u64;
+        self.shared
+            .retransmissions
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        let ack = self.take_piggyback_ack(peer);
+        for (seq, frame) in &frames {
+            self.raw_send(peer, ENV_DATA, *seq, ack, frame, transport);
+        }
+        let at = self.shared.now_ns() + self.arq_backoff(attempts);
+        self.arq_send[peer.index()].rto_at = Some(at);
+    }
+
+    /// Fire a due standalone-ack timer: the link toward `peer` has been
+    /// idle since traffic arrived, so the owed cumulative ack gets its own
+    /// frame.
+    fn fire_ack_idle(&mut self, peer: NodeId, transport: &mut dyn Transport) {
+        let slot = &mut self.arq_recv[peer.index()];
+        slot.ack_at = None;
+        if !slot.ack_owed {
+            return;
+        }
+        slot.ack_owed = false;
+        let ack = slot.next.saturating_sub(1);
+        if self.shared.gate.is_severed(self.me, peer) || !self.neighbors.contains(&peer) {
+            return;
+        }
+        self.n_acks_sent += 1;
+        self.shared.acks_sent.fetch_add(1, Ordering::Relaxed);
+        self.raw_send(peer, ENV_ACK, 0, ack, b"", transport);
+    }
+
+    /// Reset the shim state of the directed links to and from `peer` — a
+    /// new link incarnation owes nothing to the old one.
+    fn reset_arq(&mut self, peer: NodeId) {
+        if self.reliable {
+            self.arq_send[peer.index()] = ArqSend::default();
+            self.arq_recv[peer.index()] = ArqRecv::default();
+        }
     }
 
     /// Returns `true` when the driver asked for shutdown.
     fn handle_ctrl(&mut self, ctrl: Ctrl, transport: &mut dyn Transport) -> bool {
         match ctrl {
-            Ctrl::Shutdown => return true,
+            Ctrl::Shutdown => {
+                self.record(LiveEventKind::NetStats {
+                    node: self.me,
+                    decode_errors: self.n_decode_errors,
+                    send_failures: self.n_send_failures,
+                    retransmissions: self.n_retransmissions,
+                    acks_sent: self.n_acks_sent,
+                });
+                return true;
+            }
             Ctrl::Crash => {
                 // From here on the node is inert: the crash record is
                 // emitted by us (not the driver) so it is serialized
@@ -418,17 +652,48 @@ where
                 self.crashed = true;
                 self.record(LiveEventKind::Crash { node: self.me });
             }
+            Ctrl::Recover => {
+                // Restart as a fresh incarnation: new protocol instance,
+                // empty neighborhood (the driver's rejoin link-ups follow
+                // in the same mailbox), all shim and workload state of the
+                // dead incarnation discarded. The eating-session counter is
+                // NOT reset — it is monotonic across incarnations, which
+                // the trace validator depends on.
+                if self.crashed {
+                    if let Some(fresh) = self.spare.take() {
+                        self.crashed = false;
+                        self.proto = fresh;
+                        self.neighbors.clear();
+                        self.timers.clear();
+                        self.outbox.clear();
+                        self.moving = false;
+                        self.exit_at = None;
+                        self.dining = self.proto.dining_state();
+                        for s in &mut self.arq_send {
+                            *s = ArqSend::default();
+                        }
+                        for r in &mut self.arq_recv {
+                            *r = ArqRecv::default();
+                        }
+                        self.record(LiveEventKind::Recover { node: self.me });
+                        let think = self.draw_think();
+                        self.next_hungry = Some(self.shared.now_ns() + think);
+                    }
+                }
+            }
             _ if self.crashed => {}
             Ctrl::LinkUp { peer, kind } => {
                 if let Err(slot) = self.neighbors.binary_search(&peer) {
                     self.neighbors.insert(slot, peer);
                 }
+                self.reset_arq(peer);
                 self.apply(Event::LinkUp { peer, kind }, transport);
             }
             Ctrl::LinkDown { peer } => {
                 if let Ok(slot) = self.neighbors.binary_search(&peer) {
                     self.neighbors.remove(slot);
                 }
+                self.reset_arq(peer);
                 self.apply(Event::LinkDown { peer }, transport);
             }
             Ctrl::MoveStarted => {
@@ -466,6 +731,18 @@ where
             let (_, token) = self.timers.swap_remove(i);
             self.apply(Event::Timer { token }, transport);
         }
+        if self.reliable {
+            for i in 0..self.arq_send.len() {
+                if self.arq_send[i].rto_at.is_some_and(|at| at <= now) {
+                    self.fire_rto(NodeId(i as u32), transport);
+                }
+            }
+            for i in 0..self.arq_recv.len() {
+                if self.arq_recv[i].ack_at.is_some_and(|at| at <= now) {
+                    self.fire_ack_idle(NodeId(i as u32), transport);
+                }
+            }
+        }
     }
 
     /// How long the transport poll may block before the next deadline.
@@ -477,17 +754,24 @@ where
             .iter()
             .chain(self.exit_at.iter())
             .chain(self.timers.iter().map(|(at, _)| at))
+            .chain(self.arq_send.iter().filter_map(|s| s.rto_at.as_ref()))
+            .chain(self.arq_recv.iter().filter_map(|r| r.ack_at.as_ref()))
         {
             deadline = deadline.min(*at);
         }
         Duration::from_nanos(deadline.saturating_sub(now).clamp(50_000, 1_000_000))
     }
 
+    fn count_decode_error(&mut self) {
+        self.n_decode_errors += 1;
+        self.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn on_envelope(&mut self, env: &[u8], transport: &mut dyn Transport) {
-        let (from, seq, sent_ns, frame) = match decode_envelope(env) {
+        let (from, env_kind, seq, ack, sent_ns, frame) = match decode_envelope(env) {
             Ok(parts) => parts,
             Err(_) => {
-                self.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                self.count_decode_error();
                 return;
             }
         };
@@ -499,6 +783,36 @@ where
             || self.shared.gate.is_severed(from, self.me)
         {
             return;
+        }
+        if env_kind == ENV_ACK {
+            self.apply_ack(from, ack);
+            return;
+        }
+        if env_kind != ENV_DATA {
+            self.count_decode_error();
+            return;
+        }
+        self.apply_ack(from, ack);
+        if self.reliable {
+            // In-order filter: resynchronize on the first frame of a link
+            // incarnation (next == 0), deliver exactly the expected
+            // sequence, and drop gaps/duplicates — go-back-N retransmission
+            // re-supplies them in order.
+            let slot = &mut self.arq_recv[from.index()];
+            if slot.next != 0 && seq != slot.next {
+                // A gap or duplicate still deserves an ack so the sender's
+                // window can advance past delivered frames.
+                slot.ack_owed = true;
+                if slot.ack_at.is_none() {
+                    slot.ack_at = Some(self.shared.now_ns() + self.nu_ns);
+                }
+                return;
+            }
+            slot.next = seq + 1;
+            slot.ack_owed = true;
+            if slot.ack_at.is_none() {
+                slot.ack_at = Some(self.shared.now_ns() + self.nu_ns);
+            }
         }
         match decode_frame::<P::Msg>(frame) {
             Ok(msg) => {
@@ -514,7 +828,7 @@ where
                 self.apply(Event::Message { from, msg }, transport);
             }
             Err(_) => {
-                self.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                self.count_decode_error();
             }
         }
     }
@@ -522,6 +836,7 @@ where
 
 fn node_main<P>(
     proto: P,
+    spare: Option<P>,
     p: NodeParams,
     mut transport: Box<dyn Transport>,
     ctrl: Receiver<Ctrl>,
@@ -557,6 +872,17 @@ fn node_main<P>(
         exit_at: None,
         outbox: Vec::new(),
         timer_buf: Vec::new(),
+        reliable: p.reliable,
+        nu_ns: SimConfig::default()
+            .max_message_delay
+            .saturating_mul(p.tick_ns),
+        arq_send: vec![ArqSend::default(); p.n],
+        arq_recv: vec![ArqRecv::default(); p.n],
+        spare,
+        n_decode_errors: 0,
+        n_send_failures: 0,
+        n_retransmissions: 0,
+        n_acks_sent: 0,
         shared,
         out,
     };
@@ -601,6 +927,7 @@ fn node_main<P>(
 /// A driver-side fault/mobility action, due at `0` ns.
 enum Action {
     Crash(NodeId),
+    Recover(NodeId),
     PartitionStart,
     PartitionEnd,
     Move(NodeId, Position),
@@ -655,6 +982,9 @@ where
         sent: AtomicU64::new(0),
         delivered: AtomicU64::new(0),
         decode_errors: AtomicU64::new(0),
+        send_failures: AtomicU64::new(0),
+        retransmissions: AtomicU64::new(0),
+        acks_sent: AtomicU64::new(0),
         ate: AtomicU64::new(0),
     });
     let transports: Vec<Box<dyn Transport>> = match cfg.transport {
@@ -680,6 +1010,18 @@ where
             max_degree,
         };
         let proto = factory(&seed);
+        // The recovery victim carries a pre-built fresh incarnation: the
+        // factory cannot be shared with node threads, and a recovering
+        // node rejoins with an empty neighborhood (rejoin link-ups follow).
+        let spare = match cfg.recover {
+            Some((victim, _)) if victim as usize == i => Some(factory(&NodeSeed {
+                id: me,
+                neighbors: Vec::new(),
+                n_nodes: n,
+                max_degree,
+            })),
+            _ => None,
+        };
         let (ctx, crx) = channel::<Ctrl>();
         ctrls.push(ctx);
         let params = NodeParams {
@@ -691,13 +1033,14 @@ where
             rate: cfg.rate,
             eat_ns: cfg.eat_ms.saturating_mul(1_000_000),
             one_shot: cfg.one_shot,
+            reliable: cfg.reliable,
         };
         let out = rec_tx.clone();
         let sh = shared.clone();
         handles.push(
             thread::Builder::new()
                 .name(format!("lme-node-{i}"))
-                .spawn(move || node_main(proto, params, transport, crx, out, sh))
+                .spawn(move || node_main(proto, spare, params, transport, crx, out, sh))
                 .map_err(|e| format!("failed to spawn node thread {i}: {e}"))?,
         );
     }
@@ -706,6 +1049,9 @@ where
     let mut actions: Vec<(u64, Action)> = Vec::new();
     if let Some((victim, at_ms)) = cfg.crash {
         actions.push((at_ms * 1_000_000, Action::Crash(NodeId(victim))));
+    }
+    if let Some((node, at_ms)) = cfg.recover {
+        actions.push((at_ms * 1_000_000, Action::Recover(NodeId(node))));
     }
     if let Some((_, at_ms, heal_ms)) = &cfg.partition {
         actions.push((at_ms * 1_000_000, Action::PartitionStart));
@@ -736,6 +1082,8 @@ where
     let mut records: Vec<LiveRecord> = Vec::new();
     let mut ai = 0;
     let mut quiesce_at: Option<u64> = None;
+    let mut recoveries: u64 = 0;
+    let mut partition_active = false;
     loop {
         let now = shared.now_ns();
         while ai < actions.len() && actions[ai].0 <= now {
@@ -751,12 +1099,67 @@ where
                     world.mark_crashed(*victim);
                     let _ = ctrls[victim.index()].send(Ctrl::Crash);
                 }
+                Action::Recover(node) => {
+                    let node = *node;
+                    if !world.is_crashed(node) {
+                        continue;
+                    }
+                    world.mark_recovered(node);
+                    // Reopen the victim's gates, except pairs an active
+                    // partition still cuts.
+                    for i in 0..n as u32 {
+                        let peer = NodeId(i);
+                        if peer == node || world.is_crashed(peer) {
+                            continue;
+                        }
+                        let cut = partition_active
+                            && cut_pairs
+                                .iter()
+                                .any(|&(a, b)| (a, b) == (node, peer) || (a, b) == (peer, node));
+                        if !cut {
+                            shared.gate.set_pair(node, peer, false);
+                        }
+                    }
+                    // The victim restarts as a fresh incarnation first;
+                    // then the rejoin flap makes each surviving neighbor
+                    // drop its stale edge state and re-form the link with
+                    // itself as the static (fork-owning) side, so no fork
+                    // is duplicated or lost across the crash.
+                    let _ = ctrls[node.index()].send(Ctrl::Recover);
+                    for &peer in world.neighbors(node) {
+                        if world.is_crashed(peer) {
+                            continue;
+                        }
+                        records.push(LiveRecord {
+                            at_ns: shared.now_ns(),
+                            order: shared.ticket(),
+                            kind: LiveEventKind::LinkDown { a: node, b: peer },
+                        });
+                        let _ = ctrls[peer.index()].send(Ctrl::LinkDown { peer: node });
+                        records.push(LiveRecord {
+                            at_ns: shared.now_ns(),
+                            order: shared.ticket(),
+                            kind: LiveEventKind::LinkUp { a: peer, b: node },
+                        });
+                        let _ = ctrls[peer.index()].send(Ctrl::LinkUp {
+                            peer: node,
+                            kind: LinkUpKind::AsStatic,
+                        });
+                        let _ = ctrls[node.index()].send(Ctrl::LinkUp {
+                            peer,
+                            kind: LinkUpKind::AsMoving,
+                        });
+                    }
+                    recoveries += 1;
+                }
                 Action::PartitionStart => {
+                    partition_active = true;
                     for &(a, b) in &cut_pairs {
                         shared.gate.set_pair(a, b, true);
                     }
                 }
                 Action::PartitionEnd => {
+                    partition_active = false;
                     for &(a, b) in &cut_pairs {
                         if !world.is_crashed(a) && !world.is_crashed(b) {
                             shared.gate.set_pair(a, b, false);
@@ -870,6 +1273,10 @@ where
         messages_sent: shared.sent.load(Ordering::Relaxed),
         messages_delivered: shared.delivered.load(Ordering::Relaxed),
         decode_errors: shared.decode_errors.load(Ordering::Relaxed),
+        send_failures: shared.send_failures.load(Ordering::Relaxed),
+        retransmissions: shared.retransmissions.load(Ordering::Relaxed),
+        acks_sent: shared.acks_sent.load(Ordering::Relaxed),
+        recoveries,
         elapsed_ms,
         threads_joined,
     })

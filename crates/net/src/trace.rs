@@ -68,6 +68,27 @@ pub enum LiveEventKind {
         /// The victim.
         node: NodeId,
     },
+    /// A crashed node restarted as a fresh incarnation (recorded by the
+    /// node itself, serialized against its own state records).
+    Recover {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A node's network counters at shutdown — one record per node, the
+    /// per-node ledger behind the run-level totals. All zero on a healthy
+    /// fault-free transport.
+    NetStats {
+        /// The reporting node.
+        node: NodeId,
+        /// Envelopes or frames that failed to decode.
+        decode_errors: u64,
+        /// Transport send calls that returned an error.
+        send_failures: u64,
+        /// Data frames retransmitted by the reliable shim.
+        retransmissions: u64,
+        /// Standalone acknowledgment frames sent by the reliable shim.
+        acks_sent: u64,
+    },
     /// The driver teleported a node (recorded *before* the resulting
     /// link records, so a validator's mirror world stays in sync).
     Relocate {
@@ -78,6 +99,19 @@ pub enum LiveEventKind {
         /// New vertical coordinate.
         y: f64,
     },
+}
+
+/// One node's network counters, as reported at shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeNetStats {
+    /// Envelopes or frames that failed to decode.
+    pub decode_errors: u64,
+    /// Transport send calls that returned an error.
+    pub send_failures: u64,
+    /// Data frames retransmitted by the reliable shim.
+    pub retransmissions: u64,
+    /// Standalone acknowledgment frames sent by the reliable shim.
+    pub acks_sent: u64,
 }
 
 /// One totally-ordered trace record.
@@ -133,6 +167,31 @@ impl LiveTrace {
             }
         }
         meals
+    }
+
+    /// Per-node network counters from the shutdown [`LiveEventKind::NetStats`]
+    /// records. Nodes that never reported (a thread that died before
+    /// shutdown) stay at zero.
+    pub fn net_stats(&self, n: usize) -> Vec<NodeNetStats> {
+        let mut out = vec![NodeNetStats::default(); n];
+        for r in &self.records {
+            if let LiveEventKind::NetStats {
+                node,
+                decode_errors,
+                send_failures,
+                retransmissions,
+                acks_sent,
+            } = r.kind
+            {
+                out[node.index()] = NodeNetStats {
+                    decode_errors,
+                    send_failures,
+                    retransmissions,
+                    acks_sent,
+                };
+            }
+        }
+        out
     }
 
     /// Number of message deliveries observed.
@@ -222,6 +281,15 @@ impl LiveTrace {
                     Hook::<()>::on_crash(&mut monitor, &view, node, &mut sink);
                     world.mark_crashed(node);
                 }
+                LiveEventKind::Recover { node } => {
+                    // Fresh incarnation: it starts Thinking (no State record
+                    // bridges the frozen pre-crash reading), and the monitor
+                    // drops its frozen-eater bookkeeping for the node.
+                    world.mark_recovered(node);
+                    dining[node.index()] = DiningState::Thinking;
+                    let view = View::compose(now, &world, &dining, &sessions);
+                    Hook::<()>::on_recover(&mut monitor, &view, node, &mut sink);
+                }
                 LiveEventKind::Relocate { node, x, y } => {
                     // The adjacency change is what matters for the
                     // invariant; the LinkUp/LinkDown records that follow
@@ -230,7 +298,8 @@ impl LiveTrace {
                 }
                 LiveEventKind::Deliver { .. }
                 | LiveEventKind::LinkUp { .. }
-                | LiveEventKind::LinkDown { .. } => {}
+                | LiveEventKind::LinkDown { .. }
+                | LiveEventKind::NetStats { .. } => {}
             }
             let view = View::compose(now, &world, &dining, &sessions);
             Hook::<()>::on_quantum_end(&mut monitor, &view, &mut sink);

@@ -10,15 +10,18 @@
 //! The envelope wraps one codec frame with routing metadata:
 //!
 //! ```text
-//! ┌──────────┬────────────┬───────────────┬───────────┐
-//! │ from u32 │ seq u64 LE │ sent_ns u64 LE│ frame …   │
-//! └──────────┴────────────┴───────────────┴───────────┘
+//! ┌──────────┬─────────┬────────────┬────────────┬───────────────┬─────────┐
+//! │ from u32 │ kind u8 │ seq u64 LE │ ack u64 LE │ sent_ns u64 LE│ frame … │
+//! └──────────┴─────────┴────────────┴────────────┴───────────────┴─────────┘
 //! ```
 //!
-//! `seq` is the per-directed-link sequence number (FIFO witness of the
-//! live trace), `sent_ns` the sender's monotonic send instant relative to
-//! the run's shared origin (what the conformance replay quantizes into
-//! simulator delivery delays).
+//! `kind` separates protocol data ([`ENV_DATA`]) from the reliable shim's
+//! standalone acknowledgments ([`ENV_ACK`], empty frame). `seq` is the
+//! per-directed-link sequence number (FIFO witness of the live trace),
+//! `ack` the cumulative acknowledgment piggybacked by the reliable shim
+//! (0 when the shim is off), and `sent_ns` the sender's monotonic send
+//! instant relative to the run's shared origin (what the conformance
+//! replay quantizes into simulator delivery delays).
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,24 +60,41 @@ impl TransportKind {
     }
 }
 
+/// Envelope kind: a protocol data frame.
+pub const ENV_DATA: u8 = 0;
+/// Envelope kind: a standalone cumulative acknowledgment (empty frame).
+pub const ENV_ACK: u8 = 1;
+
 /// Encode one envelope around an already-encoded frame.
-pub fn encode_envelope(from: NodeId, seq: u64, sent_ns: u64, frame: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + 8 + 8 + frame.len());
+pub fn encode_envelope(
+    from: NodeId,
+    kind: u8,
+    seq: u64,
+    ack: u64,
+    sent_ns: u64,
+    frame: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8 + 8 + 8 + frame.len());
     out.extend_from_slice(&from.0.to_le_bytes());
+    out.push(kind);
     out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&ack.to_le_bytes());
     out.extend_from_slice(&sent_ns.to_le_bytes());
     out.extend_from_slice(frame);
     out
 }
 
-/// Split one envelope into `(from, seq, sent_ns, frame)`.
-pub fn decode_envelope(bytes: &[u8]) -> Result<(NodeId, u64, u64, &[u8]), CodecError> {
+/// Split one envelope into `(from, kind, seq, ack, sent_ns, frame)`.
+#[allow(clippy::type_complexity)]
+pub fn decode_envelope(bytes: &[u8]) -> Result<(NodeId, u8, u64, u64, u64, &[u8]), CodecError> {
     let mut r = Reader::new(bytes);
     let from = NodeId(r.u32()?);
+    let kind = r.u8()?;
     let seq = r.u64()?;
+    let ack = r.u64()?;
     let sent_ns = r.u64()?;
     let frame = &bytes[bytes.len() - r.remaining()..];
-    Ok((from, seq, sent_ns, frame))
+    Ok((from, kind, seq, ack, sent_ns, frame))
 }
 
 /// A byte pipe between the nodes of one live run. Implementations must be
@@ -225,8 +245,12 @@ impl Transport for UdpTransport {
             .get(to.index())
             .ok_or_else(|| format!("destination {to} out of range"))?;
         // Loopback sends can still fail transiently (ENOBUFS under load);
-        // a lost datagram is a legal transport outcome, not a run failure.
-        let _ = self.socket.send_to(envelope, addr);
+        // a lost datagram is a legal transport outcome, not a run failure —
+        // but the failure is reported so the runtime can *count* it instead
+        // of losing it invisibly.
+        self.socket
+            .send_to(envelope, addr)
+            .map_err(|e| format!("udp send to {to} failed: {e}"))?;
         Ok(())
     }
 
@@ -252,13 +276,20 @@ mod tests {
 
     #[test]
     fn envelope_round_trips() {
-        let env = encode_envelope(NodeId(3), 42, 1_000_000, b"frame");
-        let (from, seq, sent, frame) = decode_envelope(&env).unwrap();
+        let env = encode_envelope(NodeId(3), ENV_DATA, 42, 7, 1_000_000, b"frame");
+        let (from, kind, seq, ack, sent, frame) = decode_envelope(&env).unwrap();
         assert_eq!(from, NodeId(3));
+        assert_eq!(kind, ENV_DATA);
         assert_eq!(seq, 42);
+        assert_eq!(ack, 7);
         assert_eq!(sent, 1_000_000);
         assert_eq!(frame, b"frame");
         assert!(decode_envelope(&env[..10]).is_err());
+        let ack_env = encode_envelope(NodeId(1), ENV_ACK, 0, 9, 5, b"");
+        let (_, kind, _, ack, _, frame) = decode_envelope(&ack_env).unwrap();
+        assert_eq!(kind, ENV_ACK);
+        assert_eq!(ack, 9);
+        assert!(frame.is_empty());
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub enum Command {
     },
     /// Crash `node`: it ceases all activity and never moves again.
     Crash(NodeId),
+    /// Restart a crashed `node` as a *fresh incarnation*: its protocol
+    /// state is rebuilt from scratch by the node factory, and every
+    /// incident link flaps (down, then up with the surviving peer as the
+    /// static side) so both ends re-synchronize shared state through the
+    /// ordinary link-layer handshake. No-op unless the node is crashed.
+    Recover(NodeId),
     /// Start smooth movement of `node` toward `dest` at `speed` distance
     /// units per tick. Ignored for crashed nodes; restarts motion if the
     /// node is already moving.
@@ -67,6 +73,7 @@ impl Command {
             Command::SetHungry(n)
             | Command::ExitCs { node: n, .. }
             | Command::Crash(n)
+            | Command::Recover(n)
             | Command::StartMove { node: n, .. }
             | Command::Teleport { node: n, .. } => Some(n),
             Command::Partition { .. } | Command::Heal => None,
@@ -88,6 +95,7 @@ mod tests {
                 session: 1,
             },
             Command::Crash(n),
+            Command::Recover(n),
             Command::StartMove {
                 node: n,
                 dest: Position { x: 1.0, y: 2.0 },

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::fault::FaultPlan;
+use crate::shim::ArqConfig;
 use crate::time::SimTime;
 use crate::wheel::EventQueueKind;
 use crate::world::LinkEngine;
@@ -47,6 +48,11 @@ pub struct SimConfig {
     /// The fault-injection adversary schedule (empty by default: no
     /// faults, and no perturbation of the engine's random stream).
     pub fault: FaultPlan,
+    /// Per-link reliable-delivery (ARQ) shim between every protocol and
+    /// its channel. `None` (the default) disables the shim entirely and
+    /// keeps the engine bit-for-bit identical to a build without it; see
+    /// [`ArqConfig`].
+    pub arq: Option<ArqConfig>,
     /// Which link-derivation engine geometric worlds use. The default is
     /// the spatial-grid fast path ([`LinkEngine::Grid`]) unless the crate
     /// is built with the `reference` feature, which restores the pairwise
@@ -75,6 +81,7 @@ impl Default for SimConfig {
             max_events: 200_000_000,
             trace: false,
             fault: FaultPlan::default(),
+            arq: None,
             link_engine: LinkEngine::default(),
             event_queue: EventQueueKind::default(),
         }
@@ -109,6 +116,9 @@ impl SimConfig {
         // Node-count-dependent fault checks re-run in the engine, which
         // knows the real `n`; here only the size-independent invariants.
         self.fault.validate(usize::MAX)?;
+        if let Some(arq) = &self.arq {
+            arq.validate()?;
+        }
         Ok(())
     }
 

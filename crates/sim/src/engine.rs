@@ -9,6 +9,7 @@ use crate::ids::NodeId;
 use crate::protocol::{Context, DiningState, Protocol};
 use crate::rng::SimRng;
 use crate::sched::{self, DeliveryChoice, Strategy};
+use crate::shim::{ShimState, ShimStats};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEntry, TraceKind};
 use crate::wheel::EventQueue;
@@ -51,6 +52,9 @@ pub struct EngineStats {
     /// Faults injected by the [`crate::FaultPlan`] adversary, by kind
     /// (all zero when the plan is empty).
     pub faults: FaultStats,
+    /// Reliable-delivery shim activity (all zero when
+    /// [`crate::SimConfig::arq`] is `None`).
+    pub shim: ShimStats,
 }
 
 impl EngineStats {
@@ -81,6 +85,64 @@ enum Item<M> {
         node: NodeId,
         epoch: u64,
     },
+    /// A sequenced ARQ data frame in flight (shim mode only).
+    ShimData {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        link_epoch: u64,
+        seq: u64,
+        ack: u64,
+    },
+    /// A standalone cumulative acknowledgment in flight: `from` confirms
+    /// in-order receipt of the reverse data channel `to → from` up to
+    /// sequence `ack`.
+    ShimAck {
+        from: NodeId,
+        to: NodeId,
+        link_epoch: u64,
+        ack: u64,
+    },
+    /// Retransmission timeout of the `from → to` ARQ sender; stale
+    /// generations (superseded by a re-arm) and dead incarnations no-op.
+    ShimRto {
+        from: NodeId,
+        to: NodeId,
+        epoch: u64,
+        gen: u64,
+    },
+    /// Idle-ack timeout of the receiver of the `from → to` data channel.
+    ShimAckIdle {
+        from: NodeId,
+        to: NodeId,
+        epoch: u64,
+        gen: u64,
+    },
+}
+
+/// A physical frame about to be handed to the channel: what the shim (or
+/// its absence) puts on the wire for one [`Engine::send`].
+enum Wire<M> {
+    /// Shim disabled: the bare protocol message, exactly as always.
+    Plain(M),
+    /// Sequenced shim data frame with a piggybacked cumulative ack.
+    Data { seq: u64, ack: u64, msg: M },
+    /// Standalone cumulative ack.
+    Ack { ack: u64 },
+}
+
+impl<M: Clone> Clone for Wire<M> {
+    fn clone(&self) -> Wire<M> {
+        match self {
+            Wire::Plain(m) => Wire::Plain(m.clone()),
+            Wire::Data { seq, ack, msg } => Wire::Data {
+                seq: *seq,
+                ack: *ack,
+                msg: msg.clone(),
+            },
+            Wire::Ack { ack } => Wire::Ack { ack: *ack },
+        }
+    }
 }
 
 /// A structured reason a run stopped early. Replaces the panics that used
@@ -111,6 +173,18 @@ pub enum RunAbort {
         /// Largest legal delay (the paper's ν).
         latest: u64,
     },
+    /// The reliable-delivery shim's bounded in-flight buffer overflowed on
+    /// one directed link: the sender kept producing while the channel
+    /// never acknowledged. A structured stop (the protocol is outrunning
+    /// the configured [`crate::ArqConfig::window`]), not a panic.
+    ShimBufferOverflow {
+        /// The sender of the overflowing channel.
+        from: NodeId,
+        /// The destination of the overflowing channel.
+        to: NodeId,
+        /// The configured window ([`crate::ArqConfig::window`]).
+        window: usize,
+    },
 }
 
 impl std::fmt::Display for RunAbort {
@@ -128,6 +202,11 @@ impl std::fmt::Display for RunAbort {
             } => write!(
                 f,
                 "strategy delay {delay} on channel {}->{} outside legal window [{earliest}, {latest}]",
+                from.0, to.0
+            ),
+            RunAbort::ShimBufferOverflow { from, to, window } => write!(
+                f,
+                "ARQ shim buffer overflow on channel {}->{} ({window} unacked frames)",
                 from.0, to.0
             ),
         }
@@ -246,6 +325,10 @@ struct Core<M> {
     /// Injected schedule strategy; `None` keeps the historical seeded
     /// uniform delay draw, bit-for-bit.
     sched: Option<Box<dyn Strategy>>,
+    /// Reliable-delivery shim state; `None` (the default) keeps the
+    /// engine's behavior — streams, traces, digests — bit-for-bit
+    /// identical to a build without the shim.
+    shim: Option<ShimState<M>>,
 }
 
 impl<M> Core<M> {
@@ -283,6 +366,12 @@ pub struct Engine<P: Protocol> {
     core: Core<P::Msg>,
     protocols: Vec<P>,
     hooks: Vec<Box<dyn Hook<P::Msg>>>,
+    /// The node factory, retained so [`Command::Recover`] can rebuild a
+    /// crashed node's protocol as a fresh incarnation.
+    factory: Box<dyn FnMut(NodeSeed) -> P>,
+    /// δ of the initial topology, handed to recovered incarnations
+    /// exactly as it was handed to the original ones.
+    max_degree: usize,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -295,7 +384,7 @@ impl<P: Protocol> Engine<P> {
     pub fn new<Pos, F>(cfg: SimConfig, positions: Vec<Pos>, mut factory: F) -> Engine<P>
     where
         Pos: Into<Position>,
-        F: FnMut(NodeSeed) -> P,
+        F: FnMut(NodeSeed) -> P + 'static,
     {
         cfg.validate().expect("invalid SimConfig");
         let world = World::with_engine(
@@ -321,6 +410,10 @@ impl<P: Protocol> Engine<P> {
             enabled: cfg.trace,
             ..Trace::default()
         };
+        let shim = cfg
+            .arq
+            .as_ref()
+            .map(|a| ShimState::new(n, a, cfg.max_message_delay, cfg.seed));
         let mut engine = Engine {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
@@ -337,9 +430,12 @@ impl<P: Protocol> Engine<P> {
                 stats: EngineStats::default(),
                 trace,
                 sched: None,
+                shim,
             },
             protocols,
             hooks: Vec::new(),
+            factory: Box::new(factory),
+            max_degree,
         };
         engine.install_fault_plan();
         engine
@@ -356,7 +452,7 @@ impl<P: Protocol> Engine<P> {
     /// malformed.
     pub fn new_graph<F>(cfg: SimConfig, n: usize, edges: &[(u32, u32)], mut factory: F) -> Engine<P>
     where
-        F: FnMut(NodeSeed) -> P,
+        F: FnMut(NodeSeed) -> P + 'static,
     {
         cfg.validate().expect("invalid SimConfig");
         let world = World::from_adjacency(n, edges);
@@ -377,6 +473,10 @@ impl<P: Protocol> Engine<P> {
             enabled: cfg.trace,
             ..Trace::default()
         };
+        let shim = cfg
+            .arq
+            .as_ref()
+            .map(|a| ShimState::new(n, a, cfg.max_message_delay, cfg.seed));
         let mut engine = Engine {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
@@ -393,9 +493,12 @@ impl<P: Protocol> Engine<P> {
                 stats: EngineStats::default(),
                 trace,
                 sched: None,
+                shim,
             },
             protocols,
             hooks: Vec::new(),
+            factory: Box::new(factory),
+            max_degree,
         };
         engine.install_fault_plan();
         engine
@@ -433,6 +536,15 @@ impl<P: Protocol> Engine<P> {
                 Item::Command(Command::Heal),
             );
         }
+        // Recoveries count at execution time (unlike crash waves): a
+        // recover scheduled for a node that is not actually crashed by
+        // then is a no-op and must not inflate the ledger.
+        for wave in &plan.recovers {
+            for &node in &wave.nodes {
+                self.core
+                    .push(SimTime(wave.at), Item::Command(Command::Recover(node)));
+            }
+        }
     }
 
     /// Register an observation hook. Hooks fire in registration order.
@@ -457,6 +569,11 @@ impl<P: Protocol> Engine<P> {
     /// Sugar for scheduling [`Command::Crash`].
     pub fn crash_at(&mut self, at: SimTime, node: NodeId) {
         self.schedule(at, Command::Crash(node));
+    }
+
+    /// Sugar for scheduling [`Command::Recover`].
+    pub fn recover_at(&mut self, at: SimTime, node: NodeId) {
+        self.schedule(at, Command::Recover(node));
     }
 
     /// Sugar for scheduling [`Command::Teleport`].
@@ -668,6 +785,44 @@ impl<P: Protocol> Engine<P> {
             }
             Item::Proto { node, ev } => self.deliver_proto(node, ev),
             Item::Command(cmd) => self.execute(cmd),
+            Item::ShimData {
+                from,
+                to,
+                msg,
+                link_epoch,
+                seq,
+                ack,
+            } => self.shim_data(from, to, msg, link_epoch, seq, ack),
+            Item::ShimAck {
+                from,
+                to,
+                link_epoch,
+                ack,
+            } => {
+                let live = self.core.world.linked(from, to)
+                    && self.core.links.current_epoch(from, to) == link_epoch
+                    && !self.core.world.is_crashed(to);
+                if !live {
+                    self.core.stats.dropped_in_flight += 1;
+                    return;
+                }
+                // `from` acknowledges data `to` sent on the reverse
+                // channel; the receiver of this frame owns that sender
+                // slot.
+                self.shim_apply_ack(to, from, link_epoch, ack);
+            }
+            Item::ShimRto {
+                from,
+                to,
+                epoch,
+                gen,
+            } => self.shim_rto(from, to, epoch, gen),
+            Item::ShimAckIdle {
+                from,
+                to,
+                epoch,
+                gen,
+            } => self.shim_ack_idle(from, to, epoch, gen),
             Item::MoveStep { node, epoch } => self.move_step(node, epoch),
             Item::MotionDone { node, epoch } => {
                 if self.core.world.is_crashed(node) {
@@ -715,6 +870,45 @@ impl<P: Protocol> Engine<P> {
                         .trace
                         .record(self.core.now, TraceKind::Crash(node));
                     self.fire_hooks(|h, view, sink| h.on_crash(view, node, sink));
+                }
+            }
+            Command::Recover(node) => {
+                if !self.core.world.is_crashed(node) {
+                    return;
+                }
+                self.core.world.recover(node);
+                self.core.stats.faults.recoveries += 1;
+                self.core
+                    .trace
+                    .record(self.core.now, TraceKind::Recover(node));
+                // Fresh incarnation: the crashed automaton's state is gone
+                // for good; the rejoin handshake below re-establishes all
+                // shared state through the ordinary link layer.
+                let n = self.core.world.len();
+                self.protocols[node.index()] = (self.factory)(NodeSeed {
+                    id: node,
+                    neighbors: Vec::new(),
+                    n_nodes: n,
+                    max_degree: self.max_degree,
+                });
+                // Re-sync the cached dining state silently: crash→rejoin
+                // is an incarnation change, not a dining transition, so no
+                // StateChange fires and `eating_session` stays monotonic
+                // (the safety monitor's session bookkeeping depends on
+                // both).
+                self.core.dining[node.index()] = self.protocols[node.index()].dining_state();
+                self.fire_hooks(|h, view, sink| h.on_recover(view, node, sink));
+                // Rejoin handshake: flap every incident link so both ends
+                // start a fresh incarnation — in-flight traffic and stale
+                // ARQ/FIFO state die with the old epoch, and the surviving
+                // peer (static side) re-mints shared fork state exactly as
+                // after mobility.
+                let peers = self.core.world.neighbors(node).to_vec();
+                for peer in peers {
+                    self.emit_link_changes(vec![
+                        LinkChange::Down(node, peer),
+                        LinkChange::Up(peer, node),
+                    ]);
                 }
             }
             Command::StartMove { node, dest, speed } => {
@@ -921,6 +1115,268 @@ impl<P: Protocol> Engine<P> {
             return;
         }
         self.core.stats.messages_sent += 1;
+        if self.core.shim.is_some() {
+            self.shim_send(from, to, msg);
+        } else {
+            self.physical_send(from, to, Wire::Plain(msg));
+        }
+    }
+
+    /// Shim-mode send: assign the next sequence number on the channel's
+    /// current incarnation, buffer the payload for retransmission, arm the
+    /// retransmission timer if idle, and put a data frame (with a
+    /// piggybacked cumulative ack for the reverse channel) on the wire.
+    fn shim_send(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        let epoch = self.core.links.current_epoch(from, to);
+        let shim = self.core.shim.as_mut().expect("shim_send without shim");
+        let window = shim.window;
+        let slot = shim.send_slot(from, to, epoch);
+        if slot.buf.len() >= window {
+            self.core
+                .abort
+                .get_or_insert(RunAbort::ShimBufferOverflow { from, to, window });
+            return;
+        }
+        let seq = slot.next_seq();
+        slot.buf.push_back(msg.clone());
+        let depth = slot.buf.len() as u64;
+        let arm = if slot.rto_armed {
+            None
+        } else {
+            slot.rto_gen += 1;
+            slot.rto_armed = true;
+            Some((slot.rto_gen, slot.attempts))
+        };
+        let hw = &mut self.core.stats.shim.buffer_high_water;
+        *hw = (*hw).max(depth);
+        if let Some((gen, attempts)) = arm {
+            let delay = self.core.shim.as_mut().expect("shim").backoff(attempts);
+            let at = self.core.now + delay;
+            self.core.push(
+                at,
+                Item::ShimRto {
+                    from,
+                    to,
+                    epoch,
+                    gen,
+                },
+            );
+        }
+        let ack = self
+            .core
+            .shim
+            .as_mut()
+            .expect("shim")
+            .take_piggyback_ack(from, to, epoch);
+        self.physical_send(from, to, Wire::Data { seq, ack, msg });
+    }
+
+    /// Apply a cumulative acknowledgment (piggybacked or standalone) to
+    /// the sender-side slot `owner` keeps for its data channel to `peer`:
+    /// release acknowledged frames, reset the backoff on progress, and
+    /// re-arm or disarm the retransmission timer.
+    fn shim_apply_ack(&mut self, owner: NodeId, peer: NodeId, epoch: u64, ack: u64) {
+        let shim = self
+            .core
+            .shim
+            .as_mut()
+            .expect("shim_apply_ack without shim");
+        let slot = shim.send_slot(owner, peer, epoch);
+        let mut progress = false;
+        while slot.base <= ack && !slot.buf.is_empty() {
+            slot.buf.pop_front();
+            slot.base += 1;
+            progress = true;
+        }
+        if !progress {
+            return;
+        }
+        slot.attempts = 0;
+        if slot.buf.is_empty() {
+            slot.rto_armed = false;
+            return;
+        }
+        // Outstanding frames remain: restart the timer from the initial
+        // timeout (the channel just proved it is making progress).
+        slot.rto_gen += 1;
+        slot.rto_armed = true;
+        let gen = slot.rto_gen;
+        let delay = self.core.shim.as_mut().expect("shim").backoff(0);
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            Item::ShimRto {
+                from: owner,
+                to: peer,
+                epoch,
+                gen,
+            },
+        );
+    }
+
+    /// A sequenced data frame arrived: process its piggybacked ack, then
+    /// deliver the payload iff it is the next in-order frame — duplicates
+    /// and reordered frames update ack state but never reach the
+    /// protocol, which is exactly the reliable-FIFO contract the paper
+    /// assumes.
+    fn shim_data(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: P::Msg,
+        link_epoch: u64,
+        seq: u64,
+        ack: u64,
+    ) {
+        let live = self.core.world.linked(from, to)
+            && self.core.links.current_epoch(from, to) == link_epoch
+            && !self.core.world.is_crashed(to);
+        if !live {
+            self.core.stats.dropped_in_flight += 1;
+            return;
+        }
+        self.shim_apply_ack(to, from, link_epoch, ack);
+        let shim = self.core.shim.as_mut().expect("shim_data without shim");
+        let ack_idle = shim.ack_idle;
+        let slot = shim.recv_slot(from, to, link_epoch);
+        // Every data arrival creates ack debt; the idle timer guarantees
+        // it is paid even on one-way traffic.
+        slot.ack_owed = true;
+        let deliver = seq == slot.next;
+        if deliver {
+            slot.next += 1;
+        }
+        let arm = if slot.ack_armed {
+            None
+        } else {
+            slot.ack_gen += 1;
+            slot.ack_armed = true;
+            Some(slot.ack_gen)
+        };
+        if let Some(gen) = arm {
+            let at = self.core.now + ack_idle;
+            self.core.push(
+                at,
+                Item::ShimAckIdle {
+                    from,
+                    to,
+                    epoch: link_epoch,
+                    gen,
+                },
+            );
+        }
+        if !deliver {
+            return;
+        }
+        self.core.stats.messages_delivered += 1;
+        let dseq = self.core.links.next_deliver_seq(from, to);
+        self.core.trace.record(
+            self.core.now,
+            TraceKind::Deliver {
+                from,
+                to,
+                kind: P::msg_kind(&msg),
+                seq: dseq,
+            },
+        );
+        self.fire_hooks(|h, view, sink| h.on_deliver(view, from, to, &msg, sink));
+        self.deliver_proto(to, Event::Message { from, msg });
+    }
+
+    /// Retransmission timeout fired: resend every buffered frame of the
+    /// channel (go-back-N) and re-arm with exponential backoff — or give
+    /// up and discard after `max_retries` consecutive silent timeouts.
+    /// Giving up matters: a crashed peer keeps its links up (crashes are
+    /// silent), so without it every crash would retransmit forever and
+    /// livelock into the event budget.
+    fn shim_rto(&mut self, from: NodeId, to: NodeId, epoch: u64, gen: u64) {
+        if self.core.world.is_crashed(from) || self.core.links.current_epoch(from, to) != epoch {
+            return;
+        }
+        let shim = self.core.shim.as_mut().expect("shim_rto without shim");
+        let max_retries = shim.max_retries;
+        let slot = shim.send_slot(from, to, epoch);
+        if !slot.rto_armed || slot.rto_gen != gen {
+            return;
+        }
+        slot.rto_armed = false;
+        if slot.buf.is_empty() {
+            return;
+        }
+        slot.attempts += 1;
+        if slot.attempts > max_retries {
+            slot.base += slot.buf.len() as u64;
+            slot.buf.clear();
+            slot.attempts = 0;
+            return;
+        }
+        let attempts = slot.attempts;
+        slot.rto_gen += 1;
+        slot.rto_armed = true;
+        let gen = slot.rto_gen;
+        let base = slot.base;
+        let frames: Vec<(u64, P::Msg)> = slot
+            .buf
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, m)| (base + i as u64, m))
+            .collect();
+        self.core.stats.shim.retransmissions += frames.len() as u64;
+        let delay = self.core.shim.as_mut().expect("shim").backoff(attempts);
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            Item::ShimRto {
+                from,
+                to,
+                epoch,
+                gen,
+            },
+        );
+        let ack = self
+            .core
+            .shim
+            .as_mut()
+            .expect("shim")
+            .take_piggyback_ack(from, to, epoch);
+        for (seq, msg) in frames {
+            self.physical_send(from, to, Wire::Data { seq, ack, msg });
+        }
+    }
+
+    /// Idle-ack timeout fired for the receiver of the `from → to` data
+    /// channel: if an acknowledgment is still owed (no reverse traffic
+    /// piggybacked it in time), send a standalone cumulative ack.
+    fn shim_ack_idle(&mut self, from: NodeId, to: NodeId, epoch: u64, gen: u64) {
+        if self.core.world.is_crashed(to) || self.core.links.current_epoch(from, to) != epoch {
+            return;
+        }
+        let shim = self.core.shim.as_mut().expect("shim_ack_idle without shim");
+        let slot = shim.recv_slot(from, to, epoch);
+        if !slot.ack_armed || slot.ack_gen != gen {
+            return;
+        }
+        slot.ack_armed = false;
+        if !slot.ack_owed {
+            return;
+        }
+        slot.ack_owed = false;
+        let ack = slot.next - 1;
+        self.core.stats.shim.acks_sent += 1;
+        self.physical_send(to, from, Wire::Ack { ack });
+    }
+
+    /// Put one physical frame on the `from → to` channel: delay choice
+    /// (strategy or seeded draw), fault adversary, incarnation-scoped FIFO
+    /// clamp, optional duplicate ghost. With the shim disabled every frame
+    /// is a bare protocol message and this is, bit for bit, the historical
+    /// send path.
+    fn physical_send(&mut self, from: NodeId, to: NodeId, wire: Wire<P::Msg>) {
+        let kind = match &wire {
+            Wire::Plain(m) | Wire::Data { msg: m, .. } => P::msg_kind(m),
+            Wire::Ack { .. } => "ack",
+        };
         let earliest = self.core.cfg.min_message_delay;
         let latest = self.core.cfg.max_message_delay;
         // Strategy path: hand the legal window (and what the delivery can
@@ -947,7 +1403,7 @@ impl<P: Protocol> Engine<P> {
             DeliveryChoice {
                 from,
                 to,
-                kind: P::msg_kind(&msg),
+                kind,
                 now: self.core.now,
                 earliest,
                 latest,
@@ -1032,25 +1488,11 @@ impl<P: Protocol> Engine<P> {
             self.core
                 .trace
                 .record(now, TraceKind::FaultDuplicate(from, to));
-            self.core.push(
-                dup_at,
-                Item::Deliver {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                    link_epoch,
-                },
-            );
+            let ghost = wire_item(from, to, link_epoch, wire.clone());
+            self.core.push(dup_at, ghost);
         }
-        self.core.push(
-            at,
-            Item::Deliver {
-                from,
-                to,
-                msg,
-                link_epoch,
-            },
-        );
+        let item = wire_item(from, to, link_epoch, wire);
+        self.core.push(at, item);
     }
 
     fn fire_quantum_end(&mut self) {
@@ -1077,6 +1519,33 @@ impl<P: Protocol> Engine<P> {
             let at = at.max(self.core.now);
             self.core.push(at, Item::Command(cmd));
         }
+    }
+}
+
+/// The queue item a physical frame becomes, keyed to the link incarnation
+/// it was sent on.
+fn wire_item<M>(from: NodeId, to: NodeId, link_epoch: u64, wire: Wire<M>) -> Item<M> {
+    match wire {
+        Wire::Plain(msg) => Item::Deliver {
+            from,
+            to,
+            msg,
+            link_epoch,
+        },
+        Wire::Data { seq, ack, msg } => Item::ShimData {
+            from,
+            to,
+            msg,
+            link_epoch,
+            seq,
+            ack,
+        },
+        Wire::Ack { ack } => Item::ShimAck {
+            from,
+            to,
+            link_epoch,
+            ack,
+        },
     }
 }
 
@@ -1116,6 +1585,58 @@ fn item_digest<M: std::fmt::Debug>(item: &Item<M>) -> u64 {
             h.write_u64(5);
             h.write_u64(node.0 as u64);
             h.write_u64(*epoch);
+        }
+        Item::ShimData {
+            from,
+            to,
+            msg,
+            link_epoch,
+            seq,
+            ack,
+        } => {
+            h.write_u64(6);
+            h.write_u64(from.0 as u64);
+            h.write_u64(to.0 as u64);
+            h.write_u64(*link_epoch);
+            h.write_u64(*seq);
+            h.write_u64(*ack);
+            h.write_u64(sched::digest_of_debug(msg));
+        }
+        Item::ShimAck {
+            from,
+            to,
+            link_epoch,
+            ack,
+        } => {
+            h.write_u64(7);
+            h.write_u64(from.0 as u64);
+            h.write_u64(to.0 as u64);
+            h.write_u64(*link_epoch);
+            h.write_u64(*ack);
+        }
+        Item::ShimRto {
+            from,
+            to,
+            epoch,
+            gen,
+        } => {
+            h.write_u64(8);
+            h.write_u64(from.0 as u64);
+            h.write_u64(to.0 as u64);
+            h.write_u64(*epoch);
+            h.write_u64(*gen);
+        }
+        Item::ShimAckIdle {
+            from,
+            to,
+            epoch,
+            gen,
+        } => {
+            h.write_u64(9);
+            h.write_u64(from.0 as u64);
+            h.write_u64(to.0 as u64);
+            h.write_u64(*epoch);
+            h.write_u64(*gen);
         }
     }
     h.finish()
@@ -2028,7 +2549,10 @@ mod tests {
             },
         );
         e.run_until(SimTime(1_000_000));
-        assert_eq!(e.abort(), Some(&RunAbort::EventBudgetExceeded { limit: 100 }));
+        assert_eq!(
+            e.abort(),
+            Some(&RunAbort::EventBudgetExceeded { limit: 100 })
+        );
         // Exactly the budget is dispatched — the boundary the old panic
         // enforced — and the engine stays inspectable and inert.
         assert_eq!(e.stats().events, 100);

@@ -170,6 +170,10 @@ pub struct FaultPlan {
     pub crash_waves: Vec<CrashWave>,
     /// Scripted partition/heal windows.
     pub partitions: Vec<PartitionWindow>,
+    /// Scripted recovery waves: at `at`, each named node — if actually
+    /// crashed by then — restarts as a fresh incarnation and rejoins
+    /// (see `Command::Recover`). Reuses the [`CrashWave`] shape.
+    pub recovers: Vec<CrashWave>,
 }
 
 impl FaultPlan {
@@ -179,6 +183,7 @@ impl FaultPlan {
             && self.max_delay.is_none()
             && self.crash_waves.is_empty()
             && self.partitions.is_empty()
+            && self.recovers.is_empty()
     }
 
     /// The earliest tick from which no more faults are injected: past it
@@ -202,6 +207,9 @@ impl FaultPlan {
             });
         }
         for w in &self.crash_waves {
+            q = q.max(w.at.saturating_add(1));
+        }
+        for w in &self.recovers {
             q = q.max(w.at.saturating_add(1));
         }
         for p in &self.partitions {
@@ -291,6 +299,14 @@ impl FaultPlan {
                 check_node("crash wave", t)?;
             }
         }
+        for (i, w) in self.recovers.iter().enumerate() {
+            if w.nodes.is_empty() {
+                return Err(format!("recover wave #{i} names no nodes"));
+            }
+            for &t in &w.nodes {
+                check_node("recover wave", t)?;
+            }
+        }
         for (i, p) in self.partitions.iter().enumerate() {
             if p.side.is_empty() {
                 return Err(format!("partition #{i} has an empty side"));
@@ -333,6 +349,10 @@ pub struct FaultStats {
     pub partitions: u64,
     /// Partition cuts healed.
     pub heals: u64,
+    /// Crashed nodes actually restarted by recovery commands (counted at
+    /// execution, unlike `crashes_injected`: a recover addressed to a
+    /// live node is a no-op and does not count).
+    pub recoveries: u64,
 }
 
 impl FaultStats {
@@ -345,6 +365,7 @@ impl FaultStats {
             + self.crashes_injected
             + self.partitions
             + self.heals
+            + self.recoveries
     }
 }
 

@@ -146,6 +146,12 @@ pub trait Hook<M> {
     /// `node` crashed.
     fn on_crash(&mut self, view: &View<'_>, node: NodeId, sink: &mut Sink) {}
 
+    /// A crashed `node` recovered as a fresh incarnation. Fires before
+    /// the rejoin link flaps; observers holding per-node state keyed to
+    /// the dead incarnation (open episodes, stale sessions) should drop
+    /// it here.
+    fn on_recover(&mut self, view: &View<'_>, node: NodeId, sink: &mut Sink) {}
+
     /// `node` started (`started = true`) or finished moving.
     fn on_move(&mut self, view: &View<'_>, node: NodeId, started: bool, sink: &mut Sink) {}
 

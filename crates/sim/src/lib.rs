@@ -68,6 +68,7 @@ mod ids;
 mod protocol;
 pub mod rng;
 mod sched;
+mod shim;
 mod time;
 mod trace;
 mod wheel;
@@ -86,6 +87,7 @@ pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};
 pub use rng::SimRng;
 pub use sched::{digest_of_debug, DeliveryChoice, Fnv, ImportedSchedule, RandomDelays, Strategy};
+pub use shim::{ArqConfig, ShimStats};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};
 pub use wheel::EventQueueKind;

@@ -1,0 +1,345 @@
+//! Per-link reliable-delivery (ARQ) shim.
+//!
+//! The paper's model gives every protocol reliable FIFO links, but the
+//! PR-2 fault adversary deliberately violates exactly that (drop /
+//! duplicate). The shim closes the gap: when [`crate::SimConfig::arq`] is
+//! set, every protocol message travels as a sequenced data frame on its
+//! directed link incarnation, receivers deliver in order exactly once and
+//! acknowledge cumulatively (piggybacked on reverse traffic, or as a
+//! standalone ack after an idle timeout), and senders retransmit
+//! unacknowledged frames on a timeout with capped exponential backoff.
+//!
+//! Determinism contract:
+//!
+//! * With `arq: None` (the default) the engine's behavior — random
+//!   streams, traces, digests, stats — is bit-for-bit identical to a build
+//!   without this module (pinned by `tests/reliable_delivery.rs`).
+//! * With the shim enabled, backoff jitter draws from a *dedicated* RNG
+//!   stream seeded from the run seed, so shim runs replay byte-for-byte
+//!   and never perturb the fault adversary's stream.
+//!
+//! Scope: reliability is **per link incarnation**. A link flap (mobility,
+//! partition, crash recovery) kills the incarnation and the shim state on
+//! both sides with it — protocols already own re-synchronization across
+//! incarnations (fork re-minting on `LinkUp`), and the shim must not
+//! resurrect traffic from a dead incarnation under their feet.
+
+use std::collections::VecDeque;
+
+use crate::ids::NodeId;
+use crate::rng::SimRng;
+
+/// Configuration of the per-link ARQ shim (see [`crate::SimConfig::arq`];
+/// `None` disables the shim entirely).
+///
+/// Times are in ticks; fields set to `0` resolve to defaults derived from
+/// the run's ν at engine construction (noted per field).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArqConfig {
+    /// Maximum unacknowledged frames buffered per directed link. Overflow
+    /// aborts the run with [`crate::RunAbort::ShimBufferOverflow`] (a
+    /// structured abort, not a panic).
+    pub window: usize,
+    /// Initial retransmission timeout. `0` resolves to `2ν` (one frame
+    /// plus one ack at worst-case delay).
+    pub rto_initial: u64,
+    /// Upper bound on the backed-off retransmission timeout. `0` resolves
+    /// to `16ν`.
+    pub rto_cap: u64,
+    /// Consecutive timeouts without ack progress before the sender gives
+    /// up on a channel and discards its buffered frames. Giving up is
+    /// essential: a crashed peer keeps its links up (crashes are silent in
+    /// the model), and retransmitting to it forever would turn every crash
+    /// into an event-budget livelock abort.
+    pub max_retries: u32,
+    /// Idle time after which a receiver owing an acknowledgment sends a
+    /// standalone ack instead of waiting for reverse traffic to piggyback
+    /// on. `0` resolves to ν.
+    pub ack_idle: u64,
+}
+
+impl Default for ArqConfig {
+    fn default() -> ArqConfig {
+        ArqConfig {
+            window: 64,
+            rto_initial: 0,
+            rto_cap: 0,
+            max_retries: 16,
+            ack_idle: 0,
+        }
+    }
+}
+
+impl ArqConfig {
+    /// Validate the invariants of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("arq.window must be ≥ 1".into());
+        }
+        if self.rto_initial != 0 && self.rto_cap != 0 && self.rto_cap < self.rto_initial {
+            return Err(format!(
+                "arq.rto_cap ({}) below arq.rto_initial ({})",
+                self.rto_cap, self.rto_initial
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters of shim activity over a run (all zero with the shim
+/// disabled). Lives inside [`crate::EngineStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShimStats {
+    /// Data frames retransmitted after a timeout (go-back-N: every
+    /// buffered frame of the timed-out channel counts).
+    pub retransmissions: u64,
+    /// Standalone acknowledgment frames sent after the idle timeout
+    /// (piggybacked acks ride existing frames and are not counted).
+    pub acks_sent: u64,
+    /// Largest number of unacknowledged frames ever buffered on any
+    /// single directed link.
+    pub buffer_high_water: u64,
+}
+
+/// Sender-side state of one directed channel, valid for one link
+/// incarnation (lazy reset on epoch mismatch, exactly like the engine's
+/// FIFO slots).
+#[derive(Clone, Debug)]
+pub(crate) struct SendSlot<M> {
+    pub epoch: u64,
+    /// Sequence number of the first unacknowledged frame (the front of
+    /// `buf`); numbering starts at 1 per incarnation.
+    pub base: u64,
+    /// Unacknowledged payloads, in sequence order starting at `base`.
+    pub buf: VecDeque<M>,
+    /// Consecutive timeouts since the last ack progress.
+    pub attempts: u32,
+    /// Generation of the armed retransmission timer; stale timer events
+    /// (superseded by a re-arm) carry an older generation and no-op.
+    pub rto_gen: u64,
+    pub rto_armed: bool,
+}
+
+impl<M> SendSlot<M> {
+    fn fresh(epoch: u64) -> SendSlot<M> {
+        SendSlot {
+            epoch,
+            base: 1,
+            buf: VecDeque::new(),
+            attempts: 0,
+            rto_gen: 0,
+            rto_armed: false,
+        }
+    }
+
+    /// Sequence number the next freshly sent frame takes.
+    pub fn next_seq(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+}
+
+/// Receiver-side state of one directed channel (same incarnation scoping
+/// as [`SendSlot`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RecvSlot {
+    pub epoch: u64,
+    /// Next in-order sequence number expected; `next - 1` is the
+    /// cumulative ack value.
+    pub next: u64,
+    /// Whether an acknowledgment is owed (set on every data arrival,
+    /// cleared when an ack goes out, piggybacked or standalone).
+    pub ack_owed: bool,
+    /// Generation of the armed idle-ack timer.
+    pub ack_gen: u64,
+    pub ack_armed: bool,
+}
+
+impl RecvSlot {
+    fn fresh(epoch: u64) -> RecvSlot {
+        RecvSlot {
+            epoch,
+            next: 1,
+            ack_owed: false,
+            ack_gen: 0,
+            ack_armed: false,
+        }
+    }
+}
+
+/// The engine-side shim state: resolved timing parameters plus dense
+/// per-directed-channel slot tables, indexed like `LinkTable`
+/// (`from * n + to`).
+pub(crate) struct ShimState<M> {
+    n: usize,
+    pub window: usize,
+    pub rto_initial: u64,
+    pub rto_cap: u64,
+    pub max_retries: u32,
+    pub ack_idle: u64,
+    /// Dedicated stream for backoff jitter, so shim timing never perturbs
+    /// the engine's or the fault adversary's streams.
+    pub rng: SimRng,
+    send: Vec<SendSlot<M>>,
+    recv: Vec<RecvSlot>,
+}
+
+impl<M> ShimState<M> {
+    pub fn new(n: usize, cfg: &ArqConfig, nu: u64, run_seed: u64) -> ShimState<M> {
+        let rto_initial = if cfg.rto_initial == 0 {
+            2 * nu.max(1)
+        } else {
+            cfg.rto_initial
+        };
+        let rto_cap = if cfg.rto_cap == 0 {
+            (16 * nu.max(1)).max(rto_initial)
+        } else {
+            cfg.rto_cap.max(rto_initial)
+        };
+        let ack_idle = if cfg.ack_idle == 0 {
+            nu.max(1)
+        } else {
+            cfg.ack_idle
+        };
+        ShimState {
+            n,
+            window: cfg.window,
+            rto_initial,
+            rto_cap,
+            max_retries: cfg.max_retries,
+            ack_idle,
+            rng: SimRng::seed_from_u64(shim_seed(run_seed)),
+            send: (0..n * n).map(|_| SendSlot::fresh(0)).collect(),
+            recv: vec![RecvSlot::fresh(0); n * n],
+        }
+    }
+
+    /// Sender-side slot of the `from → to` channel in incarnation
+    /// `epoch`, lazily reset when the recorded state belongs to a dead
+    /// incarnation.
+    pub fn send_slot(&mut self, from: NodeId, to: NodeId, epoch: u64) -> &mut SendSlot<M> {
+        let i = from.index() * self.n + to.index();
+        let slot = &mut self.send[i];
+        if slot.epoch != epoch {
+            *slot = SendSlot::fresh(epoch);
+        }
+        slot
+    }
+
+    /// Receiver-side slot of the `from → to` channel (same scoping).
+    pub fn recv_slot(&mut self, from: NodeId, to: NodeId, epoch: u64) -> &mut RecvSlot {
+        let i = from.index() * self.n + to.index();
+        let slot = &mut self.recv[i];
+        if slot.epoch != epoch {
+            *slot = RecvSlot::fresh(epoch);
+        }
+        slot
+    }
+
+    /// Cumulative ack to piggyback on a frame `from → to`, i.e. how much
+    /// of the *reverse* data channel `to → from` has been received in
+    /// order — and mark that debt paid. Reads through the lazy reset so a
+    /// fresh incarnation acks 0.
+    pub fn take_piggyback_ack(&mut self, from: NodeId, to: NodeId, epoch: u64) -> u64 {
+        let slot = self.recv_slot(to, from, epoch);
+        slot.ack_owed = false;
+        slot.next - 1
+    }
+
+    /// Backed-off retransmission delay after `attempts` consecutive
+    /// timeouts: `min(rto_cap, rto_initial · 2^attempts)` plus up to 25%
+    /// jitter from the dedicated stream (desynchronizes competing
+    /// senders; the jitter draw happens even at the cap, keeping the
+    /// stream's consumption a pure function of the timeout count).
+    pub fn backoff(&mut self, attempts: u32) -> u64 {
+        let base = self
+            .rto_initial
+            .checked_shl(attempts.min(32))
+            .unwrap_or(u64::MAX)
+            .min(self.rto_cap);
+        base + self.rng.gen_range(0..=base / 4)
+    }
+}
+
+/// Seed of the dedicated shim RNG: a salt of the run seed, so distinct
+/// runs explore distinct backoff timings with no extra configuration.
+pub(crate) fn shim_seed(run_seed: u64) -> u64 {
+    run_seed ^ 0xA49_5EED_0C8E_77A1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ArqConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_window_and_inverted_rto() {
+        let cfg = ArqConfig {
+            window: 0,
+            ..ArqConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ArqConfig {
+            rto_initial: 100,
+            rto_cap: 10,
+            ..ArqConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_fields_resolve_from_nu() {
+        let state: ShimState<u64> = ShimState::new(2, &ArqConfig::default(), 10, 7);
+        assert_eq!(state.rto_initial, 20);
+        assert_eq!(state.rto_cap, 160);
+        assert_eq!(state.ack_idle, 10);
+    }
+
+    #[test]
+    fn slots_reset_lazily_on_epoch_change() {
+        let mut state: ShimState<u64> = ShimState::new(2, &ArqConfig::default(), 10, 7);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let slot = state.send_slot(a, b, 0);
+        slot.buf.push_back(99);
+        slot.attempts = 3;
+        assert_eq!(state.send_slot(a, b, 0).buf.len(), 1, "same incarnation");
+        let slot = state.send_slot(a, b, 2);
+        assert_eq!(slot.base, 1, "new incarnation restarts numbering");
+        assert!(slot.buf.is_empty());
+        assert_eq!(slot.attempts, 0);
+        let r = state.recv_slot(a, b, 0);
+        r.next = 5;
+        r.ack_owed = true;
+        assert_eq!(
+            state.take_piggyback_ack(b, a, 0),
+            4,
+            "acks the reverse channel"
+        );
+        assert!(!state.recv_slot(a, b, 0).ack_owed, "debt paid");
+        assert_eq!(state.recv_slot(a, b, 3).next, 1, "reset on flap");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut state: ShimState<u64> = ShimState::new(2, &ArqConfig::default(), 10, 7);
+        // rto_initial 20, cap 160; jitter adds at most base/4.
+        for attempts in 0..10 {
+            let d = state.backoff(attempts);
+            let base = (20u64 << attempts.min(3)).min(160);
+            assert!(
+                d >= base && d <= base + base / 4,
+                "attempts {attempts}: {d}"
+            );
+        }
+        // Huge attempt counts must not overflow the shift.
+        assert!(state.backoff(200) >= 160);
+    }
+}

@@ -27,6 +27,8 @@ pub enum TraceKind {
     StateChange(NodeId, DiningState, DiningState),
     /// A node crashed.
     Crash(NodeId),
+    /// A crashed node recovered as a fresh incarnation.
+    Recover(NodeId),
     /// A node started moving.
     MoveStart(NodeId),
     /// A node finished moving.

@@ -351,6 +351,20 @@ impl World {
         self.crash(n);
     }
 
+    pub(crate) fn recover(&mut self, n: NodeId) {
+        // Links were never taken down by the crash, so clearing the flag
+        // is all the physical world needs; the engine owns the rejoin
+        // handshake (link flaps, fresh protocol incarnation).
+        self.crashed[n.index()] = false;
+    }
+
+    /// Clear the crashed flag of `n` from *outside* the engine — the
+    /// recovery counterpart of [`World::mark_crashed`] for host-side
+    /// mirror worlds.
+    pub fn mark_recovered(&mut self, n: NodeId) {
+        self.recover(n);
+    }
+
     /// Move `n` one motion step toward its destination; returns the link
     /// changes caused and whether the destination has been reached.
     pub(crate) fn step_motion(&mut self, n: NodeId) -> (Vec<LinkChange>, bool) {

@@ -82,7 +82,7 @@ impl Protocol for PoliteBackoff {
     }
 }
 
-fn run<P: Protocol + 'static, F: FnMut(manet_local_mutex::sim::NodeSeed) -> P>(
+fn run<P: Protocol + 'static, F: FnMut(manet_local_mutex::sim::NodeSeed) -> P + 'static>(
     factory: F,
 ) -> (Vec<u64>, usize) {
     let n = 6;

@@ -133,7 +133,7 @@ fn recoloring_crash_separates_greedy_from_linial() {
         let out = manet_local_mutex::harness::run_protocol(
             &spec,
             &topology::line(n),
-            |seed| {
+            move |seed| {
                 let mut node = if greedy {
                     manet_local_mutex::lme::Algorithm1::greedy(&seed)
                 } else {

@@ -22,7 +22,7 @@ const N: usize = 6;
 fn run_churny<P, F>(seed: u64, factory: F) -> Engine<P>
 where
     P: Protocol,
-    F: FnMut(NodeSeed) -> P,
+    F: FnMut(NodeSeed) -> P + 'static,
 {
     let cfg = SimConfig {
         seed,

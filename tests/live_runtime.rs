@@ -71,6 +71,13 @@ fn live_delivery_order_replays_safely_in_the_simulator() {
     let out = run_live(&cfg).expect("live run");
     assert!(out.violations.is_empty(), "{:?}", out.violations);
     assert_eq!(out.meals, vec![1; 5], "one-shot run must feed every node");
+    // Fault-free and in-process: every decode or send failure is a bug,
+    // and each node must report its own zero counters (a node silently
+    // eating errors would be invisible in the global totals alone).
+    for (i, s) in out.trace.net_stats(5).iter().enumerate() {
+        assert_eq!(s.decode_errors, 0, "node {i} saw decode errors");
+        assert_eq!(s.send_failures, 0, "node {i} saw send failures");
+    }
 
     let report = conformance_replay(&cfg, &out).expect("replay");
     assert!(
@@ -84,4 +91,67 @@ fn live_delivery_order_replays_safely_in_the_simulator() {
         report.sim_census, report.live_census
     );
     assert!(report.conforms());
+}
+
+#[test]
+fn reliable_mpsc_runs_stay_safe_with_the_live_shim() {
+    // The in-process transport never loses frames, so the live ARQ shim
+    // must be pure overhead: same safety, all threads joined, and no
+    // decode or send failures introduced by the envelope layer.
+    for alg in LiveAlg::all() {
+        let mut cfg = LiveConfig::new(alg, TransportKind::Mpsc, topology::ring(5));
+        cfg.duration_ms = 300;
+        cfg.rate = 60.0;
+        cfg.eat_ms = 1;
+        cfg.reliable = true;
+        let out = run_live(&cfg).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert!(
+            out.violations.is_empty(),
+            "{}: {:?}",
+            alg.name(),
+            out.violations
+        );
+        assert_eq!(out.threads_joined, 5, "{}: leaked node threads", alg.name());
+        assert_eq!(
+            out.decode_errors,
+            0,
+            "{}: envelope decode errors",
+            alg.name()
+        );
+        for (i, s) in out.trace.net_stats(5).iter().enumerate() {
+            assert_eq!(s.decode_errors, 0, "{}: node {i} decode errors", alg.name());
+            assert_eq!(s.send_failures, 0, "{}: node {i} send failures", alg.name());
+        }
+    }
+}
+
+#[test]
+fn crashed_node_recovers_and_rejoins_on_mpsc() {
+    // Crash node 0 at 100 ms and recover it at 180 ms of a 500 ms run:
+    // the fresh incarnation must rejoin (link flaps to every world
+    // neighbor), the run must stay safe, and all threads must join.
+    for alg in LiveAlg::all() {
+        let mut cfg = LiveConfig::new(alg, TransportKind::Mpsc, topology::clique(4));
+        cfg.duration_ms = 500;
+        cfg.rate = 60.0;
+        cfg.eat_ms = 1;
+        cfg.reliable = true;
+        cfg.crash = Some((0, 100));
+        cfg.recover = Some((0, 180));
+        let out = run_live(&cfg).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert!(
+            out.violations.is_empty(),
+            "{}: {:?}",
+            alg.name(),
+            out.violations
+        );
+        assert_eq!(out.threads_joined, 4, "{}: leaked node threads", alg.name());
+        assert_eq!(
+            out.recoveries,
+            1,
+            "{}: recovery was not executed",
+            alg.name()
+        );
+        assert_eq!(out.decode_errors, 0, "{}: decode errors", alg.name());
+    }
 }

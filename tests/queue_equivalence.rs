@@ -286,8 +286,7 @@ fn cell_check_strategies_agree_across_cores() {
             assert_verdicts_match(alg, &Plan::Pct { seed, changes: 3 });
             assert_verdicts_match(alg, &Plan::Random { seed });
             // Replay the random walk's recorded delays on both cores.
-            let sampled =
-                checked_verdicts(alg, &Plan::Random { seed }, EventQueueKind::Heap);
+            let sampled = checked_verdicts(alg, &Plan::Random { seed }, EventQueueKind::Heap);
             let delays: Vec<u64> = sampled.choices.iter().map(|c| c.delay).collect();
             assert_verdicts_match(alg, &Plan::Replay { delays });
         }
@@ -407,7 +406,10 @@ fn cell_sweep_jsonl_identical_across_cores_and_jobs() {
     let wheel_serial = sweep(EventQueueKind::Wheel).run(1).jsonl();
     let wheel_parallel = sweep(EventQueueKind::Wheel).run(4).jsonl();
     assert_eq!(heap_serial, heap_parallel, "heap: jobs changed the JSONL");
-    assert_eq!(wheel_serial, wheel_parallel, "wheel: jobs changed the JSONL");
+    assert_eq!(
+        wheel_serial, wheel_parallel,
+        "wheel: jobs changed the JSONL"
+    );
     assert_eq!(heap_serial, wheel_serial, "cores rendered different JSONL");
     assert_eq!(heap_serial.lines().count(), 8);
 }

@@ -1,0 +1,536 @@
+//! Reliable delivery and recovery (DESIGN.md §13).
+//!
+//! Four pillars:
+//!
+//! 1. **Shim off is the bare channel.** With `SimConfig::arq = None` the
+//!    engine behaves bit-for-bit as before the shim existed: all shim
+//!    counters stay zero, the JSONL report's suffix keys render as zeros,
+//!    and a pinned golden run (trace length, message counts, state digest)
+//!    guards against the shim ever perturbing the default path.
+//! 2. **Shim on, loss-free.** Arming the ARQ shim on a reliable network
+//!    must not change the workload's outcome: the same session census,
+//!    no safety violations, full quiescence.
+//! 3. **Sustained adversity.** Under 30% whole-run loss (no healing
+//!    window — only retransmission can restore a dropped fork) every
+//!    algorithm still feeds every node and quiesces safely.
+//! 4. **Crash → recover.** A node crashed mid-run and recovered as a
+//!    fresh incarnation rejoins without duplicating or losing a fork.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use baselines::ChandyMisra;
+use coloring::LinialSchedule;
+use harness::{run_algorithm, topology, AlgKind, RunReport, RunSpec, SafetyMonitor};
+use local_mutex::testutil::AutoExit;
+use local_mutex::{Algorithm1, Algorithm2};
+use manet_sim::{
+    ArqConfig, DiningState, Engine, FaultPlan, Hook, LinkFaults, NodeId, NodeSeed, Protocol,
+    ShimStats, SimConfig, SimTime, Sink, View,
+};
+
+/// Counts `Eating` transitions per node — the session census of an
+/// engine-level run.
+struct MealCount(Rc<RefCell<Vec<u64>>>);
+
+impl<M> Hook<M> for MealCount {
+    fn on_state_change(
+        &mut self,
+        _view: &View<'_>,
+        node: NodeId,
+        _old: DiningState,
+        new: DiningState,
+        _sink: &mut Sink,
+    ) {
+        if new == DiningState::Eating {
+            self.0.borrow_mut()[node.index()] += 1;
+        }
+    }
+}
+
+/// The sustained-loss fault plan: 30% drops on every link, the whole run,
+/// no healing partition.
+fn sustained_loss(drop: f64) -> FaultPlan {
+    FaultPlan {
+        link: Some(LinkFaults {
+            drop,
+            window: None,
+            targets: None,
+            ..LinkFaults::default()
+        }),
+        ..FaultPlan::default()
+    }
+}
+
+/// Run `factory`'s protocol over `positions` with three hungry waves and
+/// an optional ARQ config + fault plan; returns (engine, census,
+/// violations observed).
+#[allow(clippy::type_complexity)]
+fn waved_run<P, F>(
+    seed: u64,
+    positions: Vec<(f64, f64)>,
+    arq: Option<ArqConfig>,
+    fault: FaultPlan,
+    horizon: u64,
+    factory: F,
+) -> (Engine<P>, Vec<u64>, Rc<RefCell<Vec<harness::Violation>>>)
+where
+    P: Protocol,
+    F: FnMut(NodeSeed) -> P + 'static,
+{
+    let n = positions.len();
+    let cfg = SimConfig {
+        seed,
+        arq,
+        fault,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, positions, factory);
+    engine.add_hook(Box::new(AutoExit::new(8)));
+    let meals = Rc::new(RefCell::new(vec![0u64; n]));
+    engine.add_hook(Box::new(MealCount(meals.clone())));
+    let (monitor, violations) = SafetyMonitor::new(false);
+    engine.add_hook(Box::new(monitor));
+    for wave in [1u64, 5_000, 10_000] {
+        for i in 0..n as u32 {
+            engine.set_hungry_at(SimTime(wave + u64::from(i % 7)), NodeId(i));
+        }
+    }
+    engine.run_until(SimTime(horizon));
+    let census = meals.borrow().clone();
+    (engine, census, violations)
+}
+
+/// Assert the `waved_run` quiesced, fed every node all three waves, and
+/// stayed safe throughout.
+fn assert_live_and_safe<P: Protocol>(
+    name: &str,
+    seed: u64,
+    engine: &Engine<P>,
+    census: &[u64],
+    violations: &Rc<RefCell<Vec<harness::Violation>>>,
+) {
+    assert_eq!(
+        engine.abort(),
+        None,
+        "{name} seed {seed}: run aborted: {:?}",
+        engine.abort()
+    );
+    assert_eq!(
+        engine.pending_events(),
+        0,
+        "{name} seed {seed}: run did not quiesce"
+    );
+    assert!(
+        census.iter().all(|&m| m == 3),
+        "{name} seed {seed}: census {census:?} != 3 meals per node"
+    );
+    assert!(
+        violations.borrow().is_empty(),
+        "{name} seed {seed}: {:?}",
+        violations.borrow()
+    );
+}
+
+/// Fork conservation at quiescence: on every live link the fork sits at
+/// exactly one endpoint.
+fn assert_forks_conserved<P, H>(name: &str, seed: u64, engine: &Engine<P>, n: usize, holds: H)
+where
+    P: Protocol,
+    H: Fn(&P, NodeId) -> bool,
+{
+    let world = engine.world();
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            let (na, nb) = (NodeId(a), NodeId(b));
+            if world.is_crashed(na) || world.is_crashed(nb) || !world.linked(na, nb) {
+                continue;
+            }
+            let at_a = holds(engine.protocol(na), nb);
+            let at_b = holds(engine.protocol(nb), na);
+            assert!(
+                at_a ^ at_b,
+                "{name} seed {seed}: fork of link {{{a}, {b}}} is {} at quiescence",
+                if at_a { "duplicated" } else { "lost" }
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Shim off: the bare channel of the seed, bit for bit.
+// ---------------------------------------------------------------------
+
+/// Trace-level fingerprint of one bare-channel A2 run.
+fn bare_run_fingerprint() -> (u64, u64, usize, Option<u64>) {
+    let cfg = SimConfig {
+        seed: 42,
+        trace: true,
+        ..SimConfig::default()
+    };
+    let positions: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+    let mut eng = Engine::new(cfg, positions, |seed| Algorithm2::new(&seed));
+    eng.add_hook(Box::new(AutoExit::new(8)));
+    for i in 0..6u32 {
+        eng.set_hungry_at(SimTime(1 + u64::from(i % 7)), NodeId(i));
+    }
+    eng.run_until(SimTime(6_000));
+    let stats = eng.stats();
+    (
+        stats.events,
+        stats.messages_sent,
+        eng.trace().len(),
+        eng.state_digest(),
+    )
+}
+
+#[test]
+fn shim_off_runs_are_bit_for_bit_the_bare_channel() {
+    // Two identical invocations agree on everything, and the run matches
+    // the fingerprint pinned when the shim landed: the `arq: None` path
+    // must never feel the shim's presence (extra events, RNG draws, or
+    // timers would all shift at least one of these numbers).
+    let a = bare_run_fingerprint();
+    let b = bare_run_fingerprint();
+    assert_eq!(a, b, "bare-channel run is not deterministic");
+    assert_eq!(
+        (a.0, a.1, a.2),
+        (GOLDEN_EVENTS, GOLDEN_MESSAGES, GOLDEN_TRACE_LEN),
+        "bare-channel fingerprint drifted — the shim-off path changed"
+    );
+    assert_eq!(
+        a.3, GOLDEN_DIGEST,
+        "bare-channel state digest drifted — the shim-off path changed"
+    );
+}
+
+const GOLDEN_EVENTS: u64 = 46;
+const GOLDEN_MESSAGES: u64 = 34;
+const GOLDEN_TRACE_LEN: usize = 51;
+const GOLDEN_DIGEST: Option<u64> = Some(4863837214346979772);
+
+#[test]
+fn shim_off_reports_render_zero_suffix_counters() {
+    // The JSONL suffix keys (PR-2 discipline: appended after `abort`)
+    // exist for every run but stay zero with the shim off and no
+    // recoveries scheduled.
+    for kind in AlgKind::all() {
+        let spec = RunSpec {
+            horizon: 6_000,
+            ..RunSpec::default()
+        };
+        let out = run_algorithm(kind, &spec, &topology::line(5), &[]);
+        assert_eq!(
+            out.stats.shim,
+            ShimStats::default(),
+            "{}: shim counters moved with the shim off",
+            kind.name()
+        );
+        let jsonl = RunReport::from_outcome(
+            "line:5",
+            kind.name(),
+            spec.sim.seed,
+            spec.horizon,
+            &out,
+            None,
+        )
+        .to_jsonl();
+        assert!(
+            jsonl.ends_with(
+                "\"abort\":null,\"retransmissions\":0,\"acks_sent\":0,\
+                 \"recoveries\":0,\"buffer_high_water\":0}"
+            ),
+            "{}: unexpected JSONL suffix: {jsonl}",
+            kind.name()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Shim on, loss-free: same census, no overhead on correctness.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shim_on_without_loss_preserves_census_and_safety() {
+    for seed in [3, 19] {
+        for arq in [None, Some(ArqConfig::default())] {
+            let label = if arq.is_some() { "A2+arq" } else { "A2" };
+            let (engine, census, violations) = waved_run(
+                seed,
+                topology::clique(5),
+                arq,
+                FaultPlan::default(),
+                60_000,
+                |s| Algorithm2::new(&s),
+            );
+            assert_live_and_safe(label, seed, &engine, &census, &violations);
+            assert_forks_conserved(label, seed, &engine, 5, Algorithm2::holds_fork);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Sustained loss: liveness through retransmission alone.
+// ---------------------------------------------------------------------
+
+fn assert_survives_sustained_loss<P, F, H>(name: &str, factory_of: F, holds: H)
+where
+    P: Protocol + 'static,
+    F: Fn() -> Box<dyn FnMut(NodeSeed) -> P>,
+    H: Fn(&P, NodeId) -> bool + Copy,
+{
+    for (topo, positions) in [
+        ("clique:5", topology::clique(5)),
+        ("ring:6", topology::ring(6)),
+    ] {
+        let n = positions.len();
+        let seed = 7;
+        let label = format!("{name} on {topo}");
+        let (engine, census, violations) = waved_run(
+            seed,
+            positions,
+            Some(ArqConfig::default()),
+            sustained_loss(0.3),
+            400_000,
+            factory_of(),
+        );
+        assert_live_and_safe(&label, seed, &engine, &census, &violations);
+        assert_forks_conserved(&label, seed, &engine, n, holds);
+    }
+}
+
+#[test]
+fn alg1_greedy_survives_sustained_loss() {
+    assert_survives_sustained_loss(
+        "A1-greedy",
+        || Box::new(|s| Algorithm1::greedy(&s)),
+        Algorithm1::holds_fork,
+    );
+}
+
+#[test]
+fn alg1_linial_survives_sustained_loss() {
+    assert_survives_sustained_loss(
+        "A1-linial",
+        || {
+            let schedule = Arc::new(LinialSchedule::compute(6, 5));
+            Box::new(move |s| Algorithm1::linial(&s, schedule.clone()))
+        },
+        Algorithm1::holds_fork,
+    );
+}
+
+#[test]
+fn alg2_survives_sustained_loss() {
+    assert_survives_sustained_loss(
+        "A2",
+        || Box::new(|s| Algorithm2::new(&s)),
+        Algorithm2::holds_fork,
+    );
+}
+
+#[test]
+fn chandy_misra_survives_sustained_loss() {
+    assert_survives_sustained_loss(
+        "chandy-misra",
+        || Box::new(|s| ChandyMisra::new(&s)),
+        ChandyMisra::holds_fork,
+    );
+}
+
+#[test]
+fn sustained_loss_without_the_shim_is_expected_to_starve() {
+    // Negative control: the same adversity with the shim off loses forks
+    // for good — at least one node misses a wave. If this ever starts
+    // passing the sustained-loss class stopped being a real test.
+    let (engine, census, _violations) = waved_run(
+        7,
+        topology::clique(5),
+        None,
+        sustained_loss(0.3),
+        400_000,
+        |s| Algorithm2::new(&s),
+    );
+    let stalled = engine.pending_events() != 0 || census.iter().any(|&m| m < 3);
+    assert!(
+        stalled,
+        "30% sustained loss with no shim fed everyone ({census:?}) — \
+         the adversity is too weak to validate the shim"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 4. Crash → recover: fresh incarnation, conserved forks.
+// ---------------------------------------------------------------------
+
+/// Line world: all hungry, a teleport, a crash, a recovery, a second
+/// hungry wave that the recovered node must serve, then quiescence.
+fn recovery_run<P, F>(
+    seed: u64,
+    factory: F,
+) -> (Engine<P>, Vec<u64>, Rc<RefCell<Vec<harness::Violation>>>)
+where
+    P: Protocol,
+    F: FnMut(NodeSeed) -> P + 'static,
+{
+    const N: usize = 6;
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let positions: Vec<(f64, f64)> = (0..N).map(|i| (i as f64, 0.0)).collect();
+    let mut engine = Engine::new(cfg, positions, factory);
+    engine.add_hook(Box::new(AutoExit::new(8)));
+    let meals = Rc::new(RefCell::new(vec![0u64; N]));
+    engine.add_hook(Box::new(MealCount(meals.clone())));
+    let (monitor, violations) = SafetyMonitor::new(false);
+    engine.add_hook(Box::new(monitor));
+    for i in 0..N as u32 {
+        engine.set_hungry_at(SimTime(1), NodeId(i));
+    }
+    engine.teleport_at(SimTime(900), NodeId(5), (0.5, 0.5));
+    engine.crash_at(SimTime(1_200), NodeId(2));
+    engine.recover_at(SimTime(2_500), NodeId(2));
+    engine.teleport_at(SimTime(1_800), NodeId(5), (5.0, 0.0));
+    for i in 0..N as u32 {
+        engine.set_hungry_at(SimTime(4_000 + u64::from(i)), NodeId(i));
+    }
+    engine.run_until(SimTime(60_000));
+    let census = meals.borrow().clone();
+    (engine, census, violations)
+}
+
+fn assert_recovery_ok<P, H>(
+    name: &str,
+    seed: u64,
+    engine: &Engine<P>,
+    census: &[u64],
+    violations: &Rc<RefCell<Vec<harness::Violation>>>,
+    holds: H,
+) where
+    P: Protocol,
+    H: Fn(&P, NodeId) -> bool,
+{
+    assert_eq!(engine.abort(), None, "{name} seed {seed}: aborted");
+    assert_eq!(
+        engine.pending_events(),
+        0,
+        "{name} seed {seed}: did not quiesce"
+    );
+    assert!(
+        !engine.world().is_crashed(NodeId(2)),
+        "{name} seed {seed}: recovery did not stick"
+    );
+    assert_eq!(engine.stats().faults.recoveries, 1, "{name} seed {seed}");
+    // The recovered node must serve the post-recovery wave.
+    assert!(
+        census[2] >= 1,
+        "{name} seed {seed}: recovered node never ate ({census:?})"
+    );
+    assert!(
+        violations.borrow().is_empty(),
+        "{name} seed {seed}: {:?}",
+        violations.borrow()
+    );
+    assert_forks_conserved(name, seed, engine, 6, holds);
+}
+
+#[test]
+fn alg1_greedy_recovers_with_conserved_forks() {
+    for seed in [1, 23] {
+        let (engine, census, violations) = recovery_run(seed, |s| Algorithm1::greedy(&s));
+        assert_recovery_ok(
+            "A1-greedy",
+            seed,
+            &engine,
+            &census,
+            &violations,
+            Algorithm1::holds_fork,
+        );
+    }
+}
+
+#[test]
+fn alg1_linial_recovers_with_conserved_forks() {
+    for seed in [2, 29] {
+        let schedule = Arc::new(LinialSchedule::compute(6, 4));
+        let (engine, census, violations) =
+            recovery_run(seed, move |s| Algorithm1::linial(&s, schedule.clone()));
+        assert_recovery_ok(
+            "A1-linial",
+            seed,
+            &engine,
+            &census,
+            &violations,
+            Algorithm1::holds_fork,
+        );
+    }
+}
+
+#[test]
+fn alg2_recovers_with_conserved_forks() {
+    for seed in [3, 31] {
+        let (engine, census, violations) = recovery_run(seed, |s| Algorithm2::new(&s));
+        assert_recovery_ok(
+            "A2",
+            seed,
+            &engine,
+            &census,
+            &violations,
+            Algorithm2::holds_fork,
+        );
+    }
+}
+
+#[test]
+fn chandy_misra_recovers_with_conserved_forks() {
+    for seed in [5, 37] {
+        let (engine, census, violations) = recovery_run(seed, |s| ChandyMisra::new(&s));
+        assert_recovery_ok(
+            "chandy-misra",
+            seed,
+            &engine,
+            &census,
+            &violations,
+            ChandyMisra::holds_fork,
+        );
+    }
+}
+
+#[test]
+fn recovery_under_sustained_loss_stays_live_with_the_shim() {
+    // The combined wave the nightly soak leans on: 20% whole-run loss,
+    // a crash and a recovery, the ARQ shim carrying the difference.
+    let n = 6;
+    let cfg = SimConfig {
+        seed: 11,
+        arq: Some(ArqConfig::default()),
+        fault: sustained_loss(0.2),
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, topology::ring(n), |s| Algorithm2::new(&s));
+    engine.add_hook(Box::new(AutoExit::new(8)));
+    let meals = Rc::new(RefCell::new(vec![0u64; n]));
+    engine.add_hook(Box::new(MealCount(meals.clone())));
+    let (monitor, violations) = SafetyMonitor::new(false);
+    engine.add_hook(Box::new(monitor));
+    for i in 0..n as u32 {
+        engine.set_hungry_at(SimTime(1), NodeId(i));
+    }
+    engine.crash_at(SimTime(1_500), NodeId(1));
+    engine.recover_at(SimTime(4_000), NodeId(1));
+    for i in 0..n as u32 {
+        engine.set_hungry_at(SimTime(8_000 + u64::from(i)), NodeId(i));
+    }
+    engine.run_until(SimTime(400_000));
+    assert_eq!(engine.abort(), None);
+    assert_eq!(engine.pending_events(), 0, "did not quiesce");
+    assert!(violations.borrow().is_empty(), "{:?}", violations.borrow());
+    let census = meals.borrow();
+    assert!(
+        census.iter().all(|&m| m >= 1) && census[1] >= 1,
+        "census {census:?}: someone starved through loss + crash + recovery"
+    );
+    assert_forks_conserved("A2 loss+recover", 11, &engine, n, Algorithm2::holds_fork);
+}
