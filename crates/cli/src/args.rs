@@ -1,9 +1,10 @@
 //! Hand-rolled argument parsing (the workspace is dependency-minimal by
 //! design; see DESIGN.md §6).
 
-use harness::AlgKind;
+use harness::{AlgKind, MobilityMix};
 use lme_check::{Mutation, StrategyKind};
 use lme_net::TransportKind;
+use manet_sim::ChannelConfig;
 
 /// A parsed topology specification.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,6 +95,9 @@ pub enum BenchMode {
     /// Event-queue core ladder: ns/event of the heap vs the timing wheel
     /// on a dispatch-bound workload.
     Engine,
+    /// Channel-model matrix: every channel model × a clique and a ring,
+    /// reporting meals, response times and channel counters.
+    Channel,
 }
 
 /// Everything the CLI understood.
@@ -118,6 +122,11 @@ pub struct Cli {
     pub think: (u64, u64),
     /// Random-waypoint movements to schedule.
     pub moves: usize,
+    /// Heterogeneous mobility mix (static-core : highway : group); wins
+    /// over `--moves` when both are given.
+    pub mix: Option<MobilityMix>,
+    /// Channel model messages traverse (`iid` is the historical default).
+    pub channel: ChannelConfig,
     /// Crash-probe victim (probe) or optional mid-run crash (run).
     pub victim: Option<u32>,
     /// Arm the reliable-delivery ARQ shim in simulator runs.
@@ -210,6 +219,8 @@ impl Default for Cli {
             eat: (10, 30),
             think: (50, 150),
             moves: 0,
+            mix: None,
+            channel: ChannelConfig::default(),
             victim: None,
             arq: false,
             recover_at: None,
@@ -272,6 +283,9 @@ commands:
           `bench engine`: ns/event of the binary-heap vs timing-wheel
           event cores on a dispatch-bound workload across a node
           ladder, written as BENCH_engine.json
+          `bench channel`: every channel model x {clique:8, ring:8},
+          reporting meals, response percentiles and channel counters,
+          written as BENCH_channel.json
   live    one thread per node, real message passing (mpsc channels or
           UDP on loopback), live trace validated by the safety monitor
 
@@ -286,6 +300,12 @@ options:
   --eat <a..b>       eating-time range in ticks             (default 10..30)
   --think <a..b>     think-time range in ticks              (default 50..150)
   --moves <k>        random-waypoint movements              (default 0)
+  --mix <s:h>        heterogeneous mobility mix: fraction of static-core
+                     and highway nodes (rest wander in groups), e.g.
+                     0.4:0.3; wins over --moves    (default: homogeneous)
+  --channel <spec>   channel model: iid | bandwidth:TPF[:QUEUE] |
+                     shared:TPF[:INFLIGHT] | gilbert:PG2B:PB2G[:LG:LB]
+                     (default iid — the historical i.i.d. delay draw)
   --victim <node>    probe: node to crash mid-CS            (default center)
   --csv              emit per-episode samples as CSV
   --jobs <n>         sweep worker threads         (default: all cores;
@@ -508,10 +528,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 "scale" => BenchMode::Scale,
                 "live" => BenchMode::Live,
                 "engine" => BenchMode::Engine,
+                "channel" => BenchMode::Channel,
                 _ => {
                     return Err(format!(
                         "unknown bench mode '{mode}'; try `lme bench scale`, \
-                         `lme bench live`, or `lme bench engine`"
+                         `lme bench live`, `lme bench engine`, or `lme bench channel`"
                     ))
                 }
             };
@@ -533,6 +554,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             "--eat" => cli.eat = parse_range(&value("--eat")?)?,
             "--think" => cli.think = parse_range(&value("--think")?)?,
             "--moves" => cli.moves = parse_usize(&value("--moves")?, "move count")?,
+            "--mix" => cli.mix = Some(MobilityMix::parse(&value("--mix")?)?),
+            "--channel" => cli.channel = ChannelConfig::parse(&value("--channel")?)?,
             "--victim" => {
                 cli.victim = Some(parse_u64(&value("--victim")?, "victim")? as u32);
             }
@@ -643,7 +666,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
-    if cli.moves > 0 && cli.topo.is_explicit() {
+    if (cli.moves > 0 || cli.mix.is_some()) && cli.topo.is_explicit() {
         return Err("star/tree topologies are explicit graphs: movement is not supported".into());
     }
     if let Some(v) = cli.victim {
@@ -888,6 +911,38 @@ mod tests {
         assert_eq!(engine.bench_ns, vec![50]);
         assert_eq!(engine.bench_steps, 2000);
         assert_eq!(engine.bench_out.as_deref(), Some("e.json"));
+    }
+
+    #[test]
+    fn parses_channel_and_mix_flags() {
+        let cli = parse(argv("run --topo ring:6 --channel bandwidth:3:16")).unwrap();
+        assert_eq!(
+            cli.channel,
+            ChannelConfig::ConstantBandwidth {
+                ticks_per_frame: 3,
+                max_queue: 16
+            }
+        );
+        let cli = parse(argv("sweep --topo line:8 --mix 0.5:0.25")).unwrap();
+        let mix = cli.mix.expect("mix parsed");
+        assert_eq!(mix.static_frac, 0.5);
+        assert_eq!(mix.highway_frac, 0.25);
+        // Default stays the historical i.i.d. draw.
+        assert_eq!(parse(argv("run")).unwrap().channel, ChannelConfig::Iid);
+        assert!(parse(argv("run")).unwrap().mix.is_none());
+        let bench = parse(argv("bench channel --out c.json")).unwrap();
+        assert_eq!(bench.bench_mode, BenchMode::Channel);
+        assert_eq!(bench.bench_out.as_deref(), Some("c.json"));
+    }
+
+    #[test]
+    fn rejects_malformed_channel_and_mix_flags() {
+        assert!(parse(argv("run --channel warp")).is_err());
+        assert!(parse(argv("run --channel bandwidth:0")).is_err());
+        assert!(parse(argv("run --channel gilbert:2:0.5")).is_err());
+        assert!(parse(argv("run --mix 0.7:0.7")).is_err());
+        assert!(parse(argv("run --topo star:4 --mix 0.4:0.3")).is_err());
+        assert!(parse(argv("run --channel")).is_err());
     }
 
     #[test]

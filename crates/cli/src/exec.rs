@@ -3,15 +3,15 @@
 
 use harness::{
     crash_probe, default_jobs, run_algorithm, run_algorithm_graph, run_cells, stats::jain_index,
-    topology, AlgKind, FaultClass, Job, RunOutcome, RunReport, RunSpec, Summary, SweepCell,
-    SweepReport, SweepSpec, Table, Topo, WaypointPlan,
+    topology, AlgKind, FaultClass, Job, MobilityMix, RunOutcome, RunReport, RunSpec, Summary,
+    SweepCell, SweepReport, SweepSpec, Table, Topo, WaypointPlan,
 };
 use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
 use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome};
 use manet_sim::{
-    ArqConfig, Context, CrashWave, DelayAdversary, DiningState, Engine, Event, EventQueueKind,
-    FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position, Protocol, SimConfig,
-    SimRng, SimTime, World,
+    ArqConfig, ChannelConfig, Context, CrashWave, DelayAdversary, DiningState, Engine, Event,
+    EventQueueKind, FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position, Protocol,
+    SimConfig, SimRng, SimTime, World,
 };
 
 use crate::args::{BenchMode, Cli, Command, TopoSpec, USAGE};
@@ -22,6 +22,7 @@ fn spec_of(cli: &Cli) -> Result<RunSpec, String> {
             seed: cli.seed,
             fault: fault_plan_of(cli)?,
             arq: cli.arq.then(ArqConfig::default),
+            channel: cli.channel.clone(),
             ..SimConfig::default()
         },
         horizon: cli.horizon,
@@ -116,6 +117,17 @@ fn waypoint_plan(cli: &Cli, n: usize) -> WaypointPlan {
     }
 }
 
+/// Ground a parsed `--mix` (class fractions only) in this run's geometry:
+/// same area, window, and seed derivation as [`waypoint_plan`].
+fn mobility_mix_of(cli: &Cli, mix: &MobilityMix, n: usize) -> MobilityMix {
+    MobilityMix {
+        area_side: (n as f64 / 1.6).sqrt().max(2.0),
+        window: (cli.horizon / 10, cli.horizon * 9 / 10),
+        seed: cli.seed ^ 0xB0B,
+        ..mix.clone()
+    }
+}
+
 /// Write the JSONL metrics file when `--metrics-out` was given.
 fn emit_metrics(cli: &Cli, report: &SweepReport) -> Result<(), String> {
     if let Some(path) = &cli.metrics_out {
@@ -138,8 +150,11 @@ fn run_outcome(cli: &Cli, spec: &RunSpec) -> RunOutcome {
         }
         ref geo => {
             let positions = geo_positions(geo);
-            let commands = if cli.moves > 0 {
-                waypoint_plan(cli, positions.len()).commands(positions.len())
+            let n = positions.len();
+            let commands = if let Some(mix) = &cli.mix {
+                mobility_mix_of(cli, mix, n).commands(n)
+            } else if cli.moves > 0 {
+                waypoint_plan(cli, n).commands(n)
             } else {
                 Vec::new()
             };
@@ -277,7 +292,9 @@ fn render_sweep(cli: &Cli) -> Result<String, String> {
     let mut sweep = SweepSpec::new(cli.topo.to_string(), topo, base)
         .kinds(cli.algs.iter().copied())
         .seed_range(cli.seed, cli.seeds);
-    if cli.moves > 0 {
+    if let Some(mix) = &cli.mix {
+        sweep = sweep.mix(mobility_mix_of(cli, mix, n));
+    } else if cli.moves > 0 {
         sweep = sweep.moves(waypoint_plan(cli, n));
     }
     let jobs = cli.jobs.unwrap_or_else(default_jobs);
@@ -331,13 +348,16 @@ fn render_sweep(cli: &Cli) -> Result<String, String> {
 /// The fixed fault matrix the `chaos` subcommand sweeps: one column per
 /// fault class, crash and crash→recover first (matching the paper's fault
 /// model), then the out-of-model link faults, then partition and the
-/// ν-adversary. Sustained loss runs with the ARQ shim armed — it is the
-/// one class whose liveness depends on reliable delivery.
-const CHAOS_CLASSES: [FaultClass; 7] = [
+/// ν-adversary. Sustained loss and burst loss run with the ARQ shim
+/// armed — they are the classes whose liveness depends on reliable
+/// delivery (burst loss rides the Gilbert–Elliott channel model rather
+/// than a fault plan).
+const CHAOS_CLASSES: [FaultClass; 8] = [
     FaultClass::Crash,
     FaultClass::Recover,
     FaultClass::Loss(0.3),
     FaultClass::SustainedLoss(0.3),
+    FaultClass::BurstLoss,
     FaultClass::Duplication(0.3),
     FaultClass::Partition,
     FaultClass::MaxDelay,
@@ -346,6 +366,11 @@ const CHAOS_CLASSES: [FaultClass; 7] = [
 fn render_chaos(cli: &Cli) -> Result<String, String> {
     if !fault_plan_of(cli)?.is_empty() {
         return Err("chaos builds its own fault schedule; drop the --fault-* flags".to_string());
+    }
+    if !cli.channel.is_iid() {
+        return Err(
+            "chaos owns the channel (burst-loss runs Gilbert–Elliott); drop --channel".to_string(),
+        );
     }
     let topo = topo_of(cli);
     let n = topo.len();
@@ -376,6 +401,12 @@ fn render_chaos(cli: &Cli) -> Result<String, String> {
                 _ => {
                     spec.sim.fault = class.plan(victim, (fault_at, quiesce));
                     if matches!(class, FaultClass::SustainedLoss(_)) {
+                        spec.sim.arq = Some(ArqConfig::default());
+                    }
+                    if matches!(class, FaultClass::BurstLoss) {
+                        // Correlated loss comes from the channel model, not
+                        // the fault adversary; the shim restores liveness.
+                        spec.sim.channel = ChannelConfig::burst_loss_default();
                         spec.sim.arq = Some(ArqConfig::default());
                     }
                     Job::Run
@@ -434,12 +465,15 @@ fn render_chaos(cli: &Cli) -> Result<String, String> {
     if let Some(path) = &cli.metrics_out {
         s.push_str(&format!("per-run metrics written to {path}\n"));
     }
-    // Sustained loss is survivable only through the ARQ shim; a stall
-    // there means reliable delivery is broken, so the command fails.
+    // Sustained and burst loss are survivable only through the ARQ shim;
+    // a stall there means reliable delivery is broken, so the command
+    // fails.
     for (row, class) in report.aggregate().iter().zip(CHAOS_CLASSES) {
-        if matches!(class, FaultClass::SustainedLoss(_)) && row.starving > 0 {
+        if matches!(class, FaultClass::SustainedLoss(_) | FaultClass::BurstLoss) && row.starving > 0
+        {
             return Err(format!(
-                "sustained-loss stalled: {} starving node-run(s) despite the ARQ shim\n{s}",
+                "{} stalled: {} starving node-run(s) despite the ARQ shim\n{s}",
+                class.label(),
                 row.starving
             ));
         }
@@ -1191,6 +1225,169 @@ fn render_bench_scale(cli: &Cli) -> Result<String, String> {
     Ok(s)
 }
 
+/// The fixed channel-model matrix `lme bench channel` sweeps: every
+/// model over a dense (clique) and a sparse (ring) topology. The
+/// Gilbert–Elliott cells arm the ARQ shim — burst loss without
+/// retransmission starves by design.
+fn bench_channel_models() -> Vec<(&'static str, ChannelConfig, bool)> {
+    vec![
+        ("iid", ChannelConfig::Iid, false),
+        (
+            "constant-bandwidth",
+            ChannelConfig::ConstantBandwidth {
+                ticks_per_frame: 2,
+                max_queue: 64,
+            },
+            false,
+        ),
+        (
+            "shared-medium",
+            ChannelConfig::SharedMedium {
+                ticks_per_frame: 2,
+                max_inflight: 64,
+            },
+            false,
+        ),
+        ("gilbert-elliott", ChannelConfig::burst_loss_default(), true),
+    ]
+}
+
+/// `lme bench channel`: run the algorithm under every channel model on a
+/// clique and a ring, reporting meals, response percentiles and the
+/// channel counters, written as JSON. This is the degradation matrix in
+/// miniature: the i.i.d. rows are the paper's assumption-satisfying
+/// baseline, everything below shows what contention and burst loss cost.
+/// A cell whose offered load exceeds channel capacity (a dense clique on
+/// one shared medium) ends in a structured queue-overflow abort; the row
+/// is kept with its `abort` recorded — saturation is the result, not an
+/// error. Only safety violations fail the bench.
+fn render_bench_channel(cli: &Cli) -> Result<String, String> {
+    let out_path = cli
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_channel.json".to_string());
+    let topos = [TopoSpec::Clique(8), TopoSpec::Ring(8)];
+    struct Row {
+        model: &'static str,
+        topo: String,
+        arq: bool,
+        meals: u64,
+        rt: Summary,
+        messages: u64,
+        stats: manet_sim::ChannelStats,
+        violations: usize,
+        abort: Option<String>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (model, channel, arq) in bench_channel_models() {
+        for topo in &topos {
+            let spec = RunSpec {
+                sim: SimConfig {
+                    seed: cli.seed,
+                    channel: channel.clone(),
+                    arq: arq.then(ArqConfig::default),
+                    ..SimConfig::default()
+                },
+                horizon: cli.horizon,
+                eat: cli.eat.0..=cli.eat.1,
+                think: cli.think.0..=cli.think.1,
+                ..RunSpec::default()
+            };
+            let positions = geo_positions(topo);
+            let out = run_algorithm(cli.alg, &spec, &positions, &[]);
+            if !out.violations.is_empty() {
+                return Err(format!(
+                    "bench channel: {} under {model} on {topo} had {} safety violations",
+                    cli.alg.name(),
+                    out.violations.len()
+                ));
+            }
+            rows.push(Row {
+                model,
+                topo: topo.to_string(),
+                arq,
+                meals: out.total_meals(),
+                rt: out.all_summary(),
+                messages: out.messages_sent,
+                stats: out.stats.channel.clone(),
+                violations: out.violations.len(),
+                abort: out.abort.clone(),
+            });
+        }
+    }
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"channel\",\n");
+    json.push_str(&format!("  \"alg\": \"{}\",\n", cli.alg.name()));
+    json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"horizon\": {},\n", cli.horizon));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let abort = match &r.abort {
+            Some(a) => format!("\"{}\"", a.replace('\\', "\\\\").replace('"', "\\\"")),
+            None => "null".to_string(),
+        };
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"topo\": \"{}\", \"arq\": {}, \"meals\": {}, \
+             \"rt\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}}}, \
+             \"messages\": {}, \"frames_queued\": {}, \"queue_peak\": {}, \
+             \"burst_transitions\": {}, \"frames_lost\": {}, \"violations\": {}, \
+             \"abort\": {abort}}}{}\n",
+            r.model,
+            r.topo,
+            r.arq,
+            r.meals,
+            r.rt.count,
+            r.rt.p50,
+            r.rt.p95,
+            r.rt.max,
+            r.messages,
+            r.stats.frames_queued,
+            r.stats.queue_peak,
+            r.stats.burst_transitions,
+            r.stats.frames_lost,
+            r.violations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut s = format!(
+        "bench channel: {} x {{clique:8, ring:8}}, horizon {}, seed {}\n",
+        cli.alg.name(),
+        cli.horizon,
+        cli.seed
+    );
+    let mut table = Table::new(&[
+        "model",
+        "topology",
+        "meals",
+        "rt p50/p95/max",
+        "messages",
+        "queued/peak",
+        "transitions/lost",
+        "outcome",
+    ]);
+    for r in &rows {
+        table.row([
+            r.model.to_string(),
+            r.topo.clone(),
+            r.meals.to_string(),
+            format!("{}/{}/{}", r.rt.p50, r.rt.p95, r.rt.max),
+            r.messages.to_string(),
+            format!("{}/{}", r.stats.frames_queued, r.stats.queue_peak),
+            format!("{}/{}", r.stats.burst_transitions, r.stats.frames_lost),
+            if r.abort.is_some() {
+                "saturated".to_string()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+    }
+    s.push_str(&table.to_string());
+    s.push_str(&format!("results written to {out_path}\n"));
+    Ok(s)
+}
+
 /// Execute a parsed command and return the rendered report.
 ///
 /// # Errors
@@ -1238,6 +1435,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             BenchMode::Scale => render_bench_scale(cli),
             BenchMode::Live => render_bench_live(cli),
             BenchMode::Engine => render_bench_engine(cli),
+            BenchMode::Channel => render_bench_channel(cli),
         },
         Command::Live => render_live(cli),
     }
@@ -1388,6 +1586,7 @@ mod tests {
             "recover",
             "windowed-loss",
             "sustained-loss",
+            "burst-loss",
             "windowed-duplication",
             "partition",
             "max-delay",
@@ -1442,6 +1641,65 @@ mod tests {
     #[test]
     fn chaos_rejects_manual_fault_flags() {
         assert!(run_cli(argv("chaos --topo line:5 --fault-drop 0.5")).is_err());
+        // The channel belongs to chaos too (burst-loss arms it).
+        assert!(run_cli(argv("chaos --topo line:5 --channel bandwidth:2")).is_err());
+    }
+
+    #[test]
+    fn run_under_every_channel_model_stays_safe() {
+        for channel in ["bandwidth:2", "shared:2", "gilbert:0.05:0.25"] {
+            let arq = if channel.starts_with("gilbert") {
+                " --arq"
+            } else {
+                ""
+            };
+            let out = run_cli(argv(&format!(
+                "run --alg a2 --topo ring:5 --horizon 8000 --channel {channel}{arq}"
+            )))
+            .unwrap();
+            assert!(out.contains("safety violations : 0"), "{channel}: {out}");
+        }
+    }
+
+    #[test]
+    fn sweep_with_mix_is_jobs_invariant() {
+        let a = run_cli(argv(
+            "sweep --alg a2 --topo random:10:3 --horizon 6000 --seeds 2 --mix 0.5:0.25 --jobs 1",
+        ))
+        .unwrap();
+        let b = run_cli(argv(
+            "sweep --alg a2 --topo random:10:3 --horizon 6000 --seeds 2 --mix 0.5:0.25 --jobs 4",
+        ))
+        .unwrap();
+        assert_eq!(a.replace("1 jobs", "N jobs"), b.replace("4 jobs", "N jobs"));
+        assert!(a.contains("A2"), "{a}");
+    }
+
+    #[test]
+    fn bench_channel_writes_the_matrix() {
+        let dir = std::env::temp_dir().join("lme-cli-test-bench-channel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("channel.json");
+        let out = run_cli(argv(&format!(
+            "bench channel --alg a2 --horizon 6000 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("results written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        for model in [
+            "iid",
+            "constant-bandwidth",
+            "shared-medium",
+            "gilbert-elliott",
+        ] {
+            assert!(json.contains(&format!("\"model\": \"{model}\"")), "{json}");
+        }
+        for topo in ["clique:8", "ring:8"] {
+            assert!(json.contains(&format!("\"topo\": \"{topo}\"")), "{json}");
+        }
+        assert!(json.matches("\"violations\": 0").count() == 8, "{json}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! locality.
 
 use manet_sim::{
-    CrashWave, DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow, SimTime,
+    ChannelConfig, CrashWave, DelayAdversary, FaultPlan, LinkFaults, NodeId, PartitionWindow,
+    SimTime,
 };
 
 use crate::runner::{run_algorithm, AlgKind, RunOutcome, RunSpec};
@@ -141,6 +142,14 @@ pub enum FaultClass {
     /// shim (see `manet_sim::ArqConfig`) can restore liveness under this
     /// class; without it, runs are expected to stall.
     SustainedLoss(f64),
+    /// Correlated (bursty) loss on *every* link for the entire run: the
+    /// Gilbert–Elliott channel model with its chaos defaults (see
+    /// `manet_sim::ChannelConfig::burst_loss_default`). Where
+    /// `SustainedLoss` drops frames independently, bursts black a link out
+    /// for several consecutive frames — the regime ARQ retransmission
+    /// timers find hardest. Not expressible as a [`FaultPlan`]; probes and
+    /// the chaos runner arm the channel model instead.
+    BurstLoss,
     /// Duplicate each message on the victim's links with this probability.
     Duplication(f64),
     /// Sever every link between the victim and the rest, then heal.
@@ -158,6 +167,7 @@ impl FaultClass {
             FaultClass::Recover => "recover",
             FaultClass::Loss(_) => "windowed-loss",
             FaultClass::SustainedLoss(_) => "sustained-loss",
+            FaultClass::BurstLoss => "burst-loss",
             FaultClass::Duplication(_) => "windowed-duplication",
             FaultClass::Partition => "partition",
             FaultClass::MaxDelay => "max-delay",
@@ -169,7 +179,10 @@ impl FaultClass {
     pub fn in_model(&self) -> bool {
         !matches!(
             self,
-            FaultClass::Loss(_) | FaultClass::SustainedLoss(_) | FaultClass::Duplication(_)
+            FaultClass::Loss(_)
+                | FaultClass::SustainedLoss(_)
+                | FaultClass::BurstLoss
+                | FaultClass::Duplication(_)
         )
     }
 
@@ -181,6 +194,9 @@ impl FaultClass {
         let targets = Some(vec![victim]);
         match *self {
             FaultClass::Crash => FaultPlan::default(),
+            // Burst loss lives in the channel model, not the fault plan;
+            // callers arm `SimConfig::channel` instead (see `fault_probe`).
+            FaultClass::BurstLoss => FaultPlan::default(),
             FaultClass::Recover => FaultPlan {
                 crash_waves: vec![CrashWave {
                     at: window.0,
@@ -335,6 +351,7 @@ pub fn fault_probe(
     let mut faulted = spec.clone();
     match class {
         FaultClass::Crash => faulted.crash_eating = Some((victim, fault_at)),
+        FaultClass::BurstLoss => faulted.sim.channel = ChannelConfig::burst_loss_default(),
         _ => faulted.sim.fault = class.plan(victim, (fault_at, quiesce)),
     }
     let outcome = run_algorithm(kind, &faulted, positions, &[]);
@@ -503,13 +520,20 @@ mod tests {
         }
         assert!(!FaultClass::Loss(0.1).in_model());
         assert!(!FaultClass::SustainedLoss(0.3).in_model());
+        assert!(!FaultClass::BurstLoss.in_model());
         assert!(FaultClass::Partition.in_model());
         assert_eq!(FaultClass::Loss(0.1).label(), "windowed-loss");
         assert_eq!(FaultClass::SustainedLoss(0.3).label(), "sustained-loss");
+        assert_eq!(FaultClass::BurstLoss.label(), "burst-loss");
         assert!(FaultClass::SustainedLoss(0.3)
             .plan(NodeId(3), (0, 100))
             .partitions
             .is_empty());
+        // Burst loss is channel-armed, not plan-armed.
+        assert_eq!(
+            FaultClass::BurstLoss.plan(NodeId(3), (0, 100)),
+            FaultPlan::default()
+        );
     }
 
     #[test]

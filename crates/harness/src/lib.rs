@@ -5,7 +5,8 @@
 //! * [`topology`] — line / ring / grid / clique / random unit-disk layouts;
 //! * [`workload`] — cyclic and one-shot hungry/eat drivers (the model's
 //!   application layer, with eating time ≤ τ);
-//! * [`mobility`] — random-waypoint movement scripts;
+//! * [`mobility`] — random-waypoint movement scripts and heterogeneous
+//!   mobility mixes (static-core + highway + group waypoint);
 //! * [`metrics`] — response-time samples (with per-episode static/moved
 //!   flags, matching Definition 1 of the paper), meals, starvation probes;
 //! * [`safety`] — the local-mutual-exclusion invariant checker, evaluated
@@ -46,7 +47,7 @@ pub use failure_locality::{
     FlReport,
 };
 pub use metrics::{Metrics, MetricsData, Sample};
-pub use mobility::WaypointPlan;
+pub use mobility::{MobilityMix, NodeClass, WaypointPlan};
 pub use report::{AggregateRow, RunReport, SweepReport};
 pub use runner::{
     run_algorithm, run_algorithm_graph, run_algorithm_with_strategy, run_protocol,

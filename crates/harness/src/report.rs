@@ -74,6 +74,16 @@ pub struct RunReport {
     /// Largest number of unacknowledged frames buffered on any directed
     /// link by the ARQ shim.
     pub buffer_high_water: u64,
+    /// Frames the channel model queued behind other traffic (0 with the
+    /// default i.i.d. channel).
+    pub frames_queued: u64,
+    /// Peak channel transmit-queue depth (per directed link or per
+    /// neighborhood, depending on the model).
+    pub queue_peak: u64,
+    /// Gilbert–Elliott burst-chain state transitions.
+    pub burst_transitions: u64,
+    /// Frames lost by the channel itself (burst loss).
+    pub frames_lost: u64,
     /// Raw static-episode response times, kept for pooled aggregation
     /// (not serialized).
     pub static_responses: Vec<u64>,
@@ -122,6 +132,10 @@ impl RunReport {
             acks_sent: outcome.stats.shim.acks_sent,
             recoveries: outcome.stats.faults.recoveries,
             buffer_high_water: outcome.stats.shim.buffer_high_water,
+            frames_queued: outcome.stats.channel.frames_queued,
+            queue_peak: outcome.stats.channel.queue_peak,
+            burst_transitions: outcome.stats.channel.burst_transitions,
+            frames_lost: outcome.stats.channel.frames_lost,
             static_responses,
             all_responses,
         }
@@ -137,7 +151,8 @@ impl RunReport {
              \"violations\":{},\"rt_static\":{},\"rt_all\":{},\"jain\":{},\
              \"starving\":{},\"locality\":{},\"faults\":{},\"msg_complexity\":{},\
              \"abort\":{},\"retransmissions\":{},\"acks_sent\":{},\
-             \"recoveries\":{},\"buffer_high_water\":{}}}",
+             \"recoveries\":{},\"buffer_high_water\":{},\"frames_queued\":{},\
+             \"queue_peak\":{},\"burst_transitions\":{},\"frames_lost\":{}}}",
             json_str(&self.label),
             json_str(self.alg),
             self.seed,
@@ -168,6 +183,10 @@ impl RunReport {
             self.acks_sent,
             self.recoveries,
             self.buffer_high_water,
+            self.frames_queued,
+            self.queue_peak,
+            self.burst_transitions,
+            self.frames_lost,
         )
     }
 }
@@ -458,6 +477,10 @@ mod tests {
             acks_sent: 0,
             recoveries: 0,
             buffer_high_water: 0,
+            frames_queued: 0,
+            queue_peak: 0,
+            burst_transitions: 0,
+            frames_lost: 0,
             static_responses: responses.clone(),
             all_responses: responses,
         };
@@ -501,6 +524,10 @@ mod tests {
             acks_sent: 1,
             recoveries: 1,
             buffer_high_water: 3,
+            frames_queued: 0,
+            queue_peak: 0,
+            burst_transitions: 0,
+            frames_lost: 0,
             static_responses: vec![4, 6],
             all_responses: vec![4, 6],
         };
@@ -525,7 +552,8 @@ mod tests {
         ));
         assert!(line.ends_with(
             ",\"abort\":null,\"retransmissions\":2,\"acks_sent\":1,\
-             \"recoveries\":1,\"buffer_high_water\":3}"
+             \"recoveries\":1,\"buffer_high_water\":3,\"frames_queued\":0,\
+             \"queue_peak\":0,\"burst_transitions\":0,\"frames_lost\":0}"
         ));
         let aborted = RunReport {
             abort: Some("event budget exceeded (100 events): livelock?".into()),
@@ -535,5 +563,30 @@ mod tests {
             ",\"abort\":\"event budget exceeded (100 events): livelock?\",\
              \"retransmissions\":"
         ));
+
+        // Prefix-stability against the PR-7 on-disk format: the exact line
+        // the previous release emitted for this report must reappear
+        // verbatim as a prefix, with the channel counters suffix-appended —
+        // consumers keyed on the old keys keep working untouched.
+        let pr7_fixture = "{\"label\":\"line8\",\"alg\":\"A2\",\"seed\":7,\"n\":8,\
+             \"horizon\":1000,\"meals\":3,\"messages_sent\":12,\"messages_delivered\":11,\
+             \"dropped_at_send\":1,\"dropped_in_flight\":0,\"events\":99,\"violations\":0,\
+             \"rt_static\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6},\
+             \"rt_all\":{\"count\":2,\"mean\":5,\"p50\":4,\"p95\":4,\"max\":6},\"jain\":0.5,\
+             \"starving\":0,\"locality\":null,\"faults\":{\"dropped\":0,\"duplicated\":0,\
+             \"delayed\":0,\"max_delay_forced\":0,\"crashes\":0,\"partitions\":0,\"heals\":0},\
+             \"msg_complexity\":{\"count\":2,\"mean\":7,\"p50\":5,\"p95\":5,\"max\":9},\
+             \"abort\":null,\"retransmissions\":2,\"acks_sent\":1,\"recoveries\":1,\
+             \"buffer_high_water\":3}";
+        let pr7_prefix = pr7_fixture.strip_suffix('}').unwrap();
+        assert!(
+            line.starts_with(pr7_prefix),
+            "PR-7 JSONL keys must survive byte-for-byte as a prefix"
+        );
+        assert_eq!(
+            &line[pr7_prefix.len()..],
+            ",\"frames_queued\":0,\"queue_peak\":0,\"burst_transitions\":0,\"frames_lost\":0}",
+            "channel keys must be appended strictly after the PR-7 suffix"
+        );
     }
 }

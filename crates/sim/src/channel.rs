@@ -1,0 +1,790 @@
+//! Pluggable channel models: what maps a physical send to a delivery time.
+//!
+//! The paper proves its bounds over clean FIFO links whose delay is an
+//! i.i.d. draw in `[min_delay, ν]`. Real MANETs have finite link capacity,
+//! shared-medium contention and correlated (bursty) loss. This module
+//! supplies four models, selected by [`crate::SimConfig::channel`]:
+//!
+//! * [`ChannelConfig::Iid`] — the historical i.i.d. draw, the default.
+//! * [`ChannelConfig::ConstantBandwidth`] — per-directed-link
+//!   serialization: each frame occupies its link for a fixed transmit
+//!   time, frames queue FIFO behind in-flight ones, and queueing delay is
+//!   *emergent* (bounded by [`crate::RunAbort::ChannelQueueOverflow`]).
+//! * [`ChannelConfig::SharedMedium`] — each node's radio neighborhood is
+//!   a shared-rate resource: every in-flight frame is served at a
+//!   fair-share rate, reallocated on the start and finish of each frame
+//!   (in the style of dslab-network / queueing-party shared resources),
+//!   so dense cliques contend while sparse rings barely do.
+//! * [`ChannelConfig::GilbertElliott`] — a two-state burst-loss chain per
+//!   directed link, stepped once per frame from a *dedicated* RNG stream.
+//!
+//! Determinism contract (mirrors the ARQ shim's):
+//!
+//! * With `channel: Iid` (the default) the engine's behavior — random
+//!   streams, traces, digests, stats, JSONL — is bit-for-bit identical to
+//!   a build without this module (pinned by `tests/channel_models.rs`).
+//! * Non-default models draw only from a dedicated channel RNG stream
+//!   seeded from the run seed; the engine's own stream and the fault
+//!   adversary's stream are never perturbed. A Gilbert–Elliott chain whose
+//!   parameters make it all-good therefore leaves traces unchanged.
+//! * An injected schedule [`crate::sched::Strategy`] takes precedence
+//!   over any channel model: the model checker and witness replays pick
+//!   every delay themselves and must not contend with a channel.
+//!
+//! Channel state is scoped to the link incarnation exactly like the
+//! engine's FIFO floors and the shim's slots: a flap (mobility, partition,
+//! crash recovery) kills queues and chain state with the epoch.
+
+use std::collections::VecDeque;
+
+use crate::ids::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Which channel model maps each physical frame to a delivery time (or a
+/// loss). See the module docs for the semantics of each variant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum ChannelConfig {
+    /// The paper's model and the historical default: every frame's delay
+    /// is an independent uniform draw in `[min_delay, ν]` from the
+    /// engine's own stream.
+    #[default]
+    Iid,
+    /// Per-directed-link serialization delay with a FIFO transmit queue.
+    ConstantBandwidth {
+        /// Ticks one frame occupies the link (serialization time). Must
+        /// lie inside the legal `[min_delay, ν]` window at runtime or the
+        /// run aborts with [`crate::RunAbort::DelayOutOfWindow`].
+        ticks_per_frame: u64,
+        /// Maximum frames in flight or queued per directed link; overflow
+        /// aborts with [`crate::RunAbort::ChannelQueueOverflow`].
+        max_queue: usize,
+    },
+    /// Per-node radio neighborhood as a shared-rate resource with
+    /// fair-share reallocation on every frame start/finish.
+    SharedMedium {
+        /// Ticks one frame takes at full (uncontended) rate. Must lie
+        /// inside the legal `[min_delay, ν]` window at runtime.
+        ticks_per_frame: u64,
+        /// Maximum concurrent frames audible in any sender's neighborhood;
+        /// overflow aborts with [`crate::RunAbort::ChannelQueueOverflow`].
+        max_inflight: usize,
+    },
+    /// Two-state (good/bad) burst-loss chain per directed link, stepped
+    /// once per frame; delay stays the i.i.d. draw.
+    GilbertElliott {
+        /// Per-frame probability of leaving the good state.
+        p_good_to_bad: f64,
+        /// Per-frame probability of leaving the bad state.
+        p_bad_to_good: f64,
+        /// Frame-loss probability while the chain is good.
+        loss_good: f64,
+        /// Frame-loss probability while the chain is bad.
+        loss_bad: f64,
+    },
+}
+
+impl ChannelConfig {
+    /// Stable machine-readable name of the model (used in abort payloads,
+    /// bench output and CLI specs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChannelConfig::Iid => "iid",
+            ChannelConfig::ConstantBandwidth { .. } => "constant-bandwidth",
+            ChannelConfig::SharedMedium { .. } => "shared-medium",
+            ChannelConfig::GilbertElliott { .. } => "gilbert-elliott",
+        }
+    }
+
+    /// Whether this is the default i.i.d. model (no channel state at all).
+    pub fn is_iid(&self) -> bool {
+        matches!(self, ChannelConfig::Iid)
+    }
+
+    /// The Gilbert–Elliott parameters the `chaos` burst-loss class uses:
+    /// short bad bursts (mean 4 frames) that black the link out entirely,
+    /// ≈ 17 % stationary loss — correlated where sustained loss is i.i.d.
+    pub fn burst_loss_default() -> ChannelConfig {
+        ChannelConfig::GilbertElliott {
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.25,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+
+    /// Validate the invariants of the configuration.
+    ///
+    /// Deliberately *not* checked here: whether a transmit time fits the
+    /// run's `[min_delay, ν]` window — that depends on the rest of the
+    /// [`crate::SimConfig`] and is enforced at runtime with a structured
+    /// [`crate::RunAbort::DelayOutOfWindow`] instead of a silent clamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, p: f64| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!(
+                    "channel.{name} ({p}) must be a probability in [0, 1]"
+                ));
+            }
+            Ok(())
+        };
+        match *self {
+            ChannelConfig::Iid => Ok(()),
+            ChannelConfig::ConstantBandwidth {
+                ticks_per_frame,
+                max_queue,
+            } => {
+                if ticks_per_frame == 0 {
+                    return Err("channel.ticks_per_frame must be ≥ 1".into());
+                }
+                if max_queue == 0 {
+                    return Err("channel.max_queue must be ≥ 1".into());
+                }
+                Ok(())
+            }
+            ChannelConfig::SharedMedium {
+                ticks_per_frame,
+                max_inflight,
+            } => {
+                if ticks_per_frame == 0 {
+                    return Err("channel.ticks_per_frame must be ≥ 1".into());
+                }
+                if max_inflight == 0 {
+                    return Err("channel.max_inflight must be ≥ 1".into());
+                }
+                Ok(())
+            }
+            ChannelConfig::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                prob("p_good_to_bad", p_good_to_bad)?;
+                prob("p_bad_to_good", p_bad_to_good)?;
+                prob("loss_good", loss_good)?;
+                prob("loss_bad", loss_bad)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Parse a CLI channel spec:
+    ///
+    /// * `iid`
+    /// * `bandwidth:<ticks_per_frame>[:<max_queue>]`
+    /// * `shared:<ticks_per_frame>[:<max_inflight>]`
+    /// * `gilbert:<p_good_to_bad>:<p_bad_to_good>[:<loss_good>:<loss_bad>]`
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the malformed field.
+    pub fn parse(spec: &str) -> Result<ChannelConfig, String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        let int = |s: &str, name: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|_| format!("channel spec: bad {name} '{s}'"))
+        };
+        let prob = |s: &str, name: &str| -> Result<f64, String> {
+            s.parse::<f64>()
+                .map_err(|_| format!("channel spec: bad {name} '{s}'"))
+        };
+        let cfg = match head {
+            "iid" => {
+                if !rest.is_empty() {
+                    return Err("channel spec: iid takes no parameters".into());
+                }
+                ChannelConfig::Iid
+            }
+            "bandwidth" => {
+                if rest.is_empty() || rest.len() > 2 {
+                    return Err("channel spec: bandwidth:<ticks_per_frame>[:<max_queue>]".into());
+                }
+                ChannelConfig::ConstantBandwidth {
+                    ticks_per_frame: int(rest[0], "ticks_per_frame")?,
+                    max_queue: rest
+                        .get(1)
+                        .map_or(Ok(64), |s| int(s, "max_queue").map(|v| v as usize))?,
+                }
+            }
+            "shared" => {
+                if rest.is_empty() || rest.len() > 2 {
+                    return Err("channel spec: shared:<ticks_per_frame>[:<max_inflight>]".into());
+                }
+                ChannelConfig::SharedMedium {
+                    ticks_per_frame: int(rest[0], "ticks_per_frame")?,
+                    max_inflight: rest
+                        .get(1)
+                        .map_or(Ok(64), |s| int(s, "max_inflight").map(|v| v as usize))?,
+                }
+            }
+            "gilbert" => {
+                if rest.len() != 2 && rest.len() != 4 {
+                    return Err(
+                        "channel spec: gilbert:<p_g2b>:<p_b2g>[:<loss_good>:<loss_bad>]".into(),
+                    );
+                }
+                ChannelConfig::GilbertElliott {
+                    p_good_to_bad: prob(rest[0], "p_good_to_bad")?,
+                    p_bad_to_good: prob(rest[1], "p_bad_to_good")?,
+                    loss_good: rest.get(2).map_or(Ok(0.0), |s| prob(s, "loss_good"))?,
+                    loss_bad: rest.get(3).map_or(Ok(1.0), |s| prob(s, "loss_bad"))?,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown channel model '{other}' (iid, bandwidth, shared, gilbert)"
+                ))
+            }
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Counters of channel-model activity over a run (all zero with the
+/// default i.i.d. model). Lives inside [`crate::EngineStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames that had to wait behind other traffic before transmitting
+    /// (constant-bandwidth: link busy at send; shared-medium: another
+    /// frame already audible in the sender's neighborhood).
+    pub frames_queued: u64,
+    /// Largest number of frames ever simultaneously queued or in flight
+    /// on one directed link (constant-bandwidth) or audible in one
+    /// sender's neighborhood (shared-medium).
+    pub queue_peak: u64,
+    /// Gilbert–Elliott chain state changes (good→bad plus bad→good)
+    /// across all directed links.
+    pub burst_transitions: u64,
+    /// Frames the channel itself lost (burst loss; distinct from the
+    /// fault adversary's drops and from in-flight link deaths).
+    pub frames_lost: u64,
+}
+
+/// Per-directed-link serialization state of the constant-bandwidth model,
+/// valid for one link incarnation (lazy reset on epoch mismatch, exactly
+/// like the engine's FIFO slots and the shim's send slots).
+#[derive(Clone, Debug)]
+pub(crate) struct CbSlot {
+    pub epoch: u64,
+    /// Instant the link finishes its last accepted frame.
+    pub busy_until: SimTime,
+    /// Scheduled completion instants of accepted frames, oldest first;
+    /// entries at or before `now` have left the link.
+    pub inflight: VecDeque<SimTime>,
+}
+
+impl CbSlot {
+    fn fresh(epoch: u64) -> CbSlot {
+        CbSlot {
+            epoch,
+            busy_until: SimTime::ZERO,
+            inflight: VecDeque::new(),
+        }
+    }
+}
+
+/// Per-directed-link Gilbert–Elliott chain state (same incarnation
+/// scoping as [`CbSlot`]; a reconnected link restarts in the good state).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct GeSlot {
+    pub epoch: u64,
+    pub bad: bool,
+}
+
+impl GeSlot {
+    fn fresh(epoch: u64) -> GeSlot {
+        GeSlot { epoch, bad: false }
+    }
+}
+
+/// One in-flight shared-medium frame: the wire payload it will become on
+/// completion plus its fair-share service state.
+pub(crate) struct Flight<W> {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Link incarnation captured at send; stale incarnations drop at
+    /// delivery exactly like every other in-flight frame.
+    pub link_epoch: u64,
+    pub wire: W,
+    /// Remaining work in ticks-at-full-rate.
+    pub remaining: f64,
+    /// Current fair-share service rate (work per tick), recomputed on
+    /// every frame start/finish.
+    pub rate: f64,
+    /// Extra delivery delay the fault adversary imposed at send (skew).
+    pub extra_delay: u64,
+    /// The nodes that hear this transmission: the sender's closed
+    /// neighborhood at send time.
+    pub span: Vec<NodeId>,
+}
+
+/// Work below this threshold counts as complete (absorbs f64 rounding in
+/// the fair-share integration).
+const SM_EPS: f64 = 1e-9;
+
+/// Fair-share service rates for a set of concurrent transmissions.
+///
+/// `spans[i]` is the set of nodes that hear transmission `i` (the
+/// sender's closed neighborhood). Each node is a radio of capacity
+/// `capacity` (work per tick); transmission `i` is served at
+/// `capacity / max_load(i)` where `max_load(i)` is the largest number of
+/// concurrent transmissions audible at any node in `spans[i]`.
+///
+/// This allocation conserves capacity *per neighborhood*: for every node
+/// `x`, the instantaneous rates of all transmissions audible at `x` sum
+/// to at most `capacity` (each such transmission is served no faster than
+/// `capacity / load(x)`, and there are exactly `load(x)` of them). The
+/// property battery in `tests/channel_models.rs` pins this.
+pub fn fair_share_rates(n: usize, spans: &[Vec<NodeId>], capacity: f64) -> Vec<f64> {
+    let mut load = vec![0u32; n];
+    for span in spans {
+        for x in span {
+            load[x.index()] += 1;
+        }
+    }
+    spans
+        .iter()
+        .map(|span| {
+            let worst = span.iter().map(|x| load[x.index()]).max().unwrap_or(1);
+            capacity / worst.max(1) as f64
+        })
+        .collect()
+}
+
+/// Engine-side channel state: the model parameters plus dense
+/// per-directed-link slot tables (indexed `from * n + to`, like the
+/// engine's `LinkTable`) and the shared-medium flight set. `W` is the
+/// engine's wire-frame type.
+pub(crate) struct ChannelState<W> {
+    n: usize,
+    pub cfg: ChannelConfig,
+    /// Dedicated stream for channel decisions (burst-loss chain steps),
+    /// so channel models never perturb the engine's or the fault
+    /// adversary's streams.
+    pub rng: SimRng,
+    /// Constant-bandwidth serialization slots (empty unless that model).
+    cb: Vec<CbSlot>,
+    /// Gilbert–Elliott chain slots (empty unless that model).
+    ge: Vec<GeSlot>,
+    /// Shared-medium in-flight frames, in send order.
+    pub flights: Vec<Flight<W>>,
+    /// Instant the flights' `remaining` fields were last integrated to.
+    last_update: SimTime,
+    /// Generation of the armed completion-scan event; stale events
+    /// (superseded by a reallocation) carry an older generation and no-op.
+    pub gen: u64,
+}
+
+impl<W> ChannelState<W> {
+    /// Build the runtime state for `cfg`, or `None` for the default
+    /// i.i.d. model (which keeps no state at all — the engine's fast path
+    /// must not even allocate).
+    pub fn new(n: usize, cfg: &ChannelConfig, run_seed: u64) -> Option<ChannelState<W>> {
+        if cfg.is_iid() {
+            return None;
+        }
+        let cb = match cfg {
+            ChannelConfig::ConstantBandwidth { .. } => {
+                (0..n * n).map(|_| CbSlot::fresh(0)).collect()
+            }
+            _ => Vec::new(),
+        };
+        let ge = match cfg {
+            ChannelConfig::GilbertElliott { .. } => vec![GeSlot::fresh(0); n * n],
+            _ => Vec::new(),
+        };
+        Some(ChannelState {
+            n,
+            cfg: cfg.clone(),
+            rng: SimRng::seed_from_u64(channel_seed(run_seed)),
+            cb,
+            ge,
+            flights: Vec::new(),
+            last_update: SimTime::ZERO,
+            gen: 0,
+        })
+    }
+
+    /// Constant-bandwidth slot of the `from → to` link in incarnation
+    /// `epoch`, lazily reset when the recorded state belongs to a dead
+    /// incarnation.
+    pub fn cb_slot(&mut self, from: NodeId, to: NodeId, epoch: u64) -> &mut CbSlot {
+        let i = from.index() * self.n + to.index();
+        let slot = &mut self.cb[i];
+        if slot.epoch != epoch {
+            *slot = CbSlot::fresh(epoch);
+        }
+        slot
+    }
+
+    /// Step the `from → to` Gilbert–Elliott chain one frame: maybe flip
+    /// state, then draw the loss. Returns `(transitioned, lost)`. Both
+    /// draws come from the dedicated channel stream and happen on every
+    /// frame, so the stream's consumption is a pure function of the frame
+    /// count — and an all-good chain changes nothing observable.
+    pub fn ge_step(&mut self, from: NodeId, to: NodeId, epoch: u64) -> (bool, bool) {
+        let ChannelConfig::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            loss_bad,
+        } = self.cfg
+        else {
+            return (false, false);
+        };
+        let i = from.index() * self.n + to.index();
+        if self.ge[i].epoch != epoch {
+            self.ge[i] = GeSlot::fresh(epoch);
+        }
+        let was_bad = self.ge[i].bad;
+        let flip = self.rng.gen_bool(if was_bad {
+            p_bad_to_good
+        } else {
+            p_good_to_bad
+        });
+        let bad = was_bad ^ flip;
+        self.ge[i].bad = bad;
+        let lost = self.rng.gen_bool(if bad { loss_bad } else { loss_good });
+        (flip, lost)
+    }
+
+    /// Full-rate capacity of the shared medium. Work is measured in
+    /// full-rate ticks (a frame carries `ticks_per_frame` units), so the
+    /// uncontended rate is one unit per tick and contention divides it.
+    fn sm_capacity(&self) -> f64 {
+        1.0
+    }
+
+    /// Integrate every flight's remaining work up to `now` at the rates
+    /// in force since the last event.
+    pub fn sm_advance(&mut self, now: SimTime) {
+        let dt = now.0.saturating_sub(self.last_update.0) as f64;
+        if dt > 0.0 {
+            for f in &mut self.flights {
+                f.remaining -= dt * f.rate;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Reallocate fair-share rates across all in-flight frames (called on
+    /// every start and finish).
+    pub fn sm_reallocate(&mut self) {
+        let cap = self.sm_capacity();
+        let mut load = vec![0u32; self.n];
+        for f in &self.flights {
+            for x in &f.span {
+                load[x.index()] += 1;
+            }
+        }
+        for f in &mut self.flights {
+            let worst = f.span.iter().map(|x| load[x.index()]).max().unwrap_or(1);
+            f.rate = cap / worst.max(1) as f64;
+        }
+    }
+
+    /// Number of in-flight frames audible in the closed neighborhood
+    /// `span` (its would-be contention level).
+    pub fn sm_audible(&self, span: &[NodeId]) -> usize {
+        self.flights
+            .iter()
+            .filter(|f| span.contains(&f.from))
+            .count()
+    }
+
+    /// Enqueue one frame: integrate to `now`, add the flight, reallocate.
+    pub fn sm_enqueue(&mut self, flight: Flight<W>, now: SimTime) {
+        self.sm_advance(now);
+        self.flights.push(flight);
+        self.sm_reallocate();
+    }
+
+    /// Earliest instant any flight could complete at current rates, or
+    /// `None` when the medium is idle. Completion estimates are ceilinged
+    /// to whole ticks; arrivals in between reallocate and supersede them.
+    pub fn sm_eta(&self, now: SimTime) -> Option<SimTime> {
+        self.flights
+            .iter()
+            .map(|f| {
+                if f.remaining <= SM_EPS {
+                    now
+                } else {
+                    now + (f.remaining / f.rate).ceil().max(1.0) as u64
+                }
+            })
+            .min()
+    }
+
+    /// Integrate to `now` and drain every completed flight (in send
+    /// order); reallocates if anything finished.
+    pub fn sm_take_completed(&mut self, now: SimTime) -> Vec<Flight<W>> {
+        self.sm_advance(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.flights.len() {
+            if self.flights[i].remaining <= SM_EPS {
+                done.push(self.flights.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.sm_reallocate();
+        }
+        done
+    }
+}
+
+/// Seed of the dedicated channel RNG: a salt of the run seed, so distinct
+/// runs explore distinct burst schedules with no extra configuration.
+pub(crate) fn channel_seed(run_seed: u64) -> u64 {
+    run_seed ^ 0x0C8A_77E1_C4A7_5EED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_iid_and_valid() {
+        let cfg = ChannelConfig::default();
+        assert!(cfg.is_iid());
+        assert_eq!(cfg.name(), "iid");
+        cfg.validate().unwrap();
+        assert!(ChannelState::<u64>::new(4, &cfg, 7).is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_every_model() {
+        assert_eq!(ChannelConfig::parse("iid").unwrap(), ChannelConfig::Iid);
+        assert_eq!(
+            ChannelConfig::parse("bandwidth:3").unwrap(),
+            ChannelConfig::ConstantBandwidth {
+                ticks_per_frame: 3,
+                max_queue: 64,
+            }
+        );
+        assert_eq!(
+            ChannelConfig::parse("bandwidth:2:8").unwrap(),
+            ChannelConfig::ConstantBandwidth {
+                ticks_per_frame: 2,
+                max_queue: 8,
+            }
+        );
+        assert_eq!(
+            ChannelConfig::parse("shared:4").unwrap(),
+            ChannelConfig::SharedMedium {
+                ticks_per_frame: 4,
+                max_inflight: 64,
+            }
+        );
+        assert_eq!(
+            ChannelConfig::parse("gilbert:0.1:0.4").unwrap(),
+            ChannelConfig::GilbertElliott {
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 0.4,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }
+        );
+        for bad in [
+            "warp",
+            "bandwidth",
+            "bandwidth:0",
+            "bandwidth:2:0",
+            "shared:x",
+            "gilbert:0.1",
+            "gilbert:2.0:0.5",
+            "iid:3",
+        ] {
+            assert!(ChannelConfig::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters() {
+        assert!(ChannelConfig::ConstantBandwidth {
+            ticks_per_frame: 0,
+            max_queue: 4,
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelConfig::SharedMedium {
+            ticks_per_frame: 2,
+            max_inflight: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelConfig::GilbertElliott {
+            p_good_to_bad: f64::NAN,
+            p_bad_to_good: 0.5,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+        .validate()
+        .is_err());
+        ChannelConfig::burst_loss_default().validate().unwrap();
+    }
+
+    #[test]
+    fn cb_slots_reset_lazily_on_epoch_change() {
+        let cfg = ChannelConfig::ConstantBandwidth {
+            ticks_per_frame: 2,
+            max_queue: 4,
+        };
+        let mut st = ChannelState::<u64>::new(2, &cfg, 7).unwrap();
+        let (a, b) = (NodeId(0), NodeId(1));
+        let slot = st.cb_slot(a, b, 0);
+        slot.busy_until = SimTime(40);
+        slot.inflight.push_back(SimTime(40));
+        assert_eq!(st.cb_slot(a, b, 0).inflight.len(), 1, "same incarnation");
+        let slot = st.cb_slot(a, b, 2);
+        assert_eq!(slot.busy_until, SimTime::ZERO, "flap clears the queue");
+        assert!(slot.inflight.is_empty());
+    }
+
+    #[test]
+    fn ge_chain_is_deterministic_and_counts_transitions() {
+        let cfg = ChannelConfig::GilbertElliott {
+            p_good_to_bad: 0.3,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let run = || {
+            let mut st = ChannelState::<u64>::new(2, &cfg, 7).unwrap();
+            (0..200)
+                .map(|_| st.ge_step(NodeId(0), NodeId(1), 0))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "chain must replay from its seed");
+        let transitions = a.iter().filter(|(t, _)| *t).count();
+        let losses = a.iter().filter(|(_, l)| *l).count();
+        assert!(transitions > 0, "chain never moved");
+        assert!(losses > 0, "bad state never lost a frame");
+        // Good-state frames are never lost with loss_good = 0, so losses
+        // only happen inside bursts.
+        assert!(losses < 200);
+    }
+
+    #[test]
+    fn all_good_chain_never_loses() {
+        let cfg = ChannelConfig::GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut st = ChannelState::<u64>::new(2, &cfg, 9).unwrap();
+        for _ in 0..500 {
+            let (flip, lost) = st.ge_step(NodeId(0), NodeId(1), 0);
+            assert!(!flip && !lost);
+        }
+    }
+
+    #[test]
+    fn fair_share_conserves_capacity_per_neighborhood() {
+        // Three overlapping transmissions on a 4-node line 0-1-2-3:
+        // spans are closed neighborhoods of the senders.
+        let spans = vec![
+            vec![NodeId(0), NodeId(1)],            // 0 transmits
+            vec![NodeId(0), NodeId(1), NodeId(2)], // 1 transmits
+            vec![NodeId(1), NodeId(2), NodeId(3)], // 2 transmits
+        ];
+        let cap = 0.5;
+        let rates = fair_share_rates(4, &spans, cap);
+        assert_eq!(rates.len(), 3);
+        for x in 0..4u32 {
+            let audible: f64 = spans
+                .iter()
+                .zip(&rates)
+                .filter(|(s, _)| s.contains(&NodeId(x)))
+                .map(|(_, r)| *r)
+                .sum();
+            assert!(
+                audible <= cap + 1e-12,
+                "node {x} hears {audible} > capacity {cap}"
+            );
+        }
+        // A lone transmission gets the full rate.
+        assert_eq!(
+            fair_share_rates(4, &[vec![NodeId(0), NodeId(1)]], cap),
+            vec![cap]
+        );
+    }
+
+    #[test]
+    fn shared_medium_serves_and_completes_fairly() {
+        let cfg = ChannelConfig::SharedMedium {
+            ticks_per_frame: 4,
+            max_inflight: 8,
+        };
+        let mut st = ChannelState::<u64>::new(2, &cfg, 7).unwrap();
+        let span = vec![NodeId(0), NodeId(1)];
+        let mk = |wire: u64| Flight {
+            from: NodeId(0),
+            to: NodeId(1),
+            link_epoch: 0,
+            wire,
+            remaining: 4.0,
+            rate: 0.0,
+            extra_delay: 0,
+            span: span.clone(),
+        };
+        // Lone frame: full rate, completes after ticks_per_frame.
+        st.sm_enqueue(mk(1), SimTime(0));
+        assert_eq!(st.sm_eta(SimTime(0)), Some(SimTime(4)));
+        // A second audible frame halves both rates.
+        st.sm_enqueue(mk(2), SimTime(2));
+        let eta = st.sm_eta(SimTime(2)).unwrap();
+        assert!(
+            eta > SimTime(4),
+            "contention must stretch completion: {eta:?}"
+        );
+        assert!(st.sm_take_completed(SimTime(2)).is_empty());
+        let done = st.sm_take_completed(eta);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].wire, 1, "FIFO: the older frame finishes first");
+        // The survivor speeds back up to the full rate and finishes.
+        let eta2 = st.sm_eta(eta).unwrap();
+        let done = st.sm_take_completed(eta2);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].wire, 2);
+        assert!(st.flights.is_empty());
+        assert_eq!(st.sm_eta(eta2), None);
+    }
+
+    #[test]
+    fn sm_audible_counts_only_overlapping_senders() {
+        let cfg = ChannelConfig::SharedMedium {
+            ticks_per_frame: 2,
+            max_inflight: 8,
+        };
+        let mut st = ChannelState::<u64>::new(4, &cfg, 7).unwrap();
+        st.sm_enqueue(
+            Flight {
+                from: NodeId(0),
+                to: NodeId(1),
+                link_epoch: 0,
+                wire: 1,
+                remaining: 2.0,
+                rate: 0.0,
+                extra_delay: 0,
+                span: vec![NodeId(0), NodeId(1)],
+            },
+            SimTime(0),
+        );
+        assert_eq!(st.sm_audible(&[NodeId(0), NodeId(1)]), 1);
+        assert_eq!(st.sm_audible(&[NodeId(2), NodeId(3)]), 0);
+    }
+}

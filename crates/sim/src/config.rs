@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::channel::ChannelConfig;
 use crate::fault::FaultPlan;
 use crate::shim::ArqConfig;
 use crate::time::SimTime;
@@ -53,6 +54,12 @@ pub struct SimConfig {
     /// keeps the engine bit-for-bit identical to a build without it; see
     /// [`ArqConfig`].
     pub arq: Option<ArqConfig>,
+    /// Which channel model maps each physical send to a delivery time (or
+    /// a loss). The default, [`ChannelConfig::Iid`], is the paper's model
+    /// and keeps the engine bit-for-bit identical to a build without the
+    /// channel subsystem; see [`crate::channel`]'s module docs for the
+    /// bandwidth, shared-medium and burst-loss alternatives.
+    pub channel: ChannelConfig,
     /// Which link-derivation engine geometric worlds use. The default is
     /// the spatial-grid fast path ([`LinkEngine::Grid`]) unless the crate
     /// is built with the `reference` feature, which restores the pairwise
@@ -82,6 +89,7 @@ impl Default for SimConfig {
             trace: false,
             fault: FaultPlan::default(),
             arq: None,
+            channel: ChannelConfig::default(),
             link_engine: LinkEngine::default(),
             event_queue: EventQueueKind::default(),
         }
@@ -119,6 +127,7 @@ impl SimConfig {
         if let Some(arq) = &self.arq {
             arq.validate()?;
         }
+        self.channel.validate()?;
         Ok(())
     }
 
@@ -190,6 +199,18 @@ mod tests {
                     ..crate::fault::LinkFaults::default()
                 }),
                 ..crate::fault::FaultPlan::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_channel() {
+        let cfg = SimConfig {
+            channel: ChannelConfig::ConstantBandwidth {
+                ticks_per_frame: 0,
+                max_queue: 8,
             },
             ..SimConfig::default()
         };

@@ -1,5 +1,6 @@
 //! The discrete-event engine.
 
+use crate::channel::{ChannelConfig, ChannelState, ChannelStats, Flight};
 use crate::command::Command;
 use crate::config::SimConfig;
 use crate::event::{Event, LinkUpKind};
@@ -55,6 +56,9 @@ pub struct EngineStats {
     /// Reliable-delivery shim activity (all zero when
     /// [`crate::SimConfig::arq`] is `None`).
     pub shim: ShimStats,
+    /// Channel-model activity (all zero with the default
+    /// [`crate::ChannelConfig::Iid`] model).
+    pub channel: ChannelStats,
 }
 
 impl EngineStats {
@@ -118,6 +122,11 @@ enum Item<M> {
         epoch: u64,
         gen: u64,
     },
+    /// Completion scan of the shared-medium channel model; stale
+    /// generations (superseded by a fair-share reallocation) no-op.
+    ChannelTick {
+        gen: u64,
+    },
 }
 
 /// A physical frame about to be handed to the channel: what the shim (or
@@ -157,21 +166,39 @@ pub enum RunAbort {
         /// The configured budget ([`SimConfig::max_events`]).
         limit: u64,
     },
-    /// An injected [`Strategy`] returned a delivery delay outside the
-    /// legal `[min_delay, ν]` window — a malformed imported schedule or a
-    /// buggy policy. The engine used to clamp such delays silently, which
-    /// masked the corruption while reordering the replayed run.
+    /// A delivery delay was produced outside the legal `[min_delay, ν]`
+    /// window — a malformed imported schedule, a buggy policy, or a
+    /// misconfigured channel model whose per-frame transmit time does not
+    /// fit the window. The engine used to clamp such delays silently,
+    /// which masked the corruption while reordering the replayed run.
     DelayOutOfWindow {
+        /// Who produced the offending delay: `"strategy"` for an injected
+        /// schedule, otherwise the channel model's
+        /// [`ChannelConfig::name`].
+        channel: &'static str,
         /// The sender of the offending delivery.
         from: NodeId,
         /// The destination of the offending delivery.
         to: NodeId,
-        /// The delay the strategy returned.
+        /// The delay that was produced.
         delay: u64,
         /// Smallest legal delay ([`SimConfig::min_message_delay`]).
         earliest: u64,
         /// Largest legal delay (the paper's ν).
         latest: u64,
+    },
+    /// A channel model's bounded transmit queue overflowed: the protocol
+    /// kept sending faster than the configured link capacity (or medium
+    /// share) could drain. A structured stop, not a panic — the bound is
+    /// [`ChannelConfig::ConstantBandwidth::max_queue`] or
+    /// [`ChannelConfig::SharedMedium::max_inflight`].
+    ChannelQueueOverflow {
+        /// The sender of the overflowing channel.
+        from: NodeId,
+        /// The destination of the overflowing channel.
+        to: NodeId,
+        /// The configured queue bound.
+        limit: usize,
     },
     /// The reliable-delivery shim's bounded in-flight buffer overflowed on
     /// one directed link: the sender kept producing while the channel
@@ -194,6 +221,7 @@ impl std::fmt::Display for RunAbort {
                 write!(f, "event budget exceeded ({limit} events): livelock?")
             }
             RunAbort::DelayOutOfWindow {
+                channel,
                 from,
                 to,
                 delay,
@@ -201,7 +229,12 @@ impl std::fmt::Display for RunAbort {
                 latest,
             } => write!(
                 f,
-                "strategy delay {delay} on channel {}->{} outside legal window [{earliest}, {latest}]",
+                "{channel} delay {delay} on channel {}->{} outside legal window [{earliest}, {latest}]",
+                from.0, to.0
+            ),
+            RunAbort::ChannelQueueOverflow { from, to, limit } => write!(
+                f,
+                "channel transmit queue overflow on {}->{} ({limit} frames in flight)",
                 from.0, to.0
             ),
             RunAbort::ShimBufferOverflow { from, to, window } => write!(
@@ -329,6 +362,10 @@ struct Core<M> {
     /// engine's behavior — streams, traces, digests — bit-for-bit
     /// identical to a build without the shim.
     shim: Option<ShimState<M>>,
+    /// Channel-model state; `None` for the default i.i.d. model, which
+    /// keeps the engine's behavior — streams, traces, digests —
+    /// bit-for-bit identical to a build without the channel subsystem.
+    channel: Option<ChannelState<Wire<M>>>,
 }
 
 impl<M> Core<M> {
@@ -414,6 +451,7 @@ impl<P: Protocol> Engine<P> {
             .arq
             .as_ref()
             .map(|a| ShimState::new(n, a, cfg.max_message_delay, cfg.seed));
+        let channel = ChannelState::new(n, &cfg.channel, cfg.seed);
         let mut engine = Engine {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
@@ -431,6 +469,7 @@ impl<P: Protocol> Engine<P> {
                 trace,
                 sched: None,
                 shim,
+                channel,
             },
             protocols,
             hooks: Vec::new(),
@@ -477,6 +516,7 @@ impl<P: Protocol> Engine<P> {
             .arq
             .as_ref()
             .map(|a| ShimState::new(n, a, cfg.max_message_delay, cfg.seed));
+        let channel = ChannelState::new(n, &cfg.channel, cfg.seed);
         let mut engine = Engine {
             core: Core {
                 rng: SimRng::seed_from_u64(cfg.seed),
@@ -494,6 +534,7 @@ impl<P: Protocol> Engine<P> {
                 trace,
                 sched: None,
                 shim,
+                channel,
             },
             protocols,
             hooks: Vec::new(),
@@ -823,6 +864,7 @@ impl<P: Protocol> Engine<P> {
                 epoch,
                 gen,
             } => self.shim_ack_idle(from, to, epoch, gen),
+            Item::ChannelTick { gen } => self.channel_tick(gen),
             Item::MoveStep { node, epoch } => self.move_step(node, epoch),
             Item::MotionDone { node, epoch } => {
                 if self.core.world.is_crashed(node) {
@@ -1423,6 +1465,7 @@ impl<P: Protocol> Engine<P> {
                     // delivery so the aborted engine's state stays
                     // coherent for inspection.
                     self.core.abort.get_or_insert(RunAbort::DelayOutOfWindow {
+                        channel: "strategy",
                         from,
                         to,
                         delay: picked,
@@ -1432,7 +1475,107 @@ impl<P: Protocol> Engine<P> {
                 }
                 picked.clamp(earliest, latest)
             }
-            _ => self.core.rng.gen_range(earliest..=latest),
+            // No strategy: the configured channel model maps the frame to
+            // a delay (or a loss). `Iid` is the historical draw, verbatim
+            // and at the same stream position, so default runs stay
+            // bit-for-bit identical to every pre-existing experiment.
+            _ => match self.core.cfg.channel.clone() {
+                ChannelConfig::Iid => self.core.rng.gen_range(earliest..=latest),
+                ChannelConfig::GilbertElliott { .. } => {
+                    // Delay stays the i.i.d. draw from the main stream (at
+                    // the exact position Iid uses); the chain itself steps
+                    // on the dedicated channel stream, so an all-good
+                    // chain leaves traces unchanged.
+                    let drawn = self.core.rng.gen_range(earliest..=latest);
+                    let epoch = self.core.links.current_epoch(from, to);
+                    let (flipped, lost) = self
+                        .core
+                        .channel
+                        .as_mut()
+                        .map_or((false, false), |ch| ch.ge_step(from, to, epoch));
+                    self.core.stats.channel.burst_transitions += flipped as u64;
+                    if lost {
+                        self.core.stats.channel.frames_lost += 1;
+                        self.core
+                            .trace
+                            .record(self.core.now, TraceKind::ChannelLoss(from, to));
+                        return;
+                    }
+                    drawn
+                }
+                ChannelConfig::ConstantBandwidth {
+                    ticks_per_frame,
+                    max_queue,
+                } => {
+                    if ticks_per_frame < earliest || ticks_per_frame > latest {
+                        // Misconfigured model: the serialization time does
+                        // not fit the legal window. Abort (no silent
+                        // clamp-and-carry-on) but still schedule the
+                        // clamped frame so the stopped engine stays
+                        // coherent for inspection — same contract as the
+                        // strategy path above.
+                        self.core.abort.get_or_insert(RunAbort::DelayOutOfWindow {
+                            channel: "constant-bandwidth",
+                            from,
+                            to,
+                            delay: ticks_per_frame,
+                            earliest,
+                            latest,
+                        });
+                    }
+                    let frame = ticks_per_frame.clamp(earliest, latest);
+                    let now = self.core.now;
+                    let epoch = self.core.links.current_epoch(from, to);
+                    let slot = self
+                        .core
+                        .channel
+                        .as_mut()
+                        .expect("channel state exists for non-iid models")
+                        .cb_slot(from, to, epoch);
+                    // Frames whose scheduled completion has passed have
+                    // left the link.
+                    while slot.inflight.front().is_some_and(|&t| t <= now) {
+                        slot.inflight.pop_front();
+                    }
+                    if slot.inflight.len() >= max_queue {
+                        self.core
+                            .abort
+                            .get_or_insert(RunAbort::ChannelQueueOverflow {
+                                from,
+                                to,
+                                limit: max_queue,
+                            });
+                        return;
+                    }
+                    let start = slot.busy_until.max(now);
+                    let done = start + frame;
+                    slot.busy_until = done;
+                    slot.inflight.push_back(done);
+                    let depth = slot.inflight.len() as u64;
+                    self.core.stats.channel.frames_queued += (start > now) as u64;
+                    let peak = &mut self.core.stats.channel.queue_peak;
+                    *peak = (*peak).max(depth);
+                    // Queueing delay is emergent: the frame arrives when
+                    // the link finishes serializing everything ahead of
+                    // it, which may exceed ν under sustained load.
+                    done.0 - now.0
+                }
+                ChannelConfig::SharedMedium {
+                    ticks_per_frame,
+                    max_inflight,
+                } => {
+                    self.shared_medium_send(
+                        from,
+                        to,
+                        wire,
+                        ticks_per_frame,
+                        max_inflight,
+                        earliest,
+                        latest,
+                    );
+                    return;
+                }
+            },
         };
         let now = self.core.now;
         let mut at = now + delay;
@@ -1493,6 +1636,177 @@ impl<P: Protocol> Engine<P> {
         }
         let item = wire_item(from, to, link_epoch, wire);
         self.core.push(at, item);
+    }
+
+    /// Shared-medium send path: the frame becomes an in-flight
+    /// transmission served at a fair-share rate of the sender's radio
+    /// neighborhood; its delivery is scheduled by [`Engine::channel_tick`]
+    /// when its remaining work drains. The fault adversary draws in the
+    /// same fixed order as the common path (ν-override, drop, duplicate,
+    /// skew); delay-shaped faults become extra delivery delay on top of
+    /// the emergent service time, and a duplicate becomes a second flight
+    /// trailing by the configured lag.
+    #[allow(clippy::too_many_arguments)]
+    fn shared_medium_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        wire: Wire<P::Msg>,
+        ticks_per_frame: u64,
+        max_inflight: usize,
+        earliest: u64,
+        latest: u64,
+    ) {
+        let now = self.core.now;
+        if ticks_per_frame < earliest || ticks_per_frame > latest {
+            // Same contract as the constant-bandwidth path: a full-rate
+            // transmit time outside the window is a misconfiguration and
+            // aborts the run; the clamped frame still flies so the
+            // stopped engine stays coherent.
+            self.core.abort.get_or_insert(RunAbort::DelayOutOfWindow {
+                channel: "shared-medium",
+                from,
+                to,
+                delay: ticks_per_frame,
+                earliest,
+                latest,
+            });
+        }
+        let mut extra = 0u64;
+        if let Some(da) = &self.core.cfg.fault.max_delay {
+            if da.applies(from, to, now) {
+                extra += self.core.cfg.max_message_delay;
+                self.core.stats.faults.max_delay_forced += 1;
+                self.core.trace.record(now, TraceKind::FaultDelay(from, to));
+            }
+        }
+        let mut duplicate_lag = None;
+        if let Some(lf) = &self.core.cfg.fault.link {
+            if lf.applies(from, to, now) {
+                if self.core.fault_rng.gen_bool(lf.rate(lf.drop, now)) {
+                    self.core.stats.faults.msgs_dropped += 1;
+                    self.core.trace.record(now, TraceKind::FaultDrop(from, to));
+                    return;
+                }
+                if self.core.fault_rng.gen_bool(lf.rate(lf.duplicate, now)) {
+                    let lag = lf.dup_lag.unwrap_or(self.core.cfg.max_message_delay);
+                    duplicate_lag = Some(lag.max(1));
+                }
+                if self.core.fault_rng.gen_bool(lf.rate(lf.skew, now)) {
+                    extra += lf.skew_ticks;
+                    self.core.stats.faults.msgs_delayed += 1;
+                    self.core.trace.record(now, TraceKind::FaultDelay(from, to));
+                }
+            }
+        }
+        let link_epoch = self.core.links.current_epoch(from, to);
+        let mut span = self.core.world.neighbors(from).to_vec();
+        span.push(from);
+        let depth = self
+            .core
+            .channel
+            .as_ref()
+            .map_or(0, |ch| ch.sm_audible(&span));
+        if depth >= max_inflight {
+            self.core
+                .abort
+                .get_or_insert(RunAbort::ChannelQueueOverflow {
+                    from,
+                    to,
+                    limit: max_inflight,
+                });
+            return;
+        }
+        self.core.stats.channel.frames_queued += (depth > 0) as u64;
+        let peak = &mut self.core.stats.channel.queue_peak;
+        *peak = (*peak).max(depth as u64 + 1);
+        let ghost = duplicate_lag.map(|lag| {
+            self.core.stats.faults.msgs_duplicated += 1;
+            self.core
+                .trace
+                .record(now, TraceKind::FaultDuplicate(from, to));
+            (wire.clone(), lag)
+        });
+        let remaining = ticks_per_frame.clamp(earliest, latest) as f64;
+        if let Some(ch) = self.core.channel.as_mut() {
+            ch.sm_enqueue(
+                Flight {
+                    from,
+                    to,
+                    link_epoch,
+                    wire,
+                    remaining,
+                    rate: 0.0,
+                    extra_delay: extra,
+                    span: span.clone(),
+                },
+                now,
+            );
+            if let Some((dup_wire, lag)) = ghost {
+                ch.sm_enqueue(
+                    Flight {
+                        from,
+                        to,
+                        link_epoch,
+                        wire: dup_wire,
+                        remaining,
+                        rate: 0.0,
+                        extra_delay: extra + lag,
+                        span,
+                    },
+                    now,
+                );
+            }
+        }
+        self.channel_rearm(now);
+    }
+
+    /// Arm (or re-arm) the shared-medium completion scan at the earliest
+    /// instant any in-flight frame could finish at current rates. Bumping
+    /// the generation invalidates every previously armed scan.
+    fn channel_rearm(&mut self, now: SimTime) {
+        let Some(ch) = self.core.channel.as_mut() else {
+            return;
+        };
+        let Some(at) = ch.sm_eta(now) else {
+            return;
+        };
+        ch.gen += 1;
+        let gen = ch.gen;
+        self.core.push(at, Item::ChannelTick { gen });
+    }
+
+    /// Shared-medium completion scan: drain every frame whose remaining
+    /// work has hit zero, schedule its delivery (FIFO-clamped on its link
+    /// incarnation; stale incarnations die in flight at dispatch exactly
+    /// like queued frames), and re-arm for the next completion.
+    fn channel_tick(&mut self, gen: u64) {
+        let now = self.core.now;
+        let done = {
+            let Some(ch) = self.core.channel.as_mut() else {
+                return;
+            };
+            if ch.gen != gen {
+                return;
+            }
+            ch.sm_take_completed(now)
+        };
+        for flight in done {
+            let mut at = now + flight.extra_delay;
+            if self.core.links.current_epoch(flight.from, flight.to) == flight.link_epoch {
+                if let Some(last) = self.core.links.fifo_floor(flight.from, flight.to) {
+                    if at <= last {
+                        at = last + 1;
+                    }
+                }
+                self.core.links.set_fifo_floor(flight.from, flight.to, at);
+            }
+            self.core.push(
+                at,
+                wire_item(flight.from, flight.to, flight.link_epoch, flight.wire),
+            );
+        }
+        self.channel_rearm(now);
     }
 
     fn fire_quantum_end(&mut self) {
@@ -1636,6 +1950,10 @@ fn item_digest<M: std::fmt::Debug>(item: &Item<M>) -> u64 {
             h.write_u64(from.0 as u64);
             h.write_u64(to.0 as u64);
             h.write_u64(*epoch);
+            h.write_u64(*gen);
+        }
+        Item::ChannelTick { gen } => {
+            h.write_u64(10);
             h.write_u64(*gen);
         }
     }
@@ -2472,6 +2790,7 @@ mod tests {
         assert_eq!(
             e.abort(),
             Some(&RunAbort::DelayOutOfWindow {
+                channel: "strategy",
                 from: NodeId(0),
                 to: NodeId(1),
                 delay: 0,

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channel;
 mod command;
 mod config;
 mod engine;
@@ -74,6 +75,7 @@ mod trace;
 mod wheel;
 mod world;
 
+pub use channel::{fair_share_rates, ChannelConfig, ChannelStats};
 pub use command::Command;
 pub use config::SimConfig;
 pub use engine::{Engine, EngineStats, NodeSeed, RunAbort};

@@ -46,6 +46,10 @@ pub enum TraceKind {
     /// The fault adversary delayed a message (skew or forced ν) from the
     /// first node to the second.
     FaultDelay(NodeId, NodeId),
+    /// The channel model itself lost a frame from the first node to the
+    /// second (e.g. a Gilbert–Elliott burst; distinct from
+    /// [`TraceKind::FaultDrop`], which is the adversary's doing).
+    ChannelLoss(NodeId, NodeId),
 }
 
 /// One recorded event of a traced run.

@@ -1,0 +1,423 @@
+//! Channel-model battery (DESIGN.md §14).
+//!
+//! Five pillars:
+//!
+//! 1. **Iid is the bare channel.** `channel: Iid` (the default) is
+//!    bit-for-bit the historical i.i.d. delay draw: the pinned golden
+//!    fingerprint of `tests/reliable_delivery.rs` must hold under an
+//!    explicitly-spelled `Iid`, and under an all-good Gilbert–Elliott
+//!    chain (whose dedicated RNG stream never touches the main one).
+//! 2. **Constant bandwidth serializes.** A burst through one link arrives
+//!    in FIFO order, spaced exactly `ticks_per_frame` apart, with the
+//!    queueing counters accounting for every waiting frame; a transmit
+//!    queue past `max_queue` is a structured
+//!    [`RunAbort::ChannelQueueOverflow`], and a frame time that cannot fit
+//!    the legal delay window is a [`RunAbort::DelayOutOfWindow`] naming
+//!    the model — never a silent clamp.
+//! 3. **Shared medium conserves capacity.** The fair-share allocation
+//!    never hands any neighborhood more than the medium's capacity.
+//! 4. **Gilbert–Elliott loses at the stationary rate.** The empirical
+//!    loss fraction of a long run converges to π_bad = p / (p + q).
+//! 5. **Determinism.** Every model is byte-identical across `--jobs`
+//!    values and across repeated runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use harness::{run_algorithm, topology, AlgKind, RunSpec, SweepSpec, Topo};
+use local_mutex::testutil::AutoExit;
+use local_mutex::Algorithm2;
+use manet_sim::{
+    fair_share_rates, ChannelConfig, Context, DiningState, Engine, Event, NodeId, Protocol,
+    RunAbort, SimConfig, SimTime,
+};
+
+// ---------------------------------------------------------------------
+// 1. Iid (and a silent Gilbert–Elliott chain) are the bare channel.
+// ---------------------------------------------------------------------
+
+/// Trace-level fingerprint of one bare-channel A2 run — the same workload
+/// `tests/reliable_delivery.rs` pins, parameterized by channel model.
+fn fingerprint(channel: ChannelConfig) -> (u64, u64, usize, Option<u64>) {
+    let cfg = SimConfig {
+        seed: 42,
+        trace: true,
+        channel,
+        ..SimConfig::default()
+    };
+    let positions: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+    let mut eng = Engine::new(cfg, positions, |seed| Algorithm2::new(&seed));
+    eng.add_hook(Box::new(AutoExit::new(8)));
+    for i in 0..6u32 {
+        eng.set_hungry_at(SimTime(1 + u64::from(i % 7)), NodeId(i));
+    }
+    eng.run_until(SimTime(6_000));
+    let stats = eng.stats();
+    (
+        stats.events,
+        stats.messages_sent,
+        eng.trace().len(),
+        eng.state_digest(),
+    )
+}
+
+/// Pinned when the ARQ shim landed (PR 7); the channel subsystem must not
+/// move any of these numbers on the default path.
+const GOLDEN_EVENTS: u64 = 46;
+const GOLDEN_MESSAGES: u64 = 34;
+const GOLDEN_TRACE_LEN: usize = 51;
+const GOLDEN_DIGEST: Option<u64> = Some(4863837214346979772);
+
+#[test]
+fn explicit_iid_matches_the_golden_fingerprint() {
+    let a = fingerprint(ChannelConfig::Iid);
+    assert_eq!(
+        (a.0, a.1, a.2),
+        (GOLDEN_EVENTS, GOLDEN_MESSAGES, GOLDEN_TRACE_LEN),
+        "explicit Iid drifted from the golden bare-channel run"
+    );
+    assert_eq!(a.3, GOLDEN_DIGEST, "explicit Iid state digest drifted");
+}
+
+#[test]
+fn all_good_gilbert_elliott_is_bit_for_bit_iid() {
+    // A chain that can never leave the good state and never loses there
+    // must be invisible: its transitions come from a dedicated RNG stream
+    // and its delay is the exact i.i.d. draw, so even the state digest
+    // matches the golden run.
+    let ge = fingerprint(ChannelConfig::GilbertElliott {
+        p_good_to_bad: 0.0,
+        p_bad_to_good: 1.0,
+        loss_good: 0.0,
+        loss_bad: 1.0,
+    });
+    assert_eq!(
+        ge,
+        (
+            GOLDEN_EVENTS,
+            GOLDEN_MESSAGES,
+            GOLDEN_TRACE_LEN,
+            GOLDEN_DIGEST
+        ),
+        "an all-good Gilbert–Elliott chain perturbed the bare channel"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2. Constant bandwidth: FIFO serialization, structured aborts.
+// ---------------------------------------------------------------------
+
+/// Node 0 fires `burst` messages at node 1 the instant it goes hungry;
+/// node 1 records `(arrival time, payload)` pairs.
+struct Burster {
+    burst: u64,
+    arrivals: Rc<RefCell<Vec<(SimTime, u64)>>>,
+}
+
+impl Protocol for Burster {
+    type Msg = u64;
+
+    fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+        match ev {
+            Event::Hungry => {
+                for k in 0..self.burst {
+                    ctx.send(NodeId(1), k);
+                }
+            }
+            Event::Message { msg, .. } => {
+                self.arrivals.borrow_mut().push((ctx.time(), msg));
+            }
+            _ => {}
+        }
+    }
+
+    fn dining_state(&self) -> DiningState {
+        DiningState::Thinking
+    }
+}
+
+/// Run a two-node burst under `channel`; returns (engine, arrivals).
+#[allow(clippy::type_complexity)]
+fn burst_run(
+    channel: ChannelConfig,
+    burst: u64,
+    horizon: u64,
+) -> (Engine<Burster>, Rc<RefCell<Vec<(SimTime, u64)>>>) {
+    let arrivals = Rc::new(RefCell::new(Vec::new()));
+    let sink = arrivals.clone();
+    let cfg = SimConfig {
+        seed: 9,
+        channel,
+        ..SimConfig::default()
+    };
+    let mut eng = Engine::new(cfg, vec![(0.0, 0.0), (1.0, 0.0)], move |_| Burster {
+        burst,
+        arrivals: sink.clone(),
+    });
+    eng.set_hungry_at(SimTime(1), NodeId(0));
+    eng.run_until(SimTime(horizon));
+    (eng, arrivals)
+}
+
+#[test]
+fn constant_bandwidth_preserves_fifo_order_and_frame_spacing() {
+    let (eng, arrivals) = burst_run(
+        ChannelConfig::ConstantBandwidth {
+            ticks_per_frame: 3,
+            max_queue: 64,
+        },
+        8,
+        1_000,
+    );
+    assert_eq!(eng.abort(), None, "{:?}", eng.abort());
+    let got = arrivals.borrow().clone();
+    assert_eq!(got.len(), 8, "every frame must arrive: {got:?}");
+    // FIFO: payloads in send order.
+    assert!(
+        got.windows(2).all(|w| w[0].1 < w[1].1),
+        "out-of-order delivery: {got:?}"
+    );
+    // Serialization: back-to-back frames leave the link exactly
+    // `ticks_per_frame` apart — the queueing delay past ν is emergent,
+    // not drawn.
+    assert!(
+        got.windows(2).all(|w| (w[1].0 .0 - w[0].0 .0) == 3),
+        "frames not serialized at 3 ticks each: {got:?}"
+    );
+    let stats = &eng.stats().channel;
+    assert_eq!(stats.frames_queued, 7, "all but the first frame waited");
+    assert_eq!(stats.queue_peak, 8);
+    assert_eq!(stats.frames_lost, 0);
+    assert_eq!(stats.burst_transitions, 0);
+}
+
+#[test]
+fn constant_bandwidth_overflow_is_a_structured_abort() {
+    let (eng, _) = burst_run(
+        ChannelConfig::ConstantBandwidth {
+            ticks_per_frame: 3,
+            max_queue: 2,
+        },
+        8,
+        1_000,
+    );
+    match eng.abort() {
+        Some(RunAbort::ChannelQueueOverflow { from, to, limit }) => {
+            assert_eq!((*from, *to, *limit), (NodeId(0), NodeId(1), 2));
+        }
+        other => panic!("expected ChannelQueueOverflow, got {other:?}"),
+    }
+    let msg = eng.abort().unwrap().to_string();
+    assert!(msg.contains("transmit queue overflow"), "{msg}");
+}
+
+#[test]
+fn misconfigured_bandwidth_aborts_with_the_channel_name() {
+    // A 50-tick frame cannot fit the default [1, 10] delay window: the
+    // run aborts (naming the model) instead of silently clamping — the
+    // same contract the strategy seam has for malformed schedules.
+    let (eng, _) = burst_run(
+        ChannelConfig::ConstantBandwidth {
+            ticks_per_frame: 50,
+            max_queue: 64,
+        },
+        1,
+        1_000,
+    );
+    match eng.abort() {
+        Some(RunAbort::DelayOutOfWindow {
+            channel,
+            delay,
+            earliest,
+            latest,
+            ..
+        }) => {
+            assert_eq!(*channel, "constant-bandwidth");
+            assert_eq!((*delay, *earliest, *latest), (50, 1, 10));
+        }
+        other => panic!("expected DelayOutOfWindow, got {other:?}"),
+    }
+    let msg = eng.abort().unwrap().to_string();
+    assert!(msg.contains("constant-bandwidth delay 50"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// 3. Shared medium: conservation and liveness under contention.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fair_share_never_exceeds_capacity_in_any_neighborhood() {
+    // Overlapping spans drawn from a clique-ish neighborhood structure:
+    // at every node, the audible transmissions' rates must sum to at most
+    // the capacity (here 1.0), however the spans overlap.
+    let spans: Vec<Vec<NodeId>> = vec![
+        vec![NodeId(0), NodeId(1), NodeId(2)],
+        vec![NodeId(1), NodeId(2), NodeId(3)],
+        vec![NodeId(2), NodeId(3), NodeId(4)],
+        vec![NodeId(4), NodeId(5)],
+        vec![NodeId(0), NodeId(5)],
+    ];
+    let rates = fair_share_rates(6, &spans, 1.0);
+    assert_eq!(rates.len(), spans.len());
+    assert!(rates.iter().all(|&r| r > 0.0), "{rates:?}");
+    for x in 0..6u32 {
+        let audible: f64 = spans
+            .iter()
+            .zip(&rates)
+            .filter(|(span, _)| span.contains(&NodeId(x)))
+            .map(|(_, &r)| r)
+            .sum();
+        assert!(
+            audible <= 1.0 + 1e-9,
+            "node {x} hears {audible} > capacity: {rates:?}"
+        );
+    }
+}
+
+#[test]
+fn shared_medium_runs_stay_safe_and_feed_everyone() {
+    // Behavioral check on a dense topology: contention slows the clique
+    // down but never breaks safety or starves it.
+    let spec = RunSpec {
+        sim: SimConfig {
+            seed: 5,
+            channel: ChannelConfig::SharedMedium {
+                ticks_per_frame: 2,
+                max_inflight: 64,
+            },
+            ..SimConfig::default()
+        },
+        horizon: 12_000,
+        ..RunSpec::default()
+    };
+    let out = run_algorithm(AlgKind::A2, &spec, &topology::clique(6), &[]);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert!(
+        out.metrics.meals.iter().all(|&m| m > 0),
+        "starved node under shared medium: {:?}",
+        out.metrics.meals
+    );
+    assert!(out.abort.is_none(), "{:?}", out.abort);
+}
+
+// ---------------------------------------------------------------------
+// 4. Gilbert–Elliott: empirical loss near the stationary distribution.
+// ---------------------------------------------------------------------
+
+/// Node 0 streams one message per tick at node 1 via a timer chain.
+struct Streamer {
+    sent: u64,
+    limit: u64,
+    arrivals: Rc<RefCell<Vec<u64>>>,
+}
+
+impl Protocol for Streamer {
+    type Msg = u64;
+
+    fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+        match ev {
+            Event::Hungry => ctx.set_timer(1, 0),
+            Event::Timer { .. } if self.sent < self.limit => {
+                ctx.send(NodeId(1), self.sent);
+                self.sent += 1;
+                ctx.set_timer(1, 0);
+            }
+            Event::Message { msg, .. } => self.arrivals.borrow_mut().push(msg),
+            _ => {}
+        }
+    }
+
+    fn dining_state(&self) -> DiningState {
+        DiningState::Thinking
+    }
+}
+
+#[test]
+fn gilbert_elliott_loss_converges_to_the_stationary_rate() {
+    // p = 0.1, q = 0.3 → π_bad = p / (p + q) = 0.25; with loss_good = 0
+    // and loss_bad = 1 the empirical loss fraction of a long stream must
+    // land near 25%.
+    let frames = 4_000u64;
+    let arrivals = Rc::new(RefCell::new(Vec::new()));
+    let sink = arrivals.clone();
+    let cfg = SimConfig {
+        seed: 17,
+        channel: ChannelConfig::GilbertElliott {
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        },
+        ..SimConfig::default()
+    };
+    let mut eng = Engine::new(cfg, vec![(0.0, 0.0), (1.0, 0.0)], move |_| Streamer {
+        sent: 0,
+        limit: frames,
+        arrivals: sink.clone(),
+    });
+    eng.set_hungry_at(SimTime(1), NodeId(0));
+    eng.run_until(SimTime(8_000));
+    assert_eq!(eng.abort(), None, "{:?}", eng.abort());
+    let stats = &eng.stats().channel;
+    let delivered = arrivals.borrow().len() as u64;
+    assert_eq!(
+        delivered + stats.frames_lost,
+        frames,
+        "every frame is delivered or counted lost"
+    );
+    let loss = stats.frames_lost as f64 / frames as f64;
+    assert!(
+        (loss - 0.25).abs() < 0.05,
+        "empirical loss {loss:.3} far from stationary 0.25 ({} lost / {frames})",
+        stats.frames_lost
+    );
+    assert!(
+        stats.burst_transitions > 0,
+        "the chain never moved: {stats:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 5. Determinism: every model, byte-identical across --jobs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_channel_model_is_jobs_invariant() {
+    let models = [
+        ChannelConfig::Iid,
+        ChannelConfig::ConstantBandwidth {
+            ticks_per_frame: 2,
+            max_queue: 64,
+        },
+        ChannelConfig::SharedMedium {
+            ticks_per_frame: 2,
+            max_inflight: 64,
+        },
+        ChannelConfig::burst_loss_default(),
+    ];
+    for channel in models {
+        let name = channel.name();
+        let spec = SweepSpec::new(
+            format!("ring6/{name}"),
+            Topo::Geo(topology::ring(6)),
+            RunSpec {
+                sim: SimConfig {
+                    seed: 3,
+                    channel,
+                    ..SimConfig::default()
+                },
+                horizon: 5_000,
+                ..RunSpec::default()
+            },
+        )
+        .kinds([AlgKind::A2])
+        .seeds([3, 4]);
+        let serial = spec.run(1).jsonl();
+        assert_eq!(
+            serial,
+            spec.run(4).jsonl(),
+            "{name}: sweep JSONL depends on --jobs"
+        );
+        assert_eq!(serial, spec.run(1).jsonl(), "{name}: sweep not repeatable");
+    }
+}

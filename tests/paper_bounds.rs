@@ -12,9 +12,18 @@
 //!
 //! The heavy fits are `#[ignore]`d so `cargo test -q` stays fast; the CI
 //! nightly matrix runs them with `--release -- --include-ignored`.
+//!
+//! The degradation matrix at the bottom re-fits the A2 bounds under every
+//! channel model × mobility mix: the paper's analysis assumes i.i.d.
+//! bounded delay, so the non-iid rows *report* how far contention and
+//! burst loss push failure locality and response-time growth — the
+//! nightly job fails only on safety violations, never on degraded bounds.
 
-use harness::{crash_probe, run_algorithm, topology, AlgKind, RunSpec};
-use manet_sim::{NodeId, SimConfig};
+use harness::{
+    crash_probe, run_algorithm, run_cells, topology, AlgKind, Job, MobilityMix, RunSpec, SweepCell,
+    Topo,
+};
+use manet_sim::{ArqConfig, ChannelConfig, NodeId, SimConfig};
 
 fn spec(seed: u64, horizon: u64) -> RunSpec {
     RunSpec {
@@ -136,5 +145,206 @@ fn a1_greedy_vs_linial_tradeoff_direction() {
     assert!(
         greedy_clique <= linial_clique * SLACK,
         "large-δ regime inverted: greedy {greedy_clique:.0} vs linial {linial_clique:.0}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Degradation matrix (nightly, release): channel models × mobility.
+// ---------------------------------------------------------------------
+
+/// A run spec with a channel model (and, where the model loses frames,
+/// the ARQ shim — burst loss without retransmission starves by design).
+fn channel_spec(seed: u64, horizon: u64, channel: &ChannelConfig, arq: bool) -> RunSpec {
+    RunSpec {
+        sim: SimConfig {
+            seed,
+            channel: channel.clone(),
+            arq: arq.then(ArqConfig::default),
+            ..SimConfig::default()
+        },
+        horizon,
+        ..RunSpec::default()
+    }
+}
+
+/// Ground a mobility mix in an `n`-node random deployment's geometry.
+fn grounded_mix(mix: &MobilityMix, n: usize, horizon: u64, seed: u64) -> MobilityMix {
+    MobilityMix {
+        area_side: (n as f64 / 1.6).sqrt().max(2.0),
+        window: (horizon / 10, horizon * 9 / 10),
+        seed,
+        ..mix.clone()
+    }
+}
+
+/// Worst observed failure locality of A2 crash probes under one
+/// (channel, mobility) cell, pooled over seeds and deployments. Returns
+/// `(max locality, safety violations)`; starvation with no crash-distance
+/// is folded in as `usize::MAX` (unbounded locality).
+fn probe_fl_cell(
+    channel: &ChannelConfig,
+    arq: bool,
+    mix: Option<&MobilityMix>,
+    horizon: u64,
+) -> (Option<usize>, usize) {
+    let n = 16;
+    let mut cells = Vec::new();
+    for topo_seed in [1u64, 2] {
+        let positions = topology::random_connected(n, topo_seed);
+        for seed in [11u64, 23] {
+            let commands = mix
+                .map(|m| grounded_mix(m, n, horizon, seed).commands(n))
+                .unwrap_or_default();
+            cells.push(SweepCell {
+                label: format!("random:{n}:{topo_seed}/{}", channel.name()),
+                kind: AlgKind::A2,
+                spec: channel_spec(seed, horizon, channel, arq),
+                topo: Topo::Geo(positions.clone()),
+                commands,
+                job: Job::Probe {
+                    victim: NodeId(7),
+                    crash_at: horizon / 10,
+                },
+            });
+        }
+    }
+    let report = run_cells(&cells, 4);
+    let mut fl: Option<usize> = None;
+    let mut violations = 0;
+    for run in &report.runs {
+        violations += run.violations;
+        let cell_fl = match (run.starving, run.locality) {
+            (0, _) => None,
+            (_, Some(d)) => Some(d),
+            // Starving nodes with no crash distance: unbounded locality.
+            (_, None) => Some(usize::MAX),
+        };
+        fl = fl.max(cell_fl);
+    }
+    (fl, violations)
+}
+
+/// Response-time growth exponent of A2 under one (channel, mobility)
+/// cell: mean static RT over random deployments of n ∈ {12, 24, 48},
+/// log–log slope. Returns `(slope, safety violations)`.
+fn rt_growth_cell(channel: &ChannelConfig, arq: bool, mix: Option<&MobilityMix>) -> (f64, usize) {
+    let mut points = Vec::new();
+    let mut violations = 0;
+    for n in [12usize, 24, 48] {
+        let horizon = 30_000 * n as u64 / 12;
+        let positions = topology::random_connected(n, 7);
+        let mut samples = Vec::new();
+        for seed in [3u64, 5] {
+            let commands = mix
+                .map(|m| grounded_mix(m, n, horizon, seed).commands(n))
+                .unwrap_or_default();
+            let out = run_algorithm(
+                AlgKind::A2,
+                &channel_spec(seed, horizon, channel, arq),
+                &positions,
+                &commands,
+            );
+            violations += out.violations.len();
+            samples.extend(out.metrics.static_responses());
+        }
+        assert!(
+            !samples.is_empty(),
+            "{}: no static samples at n = {n}",
+            channel.name()
+        );
+        points.push((
+            n as f64,
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+        ));
+    }
+    (loglog_slope(&points), violations)
+}
+
+/// The full degradation matrix: every channel model × {static,
+/// heterogeneous-mix} mobility, one fitted FL and RT-growth row per cell,
+/// plus a contention ladder reporting the first constant-bandwidth frame
+/// time at which FL ≤ 2 fails empirically. Fails only on safety
+/// violations (and on FL > 2 in the i.i.d. static cell, where the
+/// paper's assumptions hold and Theorem 26 must bind).
+#[test]
+#[ignore = "heavy fit; run in the nightly matrix with --release -- --include-ignored"]
+fn a2_bounds_degradation_matrix() {
+    let channels: [(&str, ChannelConfig, bool); 4] = [
+        ("iid", ChannelConfig::Iid, false),
+        (
+            "constant-bandwidth",
+            ChannelConfig::ConstantBandwidth {
+                ticks_per_frame: 2,
+                max_queue: 1024,
+            },
+            false,
+        ),
+        (
+            "shared-medium",
+            ChannelConfig::SharedMedium {
+                ticks_per_frame: 2,
+                max_inflight: 1024,
+            },
+            false,
+        ),
+        ("gilbert-elliott", ChannelConfig::burst_loss_default(), true),
+    ];
+    let het = MobilityMix {
+        static_frac: 0.5,
+        highway_frac: 0.25,
+        ..MobilityMix::default()
+    };
+    let mixes: [(&str, Option<&MobilityMix>); 2] = [("static", None), ("het-mix", Some(&het))];
+    let mut total_violations = 0;
+    println!(
+        "degradation matrix: channel × mobility, A2, random:16 probes + n ∈ {{12,24,48}} fits"
+    );
+    println!(
+        "{:<20} {:<8} {:>8} {:>9}",
+        "channel", "mobility", "fl_max", "rt_slope"
+    );
+    for (cname, channel, arq) in &channels {
+        for (mname, mix) in &mixes {
+            let (fl, v1) = probe_fl_cell(channel, *arq, *mix, 30_000);
+            let (slope, v2) = rt_growth_cell(channel, *arq, *mix);
+            total_violations += v1 + v2;
+            let fl_str = match fl {
+                None => "none".to_string(),
+                Some(usize::MAX) => "unbounded".to_string(),
+                Some(d) => d.to_string(),
+            };
+            println!("{cname:<20} {mname:<8} {fl_str:>8} {slope:>9.2}");
+            if *cname == "iid" && *mname == "static" {
+                assert!(
+                    fl.is_none_or(|d| d <= 2),
+                    "FL > 2 under the paper's own assumptions (iid, static): {fl:?}"
+                );
+            }
+        }
+    }
+    // Contention ladder: shrink the link capacity (grow the per-frame
+    // serialization time) until the empirical FL ≤ 2 bound first fails.
+    let mut first_failure = None;
+    for ticks_per_frame in [1u64, 2, 4, 8] {
+        let cb = ChannelConfig::ConstantBandwidth {
+            ticks_per_frame,
+            max_queue: 1024,
+        };
+        let (fl, v) = probe_fl_cell(&cb, false, None, 30_000);
+        total_violations += v;
+        if fl.is_some_and(|d| d > 2) && first_failure.is_none() {
+            first_failure = Some(ticks_per_frame);
+        }
+    }
+    match first_failure {
+        Some(tpf) => println!(
+            "FL ≤ 2 first fails at constant-bandwidth ticks_per_frame = {tpf} \
+             (capacity 1/{tpf} frames per tick)"
+        ),
+        None => println!("FL ≤ 2 held across the whole contention ladder (ticks_per_frame ≤ 8)"),
+    }
+    assert_eq!(
+        total_violations, 0,
+        "safety violations in the degradation matrix"
     );
 }

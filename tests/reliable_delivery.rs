@@ -239,7 +239,8 @@ fn shim_off_reports_render_zero_suffix_counters() {
         assert!(
             jsonl.ends_with(
                 "\"abort\":null,\"retransmissions\":0,\"acks_sent\":0,\
-                 \"recoveries\":0,\"buffer_high_water\":0}"
+                 \"recoveries\":0,\"buffer_high_water\":0,\"frames_queued\":0,\
+                 \"queue_peak\":0,\"burst_transitions\":0,\"frames_lost\":0}"
             ),
             "{}: unexpected JSONL suffix: {jsonl}",
             kind.name()
