@@ -12,9 +12,15 @@
 //! * [`run_schedule`] — run one schedule and judge it against the checked
 //!   properties (LME safety, doorway non-bypass, fork conservation and
 //!   eventual eating at quiescence);
-//! * [`explore`] — search the space by bounded exhaustive DFS (with
-//!   commuting-deliveries reduction and state-digest dedup), seeded random
-//!   walks, or PCT-style priority schedules;
+//! * [`explore`] — search the space by bounded exhaustive DFS (with DPOR
+//!   flip pruning, shared lock-free state-digest dedup, and deterministic
+//!   wave parallelism across `jobs` workers), seeded random walks, or
+//!   PCT-style priority schedules — in liveness mode runs recycle through
+//!   think/hungry and starvation is detected directly as a *lasso*
+//!   (repeated progress digest bracketing a never-fed hungry node);
+//! * [`certify`] — exhaust the extremal schedule space of a small
+//!   instance and emit a machine-readable worst-case response-time
+//!   certificate for the paper's bounds;
 //! * [`Witness`]/[`shrink`]/[`replay`] — serialize a violating schedule as
 //!   a single JSON line, minimize it, and re-run it byte-for-byte.
 //!
@@ -23,14 +29,18 @@
 //! for the legal-schedule definition and the soundness argument of the
 //! reduction.
 
+mod certify;
 mod explore;
 mod spec;
 mod strategy;
+mod table;
 mod verdict;
 mod witness;
 
+pub use certify::{certify, Certificate, CertifyConfig};
 pub use explore::{explore, Exploration, ExploreConfig, StrategyKind};
 pub use spec::{CheckSpec, Mutation};
-pub use strategy::{ChoicePoint, Pct, Plan, Recorder};
-pub use verdict::{run_schedule, PropertyViolation, RunVerdict, PROPERTIES};
+pub use strategy::{ChoicePoint, DeliveryRecord, Pct, Plan, Recorder, RecorderMode};
+pub use table::{DigestTable, Insert};
+pub use verdict::{run_schedule, run_schedule_mode, PropertyViolation, RunVerdict, PROPERTIES};
 pub use witness::{replay, shrink, Witness, MIN_DELAY};

@@ -21,6 +21,12 @@ pub enum Mutation {
     /// eating, breaking local mutual exclusion. Only meaningful for the
     /// Algorithm 1 family (including the Choy–Singh baseline built on it).
     NoSdfGuard,
+    /// Make every Algorithm 2 node silently drop fork requests arriving
+    /// from node 0 — an unfair fork policy that starves the victim after
+    /// its first meal while its neighbors keep cycling. Breaks liveness
+    /// (never safety): `lme check --liveness` must find the resulting
+    /// starvation lasso. Only meaningful for Algorithm 2.
+    UnfairFork,
 }
 
 impl Mutation {
@@ -29,6 +35,7 @@ impl Mutation {
         match self {
             Mutation::None => "none",
             Mutation::NoSdfGuard => "no-sdf-guard",
+            Mutation::UnfairFork => "unfair-fork",
         }
     }
 
@@ -41,8 +48,9 @@ impl Mutation {
         match s {
             "none" => Ok(Mutation::None),
             "no-sdf-guard" => Ok(Mutation::NoSdfGuard),
+            "unfair-fork" => Ok(Mutation::UnfairFork),
             other => Err(format!(
-                "unknown mutation '{other}' (expected 'none' or 'no-sdf-guard')"
+                "unknown mutation '{other}' (expected 'none', 'no-sdf-guard' or 'unfair-fork')"
             )),
         }
     }
@@ -83,6 +91,17 @@ pub struct CheckSpec {
     /// bare channel exactly as before; `Some` interposes the reliable-
     /// delivery shim so schedules explore its retransmission machinery too.
     pub arq: Option<ArqConfig>,
+    /// Liveness mode: nodes become hungry again `think` ticks after every
+    /// exit (so runs cycle instead of draining), progress digests are
+    /// attached to every delivery, and each run is scanned for a
+    /// *starvation lasso* — a repeated progress digest bracketing a node
+    /// that stays hungry across the whole cycle (see DESIGN.md §9).
+    pub liveness: bool,
+    /// Thinking time in ticks between an exit and the next hungry command
+    /// of the liveness workload. Ignored unless [`CheckSpec::liveness`].
+    /// Keeping it at ν or above (like `eat`) preserves the DPOR window
+    /// argument for hook-scheduled commands.
+    pub think: u64,
 }
 
 impl CheckSpec {
@@ -108,6 +127,8 @@ impl CheckSpec {
             mutation: Mutation::None,
             event_queue: EventQueueKind::default(),
             arq: None,
+            liveness: false,
+            think: 10,
         }
     }
 
@@ -164,6 +185,15 @@ impl CheckSpec {
                 self.alg.name()
             ));
         }
+        if self.mutation == Mutation::UnfairFork && self.alg != AlgKind::A2 {
+            return Err(format!(
+                "mutation 'unfair-fork' targets Algorithm 2, not {}",
+                self.alg.name()
+            ));
+        }
+        if self.liveness && self.think == 0 {
+            return Err("liveness mode needs think ≥ 1".into());
+        }
         Ok(())
     }
 }
@@ -200,9 +230,22 @@ mod tests {
 
     #[test]
     fn mutation_names_round_trip() {
-        for m in [Mutation::None, Mutation::NoSdfGuard] {
+        for m in [Mutation::None, Mutation::NoSdfGuard, Mutation::UnfairFork] {
             assert_eq!(Mutation::parse(m.name()).unwrap(), m);
         }
         assert!(Mutation::parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn unfair_fork_is_rejected_outside_a2_and_liveness_needs_think() {
+        let mut spec = CheckSpec::new(AlgKind::A1Greedy, "line:2", 2, vec![(0, 1)]);
+        spec.mutation = Mutation::UnfairFork;
+        assert!(spec.validate().is_err());
+        spec.alg = AlgKind::A2;
+        spec.validate().unwrap();
+        spec.liveness = true;
+        spec.validate().unwrap();
+        spec.think = 0;
+        assert!(spec.validate().is_err());
     }
 }

@@ -8,11 +8,18 @@
 //! *not* logged or counted, so a recorded schedule indexes exactly the
 //! non-forced branch points and replays stably even when prefixes of it are
 //! truncated or edited.
+//!
+//! Independently of the choice log, the recorder keeps a full
+//! [`DeliveryRecord`] log of *every* delivery — forced ones included. The
+//! DPOR pass needs it to decide post hoc whether flipping a branch point
+//! could have reordered anything observable (another delivery to the same
+//! destination arriving inside the flipped window), and lasso detection
+//! needs the per-delivery progress digests.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use manet_sim::{DeliveryChoice, RandomDelays, SimRng, Strategy};
+use manet_sim::{DeliveryChoice, DigestMode, NodeId, RandomDelays, SimRng, Strategy};
 
 /// One resolved branch point of a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,8 +28,34 @@ pub struct ChoicePoint {
     pub index: u8,
     /// The chosen delay in ticks.
     pub delay: u64,
-    /// Engine state digest *before* the choice (only when the plan asked
-    /// for digests, i.e. DFS with deduplication).
+    /// Engine state digest *before* the choice (only when the plan or mode
+    /// asked for digests).
+    pub digest: Option<u64>,
+}
+
+/// One delivery of a run — forced or not — as observed by the recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// The sender.
+    pub from: NodeId,
+    /// The destination.
+    pub to: NodeId,
+    /// Send instant in ticks.
+    pub now: u64,
+    /// Smallest legal delay.
+    pub earliest: u64,
+    /// Largest legal delay (ν).
+    pub latest: u64,
+    /// The delay actually taken.
+    pub delay: u64,
+    /// Whether the point was forced (never logged as a [`ChoicePoint`]).
+    pub forced: bool,
+    /// Queued events dispatching *at the destination* within the window at
+    /// send time ([`DeliveryChoice::pending_dependent_in_window`]).
+    pub dependent: usize,
+    /// Index into the choice log for non-forced points.
+    pub choice: Option<usize>,
+    /// Engine digest before the choice, when a digest mode was active.
     pub digest: Option<u64>,
 }
 
@@ -60,6 +93,23 @@ pub enum Plan {
     },
 }
 
+/// Recorder behavior beyond the plan itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderMode {
+    /// Digest override: `None` derives the mode from the plan (DFS with
+    /// dedup ⇒ [`DigestMode::Absolute`], everything else ⇒ off). Liveness
+    /// runs pass [`DigestMode::Progress`] so every delivery carries the
+    /// cycle-detection digest.
+    pub digest: Option<DigestMode>,
+    /// Branch at every delivery whose *timing* can matter (certify mode):
+    /// only degenerate windows and full FIFO clamps count as forced. The
+    /// standard [`DeliveryChoice::forced`] reduction preserves event
+    /// *order* but not event *times* — a lone delivery in its window still
+    /// arrives up to ν − 1 ticks apart across its legal delays — so exact
+    /// worst-case response-time certification must branch on it.
+    pub branch_all: bool,
+}
+
 enum Mode {
     Dfs { prefix: Vec<u8>, cursor: usize },
     Replay { delays: Vec<u64>, cursor: usize },
@@ -68,13 +118,15 @@ enum Mode {
 
 struct Inner {
     mode: Mode,
-    want_digest: bool,
+    digest_mode: DigestMode,
+    branch_all: bool,
     log: Vec<ChoicePoint>,
+    deliveries: Vec<DeliveryRecord>,
 }
 
 /// A cloneable strategy handle: one clone is boxed into the engine, the
-/// other stays with the driver to read the recorded [`ChoicePoint`] log
-/// after the run.
+/// other stays with the driver to read the recorded [`ChoicePoint`] and
+/// [`DeliveryRecord`] logs after the run.
 #[derive(Clone)]
 pub struct Recorder {
     inner: Rc<RefCell<Inner>>,
@@ -82,33 +134,49 @@ pub struct Recorder {
 
 impl Recorder {
     /// Build a recorder executing `plan` over a model with `n` nodes
-    /// (`n` parameterizes the PCT priority table).
+    /// (`n` parameterizes the PCT priority table), with default
+    /// [`RecorderMode`].
     pub fn new(plan: &Plan, n: usize) -> Recorder {
-        let (mode, want_digest) = match plan {
+        Recorder::with_mode(plan, n, RecorderMode::default())
+    }
+
+    /// Build a recorder with explicit [`RecorderMode`] overrides.
+    pub fn with_mode(plan: &Plan, n: usize, rmode: RecorderMode) -> Recorder {
+        let (mode, plan_digest) = match plan {
             Plan::Dfs { prefix, dedup } => (
                 Mode::Dfs {
                     prefix: prefix.clone(),
                     cursor: 0,
                 },
-                *dedup,
+                if *dedup {
+                    DigestMode::Absolute
+                } else {
+                    DigestMode::Off
+                },
             ),
             Plan::Replay { delays } => (
                 Mode::Replay {
                     delays: delays.clone(),
                     cursor: 0,
                 },
-                false,
+                DigestMode::Off,
             ),
-            Plan::Random { seed } => (Mode::Free(Box::new(RandomDelays::new(*seed))), false),
-            Plan::Pct { seed, changes } => {
-                (Mode::Free(Box::new(Pct::new(n, *seed, *changes))), false)
-            }
+            Plan::Random { seed } => (
+                Mode::Free(Box::new(RandomDelays::new(*seed))),
+                DigestMode::Off,
+            ),
+            Plan::Pct { seed, changes } => (
+                Mode::Free(Box::new(Pct::new(n, *seed, *changes))),
+                DigestMode::Off,
+            ),
         };
         Recorder {
             inner: Rc::new(RefCell::new(Inner {
                 mode,
-                want_digest,
+                digest_mode: rmode.digest.unwrap_or(plan_digest),
+                branch_all: rmode.branch_all,
                 log: Vec::new(),
+                deliveries: Vec::new(),
             })),
         }
     }
@@ -116,6 +184,12 @@ impl Recorder {
     /// The branch points resolved so far, in encounter order.
     pub fn log(&self) -> Vec<ChoicePoint> {
         self.inner.borrow().log.clone()
+    }
+
+    /// Every delivery observed so far — forced ones included — in
+    /// encounter order.
+    pub fn deliveries(&self) -> Vec<DeliveryRecord> {
+        self.inner.borrow().deliveries.clone()
     }
 }
 
@@ -129,12 +203,40 @@ fn branch_index(delay: u64, choice: &DeliveryChoice) -> u8 {
     }
 }
 
+/// Forcedness that preserves delivery *times*, not just order: the window
+/// is a single point, or the FIFO floor clamps every legal delay to the
+/// same arrival instant.
+fn timing_forced(choice: &DeliveryChoice) -> bool {
+    choice.earliest == choice.latest
+        || choice
+            .fifo_floor
+            .is_some_and(|f| f >= choice.now + choice.latest)
+}
+
 impl Strategy for Recorder {
     fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64 {
-        if choice.forced() {
+        let mut inner = self.inner.borrow_mut();
+        let forced = if inner.branch_all {
+            timing_forced(choice)
+        } else {
+            choice.forced()
+        };
+        let record = |delay: u64, forced: bool, idx: Option<usize>| DeliveryRecord {
+            from: choice.from,
+            to: choice.to,
+            now: choice.now.0,
+            earliest: choice.earliest,
+            latest: choice.latest,
+            delay,
+            forced,
+            dependent: choice.pending_dependent_in_window,
+            choice: idx,
+            digest: choice.digest,
+        };
+        if forced {
+            inner.deliveries.push(record(choice.earliest, true, None));
             return choice.earliest;
         }
-        let mut inner = self.inner.borrow_mut();
         let (index, delay) = match &mut inner.mode {
             Mode::Dfs { prefix, cursor } => {
                 let idx = prefix.get(*cursor).copied().unwrap_or(0);
@@ -162,16 +264,18 @@ impl Strategy for Recorder {
                 (branch_index(d, choice), d)
             }
         };
+        let idx = inner.log.len();
         inner.log.push(ChoicePoint {
             index,
             delay,
             digest: choice.digest,
         });
+        inner.deliveries.push(record(delay, false, Some(idx)));
         delay
     }
 
-    fn wants_digest(&self) -> bool {
-        self.inner.borrow().want_digest
+    fn digest_mode(&self) -> DigestMode {
+        self.inner.borrow().digest_mode
     }
 }
 
@@ -229,7 +333,7 @@ impl Strategy for Pct {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use manet_sim::{NodeId, SimTime};
+    use manet_sim::SimTime;
 
     fn open_choice(earliest: u64, latest: u64) -> DeliveryChoice {
         DeliveryChoice {
@@ -240,6 +344,7 @@ mod tests {
             earliest,
             latest,
             pending_in_window: 3,
+            pending_dependent_in_window: 2,
             fifo_floor: None,
             digest: Some(42),
         }
@@ -257,14 +362,20 @@ mod tests {
         let mut boxed: Box<dyn Strategy> = Box::new(rec.clone());
         let forced = DeliveryChoice {
             pending_in_window: 0,
+            pending_dependent_in_window: 0,
             ..open_choice(1, 10)
         };
         assert_eq!(boxed.choose_delay(&forced), 1);
         assert!(rec.log().is_empty());
+        // …but they are in the full delivery log.
+        assert_eq!(rec.deliveries().len(), 1);
+        assert!(rec.deliveries()[0].forced);
+        assert_eq!(rec.deliveries()[0].choice, None);
         // The prefix entry is still unconsumed: the next open point uses it.
         assert_eq!(boxed.choose_delay(&open_choice(1, 10)), 10);
         assert_eq!(rec.log().len(), 1);
         assert_eq!(rec.log()[0].index, 1);
+        assert_eq!(rec.deliveries()[1].choice, Some(0));
     }
 
     #[test]
@@ -304,6 +415,67 @@ mod tests {
             rec.log().iter().map(|c| c.delay).collect::<Vec<_>>(),
             vec![10, 4, 1]
         );
+    }
+
+    #[test]
+    fn digest_mode_follows_plan_unless_overridden() {
+        let dfs = Plan::Dfs {
+            prefix: vec![],
+            dedup: true,
+        };
+        assert_eq!(
+            Recorder::new(&dfs, 2).digest_mode(),
+            DigestMode::Absolute,
+            "DFS dedup asks for absolute digests"
+        );
+        assert_eq!(
+            Recorder::new(&Plan::Random { seed: 1 }, 2).digest_mode(),
+            DigestMode::Off
+        );
+        let rec = Recorder::with_mode(
+            &Plan::Random { seed: 1 },
+            2,
+            RecorderMode {
+                digest: Some(DigestMode::Progress),
+                branch_all: false,
+            },
+        );
+        assert_eq!(rec.digest_mode(), DigestMode::Progress);
+    }
+
+    #[test]
+    fn branch_all_branches_on_order_forced_but_not_timing_forced_points() {
+        let rec = Recorder::with_mode(
+            &Plan::Dfs {
+                prefix: vec![1],
+                dedup: false,
+            },
+            2,
+            RecorderMode {
+                digest: None,
+                branch_all: true,
+            },
+        );
+        let mut boxed: Box<dyn Strategy> = Box::new(rec.clone());
+        // Nothing else in the window: order-forced, but the arrival time
+        // still spans [6, 15] — certify mode must branch here.
+        let lone = DeliveryChoice {
+            pending_in_window: 0,
+            pending_dependent_in_window: 0,
+            ..open_choice(1, 10)
+        };
+        assert_eq!(boxed.choose_delay(&lone), 10, "prefix flip consumed");
+        assert_eq!(rec.log().len(), 1);
+        // Degenerate window and full FIFO clamp stay forced: every legal
+        // delay yields the same arrival instant.
+        assert_eq!(boxed.choose_delay(&open_choice(3, 3)), 3);
+        let clamped = DeliveryChoice {
+            fifo_floor: Some(SimTime(15)),
+            ..open_choice(1, 10)
+        };
+        assert_eq!(boxed.choose_delay(&clamped), 1);
+        assert_eq!(rec.log().len(), 1, "forced points stay unlogged");
+        assert_eq!(rec.deliveries().len(), 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Running one schedule and judging it against the checked properties.
 
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -8,17 +9,21 @@ use coloring::LinialSchedule;
 use harness::{AlgKind, SafetyMonitor, Violation};
 use local_mutex::testutil::AutoExit;
 use local_mutex::{Algorithm1, Algorithm2, Phase};
-use manet_sim::{DiningState, Engine, NodeId, Protocol, SimConfig, SimTime, TraceEntry, TraceKind};
+use manet_sim::{
+    Command, DigestMode, DiningState, Engine, Hook, NodeId, Protocol, SimConfig, SimTime, Sink,
+    TraceEntry, TraceKind, View,
+};
 
 use crate::spec::{CheckSpec, Mutation};
-use crate::strategy::{ChoicePoint, Plan, Recorder};
+use crate::strategy::{ChoicePoint, DeliveryRecord, Plan, Recorder, RecorderMode};
 
 /// Property names, in the order they are checked (first hit wins).
-pub const PROPERTIES: [&str; 4] = [
+pub const PROPERTIES: [&str; 5] = [
     "lme-safety",
     "doorway-non-bypass",
     "fork-conservation",
     "eventual-eating",
+    "starvation-lasso",
 ];
 
 /// A property violated by one concrete schedule.
@@ -49,6 +54,14 @@ pub struct RunVerdict {
     /// [`manet_sim::RunAbort`]), if the run stopped abnormally — e.g. a
     /// malformed replay schedule or an exhausted event budget.
     pub abort: Option<String>,
+    /// Every delivery of the run — forced ones included — as observed by
+    /// the recorder. The DPOR flip-relevance analysis and lasso detection
+    /// both consume this log.
+    pub deliveries: Vec<DeliveryRecord>,
+    /// Per-node time of the first `→ Eating` transition, `None` if the
+    /// node never ate. Certification measures response times from here
+    /// (hungry commands land at tick 1).
+    pub first_eat: Vec<Option<u64>>,
 }
 
 /// What the property checks need from a protocol, beyond [`Protocol`].
@@ -93,30 +106,46 @@ impl Checkable for ChandyMisra {
 /// The run is a pure function of `(spec, plan)`: same inputs, same verdict,
 /// byte for byte — this is what makes witnesses replayable.
 pub fn run_schedule(spec: &CheckSpec, plan: &Plan) -> RunVerdict {
+    run_schedule_mode(spec, plan, RecorderMode::default())
+}
+
+/// [`run_schedule`] with explicit recorder overrides: certification passes
+/// `branch_all` so delivery *times* (not just orders) are exhausted.
+/// Purity holds for the triple `(spec, plan, rmode)`.
+pub fn run_schedule_mode(spec: &CheckSpec, plan: &Plan, rmode: RecorderMode) -> RunVerdict {
     let mutate = spec.mutation == Mutation::NoSdfGuard;
     let delta = spec.max_degree().max(1) as u64;
     let run_seed = spec.seed;
     match spec.alg {
-        AlgKind::A1Greedy => drive(spec, plan, move |seed| {
+        AlgKind::A1Greedy => drive(spec, plan, rmode, move |seed| {
             prep_a1(Algorithm1::greedy(&seed), mutate)
         }),
         AlgKind::A1Linial => {
             let sched = Arc::new(LinialSchedule::compute(spec.n as u64, delta));
-            drive(spec, plan, move |seed| {
+            drive(spec, plan, rmode, move |seed| {
                 prep_a1(Algorithm1::linial(&seed, sched.clone()), mutate)
             })
         }
-        AlgKind::A1Random => drive(spec, plan, move |seed| {
+        AlgKind::A1Random => drive(spec, plan, rmode, move |seed| {
             prep_a1(Algorithm1::randomized(&seed, delta, run_seed), mutate)
         }),
         AlgKind::ChoySingh => {
             let coloring = Rc::new(StaticColoring::compute(spec.n, spec.edges.iter().copied()));
-            drive(spec, plan, move |seed| {
+            drive(spec, plan, rmode, move |seed| {
                 prep_a1(choy_singh(&seed, &coloring), mutate)
             })
         }
-        AlgKind::A2 => drive(spec, plan, |seed| Algorithm2::new(&seed)),
-        AlgKind::ChandyMisra => drive(spec, plan, |seed| ChandyMisra::new(&seed)),
+        AlgKind::A2 => {
+            let unfair = spec.mutation == Mutation::UnfairFork;
+            drive(spec, plan, rmode, move |seed| {
+                let mut node = Algorithm2::new(&seed);
+                if unfair {
+                    node.defer_requests_from = Some(NodeId(0));
+                }
+                node
+            })
+        }
+        AlgKind::ChandyMisra => drive(spec, plan, rmode, |seed| ChandyMisra::new(&seed)),
     }
 }
 
@@ -126,12 +155,39 @@ fn prep_a1(mut node: Algorithm1, mutate: bool) -> Algorithm1 {
     node
 }
 
-fn drive<P, F>(spec: &CheckSpec, plan: &Plan, factory: F) -> RunVerdict
+/// The liveness workload: a node that finishes eating becomes hungry again
+/// `think` ticks later, so runs cycle until the horizon instead of draining
+/// and starvation manifests as a *lasso* (repeated progress state) rather
+/// than a quiescent hungry node.
+struct Recycle {
+    think: u64,
+}
+
+impl<M> Hook<M> for Recycle {
+    fn on_state_change(
+        &mut self,
+        view: &View<'_>,
+        node: NodeId,
+        old: DiningState,
+        new: DiningState,
+        sink: &mut Sink,
+    ) {
+        if old == DiningState::Eating && new == DiningState::Thinking {
+            sink.at(view.time() + self.think, Command::SetHungry(node));
+        }
+    }
+}
+
+fn drive<P, F>(spec: &CheckSpec, plan: &Plan, mut rmode: RecorderMode, factory: F) -> RunVerdict
 where
     P: Checkable,
     F: FnMut(manet_sim::NodeSeed) -> P + 'static,
 {
-    let recorder = Recorder::new(plan, spec.n);
+    if spec.liveness && rmode.digest.is_none() {
+        // Lasso detection needs the progress digest on every delivery.
+        rmode.digest = Some(DigestMode::Progress);
+    }
+    let recorder = Recorder::with_mode(plan, spec.n, rmode);
     let cfg = SimConfig {
         seed: spec.seed,
         max_message_delay: spec.nu,
@@ -146,6 +202,9 @@ where
     let (monitor, violations) = SafetyMonitor::new(false);
     engine.add_hook(Box::new(monitor));
     engine.add_hook(Box::new(AutoExit::new(spec.eat)));
+    if spec.liveness {
+        engine.add_hook(Box::new(Recycle { think: spec.think }));
+    }
     for &h in &spec.hungry {
         engine.set_hungry_at(SimTime(1), NodeId(h));
     }
@@ -163,6 +222,17 @@ where
         })
         .count() as u64;
 
+    let deliveries = recorder.deliveries();
+    let mut first_eat = vec![None; spec.n];
+    for t in &trace {
+        if let TraceKind::StateChange(node, _, DiningState::Eating) = t.kind {
+            let slot = &mut first_eat[node.index()];
+            if slot.is_none() {
+                *slot = Some(t.at.0);
+            }
+        }
+    }
+
     let violation = check_lme(&violations.borrow())
         .or_else(|| check_doorway(&engine, &trace))
         .or_else(|| {
@@ -173,6 +243,11 @@ where
         .or_else(|| {
             drained
                 .then(|| check_eventual_eating(spec, &engine))
+                .flatten()
+        })
+        .or_else(|| {
+            spec.liveness
+                .then(|| check_starvation_lasso(spec, &trace, &deliveries))
                 .flatten()
         });
 
@@ -185,6 +260,8 @@ where
         drained,
         meals,
         abort,
+        deliveries,
+        first_eat,
     }
 }
 
@@ -272,6 +349,67 @@ fn check_eventual_eating<P: Checkable>(
                 detail: format!("{node} is hungry at quiescence (deadlocked/starved)"),
             });
         }
+    }
+    None
+}
+
+/// Starvation lasso: the run's *progress digest* (relative queue times,
+/// monotone counters excluded) repeated at two delivery points `i < j`
+/// while some node was hungry at `i` and never started eating in
+/// `(tᵢ, tⱼ]`. Equal digests mean the engine+protocol configurations are
+/// identical up to time translation, so the schedule segment between them
+/// — delay choices included, since windows are relative — can be repeated
+/// forever: a legal infinite execution on which that node starves (Hungry
+/// exits only via Eating). Checked only in liveness mode, where every
+/// delivery carries the digest; consecutive occurrences of each digest
+/// suffice, because a node hungry across `i₁ → i₃` is also hungry across
+/// `i₂ → i₃`.
+fn check_starvation_lasso(
+    spec: &CheckSpec,
+    trace: &[TraceEntry],
+    deliveries: &[DeliveryRecord],
+) -> Option<PropertyViolation> {
+    let mut transitions: Vec<Vec<(u64, DiningState)>> = vec![Vec::new(); spec.n];
+    for t in trace {
+        if let TraceKind::StateChange(node, _, new) = t.kind {
+            transitions[node.index()].push((t.at.0, new));
+        }
+    }
+    let state_at = |node: usize, at: u64| -> DiningState {
+        transitions[node]
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= at)
+            .map_or(DiningState::Thinking, |&(_, s)| s)
+    };
+    let eats_in = |node: usize, lo: u64, hi: u64| -> bool {
+        transitions[node]
+            .iter()
+            .any(|&(t, s)| s == DiningState::Eating && t > lo && t <= hi)
+    };
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    for d in deliveries {
+        let Some(digest) = d.digest else { continue };
+        if let Some(&prev) = last_seen.get(&digest) {
+            if d.now > prev {
+                for h in 0..spec.n {
+                    if state_at(h, prev) == DiningState::Hungry && !eats_in(h, prev, d.now) {
+                        return Some(PropertyViolation {
+                            property: "starvation-lasso".into(),
+                            detail: format!(
+                                "{} hungry across a repeated progress state: t={prev} recurs at \
+                                 t={} (period {}), so the schedule can loop forever with {} starving",
+                                NodeId(h as u32),
+                                d.now,
+                                d.now - prev,
+                                NodeId(h as u32),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        last_seen.insert(digest, d.now);
     }
     None
 }

@@ -40,6 +40,12 @@ pub struct Witness {
     pub hungry: Vec<u32>,
     /// Mutation name (see `Mutation::name`).
     pub mutation: String,
+    /// Whether the run used the recycling liveness workload (see
+    /// `CheckSpec::liveness`). Absent in pre-liveness witness files, which
+    /// parse as `false`.
+    pub liveness: bool,
+    /// Thinking time of the liveness workload; parses as 10 when absent.
+    pub think: u64,
     /// Violated property.
     pub property: String,
     /// Deterministic description of the violation.
@@ -62,6 +68,8 @@ impl Witness {
             eat: spec.eat,
             hungry: spec.hungry.clone(),
             mutation: spec.mutation.name().to_string(),
+            liveness: spec.liveness,
+            think: spec.think,
             property: property.to_string(),
             detail: detail.to_string(),
             choices,
@@ -94,6 +102,8 @@ impl Witness {
             // Witnesses describe bare-channel schedules; the shim's own
             // timers would shift every branch point, so replay never arms it.
             arq: None,
+            liveness: self.liveness,
+            think: self.think,
         };
         spec.validate()?;
         Ok(spec)
@@ -112,7 +122,8 @@ impl Witness {
             concat!(
                 "{{\"version\":1,\"alg\":{},\"topo\":{},\"n\":{},\"edges\":[{}],",
                 "\"seed\":{},\"nu\":{},\"horizon\":{},\"eat\":{},\"hungry\":[{}],",
-                "\"mutation\":{},\"property\":{},\"detail\":{},\"choices\":[{}]}}"
+                "\"mutation\":{},\"liveness\":{},\"think\":{},",
+                "\"property\":{},\"detail\":{},\"choices\":[{}]}}"
             ),
             json_str(&self.alg),
             json_str(&self.topo),
@@ -124,6 +135,8 @@ impl Witness {
             self.eat,
             hungry.join(","),
             json_str(&self.mutation),
+            u64::from(self.liveness),
+            self.think,
             json_str(&self.property),
             json_str(&self.detail),
             choices.join(","),
@@ -169,6 +182,15 @@ impl Witness {
                 _ => Err(format!("witness key '{key}' must be an array")),
             }
         };
+        // Keys added after the format shipped parse with their pre-existing
+        // default, so old witness files replay unchanged.
+        let num_or = |key: &str, default: u64| -> Result<u64, String> {
+            match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                None => Ok(default),
+                Some(JVal::Num(v)) => Ok(*v),
+                Some(_) => Err(format!("witness key '{key}' must be a number")),
+            }
+        };
         if num("version")? != 1 {
             return Err("unsupported witness version".into());
         }
@@ -196,6 +218,8 @@ impl Witness {
             eat: num("eat")?,
             hungry: nums("hungry")?.into_iter().map(|v| v as u32).collect(),
             mutation: string("mutation")?,
+            liveness: num_or("liveness", 0)? != 0,
+            think: num_or("think", 10)?,
             property: string("property")?,
             detail: string("detail")?,
             choices: nums("choices")?,
@@ -489,6 +513,8 @@ mod tests {
             eat: 10,
             hungry: vec![0, 2],
             mutation: "no-sdf-guard".into(),
+            liveness: false,
+            think: 10,
             property: "lme-safety".into(),
             detail: "neighbors p0 and p1 both eating at t=37".into(),
             choices: vec![10, 1, 7],
@@ -508,6 +534,23 @@ mod tests {
         let mut w = sample();
         w.detail = "quote \" backslash \\ newline \n control \u{1} done".into();
         assert_eq!(Witness::from_json(&w.to_json()).unwrap(), w);
+    }
+
+    #[test]
+    fn liveness_keys_round_trip_and_default_when_absent() {
+        let mut w = sample();
+        w.liveness = true;
+        w.think = 25;
+        let json = w.to_json();
+        assert!(json.contains("\"liveness\":1,\"think\":25"));
+        assert_eq!(Witness::from_json(&json).unwrap(), w);
+        // A pre-liveness witness file (no such keys) parses with defaults.
+        let legacy = json
+            .replace("\"liveness\":1,\"think\":25,", "")
+            .replace("\"mutation\":\"no-sdf-guard\"", "\"mutation\":\"none\"");
+        let parsed = Witness::from_json(&legacy).unwrap();
+        assert!(!parsed.liveness);
+        assert_eq!(parsed.think, 10);
     }
 
     #[test]

@@ -176,6 +176,16 @@ pub struct Cli {
     pub replay_witness: Option<String>,
     /// Check: deliberate algorithm defect for checker self-validation.
     pub mutate: Mutation,
+    /// Check: recycling liveness workload — nodes go hungry again after
+    /// eating and starvation is checked as a repeated-progress-state lasso.
+    pub liveness: bool,
+    /// Check: exhaust the extremal schedule space and certify the exact
+    /// worst-case response time instead of exploring for violations.
+    pub certify: bool,
+    /// Every flag the user passed explicitly, in order — used to detect
+    /// conflicts between the command line and a replayed witness's
+    /// recorded instance.
+    pub explicit: Vec<String>,
     /// Bench: which benchmark to run.
     pub bench_mode: BenchMode,
     /// Bench: node counts of the scaling ladder.
@@ -205,6 +215,13 @@ pub struct Cli {
     /// Live: run the full 4-algorithm × 2-topology matrix instead of a
     /// single cell.
     pub matrix: bool,
+}
+
+impl Cli {
+    /// Whether the user passed `flag` explicitly on the command line.
+    pub fn explicitly_set(&self, flag: &str) -> bool {
+        self.explicit.iter().any(|f| f == flag)
+    }
 }
 
 impl Default for Cli {
@@ -243,6 +260,9 @@ impl Default for Cli {
             witness_out: None,
             replay_witness: None,
             mutate: Mutation::None,
+            liveness: false,
+            certify: false,
+            explicit: Vec::new(),
             bench_mode: BenchMode::Scale,
             bench_ns: vec![1_000, 2_500, 5_000, 10_000],
             bench_steps: 20_000,
@@ -336,14 +356,28 @@ reliable delivery and recovery:
 
 model checking (check):
   --strategy <s>       dfs | random | pct                  (default dfs)
-  --steps <n>          dfs: schedule budget                (default 256)
+  --steps <n>          dfs: schedule budget (default 256; with --certify
+                       the budget defaults to 2000000)
   --seeds <n>          random/pct: number of walks         (default 8)
   --depth <n>          dfs: branch points eligible to flip (default 12)
+  --jobs <n>           exploration worker threads (default 1; verdicts,
+                       prune counts and witnesses are byte-identical for
+                       every value)
   --nodes <n>          shorthand for --topo line:N
-  --mutate <m>         none | no-sdf-guard — deliberately break the
-                       algorithm to validate the checker   (default none)
+  --mutate <m>         none | no-sdf-guard | unfair-fork — deliberately
+                       break the algorithm to validate the checker
+                       (default none)
+  --liveness           recycling workload: every node goes hungry again
+                       --think ticks after eating, and starvation is
+                       checked directly as a repeated-progress-state
+                       lasso (property starvation-lasso)
+  --certify            exhaust the extremal schedule space and report the
+                       exact worst-case response time as a machine-
+                       readable certificate (written to --out if given)
   --witness-out <p>    write the shrunk witness JSON to <p>
-  --replay <p>         replay a witness file instead of exploring
+  --replay <p>         replay a witness file instead of exploring; any
+                       explicitly-passed instance flag that conflicts
+                       with the witness is a structured error
 
 scaling benchmark (bench scale):
   --ns <a,b,...>       node-count ladder        (default 1000,2500,5000,10000)
@@ -539,6 +573,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         }
     }
     while let Some(flag) = it.next() {
+        if flag.starts_with("--") {
+            cli.explicit.push(flag.clone());
+        }
         let mut value = |name: &str| {
             it.next()
                 .ok_or_else(|| format!("flag {name} needs a value\n{USAGE}"))
@@ -624,6 +661,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
                 cli.topo = TopoSpec::Line(n);
             }
             "--mutate" => cli.mutate = Mutation::parse(&value("--mutate")?)?,
+            "--liveness" => cli.liveness = true,
+            "--certify" => cli.certify = true,
             "--witness-out" => cli.witness_out = Some(value("--witness-out")?),
             "--replay" => cli.replay_witness = Some(value("--replay")?),
             "--ns" => {
@@ -664,6 +703,24 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             "--conformance" => cli.conformance = true,
             "--matrix" => cli.matrix = true,
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if (cli.liveness || cli.certify) && cli.command != Command::Check {
+        return Err("--liveness and --certify only apply to `lme check`".to_string());
+    }
+    if cli.certify {
+        if cli.liveness {
+            return Err(
+                "--certify measures one hungry cycle per node; the recycling \
+                 --liveness workload never quiesces"
+                    .to_string(),
+            );
+        }
+        if cli.strategy != StrategyKind::Dfs {
+            return Err("--certify exhausts the schedule space; --strategy does not apply".into());
+        }
+        if cli.replay_witness.is_some() {
+            return Err("--certify and --replay are mutually exclusive".to_string());
         }
     }
     if (cli.moves > 0 || cli.mix.is_some()) && cli.topo.is_explicit() {

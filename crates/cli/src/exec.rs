@@ -6,7 +6,9 @@ use harness::{
     topology, AlgKind, FaultClass, Job, MobilityMix, RunOutcome, RunReport, RunSpec, Summary,
     SweepCell, SweepReport, SweepSpec, Table, Topo, WaypointPlan,
 };
-use lme_check::{explore, replay, CheckSpec, ExploreConfig, StrategyKind, Witness};
+use lme_check::{
+    certify, explore, replay, CertifyConfig, CheckSpec, ExploreConfig, StrategyKind, Witness,
+};
 use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome};
 use manet_sim::{
     ArqConfig, ChannelConfig, Context, CrashWave, DelayAdversary, DiningState, Engine, Event,
@@ -506,16 +508,92 @@ fn check_spec_of(cli: &Cli) -> Result<CheckSpec, String> {
     spec.horizon = cli.horizon;
     spec.eat = cli.eat.0;
     spec.mutation = cli.mutate;
+    spec.liveness = cli.liveness;
+    spec.think = cli.think.0;
     spec.validate()?;
     Ok(spec)
 }
 
+/// Explicitly-passed CLI flags that contradict the instance a witness
+/// records. Flags left at their defaults never conflict: the witness is
+/// the authority on its own instance.
+fn witness_flag_conflicts(cli: &Cli, witness: &Witness) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut check = |flags: &[&str], same: bool, asked: String, recorded: String| {
+        if !same && flags.iter().any(|f| cli.explicitly_set(f)) {
+            out.push(format!(
+                "{} asks for {asked} but the witness records {recorded}",
+                flags[0]
+            ));
+        }
+    };
+    check(
+        &["--alg"],
+        cli.alg.name() == witness.alg,
+        cli.alg.name().to_string(),
+        witness.alg.clone(),
+    );
+    check(
+        &["--topo", "--nodes"],
+        cli.topo.to_string() == witness.topo,
+        cli.topo.to_string(),
+        witness.topo.clone(),
+    );
+    check(
+        &["--seed"],
+        cli.seed == witness.seed,
+        cli.seed.to_string(),
+        witness.seed.to_string(),
+    );
+    check(
+        &["--horizon"],
+        cli.horizon == witness.horizon,
+        cli.horizon.to_string(),
+        witness.horizon.to_string(),
+    );
+    check(
+        &["--eat"],
+        cli.eat.0 == witness.eat,
+        cli.eat.0.to_string(),
+        witness.eat.to_string(),
+    );
+    check(
+        &["--think"],
+        !witness.liveness || cli.think.0 == witness.think,
+        cli.think.0.to_string(),
+        witness.think.to_string(),
+    );
+    check(
+        &["--mutate"],
+        cli.mutate.name() == witness.mutation,
+        cli.mutate.name().to_string(),
+        witness.mutation.clone(),
+    );
+    check(
+        &["--liveness"],
+        cli.liveness == witness.liveness,
+        "a liveness run".to_string(),
+        "a safety-only run".to_string(),
+    );
+    out
+}
+
 /// Replay a witness file: the rendered report (including the full trace) is
 /// a pure function of the file, byte-identical across machines and `--jobs`.
-fn render_replay(path: &str) -> Result<String, String> {
+/// Explicitly-passed instance flags that contradict the witness are a
+/// structured error (exit 2), never silently ignored.
+fn render_replay(cli: &Cli, path: &str) -> Result<String, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read witness {path}: {e}"))?;
     let witness = Witness::from_json(text.trim())?;
+    let conflicts = witness_flag_conflicts(cli, &witness);
+    if !conflicts.is_empty() {
+        return Err(format!(
+            "replay: witness {path} conflicts with the command line:\n  {}\n\
+             drop the conflicting flags or replay a matching witness",
+            conflicts.join("\n  ")
+        ));
+    }
     let (_spec, verdict) = replay(&witness)?;
     let mut s = format!(
         "replay: {} on {} (n = {}), seed {}, mutation {}, {} recorded choices\n",
@@ -558,7 +636,10 @@ fn render_replay(path: &str) -> Result<String, String> {
 
 fn render_check(cli: &Cli) -> Result<String, String> {
     if let Some(path) = &cli.replay_witness {
-        return render_replay(path);
+        return render_replay(cli, path);
+    }
+    if cli.certify {
+        return render_certify(cli);
     }
     let spec = check_spec_of(cli)?;
     let cfg = ExploreConfig {
@@ -568,6 +649,7 @@ fn render_check(cli: &Cli) -> Result<String, String> {
             StrategyKind::Random | StrategyKind::Pct => cli.seeds as usize,
         },
         max_depth: cli.depth,
+        jobs: cli.jobs.unwrap_or(1),
         ..ExploreConfig::default()
     };
     let result = explore(&spec, &cfg);
@@ -580,6 +662,12 @@ fn render_check(cli: &Cli) -> Result<String, String> {
         spec.seed,
         spec.mutation.name(),
     );
+    if spec.liveness {
+        s.push_str(&format!(
+            "  liveness workload : recycling (think {})\n",
+            spec.think
+        ));
+    }
     s.push_str(&format!(
         "  schedules run     : {}{}\n",
         result.schedules,
@@ -598,6 +686,7 @@ fn render_check(cli: &Cli) -> Result<String, String> {
     ));
     if cli.strategy == StrategyKind::Dfs {
         s.push_str(&format!("  dedup prunes      : {}\n", result.dedup_prunes));
+        s.push_str(&format!("  dpor prunes       : {}\n", result.dpor_prunes));
     }
     match &result.witness {
         None => s.push_str("  result            : no property violations\n"),
@@ -616,6 +705,63 @@ fn render_check(cli: &Cli) -> Result<String, String> {
                 s.push_str(&format!("  witness written to: {path}\n"));
             }
         }
+    }
+    Ok(s)
+}
+
+/// `lme check --certify`: exhaust the extremal schedule space and report
+/// the exact worst-case response time as a machine-readable certificate.
+fn render_certify(cli: &Cli) -> Result<String, String> {
+    let spec = check_spec_of(cli)?;
+    let cfg = CertifyConfig {
+        max_schedules: if cli.explicitly_set("--steps") {
+            cli.steps
+        } else {
+            CertifyConfig::default().max_schedules
+        },
+        jobs: cli.jobs.unwrap_or(1),
+        ..CertifyConfig::default()
+    };
+    let cert = certify(&spec, &cfg);
+    let mut s = format!(
+        "certify: {} on {} (n = {}), seed {}, nu {}, eat {}, horizon {}\n",
+        cert.alg, cert.topo, cert.n, cert.seed, cert.nu, cert.eat, cert.horizon,
+    );
+    s.push_str(&format!(
+        "  schedules run     : {}{}\n",
+        cert.schedules,
+        if cert.complete {
+            " (extremal schedule space exhausted)"
+        } else {
+            " (budget exhausted before the space)"
+        }
+    ));
+    s.push_str(&format!(
+        "  max branch points : {}\n",
+        cert.max_branch_points
+    ));
+    s.push_str(&format!("  dedup prunes      : {}\n", cert.dedup_prunes));
+    if let Some(v) = &cert.violation {
+        s.push_str(&format!("  VIOLATION         : {v}\n"));
+    }
+    if cert.unfed_runs > 0 {
+        s.push_str(&format!("  unfed runs        : {}\n", cert.unfed_runs));
+    }
+    if cert.holds() {
+        s.push_str(&format!(
+            "  worst response    : {} ticks (node {}, over {} branch delays)\n",
+            cert.worst_rt,
+            cert.worst_rt_node,
+            cert.worst_schedule.len(),
+        ));
+        s.push_str("  certificate       : holds (exact over the extremal space)\n");
+    } else {
+        s.push_str("  certificate       : VOID (see above)\n");
+    }
+    if let Some(path) = &cli.bench_out {
+        std::fs::write(path, cert.to_json() + "\n")
+            .map_err(|e| format!("cannot write certificate to {path}: {e}"))?;
+        s.push_str(&format!("  certificate written to: {path}\n"));
     }
     Ok(s)
 }
@@ -1748,6 +1894,72 @@ mod tests {
     #[test]
     fn check_rejects_mutation_on_non_a1_algorithms() {
         assert!(run_cli(argv("check --alg a2 --nodes 2 --mutate no-sdf-guard")).is_err());
+    }
+
+    #[test]
+    fn check_replay_rejects_conflicting_flags_with_a_structured_error() {
+        let dir = std::env::temp_dir().join("lme-cli-test-replay-conflict");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("witness.json");
+        run_cli(argv(&format!(
+            "check --alg a1-greedy --topo line:3 --mutate no-sdf-guard \
+             --horizon 4000 --witness-out {}",
+            path.display()
+        )))
+        .unwrap();
+        // Explicit flags that MATCH the witness replay fine.
+        let ok = run_cli(argv(&format!(
+            "check --alg a1-greedy --horizon 4000 --replay {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(ok.contains("violation reproduced: lme-safety"), "{ok}");
+        // Conflicting flags are a structured error naming each flag.
+        let err =
+            run_cli(argv(&format!("check --alg a2 --replay {}", path.display()))).unwrap_err();
+        assert!(err.contains("--alg"), "{err}");
+        assert!(err.contains("witness"), "{err}");
+        let err = run_cli(argv(&format!(
+            "check --topo line:4 --seed 99 --replay {}",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--topo") && err.contains("--seed"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_certify_writes_a_holding_certificate() {
+        let dir = std::env::temp_dir().join("lme-cli-test-certify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cert.json");
+        let out = run_cli(argv(&format!(
+            "check --alg a2 --topo line:2 --certify --horizon 300 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("extremal schedule space exhausted"), "{out}");
+        assert!(out.contains("certificate       : holds"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"holds\":true"), "{json}");
+        assert!(json.contains("\"space\":\"extremal\""), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_liveness_lasso_is_found_for_the_unfair_fork_mutation_only() {
+        let starved = run_cli(argv(
+            "check --alg a2 --topo clique:3 --mutate unfair-fork --liveness \
+             --think 10..10 --steps 8 --horizon 4000",
+        ))
+        .unwrap();
+        assert!(starved.contains("VIOLATION starvation-lasso"), "{starved}");
+        let intact = run_cli(argv(
+            "check --alg a2 --topo clique:3 --liveness --think 10..10 \
+             --steps 8 --horizon 4000",
+        ))
+        .unwrap();
+        assert!(intact.contains("no property violations"), "{intact}");
     }
 
     #[test]

@@ -732,6 +732,25 @@ impl Protocol for Algorithm1 {
     fn state_digest(&self) -> Option<u64> {
         Some(manet_sim::digest_of_debug(self))
     }
+
+    fn progress_digest(&self) -> Option<u64> {
+        // Everything behavioral, nothing monotone: `stats` and `phase_log`
+        // only grow and the fork table's transfer generations never repeat,
+        // so all three are excluded (see `ForkTable::progress_digest`).
+        Some(manet_sim::digest_of_debug(&(
+            self.me,
+            self.state,
+            self.my_color,
+            &self.colors,
+            self.forks.progress_digest(),
+            (&self.adr, &self.sdr, &self.adf, &self.sdf),
+            self.phase,
+            self.needs_recolor,
+            &self.pending_info,
+            &self.active_proc,
+            self.sdf_guard_enabled,
+        )))
+    }
 }
 
 #[cfg(test)]

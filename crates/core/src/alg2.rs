@@ -37,7 +37,6 @@ pub struct Alg2Stats {
 }
 
 /// One node of Algorithm 2. Implements [`Protocol`] for the simulator.
-#[derive(Debug)]
 pub struct Algorithm2 {
     me: NodeId,
     state: DiningState,
@@ -50,8 +49,35 @@ pub struct Algorithm2 {
     /// the `O(n)` static response time of Theorem 26; disabling it
     /// reproduces the Tsay–Bagrodia-style behavior it improves upon.
     pub notifications_enabled: bool,
+    /// Mutation knob for the model checker's liveness suite: when set,
+    /// this node silently drops every fork request arriving from the named
+    /// neighbor — it neither grants nor suspends it, so the victim's
+    /// outstanding-request guard keeps it waiting forever. An unfair fork
+    /// policy of exactly the kind the paper's withholding rules exclude;
+    /// `lme check --liveness` must find the resulting starvation lasso.
+    /// Never set on production paths.
+    pub defer_requests_from: Option<NodeId>,
     /// Experiment counters.
     pub stats: Alg2Stats,
+}
+
+/// Hand-written so the rendering — and therefore the Debug-derived state
+/// digest — covers exactly the protocol state. `defer_requests_from` is
+/// per-run checker configuration, constant from init to teardown, and is
+/// deliberately excluded: golden fingerprints pin the digest of intact
+/// runs, and adding a mutation knob must not move them. The field order
+/// reproduces the previously derived output byte for byte.
+impl std::fmt::Debug for Algorithm2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Algorithm2")
+            .field("me", &self.me)
+            .field("state", &self.state)
+            .field("higher", &self.higher)
+            .field("forks", &self.forks)
+            .field("notifications_enabled", &self.notifications_enabled)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl Algorithm2 {
@@ -65,6 +91,7 @@ impl Algorithm2 {
             higher: seed.neighbors.iter().map(|&j| (j, seed.id < j)).collect(),
             forks: ForkTable::new(seed.id, &seed.neighbors),
             notifications_enabled: true,
+            defer_requests_from: None,
             stats: Alg2Stats::default(),
         }
     }
@@ -177,6 +204,9 @@ impl Algorithm2 {
 
     /// Lines 10–14: evaluate (or re-evaluate) a request from `j`.
     fn consider_request(&mut self, j: NodeId, ctx: &mut Context<'_, A2Msg>) {
+        if self.defer_requests_from == Some(j) {
+            return; // mutation: black-hole the victim's request
+        }
         if !self.forks.holds(j) {
             return;
         }
@@ -299,6 +329,20 @@ impl Protocol for Algorithm2 {
 
     fn state_digest(&self) -> Option<u64> {
         Some(manet_sim::digest_of_debug(self))
+    }
+
+    fn progress_digest(&self) -> Option<u64> {
+        // Everything behavioral, nothing monotone: `stats` counters only
+        // grow and the fork table's transfer generations never repeat, so
+        // both are excluded (see `ForkTable::progress_digest`).
+        Some(manet_sim::digest_of_debug(&(
+            self.me,
+            self.state,
+            &self.higher,
+            self.forks.progress_digest(),
+            self.notifications_enabled,
+            self.defer_requests_from,
+        )))
     }
 }
 

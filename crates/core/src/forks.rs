@@ -145,6 +145,16 @@ impl ForkTable {
         self.requested.insert(j)
     }
 
+    /// Deterministic fingerprint of the *behavioral* fork state — holdings,
+    /// suspensions, outstanding requests — excluding the monotone transfer
+    /// generations. Generations exist solely to reject duplicated
+    /// deliveries and never repeat, so including them would make a node
+    /// that returns to the same behavioral configuration digest differently
+    /// forever; liveness (lasso) detection keys on this method instead.
+    pub fn progress_digest(&self) -> u64 {
+        manet_sim::digest_of_debug(&(&self.at, &self.suspended, &self.requested))
+    }
+
     /// Whether this node holds the forks of **all** neighbors satisfying
     /// `pred` (`all-forks` with `pred ≡ true`, `all-low-forks` with
     /// `pred ≡ is_low`).

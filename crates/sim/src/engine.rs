@@ -720,6 +720,43 @@ impl<P: Protocol> Engine<P> {
         Some(h.finish())
     }
 
+    /// Deterministic digest of the engine's *progress* state, for liveness
+    /// (lasso) detection: every protocol's `progress_digest` (monotone
+    /// observational counters excluded), all dining states, and the pending
+    /// queue signature at times **relative to now**. Eating-session
+    /// counters are excluded too — they only grow. A digest that repeats at
+    /// a later instant of the same run certifies a schedulable cycle: the
+    /// engine is in the same behavioral configuration with the same
+    /// in-flight events at the same offsets, so the delay choices of the
+    /// intervening segment are legal again, verbatim, forever. `None` if
+    /// any protocol opts out of `progress_digest`.
+    pub fn progress_digest(&self) -> Option<u64> {
+        let mut h = sched::Fnv::new();
+        for p in &self.protocols {
+            h.write_u64(p.progress_digest()?);
+        }
+        for d in self.core.dining.iter() {
+            h.write_u64(match d {
+                DiningState::Thinking => 0,
+                DiningState::Hungry => 1,
+                DiningState::Eating => 2,
+            });
+        }
+        let now = self.core.now;
+        let mut items: Vec<(SimTime, u64, u64)> = self
+            .core
+            .queue
+            .iter()
+            .map(|(at, seq, item)| (at, seq, item_digest(item)))
+            .collect();
+        items.sort_unstable();
+        for (at, _, content) in items {
+            h.write_u64(at.0.saturating_sub(now.0));
+            h.write_u64(content);
+        }
+        Some(h.finish())
+    }
+
     /// Run until the queue is exhausted or virtual time would exceed
     /// `t_end`; returns the time reached.
     ///
@@ -1429,19 +1466,26 @@ impl<P: Protocol> Engine<P> {
         // mutably.
         let choice = self.core.sched.is_some().then(|| {
             let deadline = self.core.now + latest;
-            let pending_in_window = self
-                .core
-                .queue
-                .iter()
-                .filter(|(at, _, _)| *at <= deadline)
-                .count();
-            let digest = self
+            let (mut pending_in_window, mut pending_dependent_in_window) = (0usize, 0usize);
+            for (at, _, item) in self.core.queue.iter() {
+                if at > deadline {
+                    continue;
+                }
+                pending_in_window += 1;
+                if item_node(item).is_none_or(|n| n == to) {
+                    pending_dependent_in_window += 1;
+                }
+            }
+            let digest = match self
                 .core
                 .sched
                 .as_ref()
-                .is_some_and(|s| s.wants_digest())
-                .then(|| self.state_digest())
-                .flatten();
+                .map_or(sched::DigestMode::Off, |s| s.digest_mode())
+            {
+                sched::DigestMode::Off => None,
+                sched::DigestMode::Absolute => self.state_digest(),
+                sched::DigestMode::Progress => self.progress_digest(),
+            };
             DeliveryChoice {
                 from,
                 to,
@@ -1450,6 +1494,7 @@ impl<P: Protocol> Engine<P> {
                 earliest,
                 latest,
                 pending_in_window,
+                pending_dependent_in_window,
                 fifo_floor: self.core.links.fifo_floor(from, to),
                 digest,
             }
@@ -1860,6 +1905,27 @@ fn wire_item<M>(from: NodeId, to: NodeId, link_epoch: u64, wire: Wire<M>) -> Ite
             link_epoch,
             ack,
         },
+    }
+}
+
+/// The node at which a queued item dispatches, for dependent-delivery
+/// counting: two queued items interact only when they dispatch at the same
+/// node (the receiving automata share no state otherwise). `None` means the
+/// item has global effect (commands may retarget any node, channel ticks
+/// reshape every in-flight frame) and must be counted as dependent on
+/// everything.
+fn item_node<M>(item: &Item<M>) -> Option<NodeId> {
+    match item {
+        Item::Deliver { to, .. } | Item::ShimData { to, .. } => Some(*to),
+        Item::Proto { node, .. } | Item::MoveStep { node, .. } | Item::MotionDone { node, .. } => {
+            Some(*node)
+        }
+        // A standalone ack dispatches at the shim of its receiver `to`; an
+        // RTO fires at the sender `from`; the idle-ack timer fires at the
+        // receiver of the `from → to` data channel, i.e. `to`.
+        Item::ShimAck { to, .. } | Item::ShimAckIdle { to, .. } => Some(*to),
+        Item::ShimRto { from, .. } => Some(*from),
+        Item::Command(_) | Item::ChannelTick { .. } => None,
     }
 }
 

@@ -88,7 +88,9 @@ pub use hooks::{Hook, Sink, View};
 pub use ids::NodeId;
 pub use protocol::{Context, DiningState, Protocol};
 pub use rng::SimRng;
-pub use sched::{digest_of_debug, DeliveryChoice, Fnv, ImportedSchedule, RandomDelays, Strategy};
+pub use sched::{
+    digest_of_debug, DeliveryChoice, DigestMode, Fnv, ImportedSchedule, RandomDelays, Strategy,
+};
 pub use shim::{ArqConfig, ShimStats};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind};

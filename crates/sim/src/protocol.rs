@@ -69,6 +69,20 @@ pub trait Protocol {
     fn state_digest(&self) -> Option<u64> {
         None
     }
+
+    /// Deterministic fingerprint of this node's *progress* state: like
+    /// [`Protocol::state_digest`] but with monotone observational fields
+    /// (meal counters, phase logs, transfer generations) excluded, so the
+    /// digest of a node that returns to the same behavioral configuration
+    /// repeats. Liveness (lasso) detection keys on it: a repeated global
+    /// progress digest means the run has entered a schedulable cycle.
+    /// Defaults to [`Protocol::state_digest`], which is correct — merely
+    /// pessimal, never unsound — for protocols whose state digest already
+    /// excludes monotone fields: cycle detection finds fewer (never bogus)
+    /// lassos.
+    fn progress_digest(&self) -> Option<u64> {
+        self.state_digest()
+    }
 }
 
 /// Handle through which a protocol interacts with the simulated world during

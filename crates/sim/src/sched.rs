@@ -34,13 +34,42 @@ pub struct DeliveryChoice {
     /// Number of already-queued events that dispatch at or before
     /// `now + latest` — the events this delivery can be ordered against.
     pub pending_in_window: usize,
+    /// Subset of [`DeliveryChoice::pending_in_window`] that dispatches *at
+    /// the destination* `to` (global items such as channel ticks count
+    /// conservatively). Two deliveries to distinct nodes commute — the
+    /// receiving automata share no state — so only this subset can make the
+    /// delivery order observable. Partial-order-reducing explorers branch
+    /// only when it is non-zero; see DESIGN.md §9.
+    pub pending_dependent_in_window: usize,
     /// FIFO floor of the `from → to` channel in its current incarnation
     /// (the delivery will be clamped above it regardless of the choice).
     pub fifo_floor: Option<SimTime>,
     /// Digest of the global engine state, present only when the strategy
-    /// asked for it via [`Strategy::wants_digest`] and every protocol
-    /// implements `state_digest`.
+    /// asked for one via [`Strategy::digest_mode`] and every protocol
+    /// implements the corresponding digest method.
     pub digest: Option<u64>,
+}
+
+/// Which engine-state digest a [`Strategy`] wants attached to each
+/// [`DeliveryChoice`]. Digests walk every protocol's state on each send, so
+/// strategies that don't deduplicate should leave this [`DigestMode::Off`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DigestMode {
+    /// No digest (the default).
+    #[default]
+    Off,
+    /// `Engine::state_digest`: protocol states, dining states, eating
+    /// sessions, and the pending queue at *absolute* times. Two states with
+    /// equal absolute digests evolve identically — the dedup key of
+    /// exhaustive explorers.
+    Absolute,
+    /// `Engine::progress_digest`: protocol *progress* states (monotone
+    /// observational counters excluded), dining states, and the pending
+    /// queue at times *relative to now*. Equal progress digests at two
+    /// instants of one run mean the run has entered a schedulable cycle —
+    /// the key for liveness (lasso) detection, where absolute times and
+    /// ever-growing counters would make repetition impossible.
+    Progress,
 }
 
 impl DeliveryChoice {
@@ -69,11 +98,12 @@ pub trait Strategy {
     /// Pick the delivery delay for one message.
     fn choose_delay(&mut self, choice: &DeliveryChoice) -> u64;
 
-    /// Whether the engine should compute [`DeliveryChoice::digest`] for this
-    /// strategy. Defaults to `false`: the digest walks every protocol's
-    /// state on each send, which only state-deduplicating explorers need.
-    fn wants_digest(&self) -> bool {
-        false
+    /// Which digest (if any) the engine should compute into
+    /// [`DeliveryChoice::digest`] for this strategy. Defaults to
+    /// [`DigestMode::Off`]: digests walk every protocol's state on each
+    /// send, which only deduplicating or lasso-detecting explorers need.
+    fn digest_mode(&self) -> DigestMode {
+        DigestMode::Off
     }
 }
 
@@ -236,6 +266,7 @@ mod tests {
             earliest,
             latest,
             pending_in_window: pending,
+            pending_dependent_in_window: pending,
             fifo_floor: floor.map(SimTime),
             digest: None,
         }

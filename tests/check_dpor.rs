@@ -1,0 +1,153 @@
+//! Differential soundness of the partial-order reduction: DPOR may only
+//! skip flips that provably commute with the rest of the run, so on every
+//! instance the reduced DFS must reach the **same verdict** — clean stays
+//! clean, a planted bug stays found, and the violated property agrees —
+//! while running **no more** schedules than the unreduced DFS. On a
+//! contended clique it must run *strictly fewer* (the acceptance bar for
+//! the reduction actually doing something).
+
+use manet_local_mutex::check::{explore, CheckSpec, ExploreConfig, Mutation};
+use manet_local_mutex::harness::AlgKind;
+
+fn line(n: usize) -> Vec<(u32, u32)> {
+    (0..n as u32 - 1).map(|i| (i, i + 1)).collect()
+}
+
+fn clique(n: usize) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            edges.push((a, b));
+        }
+    }
+    edges
+}
+
+fn spec(alg: AlgKind, topo: &str, mutation: Mutation) -> CheckSpec {
+    let (n, edges) = match topo.split_once(':').expect("kind:n") {
+        ("line", n) => {
+            let n: usize = n.parse().unwrap();
+            (n, line(n))
+        }
+        ("clique", n) => {
+            let n: usize = n.parse().unwrap();
+            (n, clique(n))
+        }
+        other => panic!("unsupported topology {other:?}"),
+    };
+    let mut spec = CheckSpec::new(alg, topo, n, edges);
+    spec.mutation = mutation;
+    spec
+}
+
+/// Explore `spec` twice — DPOR on and off — under an otherwise identical
+/// configuration, and check verdict equality and schedule-count ordering.
+fn differential(spec: &CheckSpec, cfg: &ExploreConfig) -> (usize, usize, usize) {
+    let with = explore(
+        spec,
+        &ExploreConfig {
+            dpor: true,
+            ..cfg.clone()
+        },
+    );
+    let without = explore(
+        spec,
+        &ExploreConfig {
+            dpor: false,
+            ..cfg.clone()
+        },
+    );
+    assert_eq!(without.dpor_prunes, 0, "dpor:false must never prune");
+    let label = format!("{} on {}", spec.alg.name(), spec.topo);
+    match (&with.witness, &without.witness) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert_eq!(
+            a.property, b.property,
+            "{label}: DPOR changed the violated property"
+        ),
+        (a, b) => panic!(
+            "{label}: DPOR changed the verdict: with={:?} without={:?}",
+            a.as_ref().map(|w| &w.property),
+            b.as_ref().map(|w| &w.property)
+        ),
+    }
+    // Both sides exhausted their (identically bounded) tree, or neither.
+    assert_eq!(with.complete, without.complete, "{label}");
+    assert!(
+        with.schedules <= without.schedules,
+        "{label}: the reduction ran MORE schedules ({} > {})",
+        with.schedules,
+        without.schedules
+    );
+    (with.schedules, without.schedules, with.dpor_prunes)
+}
+
+/// Verdicts agree between reduced and unreduced DFS on every algorithm ×
+/// topology cell, intact and (for the A1 family, which owns the mutation)
+/// with the planted SD^f-guard bug.
+#[test]
+fn dpor_verdicts_match_unreduced_dfs_on_every_cell() {
+    let cfg = ExploreConfig {
+        max_schedules: 512,
+        max_depth: 6,
+        dedup: false,
+        ..ExploreConfig::default()
+    };
+    for alg in [AlgKind::A1Greedy, AlgKind::A1Linial, AlgKind::A2] {
+        for topo in ["line:3", "line:4", "clique:3"] {
+            differential(&spec(alg, topo, Mutation::None), &cfg);
+        }
+    }
+    for alg in [AlgKind::A1Greedy, AlgKind::A1Linial] {
+        for topo in ["line:3", "line:4", "clique:3"] {
+            let s = spec(alg, topo, Mutation::NoSdfGuard);
+            let (_, _, _) = differential(&s, &cfg);
+            // Sanity: the planted bug is actually found on line:3 (the
+            // canonical mutation cell) so verdict equality is not vacuous.
+            if topo == "line:3" {
+                let found = explore(&s, &cfg);
+                assert!(
+                    found.witness.is_some(),
+                    "{} line:3: planted bug not found under DPOR",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+/// On a contended clique the reduction must actually reduce: strictly
+/// fewer schedules than the unreduced DFS, with a nonzero prune count and
+/// an identical (clean) verdict. Counts are logged for the CI record.
+#[test]
+fn dpor_explores_strictly_fewer_schedules_on_the_clique() {
+    let cfg = ExploreConfig {
+        max_schedules: 4096,
+        max_depth: 10,
+        dedup: false,
+        ..ExploreConfig::default()
+    };
+    let (reduced, full, prunes) =
+        differential(&spec(AlgKind::A2, "clique:3", Mutation::None), &cfg);
+    println!("dpor on A2/clique:3 (depth 10): {reduced} vs {full} schedules, {prunes} flip prunes");
+    assert!(prunes > 0, "DPOR pruned nothing on a contended clique");
+    assert!(
+        reduced < full,
+        "DPOR must explore strictly fewer schedules ({reduced} vs {full})"
+    );
+}
+
+/// The reduction stays sound under the planted mutation even when its
+/// flip-relevance rule and the bug interact: same property found with and
+/// without DPOR at a depth where the violation is reachable.
+#[test]
+fn dpor_keeps_finding_the_planted_bug_at_depth() {
+    let cfg = ExploreConfig {
+        max_schedules: 1024,
+        max_depth: 10,
+        dedup: false,
+        ..ExploreConfig::default()
+    };
+    let s = spec(AlgKind::A1Greedy, "clique:3", Mutation::NoSdfGuard);
+    differential(&s, &cfg);
+}

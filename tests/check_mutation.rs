@@ -115,3 +115,48 @@ fn every_strategy_finds_the_planted_bug() {
         );
     }
 }
+
+/// Worker count is a throughput knob, never a semantics knob: for every
+/// strategy, on a violating and on a clean instance, `jobs: 4` must
+/// reproduce the `jobs: 1` exploration byte for byte — same verdict, same
+/// counters, and an identical witness JSON line.
+#[test]
+fn exploration_is_jobs_invariant_byte_for_byte() {
+    for strategy in [StrategyKind::Dfs, StrategyKind::Random, StrategyKind::Pct] {
+        for mutation in [Mutation::NoSdfGuard, Mutation::None] {
+            let spec = line_spec(3, mutation);
+            let cfg = ExploreConfig {
+                strategy,
+                max_schedules: 48,
+                max_depth: 6,
+                ..ExploreConfig::default()
+            };
+            let one = explore(
+                &spec,
+                &ExploreConfig {
+                    jobs: 1,
+                    ..cfg.clone()
+                },
+            );
+            let four = explore(
+                &spec,
+                &ExploreConfig {
+                    jobs: 4,
+                    ..cfg.clone()
+                },
+            );
+            let label = format!("{} / {}", strategy.name(), spec.mutation.name());
+            assert_eq!(one.schedules, four.schedules, "{label}");
+            assert_eq!(one.complete, four.complete, "{label}");
+            assert_eq!(one.max_branch_points, four.max_branch_points, "{label}");
+            assert_eq!(one.dedup_prunes, four.dedup_prunes, "{label}");
+            assert_eq!(one.dpor_prunes, four.dpor_prunes, "{label}");
+            assert_eq!(one.shrink_runs, four.shrink_runs, "{label}");
+            assert_eq!(
+                one.witness.as_ref().map(Witness::to_json),
+                four.witness.as_ref().map(Witness::to_json),
+                "{label}: witness JSON must not depend on --jobs"
+            );
+        }
+    }
+}

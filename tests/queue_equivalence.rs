@@ -433,6 +433,7 @@ fn imported_schedule_strategy_object_is_consulted() {
         earliest: 1,
         latest: 10,
         pending_in_window: 0,
+        pending_dependent_in_window: 0,
         fifo_floor: None,
         digest: None,
     };
