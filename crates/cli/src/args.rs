@@ -3,7 +3,7 @@
 
 use harness::{AlgKind, MobilityMix};
 use lme_check::{Mutation, StrategyKind};
-use lme_net::TransportKind;
+use lme_net::{LiveRuntime, TransportKind};
 use manet_sim::ChannelConfig;
 
 /// A parsed topology specification.
@@ -212,9 +212,19 @@ pub struct Cli {
     /// Live: after the run, replay its delivery timing in the simulator
     /// and check safety + census conformance (needs `--oneshot`).
     pub conformance: bool,
-    /// Live: run the full 4-algorithm × 2-topology matrix instead of a
+    /// Live: run the full algorithm × {clique, ring} matrix instead of a
     /// single cell.
     pub matrix: bool,
+    /// Live: which execution model runs the node automata
+    /// (`thread-per-node` or `sharded`).
+    pub runtime: LiveRuntime,
+    /// Live: worker-thread count for the sharded runtime (`None` = size
+    /// to the machine's parallelism).
+    pub workers: Option<usize>,
+    /// Live / bench live: closed-loop workload — a node goes hungry again
+    /// immediately after eating instead of drawing an open-loop think
+    /// time from `--rate`.
+    pub closed_loop: bool,
 }
 
 impl Cli {
@@ -275,6 +285,9 @@ impl Default for Cli {
             one_shot: false,
             conformance: false,
             matrix: false,
+            runtime: LiveRuntime::ThreadPerNode,
+            workers: None,
+            closed_loop: false,
         }
     }
 }
@@ -306,8 +319,11 @@ commands:
           `bench channel`: every channel model x {clique:8, ring:8},
           reporting meals, response percentiles and channel counters,
           written as BENCH_channel.json
-  live    one thread per node, real message passing (mpsc channels or
-          UDP on loopback), live trace validated by the safety monitor
+  live    real message passing (mpsc channels or UDP on loopback) under
+          one of two execution models — one thread per node, or an M:N
+          sharded worker pool (--runtime sharded) that scales the same
+          automata to tens of thousands of nodes; the live trace is
+          validated by the safety monitor either way
 
 options:
   --alg <name>       a1-greedy | a1-linial | a1-random | a2 |
@@ -407,6 +423,16 @@ live runtime (live, bench live):
                        safety violation
   --victim <node>      crash this node a quarter into the run
   --moves <k>          teleport waypoints pushed by the driver
+  --runtime <r>        thread-per-node | sharded    (default thread-per-node;
+                       sharded runs every node on a fixed worker pool of
+                       contiguous shards with batched cross-shard frames
+                       and per-shard ticket ranges merged at export;
+                       --reliable is thread-per-node only)
+  --workers <n>        sharded: worker-pool size    (default: the machine's
+                       parallelism, clamped to 2..16)
+  --closed-loop        nodes go hungry again immediately after eating
+                       (saturation workload; --rate only staggers the
+                       first cycle)
   --out <p>            bench live: JSON path    (default BENCH_live.json)
 ";
 
@@ -702,6 +728,15 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
             "--oneshot" => cli.one_shot = true,
             "--conformance" => cli.conformance = true,
             "--matrix" => cli.matrix = true,
+            "--runtime" => cli.runtime = LiveRuntime::parse(&value("--runtime")?)?,
+            "--workers" => {
+                let workers = parse_usize(&value("--workers")?, "worker count")?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                cli.workers = Some(workers);
+            }
+            "--closed-loop" => cli.closed_loop = true,
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
@@ -753,6 +788,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Cli, String> {
         if cli.fault_partition.is_some() && targets.len() >= n {
             return Err("a partition side must leave at least one node outside".to_string());
         }
+    }
+    if cli.workers.is_some() && matches!(cli.runtime, LiveRuntime::ThreadPerNode) {
+        return Err("--workers sizes the sharded worker pool; pass --runtime sharded".to_string());
     }
     if cli.command == Command::Live {
         if cli.topo.is_explicit() {
@@ -1038,8 +1076,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_runtime_flags() {
+        let cli = parse(argv("live --runtime sharded --workers 4 --closed-loop")).unwrap();
+        assert!(matches!(cli.runtime, LiveRuntime::Sharded { .. }));
+        assert_eq!(cli.workers, Some(4));
+        assert!(cli.closed_loop);
+        let default = parse(argv("live")).unwrap();
+        assert!(matches!(default.runtime, LiveRuntime::ThreadPerNode));
+        assert_eq!(default.workers, None);
+        assert!(!default.closed_loop);
+        let bench = parse(argv("bench live --runtime sharded --workers 2")).unwrap();
+        assert!(matches!(bench.runtime, LiveRuntime::Sharded { .. }));
+    }
+
+    #[test]
     fn rejects_malformed_live_flags() {
         assert!(parse(argv("live --transport tcp")).is_err());
+        assert!(parse(argv("live --runtime fibers")).is_err());
+        assert!(parse(argv("live --workers 0 --runtime sharded")).is_err());
+        assert!(parse(argv("live --workers 4")).is_err()); // needs --runtime sharded
         assert!(parse(argv("live --duration 0")).is_err());
         assert!(parse(argv("live --rate 0")).is_err());
         assert!(parse(argv("live --rate -3")).is_err());

@@ -9,7 +9,7 @@ use harness::{
 use lme_check::{
     certify, explore, replay, CertifyConfig, CheckSpec, ExploreConfig, StrategyKind, Witness,
 };
-use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome};
+use lme_net::{conformance_replay, run_live, LiveAlg, LiveConfig, LiveOutcome, LiveRuntime};
 use manet_sim::{
     ArqConfig, ChannelConfig, Context, CrashWave, DelayAdversary, DiningState, Engine, Event,
     EventQueueKind, FaultPlan, LinkEngine, LinkFaults, NodeId, PartitionWindow, Position, Protocol,
@@ -1041,6 +1041,13 @@ fn live_config_of(cli: &Cli, alg: LiveAlg, positions: Vec<(f64, f64)>) -> LiveCo
     cfg.one_shot = cli.one_shot;
     cfg.seed = cli.seed;
     cfg.reliable = cli.reliable;
+    cfg.closed_loop = cli.closed_loop;
+    cfg.runtime = match cli.runtime {
+        LiveRuntime::ThreadPerNode => LiveRuntime::ThreadPerNode,
+        LiveRuntime::Sharded { .. } => LiveRuntime::Sharded {
+            workers: cli.workers.unwrap_or(0),
+        },
+    };
     if let Some(v) = cli.victim {
         cfg.crash = Some((v, (cli.duration_ms / 4).max(1)));
         if let Some(at) = cli.recover_at {
@@ -1088,7 +1095,7 @@ fn render_live(cli: &Cli) -> Result<String, String> {
     let out = run_live(&cfg)?;
     let lat = Summary::of(&out.latencies_ns);
     let mut s = format!(
-        "live: {} over {} on {} (n = {}), {} ms, rate {}/s, seed {}\n",
+        "live: {} over {} on {} (n = {}), {} ms, rate {}/s, seed {}, {} runtime{}\n",
         alg.name(),
         cli.transport.name(),
         cli.topo,
@@ -1096,6 +1103,8 @@ fn render_live(cli: &Cli) -> Result<String, String> {
         out.elapsed_ms,
         cli.rate,
         cli.seed,
+        cfg.runtime.name(),
+        if cli.closed_loop { ", closed loop" } else { "" },
     );
     s.push_str(&format!("  safety violations : {}\n", out.violations.len()));
     s.push_str(&format!(
@@ -1135,11 +1144,13 @@ fn render_live(cli: &Cli) -> Result<String, String> {
     Ok(s)
 }
 
-/// The fixed 4-algorithm × 2-topology acceptance matrix: every
-/// live-capable algorithm over a clique and a ring, each cell validated
-/// by the safety monitor. Nonzero exit on any violation.
+/// The fixed algorithm × topology acceptance matrix: every live-capable
+/// algorithm over a clique and a ring, each cell validated by the safety
+/// monitor. Nonzero exit on any violation. `--runtime sharded` runs the
+/// same matrix on the sharded worker pool.
 fn render_live_matrix(cli: &Cli) -> Result<String, String> {
     let topos = [TopoSpec::Clique(5), TopoSpec::Ring(6)];
+    let algs = LiveAlg::all();
     if let Some(v) = cli.victim {
         if v as usize >= 5 {
             return Err(format!(
@@ -1148,13 +1159,13 @@ fn render_live_matrix(cli: &Cli) -> Result<String, String> {
         }
     }
     let mut s = format!(
-        "live matrix: {} over {}, {} ms per cell, rate {}/s, seed {}\n",
-        if cli.victim.is_some() {
-            "4 algorithms x 2 topologies + crash"
-        } else {
-            "4 algorithms x 2 topologies"
-        },
+        "live matrix: {} algorithms x {} topologies{} over {} ({} runtime), \
+         {} ms per cell, rate {}/s, seed {}\n",
+        algs.len(),
+        topos.len(),
+        if cli.victim.is_some() { " + crash" } else { "" },
         cli.transport.name(),
+        cli.runtime.name(),
         cli.duration_ms,
         cli.rate,
         cli.seed,
@@ -1170,7 +1181,7 @@ fn render_live_matrix(cli: &Cli) -> Result<String, String> {
         "joined",
     ]);
     let mut bad_cells = 0;
-    for alg in LiveAlg::all() {
+    for alg in algs {
         for topo in &topos {
             let cfg = live_config_of(cli, alg, geo_positions(topo));
             let n = cfg.positions.len();
@@ -1197,12 +1208,78 @@ fn render_live_matrix(cli: &Cli) -> Result<String, String> {
             "{bad_cells} live matrix cell(s) violated safety or leaked threads\n{s}"
         ));
     }
-    s.push_str("matrix: all 8 cells safe, all threads joined\n");
+    s.push_str(&format!(
+        "matrix: all {} cells safe, all threads joined\n",
+        algs.len() * topos.len()
+    ));
     Ok(s)
 }
 
+/// Largest n `bench live` will attempt with one OS thread per node; past
+/// this the scale ladder records the cell as skipped rather than risk
+/// exhausting the machine's thread and stack budget, which is exactly the
+/// regime the sharded runtime exists for.
+const THREAD_PER_NODE_SCALE_CAP: usize = 2_048;
+
+/// One `bench live` result row as a JSON object, including the per-node
+/// network-health suffix keys (`net_*`) aggregated from the trace's
+/// [`lme_net::NodeNetStats`] records — previously collected by every node
+/// and dropped at aggregation.
+fn bench_live_row_json(
+    alg: &str,
+    runtime: &str,
+    n: usize,
+    topo: &str,
+    out: &LiveOutcome,
+) -> String {
+    let lat = Summary::of(&out.latencies_ns);
+    let net = out.trace.net_stats(n);
+    let nodes_with_errors = net
+        .iter()
+        .filter(|s| s.decode_errors + s.send_failures > 0)
+        .count();
+    let max_decode = net.iter().map(|s| s.decode_errors).max().unwrap_or(0);
+    let max_send = net.iter().map(|s| s.send_failures).max().unwrap_or(0);
+    let max_rtx = net.iter().map(|s| s.retransmissions).max().unwrap_or(0);
+    let max_acks = net.iter().map(|s| s.acks_sent).max().unwrap_or(0);
+    format!(
+        "{{\"alg\": \"{alg}\", \"runtime\": \"{runtime}\", \"n\": {n}, \
+         \"topo\": \"{topo}\", \"elapsed_ms\": {}, \"meals\": {}, \
+         \"sessions_per_sec\": {:.2}, \"latency_ns\": {{\"count\": {}, \
+         \"mean\": {:.0}, \"p50\": {}, \"p95\": {}, \"max\": {}}}, \
+         \"messages_sent\": {}, \"messages_delivered\": {}, \
+         \"decode_errors\": {}, \"violations\": {}, \
+         \"send_failures\": {}, \"retransmissions\": {}, \
+         \"acks_sent\": {}, \"recoveries\": {}, \
+         \"net_nodes_with_errors\": {nodes_with_errors}, \
+         \"net_max_node_decode_errors\": {max_decode}, \
+         \"net_max_node_send_failures\": {max_send}, \
+         \"net_max_node_retransmissions\": {max_rtx}, \
+         \"net_max_node_acks\": {max_acks}}}",
+        out.elapsed_ms,
+        out.total_meals(),
+        out.sessions_per_sec(),
+        lat.count,
+        lat.mean,
+        lat.p50,
+        lat.p95,
+        lat.max,
+        out.messages_sent,
+        out.messages_delivered,
+        out.decode_errors,
+        out.violations.len(),
+        out.send_failures,
+        out.retransmissions,
+        out.acks_sent,
+        out.recoveries,
+    )
+}
+
 /// `lme bench live`: wall-clock throughput and pooled hungry→eat latency
-/// percentiles for every live-capable algorithm, written as JSON.
+/// percentiles for every live-capable algorithm, written as JSON. With an
+/// explicit `--ns` ladder it also runs `--alg` on `ring:n` per rung under
+/// both runtimes (thread-per-node capped at
+/// [`THREAD_PER_NODE_SCALE_CAP`]) and records the rungs as `scale_rows`.
 fn render_bench_live(cli: &Cli) -> Result<String, String> {
     let out_path = cli
         .bench_out
@@ -1234,42 +1311,93 @@ fn render_bench_live(cli: &Cli) -> Result<String, String> {
     json.push_str(&format!("  \"rate_per_node_sec\": {},\n", cli.rate));
     json.push_str(&format!("  \"eat_ms\": {},\n", cli.eat_ms));
     json.push_str(&format!("  \"seed\": {},\n", cli.seed));
+    json.push_str(&format!("  \"runtime\": \"{}\",\n", cli.runtime.name()));
+    json.push_str(&format!("  \"closed_loop\": {},\n", cli.closed_loop));
+    json.push_str(&format!(
+        "  \"thread_per_node_scale_cap\": {THREAD_PER_NODE_SCALE_CAP},\n"
+    ));
+    let mut jsonl: Vec<String> = Vec::new();
     json.push_str("  \"rows\": [\n");
-    for (i, (alg, out, lat)) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"alg\": \"{}\", \"elapsed_ms\": {}, \"meals\": {}, \
-             \"sessions_per_sec\": {:.2}, \"latency_ns\": {{\"count\": {}, \
-             \"mean\": {:.0}, \"p50\": {}, \"p95\": {}, \"max\": {}}}, \
-             \"messages_sent\": {}, \"messages_delivered\": {}, \
-             \"decode_errors\": {}, \"violations\": {}, \
-             \"send_failures\": {}, \"retransmissions\": {}, \
-             \"acks_sent\": {}, \"recoveries\": {}}}{}\n",
+    for (i, (alg, out, _lat)) in results.iter().enumerate() {
+        let row = bench_live_row_json(
             alg.name(),
-            out.elapsed_ms,
-            out.total_meals(),
-            out.sessions_per_sec(),
-            lat.count,
-            lat.mean,
-            lat.p50,
-            lat.p95,
-            lat.max,
-            out.messages_sent,
-            out.messages_delivered,
-            out.decode_errors,
-            out.violations.len(),
-            out.send_failures,
-            out.retransmissions,
-            out.acks_sent,
-            out.recoveries,
+            cli.runtime.name(),
+            n,
+            &cli.topo.to_string(),
+            out,
+        );
+        jsonl.push(row.clone());
+        json.push_str(&format!(
+            "    {row}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n");
+
+    // The `--ns` scale ladder: `--alg` on `ring:n` per rung, sharded
+    // always, thread-per-node only under the cap (recorded as a skipped
+    // rung above it, honestly, rather than silently absent).
+    let mut scale_results: Vec<(String, usize, Option<LiveOutcome>)> = Vec::new();
+    if cli.explicitly_set("--ns") {
+        let alg = live_alg_of(cli.alg)?;
+        for &sn in &cli.bench_ns {
+            let topo = TopoSpec::Ring(sn);
+            for runtime in [
+                LiveRuntime::ThreadPerNode,
+                LiveRuntime::Sharded {
+                    workers: cli.workers.unwrap_or(0),
+                },
+            ] {
+                if matches!(runtime, LiveRuntime::ThreadPerNode) && sn > THREAD_PER_NODE_SCALE_CAP {
+                    scale_results.push((runtime.name().to_string(), sn, None));
+                    continue;
+                }
+                let mut cfg = live_config_of(cli, alg, geo_positions(&topo));
+                cfg.runtime = runtime;
+                let out = run_live(&cfg)?;
+                if !out.violations.is_empty() {
+                    return Err(format!(
+                        "bench live scale: {} ({}) on {topo} had {} safety violations",
+                        alg.name(),
+                        cfg.runtime.name(),
+                        out.violations.len()
+                    ));
+                }
+                scale_results.push((cfg.runtime.name().to_string(), sn, Some(out)));
+            }
+        }
+    }
+    json.push_str("  \"scale_rows\": [\n");
+    for (i, (runtime, sn, out)) in scale_results.iter().enumerate() {
+        let row = match out {
+            Some(out) => {
+                bench_live_row_json(cli.alg.name(), runtime, *sn, &format!("ring:{sn}"), out)
+            }
+            None => format!(
+                "{{\"alg\": \"{}\", \"runtime\": \"{runtime}\", \"n\": {sn}, \
+                 \"topo\": \"ring:{sn}\", \"skipped\": \
+                 \"n exceeds the {THREAD_PER_NODE_SCALE_CAP}-thread cap\"}}",
+                cli.alg.name()
+            ),
+        };
+        jsonl.push(row.clone());
+        json.push_str(&format!(
+            "    {row}{}\n",
+            if i + 1 < scale_results.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, jsonl.join("\n") + "\n")
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let mut s = format!(
-        "bench live: {} on {} (n = {n}), {} ms per algorithm, rate {}/s\n",
+        "bench live: {} on {} (n = {n}, {} runtime{}), {} ms per algorithm, rate {}/s\n",
         cli.transport.name(),
         cli.topo,
+        cli.runtime.name(),
+        if cli.closed_loop { ", closed loop" } else { "" },
         cli.duration_ms,
         cli.rate,
     );
@@ -1290,6 +1418,34 @@ fn render_bench_live(cli: &Cli) -> Result<String, String> {
         ]);
     }
     s.push_str(&table.to_string());
+    if !scale_results.is_empty() {
+        s.push_str(&format!("scale ladder: {} on ring:n\n", cli.alg.name()));
+        let mut scale_table = Table::new(&["n", "runtime", "meals", "sessions/s", "p95"]);
+        for (runtime, sn, out) in &scale_results {
+            match out {
+                Some(out) => {
+                    let lat = Summary::of(&out.latencies_ns);
+                    scale_table.row([
+                        sn.to_string(),
+                        runtime.clone(),
+                        out.total_meals().to_string(),
+                        format!("{:.1}", out.sessions_per_sec()),
+                        format!("{:.2} ms", lat.p95 as f64 / 1e6),
+                    ]);
+                }
+                None => {
+                    scale_table.row([
+                        sn.to_string(),
+                        runtime.clone(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        format!("skipped (> {THREAD_PER_NODE_SCALE_CAP} threads)"),
+                    ]);
+                }
+            }
+        }
+        s.push_str(&scale_table.to_string());
+    }
     s.push_str(&format!("results written to {out_path}\n"));
     Ok(s)
 }
@@ -1610,6 +1766,46 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.contains("cannot write"), "{err}");
+    }
+
+    #[test]
+    fn live_sharded_runs_safe_and_renders() {
+        let out = run_cli(argv(
+            "live --alg a2 --topo clique:4 --runtime sharded --workers 2 \
+             --duration 300 --rate 40 --eat-ms 1 --closed-loop --seed 5",
+        ))
+        .unwrap();
+        assert!(out.contains("sharded runtime"), "{out}");
+        assert!(out.contains("closed loop"), "{out}");
+        assert!(out.contains("safety violations : 0"), "{out}");
+        assert!(out.contains("threads joined    : 4/4"), "{out}");
+    }
+
+    #[test]
+    fn bench_live_scale_rows_cover_both_runtimes_with_net_stats() {
+        let dir = std::env::temp_dir().join("lme-cli-test-bench-live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_p = dir.join("b.json");
+        let jsonl_p = dir.join("b.jsonl");
+        let out = run_cli(argv(&format!(
+            "bench live --alg a2 --topo line:2 --duration 150 --rate 40 \
+             --eat-ms 1 --ns 3 --out {} --metrics-out {}",
+            out_p.display(),
+            jsonl_p.display()
+        )))
+        .unwrap();
+        assert!(out.contains("scale ladder"), "{out}");
+        let json = std::fs::read_to_string(&out_p).unwrap();
+        assert!(json.contains("\"scale_rows\""), "{json}");
+        assert!(json.contains("\"runtime\": \"sharded\""), "{json}");
+        assert!(json.contains("\"runtime\": \"thread-per-node\""), "{json}");
+        assert!(json.contains("\"net_max_node_decode_errors\""), "{json}");
+        assert!(json.contains("\"net_nodes_with_errors\""), "{json}");
+        let jsonl = std::fs::read_to_string(&jsonl_p).unwrap();
+        // One line per main row (5 algorithms) + 2 scale rungs at n=3.
+        assert_eq!(jsonl.lines().count(), 7, "{jsonl}");
+        std::fs::remove_file(&out_p).ok();
+        std::fs::remove_file(&jsonl_p).ok();
     }
 
     #[test]

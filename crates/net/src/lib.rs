@@ -18,6 +18,12 @@
 //! * [`runtime`] — node threads, the self-driven workload, and the driver
 //!   that injects mobility, crashes, and partitions under the simulator's
 //!   rules ([`runtime::run_live`]);
+//! * [`shard`] — the M:N sharded runtime: a fixed worker pool owning
+//!   contiguous node shards, per-shard timing wheels, batched
+//!   cross-shard frames over bounded SPSC rings, and per-shard ticket
+//!   ranges merged into one total order at export; selected via
+//!   [`runtime::LiveRuntime::Sharded`] and scaling the same automata to
+//!   tens of thousands of nodes;
 //! * [`trace`] — totally-ordered capture of everything observable, safety
 //!   validation through the harness [`harness::SafetyMonitor`], and export
 //!   of delivery timings as a simulator schedule;
@@ -39,12 +45,14 @@
 pub mod codec;
 pub mod replay;
 pub mod runtime;
+pub mod shard;
 pub mod trace;
 pub mod transport;
 
 pub use codec::{decode_frame, encode_frame, CodecError, WireMsg, WIRE_VERSION};
 pub use replay::{conformance_replay, ConformanceReport};
-pub use runtime::{run_live, LiveAlg, LiveConfig, LiveOutcome};
+pub use runtime::{run_live, LiveAlg, LiveConfig, LiveOutcome, LiveRuntime};
+pub use shard::{merge_stamped, HybridClock, ShardAbort, ShardTuning, StampedRecord};
 pub use trace::{LiveEventKind, LiveRecord, LiveTrace, NodeNetStats};
 pub use transport::{
     decode_envelope, encode_envelope, mpsc_mesh, udp_mesh, LinkGate, MpscTransport, Transport,

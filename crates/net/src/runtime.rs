@@ -55,6 +55,11 @@ pub enum LiveAlg {
     A1Greedy,
     /// Algorithm 1 with the Linial-schedule coloring.
     A1Linial,
+    /// Algorithm 1 with the randomized recoloring doorway. The `SimRng`
+    /// choice state stays node-local; only the recoloring messages cross
+    /// the wire, and those have a codec, so the algorithm is fully
+    /// live-capable.
+    A1Random,
     /// Algorithm 2 (doorway-free).
     A2,
     /// The Chandy–Misra baseline.
@@ -63,10 +68,11 @@ pub enum LiveAlg {
 
 impl LiveAlg {
     /// All live-capable algorithms, in canonical order.
-    pub fn all() -> [LiveAlg; 4] {
+    pub fn all() -> [LiveAlg; 5] {
         [
             LiveAlg::A1Greedy,
             LiveAlg::A1Linial,
+            LiveAlg::A1Random,
             LiveAlg::A2,
             LiveAlg::ChandyMisra,
         ]
@@ -77,6 +83,7 @@ impl LiveAlg {
         match self {
             LiveAlg::A1Greedy => "A1-greedy",
             LiveAlg::A1Linial => "A1-linial",
+            LiveAlg::A1Random => "A1-random",
             LiveAlg::A2 => "A2",
             LiveAlg::ChandyMisra => "chandy-misra",
         }
@@ -87,11 +94,12 @@ impl LiveAlg {
         match s.to_ascii_lowercase().as_str() {
             "a1-greedy" => Ok(LiveAlg::A1Greedy),
             "a1-linial" => Ok(LiveAlg::A1Linial),
+            "a1-random" => Ok(LiveAlg::A1Random),
             "a2" => Ok(LiveAlg::A2),
             "chandy-misra" => Ok(LiveAlg::ChandyMisra),
             other => Err(format!(
                 "unknown live algorithm '{other}'; live runs support \
-                 A1-greedy, A1-linial, A2, chandy-misra"
+                 A1-greedy, A1-linial, A1-random, A2, chandy-misra"
             )),
         }
     }
@@ -101,8 +109,46 @@ impl LiveAlg {
         match self {
             LiveAlg::A1Greedy => harness::AlgKind::A1Greedy,
             LiveAlg::A1Linial => harness::AlgKind::A1Linial,
+            LiveAlg::A1Random => harness::AlgKind::A1Random,
             LiveAlg::A2 => harness::AlgKind::A2,
             LiveAlg::ChandyMisra => harness::AlgKind::ChandyMisra,
+        }
+    }
+}
+
+/// Which execution engine hosts the nodes of a live run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiveRuntime {
+    /// One OS thread per node — faithful, simple, caps out at hundreds
+    /// of nodes.
+    ThreadPerNode,
+    /// A fixed worker pool owning contiguous node shards (see
+    /// [`crate::shard`]); scales to tens of thousands of nodes.
+    Sharded {
+        /// Worker-pool size; 0 picks the host parallelism (min 2).
+        workers: usize,
+    },
+}
+
+impl LiveRuntime {
+    /// Canonical name (also the `--runtime` flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            LiveRuntime::ThreadPerNode => "thread-per-node",
+            LiveRuntime::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Parse a `--runtime` flag value (case-insensitive). `sharded`
+    /// starts with `workers: 0` (auto); set the field for an explicit
+    /// pool size.
+    pub fn parse(s: &str) -> Result<LiveRuntime, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "thread-per-node" | "thread" | "threads" => Ok(LiveRuntime::ThreadPerNode),
+            "sharded" => Ok(LiveRuntime::Sharded { workers: 0 }),
+            other => Err(format!(
+                "unknown live runtime '{other}'; expected thread-per-node or sharded"
+            )),
         }
     }
 }
@@ -152,6 +198,12 @@ pub struct LiveConfig {
     pub partition: Option<(Vec<u32>, u64, u64)>,
     /// Teleport waypoints `(at_ms, node, destination)`.
     pub moves: Vec<(u64, u32, (f64, f64))>,
+    /// Which execution engine hosts the nodes.
+    pub runtime: LiveRuntime,
+    /// Closed-loop workload: a node goes hungry again immediately after
+    /// eating instead of drawing a think time, so throughput is set by
+    /// the protocol and the runtime, not by the open-loop rate limiter.
+    pub closed_loop: bool,
 }
 
 impl LiveConfig {
@@ -174,6 +226,8 @@ impl LiveConfig {
             partition: None,
             moves: Vec::new(),
             reliable: false,
+            runtime: LiveRuntime::ThreadPerNode,
+            closed_loop: false,
         }
     }
 
@@ -228,6 +282,11 @@ impl LiveConfig {
             if let Some(&bad) = side.iter().find(|&&m| m as usize >= n) {
                 return Err(format!("partition side contains node {bad}, but n = {n}"));
             }
+        }
+        if self.reliable && matches!(self.runtime, LiveRuntime::Sharded { .. }) {
+            return Err("--reliable is not supported by the sharded runtime; \
+                 use --runtime thread-per-node for the ARQ shim"
+                .into());
         }
         Ok(())
     }
@@ -307,7 +366,9 @@ impl Shared {
 
 /// Driver → node control plane. Kept separate from the data plane so
 /// topology changes and shutdown cannot be lost to a severed transport.
-enum Ctrl {
+/// Shared with the sharded runtime, whose workers apply the same events
+/// to their owned nodes.
+pub(crate) enum Ctrl {
     LinkUp { peer: NodeId, kind: LinkUpKind },
     LinkDown { peer: NodeId },
     MoveStarted,
@@ -352,6 +413,7 @@ struct NodeParams {
     rate: f64,
     eat_ns: u64,
     one_shot: bool,
+    closed_loop: bool,
     reliable: bool,
 }
 
@@ -361,6 +423,7 @@ struct NodeCore<P: Protocol> {
     tick_ns: u64,
     eat_ns: u64,
     one_shot: bool,
+    closed_loop: bool,
     mean_think_ns: u64,
     rng: SimRng,
     proto: P,
@@ -454,7 +517,12 @@ where
                 // hungry: either way the meal is over.
                 self.exit_at = None;
                 if new == DiningState::Thinking && !self.one_shot {
-                    self.next_hungry = Some(self.shared.now_ns() + self.draw_think());
+                    let think = if self.closed_loop {
+                        0
+                    } else {
+                        self.draw_think()
+                    };
+                    self.next_hungry = Some(self.shared.now_ns() + think);
                 }
             }
             self.record(LiveEventKind::State {
@@ -857,6 +925,7 @@ fn node_main<P>(
         tick_ns: p.tick_ns,
         eat_ns: p.eat_ns,
         one_shot: p.one_shot,
+        closed_loop: p.closed_loop,
         mean_think_ns,
         rng,
         proto,
@@ -924,8 +993,9 @@ fn node_main<P>(
     }
 }
 
-/// A driver-side fault/mobility action, due at `0` ns.
-enum Action {
+/// A driver-side fault/mobility action, due at `0` ns. Shared with the
+/// sharded runtime's driver, which builds the same timeline.
+pub(crate) enum Action {
     Crash(NodeId),
     Recover(NodeId),
     PartitionStart,
@@ -944,7 +1014,7 @@ enum Action {
 pub fn run_live(cfg: &LiveConfig) -> Result<LiveOutcome, String> {
     cfg.validate()?;
     match cfg.alg {
-        LiveAlg::A1Greedy => run_live_with(cfg, Algorithm1::greedy),
+        LiveAlg::A1Greedy => dispatch(cfg, Algorithm1::greedy),
         LiveAlg::A1Linial => {
             let radio_range = SimConfig::default().radio_range;
             let world = World::new(
@@ -955,10 +1025,37 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveOutcome, String> {
                 world.len() as u64,
                 world.max_degree() as u64,
             ));
-            run_live_with(cfg, move |seed| Algorithm1::linial(seed, sched.clone()))
+            dispatch(cfg, move |seed| Algorithm1::linial(seed, sched.clone()))
         }
-        LiveAlg::A2 => run_live_with(cfg, Algorithm2::new),
-        LiveAlg::ChandyMisra => run_live_with(cfg, ChandyMisra::new),
+        LiveAlg::A1Random => {
+            let radio_range = SimConfig::default().radio_range;
+            let world = World::new(
+                radio_range,
+                cfg.positions.iter().map(|&p| p.into()).collect(),
+            );
+            let delta = (world.max_degree() as u64).max(1);
+            let rng_seed = cfg.seed;
+            dispatch(cfg, move |seed| {
+                Algorithm1::randomized(seed, delta, rng_seed)
+            })
+        }
+        LiveAlg::A2 => dispatch(cfg, Algorithm2::new),
+        LiveAlg::ChandyMisra => dispatch(cfg, ChandyMisra::new),
+    }
+}
+
+/// Route a validated config to the configured runtime.
+fn dispatch<P, F>(cfg: &LiveConfig, factory: F) -> Result<LiveOutcome, String>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireMsg + Send,
+    F: FnMut(&NodeSeed) -> P,
+{
+    match cfg.runtime {
+        LiveRuntime::ThreadPerNode => run_live_with(cfg, factory),
+        LiveRuntime::Sharded { .. } => {
+            crate::shard::run_sharded_with(cfg, factory, crate::shard::ShardTuning::default())
+        }
     }
 }
 
@@ -1033,6 +1130,7 @@ where
             rate: cfg.rate,
             eat_ns: cfg.eat_ms.saturating_mul(1_000_000),
             one_shot: cfg.one_shot,
+            closed_loop: cfg.closed_loop,
             reliable: cfg.reliable,
         };
         let out = rec_tx.clone();

@@ -1,0 +1,1015 @@
+//! The sharded live runtime: M worker threads host n ≫ M nodes.
+//!
+//! The thread-per-node runtime (`crate::runtime`) is faithful but tops
+//! out at hundreds of nodes — n OS threads oversubscribe the host, and
+//! its single shared ticket counter serializes every observation. This
+//! module runs the *same* `Protocol` automata on a fixed worker pool:
+//!
+//! - **Contiguous shards.** Worker s owns nodes `[start_s, start_s +
+//!   size_s)`; ownership never migrates, so all per-node state is
+//!   thread-local to its worker.
+//! - **Per-shard run queues on a timing wheel.** Each worker drives its
+//!   nodes from a [`wheel::ShardWheel`] — the live mirror of the sim
+//!   core's bounded-horizon event queue — plus a local delivery queue
+//!   for same-shard traffic.
+//! - **Batched frames.** Cross-shard envelopes accumulate into one
+//!   buffer per shard pair per flush ([`batch`]), riding a bounded SPSC
+//!   ring ([`ring`]) in-process or a single datagram on UDP.
+//! - **Backpressure, not buffering.** A full ring stalls the producer
+//!   briefly and then aborts the run with a structured
+//!   [`ShardAbort::RingBackpressure`] — the live analogue of the
+//!   engine's `RunAbort::ChannelQueueOverflow`.
+//! - **Per-shard ticket ranges.** The global atomic ticket counter is
+//!   replaced by one hybrid logical clock per shard ([`clock`]); the
+//!   per-shard streams are k-way merged into one dense total order at
+//!   export, and the merged [`crate::trace::LiveTrace`] flows through
+//!   the existing safety-monitor mirror-World path unchanged.
+//!
+//! The driver (the calling thread) keeps the exact fault/mobility
+//! semantics of the thread-per-node runtime: the mirror `World`, the
+//! `LinkGate`, crash/recover/partition/teleport actions, and the same
+//! static/moving symmetry breaking. See DESIGN.md §15.
+
+mod batch;
+pub mod clock;
+mod node;
+mod ring;
+mod wheel;
+
+pub use clock::{merge_stamped, HybridClock, StampedRecord};
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
+
+use manet_sim::{LinkChange, LinkUpKind, NodeId, NodeSeed, Protocol, SimConfig, World};
+
+use crate::codec::WireMsg;
+use crate::runtime::{Ctrl, LiveConfig, LiveOutcome, LiveRuntime};
+use crate::trace::{LiveEventKind, LiveTrace};
+use crate::transport::{LinkGate, TransportKind};
+
+use batch::{batch_begin, batch_count, batch_decode, batch_push, batch_seal};
+use node::{ShardNode, WireOut};
+use ring::{ring, RingReceiver, RingSender};
+use wheel::ShardWheel;
+
+/// Why a sharded run stopped instead of finishing — the live runtime's
+/// analogue of the simulator's `RunAbort`. Rendered into the `Err`
+/// returned by `run_live`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardAbort {
+    /// A cross-shard SPSC ring stayed full past the backpressure
+    /// budget: the consumer shard cannot keep up and unbounded
+    /// buffering is refused by design.
+    RingBackpressure {
+        /// The producing shard.
+        from_shard: u32,
+        /// The shard whose inbound ring stayed full.
+        to_shard: u32,
+        /// Ring capacity in batches.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ShardAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardAbort::RingBackpressure {
+                from_shard,
+                to_shard,
+                capacity,
+            } => write!(
+                f,
+                "cross-shard ring {from_shard}->{to_shard} stayed full past the \
+                 backpressure budget (capacity {capacity} batches); the consumer \
+                 shard cannot keep up"
+            ),
+        }
+    }
+}
+
+/// Internal knobs of the sharded runtime, separated from [`LiveConfig`]
+/// so tests can force the backpressure path deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardTuning {
+    /// Capacity of each cross-shard ring, in batches (0 = always full).
+    pub ring_capacity: usize,
+    /// How long a producer retries a full ring before aborting.
+    pub backpressure_wait_ms: u64,
+}
+
+impl Default for ShardTuning {
+    fn default() -> ShardTuning {
+        ShardTuning {
+            ring_capacity: 1024,
+            backpressure_wait_ms: 2_000,
+        }
+    }
+}
+
+/// State shared by the driver and every worker.
+pub(crate) struct ShardShared {
+    origin: Instant,
+    /// Present only when a fault (crash/partition) can sever links;
+    /// fault-free scale runs skip the O(n²) allocation.
+    gate: Option<LinkGate>,
+    pub(crate) sent: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) decode_errors: AtomicU64,
+    pub(crate) send_failures: AtomicU64,
+    /// Nodes that have eaten at least once (one-shot early stop).
+    pub(crate) ate: AtomicU64,
+    /// Raised on abort so every thread winds down promptly.
+    stop: AtomicBool,
+    abort: Mutex<Option<ShardAbort>>,
+    /// Worker thread handles for unparking, set once after spawn.
+    wakers: OnceLock<Vec<Thread>>,
+}
+
+impl ShardShared {
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn severed(&self, a: NodeId, b: NodeId) -> bool {
+        self.gate.as_ref().is_some_and(|g| g.is_severed(a, b))
+    }
+
+    fn wake(&self, shard: usize) {
+        if let Some(wakers) = self.wakers.get() {
+            if let Some(t) = wakers.get(shard) {
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// Driver → worker control plane.
+enum WorkerMsg {
+    /// A control event for one owned node, stamped with the driver's
+    /// clock so the node's reaction merges after the driver's records.
+    Node {
+        clock: u64,
+        node: NodeId,
+        ctrl: Ctrl,
+    },
+    /// Emit final per-node stats and exit.
+    Shutdown { clock: u64 },
+}
+
+/// Per-worker transport endpoints.
+enum Links {
+    /// In-process: one bounded SPSC ring per ordered shard pair.
+    Rings {
+        /// Inbound rings, indexed by producing shard (`None` at self).
+        rx: Vec<Option<RingReceiver<Vec<u8>>>>,
+        /// Outbound rings, indexed by consuming shard (`None` at self).
+        tx: Vec<Option<RingSender<Vec<u8>>>>,
+    },
+    /// One nonblocking UDP socket per shard; batches ride datagrams.
+    Udp {
+        socket: UdpSocket,
+        peers: Vec<SocketAddr>,
+    },
+}
+
+/// Keep UDP batch datagrams under the practical payload ceiling.
+const UDP_BATCH_LIMIT: usize = 60_000;
+
+/// Immutable per-worker parameters.
+struct WorkerEnv {
+    shard: u32,
+    base: u32,
+    workers: usize,
+    tick_ns: u64,
+    backpressure_wait_ms: u64,
+    ring_capacity: usize,
+    /// Global node id → owning shard.
+    shard_map: Arc<Vec<u32>>,
+}
+
+fn rearm<P>(
+    node: &ShardNode<P>,
+    i: usize,
+    tick_ns: u64,
+    wheel: &mut ShardWheel,
+    next_wake: &mut [Option<u64>],
+) where
+    P: Protocol,
+    P::Msg: WireMsg,
+{
+    if let Some(at) = node.earliest_deadline_ns() {
+        let tick = at.div_ceil(tick_ns);
+        if next_wake[i].is_none_or(|armed| tick < armed) {
+            wheel.schedule(tick, i as u32);
+            next_wake[i] = Some(tick);
+        }
+    }
+}
+
+/// Route everything a node call emitted: same-shard envelopes to the
+/// local queue, cross-shard ones into the per-pair batch (splitting
+/// batches that would exceed a UDP datagram into `ready`).
+fn route_sends(
+    wire: &mut WireOut,
+    env: &WorkerEnv,
+    udp: bool,
+    local_q: &mut VecDeque<(NodeId, Vec<u8>)>,
+    out_bufs: &mut [Vec<u8>],
+    ready: &mut Vec<(usize, Vec<u8>)>,
+) {
+    for (to, envelope) in wire.sends.drain(..) {
+        let s = env.shard_map[to.0 as usize] as usize;
+        if s == env.shard as usize {
+            local_q.push_back((to, envelope));
+        } else {
+            if udp
+                && batch_count(&out_bufs[s]) > 0
+                && out_bufs[s].len() + 8 + envelope.len() > UDP_BATCH_LIMIT
+            {
+                let full = std::mem::replace(&mut out_bufs[s], batch_begin(env.shard));
+                ready.push((s, full));
+            }
+            batch_push(&mut out_bufs[s], to, &envelope);
+        }
+    }
+}
+
+/// Push one sealed batch into a ring, parking briefly under
+/// backpressure and aborting when the budget runs out.
+fn push_with_backpressure(
+    tx: &RingSender<Vec<u8>>,
+    mut buf: Vec<u8>,
+    env: &WorkerEnv,
+    to_shard: usize,
+    shared: &ShardShared,
+) -> Result<(), ShardAbort> {
+    let deadline = Instant::now() + Duration::from_millis(env.backpressure_wait_ms);
+    loop {
+        match tx.try_push(buf) {
+            Ok(()) => {
+                shared.wake(to_shard);
+                return Ok(());
+            }
+            Err(back) => {
+                buf = back;
+                if shared.stop.load(Ordering::Relaxed) {
+                    // The run is already winding down; drop the batch.
+                    return Ok(());
+                }
+                if Instant::now() >= deadline {
+                    return Err(ShardAbort::RingBackpressure {
+                        from_shard: env.shard,
+                        to_shard: to_shard as u32,
+                        capacity: env.ring_capacity,
+                    });
+                }
+                thread::park_timeout(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// Seal and transmit every non-empty batch.
+fn flush_batches(
+    wire: &mut WireOut,
+    env: &WorkerEnv,
+    links: &mut Links,
+    out_bufs: &mut [Vec<u8>],
+    ready: &mut Vec<(usize, Vec<u8>)>,
+    shared: &ShardShared,
+) -> Result<(), ShardAbort> {
+    for (s, buf) in out_bufs.iter_mut().enumerate() {
+        if s != env.shard as usize && batch_count(buf) > 0 {
+            let full = std::mem::replace(buf, batch_begin(env.shard));
+            ready.push((s, full));
+        }
+    }
+    for (s, mut buf) in ready.drain(..) {
+        batch_seal(&mut buf, wire.clock.current());
+        match links {
+            Links::Rings { tx, .. } => {
+                let tx = tx[s].as_ref().expect("ring to a peer shard");
+                push_with_backpressure(tx, buf, env, s, shared)?;
+            }
+            Links::Udp { socket, peers } => {
+                if socket.send_to(&buf, peers[s]).is_err() {
+                    shared
+                        .send_failures
+                        .fetch_add(batch_count(&buf) as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn worker_main<P>(
+    env: WorkerEnv,
+    mut nodes: Vec<ShardNode<P>>,
+    mut links: Links,
+    ctrl: Receiver<WorkerMsg>,
+    shared: Arc<ShardShared>,
+) -> Vec<StampedRecord>
+where
+    P: Protocol,
+    P::Msg: WireMsg,
+{
+    let udp = matches!(links, Links::Udp { .. });
+    let mut wire = WireOut::new();
+    let mut wheel = ShardWheel::new(1024);
+    let mut next_wake: Vec<Option<u64>> = vec![None; nodes.len()];
+    let mut local_q: VecDeque<(NodeId, Vec<u8>)> = VecDeque::new();
+    let mut out_bufs: Vec<Vec<u8>> = (0..env.workers).map(|_| batch_begin(env.shard)).collect();
+    let mut ready: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut inbound: Vec<Vec<u8>> = Vec::new();
+    let mut due: Vec<u32> = Vec::new();
+    let mut rx_buf = vec![0u8; 65_535];
+
+    for (i, node) in nodes.iter().enumerate() {
+        rearm(node, i, env.tick_ns, &mut wheel, &mut next_wake);
+    }
+
+    'run: loop {
+        let mut busy = false;
+
+        // 1. Control plane.
+        loop {
+            match ctrl.try_recv() {
+                Ok(WorkerMsg::Node { clock, node, ctrl }) => {
+                    busy = true;
+                    wire.clock.witness(clock);
+                    let i = (node.0 - env.base) as usize;
+                    nodes[i].handle_ctrl(ctrl, &mut wire, &shared);
+                    rearm(&nodes[i], i, env.tick_ns, &mut wheel, &mut next_wake);
+                    route_sends(
+                        &mut wire,
+                        &env,
+                        udp,
+                        &mut local_q,
+                        &mut out_bufs,
+                        &mut ready,
+                    );
+                }
+                Ok(WorkerMsg::Shutdown { clock }) => {
+                    wire.clock.witness(clock);
+                    for node in &mut nodes {
+                        node.emit_net_stats(&mut wire, &shared);
+                    }
+                    break 'run;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'run,
+            }
+        }
+
+        // 2. Inbound cross-shard batches.
+        inbound.clear();
+        match &mut links {
+            Links::Rings { rx, .. } => {
+                for r in rx.iter().flatten() {
+                    while let Some(buf) = r.try_pop() {
+                        inbound.push(buf);
+                    }
+                }
+            }
+            Links::Udp { socket, .. } => {
+                while let Ok((len, _)) = socket.recv_from(&mut rx_buf) {
+                    inbound.push(rx_buf[..len].to_vec());
+                }
+            }
+        }
+        for buf in inbound.drain(..) {
+            busy = true;
+            match batch_decode(&buf) {
+                Some((_, clock, envelopes)) => {
+                    wire.clock.witness(clock);
+                    for (to, envelope) in envelopes {
+                        let i = to.0.wrapping_sub(env.base) as usize;
+                        if i < nodes.len() {
+                            nodes[i].on_envelope(envelope, &mut wire, &shared);
+                            rearm(&nodes[i], i, env.tick_ns, &mut wheel, &mut next_wake);
+                        }
+                    }
+                }
+                None => {
+                    shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            route_sends(
+                &mut wire,
+                &env,
+                udp,
+                &mut local_q,
+                &mut out_bufs,
+                &mut ready,
+            );
+        }
+
+        // 3. Same-shard deliveries (chains drain within the pass).
+        while let Some((to, envelope)) = local_q.pop_front() {
+            busy = true;
+            let i = (to.0 - env.base) as usize;
+            nodes[i].on_envelope(&envelope, &mut wire, &shared);
+            rearm(&nodes[i], i, env.tick_ns, &mut wheel, &mut next_wake);
+            route_sends(
+                &mut wire,
+                &env,
+                udp,
+                &mut local_q,
+                &mut out_bufs,
+                &mut ready,
+            );
+        }
+
+        // 4. Due wakeups from the wheel.
+        let now_tick = shared.now_ns() / env.tick_ns;
+        due.clear();
+        wheel.advance(now_tick, &mut due);
+        for &i in &due {
+            let i = i as usize;
+            next_wake[i] = None;
+            nodes[i].tick(&mut wire, &shared);
+            rearm(&nodes[i], i, env.tick_ns, &mut wheel, &mut next_wake);
+            route_sends(
+                &mut wire,
+                &env,
+                udp,
+                &mut local_q,
+                &mut out_bufs,
+                &mut ready,
+            );
+            busy = true;
+        }
+        // Wakeups can enqueue same-shard traffic; drain it now rather
+        // than sleeping on it.
+        while let Some((to, envelope)) = local_q.pop_front() {
+            let i = (to.0 - env.base) as usize;
+            nodes[i].on_envelope(&envelope, &mut wire, &shared);
+            rearm(&nodes[i], i, env.tick_ns, &mut wheel, &mut next_wake);
+            route_sends(
+                &mut wire,
+                &env,
+                udp,
+                &mut local_q,
+                &mut out_bufs,
+                &mut ready,
+            );
+        }
+
+        // 5. Flush cross-shard batches (one buffer per shard pair).
+        if let Err(abort) = flush_batches(
+            &mut wire,
+            &env,
+            &mut links,
+            &mut out_bufs,
+            &mut ready,
+            &shared,
+        ) {
+            *shared.abort.lock().expect("abort slot") = Some(abort);
+            shared.stop.store(true, Ordering::Relaxed);
+            break 'run;
+        }
+
+        if shared.stop.load(Ordering::Relaxed) {
+            // Another thread aborted; the driver's shutdown follows, but
+            // stop ticking nodes in the meantime.
+            thread::park_timeout(Duration::from_millis(1));
+            continue;
+        }
+
+        // 6. Sleep until the next deadline (or an unpark).
+        if !busy {
+            let now_ns = shared.now_ns();
+            let sleep_ns = wheel
+                .next_deadline()
+                .map(|t| t.saturating_mul(env.tick_ns).saturating_sub(now_ns))
+                .unwrap_or(1_000_000)
+                .clamp(50_000, 1_000_000);
+            thread::park_timeout(Duration::from_nanos(sleep_ns));
+        }
+    }
+    wire.records
+}
+
+/// Resolve the worker-pool size: explicit, or the host parallelism
+/// (min 2 so cross-shard machinery is always exercised), capped at n.
+fn resolve_workers(cfg: &LiveConfig, n: usize) -> usize {
+    let requested = match cfg.runtime {
+        LiveRuntime::Sharded { workers } => workers,
+        LiveRuntime::ThreadPerNode => 0,
+    };
+    let w = if requested == 0 {
+        thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .clamp(2, 16)
+    } else {
+        requested
+    };
+    w.min(n.max(1))
+}
+
+/// Run one sharded live execution and validate its merged trace.
+///
+/// Mirrors `run_live_with`: same driver action timeline, same mirror
+/// `World`, same outcome shape. The factory runs on the calling thread
+/// (it need not be `Send`); the built automata are shipped to workers.
+pub(crate) fn run_sharded_with<P, F>(
+    cfg: &LiveConfig,
+    mut factory: F,
+    tuning: ShardTuning,
+) -> Result<LiveOutcome, String>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: WireMsg + Send,
+    F: FnMut(&NodeSeed) -> P,
+{
+    let n = cfg.positions.len();
+    let radio_range = SimConfig::default().radio_range;
+    let mut world = World::new(
+        radio_range,
+        cfg.positions.iter().map(|&p| p.into()).collect(),
+    );
+    let max_degree = world.max_degree();
+    let workers = resolve_workers(cfg, n);
+
+    // Contiguous shard ranges: the first `n % workers` shards get one
+    // extra node.
+    let base_size = n / workers;
+    let remainder = n % workers;
+    let mut starts: Vec<usize> = Vec::with_capacity(workers + 1);
+    let mut acc = 0;
+    for s in 0..workers {
+        starts.push(acc);
+        acc += base_size + usize::from(s < remainder);
+    }
+    starts.push(acc);
+    let mut shard_map: Vec<u32> = vec![0; n];
+    for s in 0..workers {
+        for item in shard_map.iter_mut().take(starts[s + 1]).skip(starts[s]) {
+            *item = s as u32;
+        }
+    }
+    let shard_map = Arc::new(shard_map);
+
+    let needs_gate = cfg.crash.is_some() || cfg.partition.is_some();
+    let shared = Arc::new(ShardShared {
+        origin: Instant::now(),
+        gate: needs_gate.then(|| LinkGate::new(n)),
+        sent: AtomicU64::new(0),
+        delivered: AtomicU64::new(0),
+        decode_errors: AtomicU64::new(0),
+        send_failures: AtomicU64::new(0),
+        ate: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        abort: Mutex::new(None),
+        wakers: OnceLock::new(),
+    });
+
+    // Transport endpoints: a ring matrix in-process, a socket per shard
+    // on UDP.
+    let mut links: Vec<Option<Links>> = match cfg.transport {
+        TransportKind::Mpsc => {
+            let mut txs: Vec<Vec<Option<RingSender<Vec<u8>>>>> = (0..workers)
+                .map(|_| (0..workers).map(|_| None).collect())
+                .collect();
+            let mut rxs: Vec<Vec<Option<RingReceiver<Vec<u8>>>>> = (0..workers)
+                .map(|_| (0..workers).map(|_| None).collect())
+                .collect();
+            for a in 0..workers {
+                for b in 0..workers {
+                    if a != b {
+                        let (tx, rx) = ring(tuning.ring_capacity);
+                        txs[a][b] = Some(tx);
+                        rxs[b][a] = Some(rx);
+                    }
+                }
+            }
+            txs.into_iter()
+                .zip(rxs)
+                .map(|(tx, rx)| Some(Links::Rings { rx, tx }))
+                .collect()
+        }
+        TransportKind::Udp => {
+            let mut sockets = Vec::with_capacity(workers);
+            let mut addrs = Vec::with_capacity(workers);
+            for s in 0..workers {
+                let socket = UdpSocket::bind("127.0.0.1:0")
+                    .map_err(|e| format!("failed to bind shard {s} socket: {e}"))?;
+                socket
+                    .set_nonblocking(true)
+                    .map_err(|e| format!("failed to set shard {s} socket nonblocking: {e}"))?;
+                addrs.push(
+                    socket
+                        .local_addr()
+                        .map_err(|e| format!("failed to read shard {s} socket addr: {e}"))?,
+                );
+                sockets.push(socket);
+            }
+            sockets
+                .into_iter()
+                .map(|socket| {
+                    Some(Links::Udp {
+                        socket,
+                        peers: addrs.clone(),
+                    })
+                })
+                .collect()
+        }
+    };
+
+    // Build every automaton (and the recovery spare) on this thread —
+    // the factory is not shared with workers.
+    let mut ctrls: Vec<Sender<WorkerMsg>> = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for s in 0..workers {
+        let mut nodes = Vec::with_capacity(starts[s + 1] - starts[s]);
+        for i in starts[s]..starts[s + 1] {
+            let me = NodeId(i as u32);
+            let seed = NodeSeed {
+                id: me,
+                neighbors: world.neighbors(me).to_vec(),
+                n_nodes: n,
+                max_degree,
+            };
+            let proto = factory(&seed);
+            let spare = match cfg.recover {
+                Some((victim, _)) if victim as usize == i => Some(factory(&NodeSeed {
+                    id: me,
+                    neighbors: Vec::new(),
+                    n_nodes: n,
+                    max_degree,
+                })),
+                _ => None,
+            };
+            nodes.push(ShardNode::new(
+                me,
+                proto,
+                spare,
+                seed.neighbors,
+                cfg.seed,
+                cfg.tick_ns,
+                cfg.rate,
+                cfg.eat_ms.saturating_mul(1_000_000),
+                cfg.one_shot,
+                cfg.closed_loop,
+                shared.now_ns(),
+            ));
+        }
+        let env = WorkerEnv {
+            shard: s as u32,
+            base: starts[s] as u32,
+            workers,
+            tick_ns: cfg.tick_ns,
+            backpressure_wait_ms: tuning.backpressure_wait_ms,
+            ring_capacity: tuning.ring_capacity,
+            shard_map: shard_map.clone(),
+        };
+        let my_links = links[s].take().expect("links built per shard");
+        let (ctx, crx) = channel::<WorkerMsg>();
+        ctrls.push(ctx);
+        let sh = shared.clone();
+        handles.push(
+            thread::Builder::new()
+                .name(format!("lme-shard-{s}"))
+                .spawn(move || worker_main(env, nodes, my_links, crx, sh))
+                .map_err(|e| format!("failed to spawn shard worker {s}: {e}"))?,
+        );
+    }
+    let _ = shared
+        .wakers
+        .set(handles.iter().map(|h| h.thread().clone()).collect());
+
+    // The driver: its own clock and record stream (merged as the last
+    // input), the same action timeline as the thread-per-node runtime.
+    let mut clock = HybridClock::new();
+    let mut drv_records: Vec<StampedRecord> = Vec::new();
+    let tick_ns = cfg.tick_ns;
+    let send_ctrl = |ctrls: &[Sender<WorkerMsg>], clock: &HybridClock, node: NodeId, ctrl: Ctrl| {
+        let s = shard_map[node.index()] as usize;
+        let _ = ctrls[s].send(WorkerMsg::Node {
+            clock: clock.current(),
+            node,
+            ctrl,
+        });
+        shared.wake(s);
+    };
+
+    use crate::runtime::Action;
+    let mut actions: Vec<(u64, Action)> = Vec::new();
+    if let Some((victim, at_ms)) = cfg.crash {
+        actions.push((at_ms * 1_000_000, Action::Crash(NodeId(victim))));
+    }
+    if let Some((node, at_ms)) = cfg.recover {
+        actions.push((at_ms * 1_000_000, Action::Recover(NodeId(node))));
+    }
+    if let Some((_, at_ms, heal_ms)) = &cfg.partition {
+        actions.push((at_ms * 1_000_000, Action::PartitionStart));
+        actions.push((heal_ms * 1_000_000, Action::PartitionEnd));
+    }
+    for &(at_ms, node, dest) in &cfg.moves {
+        actions.push((at_ms * 1_000_000, Action::Move(NodeId(node), dest.into())));
+    }
+    actions.sort_by_key(|&(at, _)| at);
+    let cut_pairs: Vec<(NodeId, NodeId)> = match &cfg.partition {
+        Some((side, _, _)) => {
+            let inside: Vec<bool> = {
+                let mut v = vec![false; n];
+                for &m in side {
+                    v[m as usize] = true;
+                }
+                v
+            };
+            (0..n as u32)
+                .flat_map(|a| (0..n as u32).map(move |b| (NodeId(a), NodeId(b))))
+                .filter(|&(a, b)| a < b && inside[a.index()] != inside[b.index()])
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    let deadline_ns = cfg.duration_ms.saturating_mul(1_000_000);
+    let mut ai = 0;
+    let mut quiesce_at: Option<u64> = None;
+    let mut recoveries: u64 = 0;
+    let mut partition_active = false;
+    loop {
+        let now = shared.now_ns();
+        while ai < actions.len() && actions[ai].0 <= now {
+            let (_, action) = &actions[ai];
+            ai += 1;
+            match action {
+                Action::Crash(victim) => {
+                    if let Some(gate) = &shared.gate {
+                        gate.sever_all(*victim);
+                    }
+                    world.mark_crashed(*victim);
+                    send_ctrl(&ctrls, &clock, *victim, Ctrl::Crash);
+                }
+                Action::Recover(node) => {
+                    let node = *node;
+                    if !world.is_crashed(node) {
+                        continue;
+                    }
+                    world.mark_recovered(node);
+                    if let Some(gate) = &shared.gate {
+                        for i in 0..n as u32 {
+                            let peer = NodeId(i);
+                            if peer == node || world.is_crashed(peer) {
+                                continue;
+                            }
+                            let cut = partition_active
+                                && cut_pairs.iter().any(|&(a, b)| {
+                                    (a, b) == (node, peer) || (a, b) == (peer, node)
+                                });
+                            if !cut {
+                                gate.set_pair(node, peer, false);
+                            }
+                        }
+                    }
+                    send_ctrl(&ctrls, &clock, node, Ctrl::Recover);
+                    for &peer in world.neighbors(node) {
+                        if world.is_crashed(peer) {
+                            continue;
+                        }
+                        let at_ns = shared.now_ns();
+                        drv_records.push(StampedRecord {
+                            clock: clock.stamp(at_ns / tick_ns),
+                            at_ns,
+                            kind: LiveEventKind::LinkDown { a: node, b: peer },
+                        });
+                        send_ctrl(&ctrls, &clock, peer, Ctrl::LinkDown { peer: node });
+                        let at_ns = shared.now_ns();
+                        drv_records.push(StampedRecord {
+                            clock: clock.stamp(at_ns / tick_ns),
+                            at_ns,
+                            kind: LiveEventKind::LinkUp { a: peer, b: node },
+                        });
+                        send_ctrl(
+                            &ctrls,
+                            &clock,
+                            peer,
+                            Ctrl::LinkUp {
+                                peer: node,
+                                kind: LinkUpKind::AsStatic,
+                            },
+                        );
+                        send_ctrl(
+                            &ctrls,
+                            &clock,
+                            node,
+                            Ctrl::LinkUp {
+                                peer,
+                                kind: LinkUpKind::AsMoving,
+                            },
+                        );
+                    }
+                    recoveries += 1;
+                }
+                Action::PartitionStart => {
+                    partition_active = true;
+                    if let Some(gate) = &shared.gate {
+                        for &(a, b) in &cut_pairs {
+                            gate.set_pair(a, b, true);
+                        }
+                    }
+                }
+                Action::PartitionEnd => {
+                    partition_active = false;
+                    if let Some(gate) = &shared.gate {
+                        for &(a, b) in &cut_pairs {
+                            if !world.is_crashed(a) && !world.is_crashed(b) {
+                                gate.set_pair(a, b, false);
+                            }
+                        }
+                    }
+                }
+                Action::Move(m, dest) => {
+                    if world.is_crashed(*m) {
+                        continue;
+                    }
+                    let at_ns = shared.now_ns();
+                    drv_records.push(StampedRecord {
+                        clock: clock.stamp(at_ns / tick_ns),
+                        at_ns,
+                        kind: LiveEventKind::Relocate {
+                            node: *m,
+                            x: dest.x,
+                            y: dest.y,
+                        },
+                    });
+                    send_ctrl(&ctrls, &clock, *m, Ctrl::MoveStarted);
+                    for change in world.relocate(*m, *dest) {
+                        match change {
+                            LinkChange::Up(a, b) => {
+                                let (stat, mov) = if a == *m { (b, a) } else { (a, b) };
+                                let at_ns = shared.now_ns();
+                                drv_records.push(StampedRecord {
+                                    clock: clock.stamp(at_ns / tick_ns),
+                                    at_ns,
+                                    kind: LiveEventKind::LinkUp { a: stat, b: mov },
+                                });
+                                send_ctrl(
+                                    &ctrls,
+                                    &clock,
+                                    stat,
+                                    Ctrl::LinkUp {
+                                        peer: mov,
+                                        kind: LinkUpKind::AsStatic,
+                                    },
+                                );
+                                send_ctrl(
+                                    &ctrls,
+                                    &clock,
+                                    mov,
+                                    Ctrl::LinkUp {
+                                        peer: stat,
+                                        kind: LinkUpKind::AsMoving,
+                                    },
+                                );
+                            }
+                            LinkChange::Down(a, b) => {
+                                let at_ns = shared.now_ns();
+                                drv_records.push(StampedRecord {
+                                    clock: clock.stamp(at_ns / tick_ns),
+                                    at_ns,
+                                    kind: LiveEventKind::LinkDown { a, b },
+                                });
+                                send_ctrl(&ctrls, &clock, a, Ctrl::LinkDown { peer: b });
+                                send_ctrl(&ctrls, &clock, b, Ctrl::LinkDown { peer: a });
+                            }
+                        }
+                    }
+                    send_ctrl(&ctrls, &clock, *m, Ctrl::MoveEnded);
+                }
+            }
+        }
+        if now >= deadline_ns || shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if cfg.one_shot && cfg.crash.is_none() && shared.ate.load(Ordering::Relaxed) as usize >= n {
+            let at = *quiesce_at.get_or_insert(now + 50_000_000);
+            if now >= at {
+                break;
+            }
+        }
+        let next_action = actions
+            .get(ai)
+            .map(|&(at, _)| at)
+            .unwrap_or(u64::MAX)
+            .min(deadline_ns);
+        let wait_ns = next_action
+            .saturating_sub(shared.now_ns())
+            .clamp(1_000_000, 5_000_000);
+        thread::sleep(Duration::from_nanos(wait_ns));
+    }
+
+    for (s, c) in ctrls.iter().enumerate() {
+        let _ = c.send(WorkerMsg::Shutdown {
+            clock: clock.current(),
+        });
+        shared.wake(s);
+    }
+    let mut streams: Vec<Vec<StampedRecord>> = Vec::with_capacity(workers + 1);
+    let mut threads_joined = 0;
+    for (s, h) in handles.into_iter().enumerate() {
+        let recs = h
+            .join()
+            .map_err(|_| format!("shard worker {s} panicked during the live run"))?;
+        threads_joined += starts[s + 1] - starts[s];
+        streams.push(recs);
+    }
+    if let Some(abort) = shared.abort.lock().expect("abort slot").take() {
+        return Err(format!("sharded runtime aborted: {abort}"));
+    }
+    streams.push(drv_records);
+    let elapsed_ms = shared.now_ns() / 1_000_000;
+
+    let trace = LiveTrace::new(merge_stamped(streams));
+    let violations = trace.check_safety(radio_range, &cfg.positions);
+    let meals = trace.census(n);
+    let latencies_ns = trace.hungry_to_eat_latencies_ns(n);
+    Ok(LiveOutcome {
+        trace,
+        meals,
+        latencies_ns,
+        violations,
+        messages_sent: shared.sent.load(Ordering::Relaxed),
+        messages_delivered: shared.delivered.load(Ordering::Relaxed),
+        decode_errors: shared.decode_errors.load(Ordering::Relaxed),
+        send_failures: shared.send_failures.load(Ordering::Relaxed),
+        retransmissions: 0,
+        acks_sent: 0,
+        recoveries,
+        elapsed_ms,
+        threads_joined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::LiveAlg;
+    use local_mutex::Algorithm2;
+
+    fn clique4() -> Vec<(f64, f64)> {
+        vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]
+    }
+
+    fn sharded_cfg() -> LiveConfig {
+        let mut cfg = LiveConfig::new(LiveAlg::A2, TransportKind::Mpsc, clique4());
+        cfg.runtime = LiveRuntime::Sharded { workers: 2 };
+        cfg.duration_ms = 300;
+        cfg.rate = 60.0;
+        cfg.eat_ms = 1;
+        cfg
+    }
+
+    #[test]
+    fn sharded_mpsc_run_is_safe_with_a_dense_merged_order() {
+        let cfg = sharded_cfg();
+        let out =
+            run_sharded_with(&cfg, Algorithm2::new, ShardTuning::default()).expect("sharded run");
+        assert_eq!(out.threads_joined, 4);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.total_meals() > 0, "nobody ate in 300 ms");
+        assert_eq!(out.decode_errors, 0);
+        assert!(out.messages_delivered > 0);
+        for (i, r) in out.trace.records().iter().enumerate() {
+            assert_eq!(r.order, i as u64, "merged ticket order must be dense");
+        }
+    }
+
+    #[test]
+    fn exhausted_ring_backpressure_is_a_structured_abort() {
+        let cfg = sharded_cfg();
+        let tuning = ShardTuning {
+            ring_capacity: 0,
+            backpressure_wait_ms: 0,
+        };
+        let err = run_sharded_with(&cfg, Algorithm2::new, tuning)
+            .expect_err("zero-capacity rings must abort");
+        assert!(
+            err.contains("backpressure") && err.contains("ring"),
+            "unexpected abort message: {err}"
+        );
+    }
+
+    #[test]
+    fn abort_display_mirrors_the_run_abort_style() {
+        let a = ShardAbort::RingBackpressure {
+            from_shard: 1,
+            to_shard: 3,
+            capacity: 64,
+        };
+        let s = a.to_string();
+        assert!(s.contains("1->3") && s.contains("64"), "{s}");
+    }
+}

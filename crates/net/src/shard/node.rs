@@ -1,0 +1,391 @@
+//! The per-node automaton host inside a shard worker — the sharded
+//! mirror of the thread-per-node `NodeCore`, minus a thread of its own.
+//!
+//! The differences from `NodeCore` are exactly the runtime seams:
+//! records carry hybrid-clock stamps instead of global tickets, sends
+//! land in the worker's routing buffer instead of a per-node transport,
+//! wakeup deadlines are armed on the worker's timing wheel instead of a
+//! per-thread poll timeout, and the reliable-delivery shim is absent
+//! (`LiveConfig::validate` rejects `reliable` under the sharded
+//! runtime). Everything the protocol can observe — `Context` contents,
+//! envelope framing, the record-before-transmit invariant, the workload
+//! distribution and its seeding — is identical.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+use manet_sim::{Context, DiningState, Event, NodeId, Protocol, SimRng, SimTime};
+
+use super::clock::{HybridClock, StampedRecord};
+use super::ShardShared;
+use crate::codec::{decode_frame, encode_frame, WireMsg};
+use crate::trace::LiveEventKind;
+use crate::transport::{decode_envelope, encode_envelope, ENV_ACK, ENV_DATA};
+
+/// The worker-owned output side of every node call: the shard clock,
+/// the stamped record stream, and the routing buffer for outbound
+/// envelopes. Owned by the worker (not the node) so one borrow serves
+/// every node in the shard.
+pub(crate) struct WireOut {
+    pub(crate) clock: HybridClock,
+    pub(crate) records: Vec<StampedRecord>,
+    /// `(to, envelope)` pairs the worker routes after the call — into
+    /// the local queue for same-shard peers, into a per-shard-pair
+    /// batch otherwise.
+    pub(crate) sends: Vec<(NodeId, Vec<u8>)>,
+}
+
+impl WireOut {
+    pub(crate) fn new() -> WireOut {
+        WireOut {
+            clock: HybridClock::new(),
+            records: Vec::new(),
+            sends: Vec::new(),
+        }
+    }
+}
+
+/// One hosted protocol automaton plus its workload state.
+pub(crate) struct ShardNode<P: Protocol> {
+    me: NodeId,
+    tick_ns: u64,
+    eat_ns: u64,
+    one_shot: bool,
+    closed_loop: bool,
+    mean_think_ns: u64,
+    rng: SimRng,
+    proto: P,
+    /// Sorted, like `NodeCore`'s.
+    neighbors: Vec<NodeId>,
+    moving: bool,
+    crashed: bool,
+    dining: DiningState,
+    session: u64,
+    ate_once: bool,
+    /// Per-peer envelope sequence numbers; a map, not a dense vector,
+    /// so 10k-node shards do not pay O(n) memory per node.
+    send_seq: HashMap<u32, u64>,
+    /// `(deadline_ns, token)` pairs from `Context::set_timer`.
+    timers: Vec<(u64, u64)>,
+    next_hungry: Option<u64>,
+    exit_at: Option<u64>,
+    outbox: Vec<(NodeId, P::Msg)>,
+    timer_buf: Vec<(u64, u64)>,
+    /// Fresh incarnation swapped in on a driver `Recover`.
+    spare: Option<P>,
+    n_decode_errors: u64,
+    n_send_failures: u64,
+}
+
+impl<P> ShardNode<P>
+where
+    P: Protocol,
+    P::Msg: WireMsg,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        me: NodeId,
+        proto: P,
+        spare: Option<P>,
+        neighbors: Vec<NodeId>,
+        seed: u64,
+        tick_ns: u64,
+        rate: f64,
+        eat_ns: u64,
+        one_shot: bool,
+        closed_loop: bool,
+        now_ns: u64,
+    ) -> ShardNode<P> {
+        // Identical seeding and stagger to `node_main`, so the sharded
+        // workload is statistically the same run.
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x11FE_0000 ^ ((me.0 as u64) << 32));
+        let mean_think_ns = ((1e9 / rate) as u64).max(1);
+        let first = now_ns + rng.gen_range(0..=mean_think_ns / 2);
+        let dining = proto.dining_state();
+        ShardNode {
+            me,
+            tick_ns,
+            eat_ns,
+            one_shot,
+            closed_loop,
+            mean_think_ns,
+            rng,
+            proto,
+            neighbors,
+            moving: false,
+            crashed: false,
+            dining,
+            session: 0,
+            ate_once: false,
+            send_seq: HashMap::new(),
+            timers: Vec::new(),
+            next_hungry: Some(first),
+            exit_at: None,
+            outbox: Vec::new(),
+            timer_buf: Vec::new(),
+            spare,
+            n_decode_errors: 0,
+            n_send_failures: 0,
+        }
+    }
+
+    fn record(&self, kind: LiveEventKind, wire: &mut WireOut, shared: &ShardShared) {
+        let at_ns = shared.now_ns();
+        let clock = wire.clock.stamp(at_ns / self.tick_ns);
+        wire.records.push(StampedRecord { clock, at_ns, kind });
+    }
+
+    /// Feed one event to the automaton, flush what it emitted, and do
+    /// the workload bookkeeping for any dining transition.
+    fn apply(&mut self, ev: Event<P::Msg>, wire: &mut WireOut, shared: &ShardShared) {
+        let now = shared.now_ns();
+        {
+            let mut ctx = Context::for_host(
+                self.me,
+                SimTime(now / self.tick_ns),
+                &self.neighbors,
+                self.moving,
+                &mut self.outbox,
+                &mut self.timer_buf,
+            );
+            self.proto.on_event(ev, &mut ctx);
+        }
+        for (delay_ticks, token) in std::mem::take(&mut self.timer_buf) {
+            self.timers
+                .push((now + delay_ticks.saturating_mul(self.tick_ns), token));
+        }
+        // Record any dining transition BEFORE queuing the messages that
+        // announce it, as in `NodeCore::apply`: the batch that carries
+        // these sends is sealed with a clock stamp at least as large as
+        // the transition's, so the receiving shard's delivery (and any
+        // entry it enables) merges strictly after this record.
+        let new = self.proto.dining_state();
+        let old = self.dining;
+        if new != old {
+            self.dining = new;
+            if new == DiningState::Eating {
+                self.session += 1;
+                self.exit_at = Some(shared.now_ns() + self.eat_ns);
+                if !self.ate_once {
+                    self.ate_once = true;
+                    shared.ate.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if old == DiningState::Eating {
+                self.exit_at = None;
+                if new == DiningState::Thinking && !self.one_shot {
+                    let think = if self.closed_loop {
+                        0
+                    } else {
+                        self.draw_think()
+                    };
+                    self.next_hungry = Some(shared.now_ns() + think);
+                }
+            }
+            self.record(
+                LiveEventKind::State {
+                    node: self.me,
+                    old,
+                    new,
+                    session: self.session,
+                },
+                wire,
+                shared,
+            );
+        }
+        for (to, msg) in std::mem::take(&mut self.outbox) {
+            self.transmit(to, msg, wire, shared);
+        }
+    }
+
+    fn draw_think(&mut self) -> u64 {
+        let lo = (self.mean_think_ns / 2).max(1);
+        let hi = lo + self.mean_think_ns;
+        self.rng.gen_range(lo..=hi)
+    }
+
+    fn transmit(&mut self, to: NodeId, msg: P::Msg, wire: &mut WireOut, shared: &ShardShared) {
+        if self.crashed || to == self.me || !self.neighbors.contains(&to) {
+            return;
+        }
+        if shared.severed(self.me, to) {
+            // Severed at send time: the message dies silently, exactly
+            // like the engine's `dropped_at_send`.
+            return;
+        }
+        let seq = self.send_seq.entry(to.0).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        let frame = encode_frame(&msg);
+        let env = encode_envelope(self.me, ENV_DATA, seq, 0, shared.now_ns(), &frame);
+        wire.sends.push((to, env));
+        shared.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Apply a driver control event (never `Ctrl::Shutdown` — the
+    /// worker handles shutdown itself).
+    pub(crate) fn handle_ctrl(
+        &mut self,
+        ctrl: crate::runtime::Ctrl,
+        wire: &mut WireOut,
+        shared: &ShardShared,
+    ) {
+        use crate::runtime::Ctrl;
+        match ctrl {
+            Ctrl::Shutdown => {}
+            Ctrl::Crash => {
+                self.crashed = true;
+                self.record(LiveEventKind::Crash { node: self.me }, wire, shared);
+            }
+            Ctrl::Recover => {
+                if self.crashed {
+                    if let Some(fresh) = self.spare.take() {
+                        self.crashed = false;
+                        self.proto = fresh;
+                        self.neighbors.clear();
+                        self.timers.clear();
+                        self.outbox.clear();
+                        self.send_seq.clear();
+                        self.moving = false;
+                        self.exit_at = None;
+                        self.dining = self.proto.dining_state();
+                        self.record(LiveEventKind::Recover { node: self.me }, wire, shared);
+                        let think = self.draw_think();
+                        self.next_hungry = Some(shared.now_ns() + think);
+                    }
+                }
+            }
+            _ if self.crashed => {}
+            Ctrl::LinkUp { peer, kind } => {
+                if let Err(slot) = self.neighbors.binary_search(&peer) {
+                    self.neighbors.insert(slot, peer);
+                }
+                self.apply(Event::LinkUp { peer, kind }, wire, shared);
+            }
+            Ctrl::LinkDown { peer } => {
+                if let Ok(slot) = self.neighbors.binary_search(&peer) {
+                    self.neighbors.remove(slot);
+                }
+                self.apply(Event::LinkDown { peer }, wire, shared);
+            }
+            Ctrl::MoveStarted => {
+                self.moving = true;
+                self.apply(Event::MovementStarted, wire, shared);
+            }
+            Ctrl::MoveEnded => {
+                self.moving = false;
+                self.apply(Event::MovementEnded, wire, shared);
+            }
+        }
+    }
+
+    /// Fire every due workload deadline and timer.
+    pub(crate) fn tick(&mut self, wire: &mut WireOut, shared: &ShardShared) {
+        if self.crashed {
+            return;
+        }
+        let now = shared.now_ns();
+        if self.dining == DiningState::Thinking {
+            if let Some(at) = self.next_hungry {
+                if at <= now {
+                    self.next_hungry = None;
+                    self.apply(Event::Hungry, wire, shared);
+                }
+            }
+        }
+        if self.dining == DiningState::Eating {
+            if let Some(at) = self.exit_at {
+                if at <= now {
+                    self.exit_at = None;
+                    self.apply(Event::ExitCs, wire, shared);
+                }
+            }
+        }
+        while let Some(i) = self.timers.iter().position(|&(at, _)| at <= now) {
+            let (_, token) = self.timers.swap_remove(i);
+            self.apply(Event::Timer { token }, wire, shared);
+        }
+    }
+
+    /// The earliest armed deadline in wall nanoseconds, for the wheel.
+    pub(crate) fn earliest_deadline_ns(&self) -> Option<u64> {
+        if self.crashed {
+            return None;
+        }
+        self.next_hungry
+            .iter()
+            .chain(self.exit_at.iter())
+            .chain(self.timers.iter().map(|(at, _)| at))
+            .min()
+            .copied()
+    }
+
+    fn count_decode_error(&mut self, shared: &ShardShared) {
+        self.n_decode_errors += 1;
+        shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Process one envelope from the data plane.
+    pub(crate) fn on_envelope(&mut self, env: &[u8], wire: &mut WireOut, shared: &ShardShared) {
+        if self.crashed {
+            return;
+        }
+        let (from, env_kind, seq, _ack, sent_ns, frame) = match decode_envelope(env) {
+            Ok(parts) => parts,
+            Err(_) => {
+                self.count_decode_error(shared);
+                return;
+            }
+        };
+        // In-flight losses, as in `NodeCore::on_envelope`.
+        if self.neighbors.binary_search(&from).is_err() || shared.severed(from, self.me) {
+            return;
+        }
+        if env_kind == ENV_ACK {
+            // The sharded runtime never arms the reliable shim; a stray
+            // ack is dropped, not an error.
+            return;
+        }
+        if env_kind != ENV_DATA {
+            self.count_decode_error(shared);
+            return;
+        }
+        match decode_frame::<P::Msg>(frame) {
+            Ok(msg) => {
+                let latency_ns = shared.now_ns().saturating_sub(sent_ns);
+                self.record(
+                    LiveEventKind::Deliver {
+                        from,
+                        to: self.me,
+                        seq,
+                        kind: P::msg_kind(&msg),
+                        latency_ns,
+                    },
+                    wire,
+                    shared,
+                );
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+                self.apply(Event::Message { from, msg }, wire, shared);
+            }
+            Err(_) => {
+                self.count_decode_error(shared);
+            }
+        }
+    }
+
+    /// Emit the shutdown `NetStats` record, like a node thread does on
+    /// `Ctrl::Shutdown`.
+    pub(crate) fn emit_net_stats(&mut self, wire: &mut WireOut, shared: &ShardShared) {
+        self.record(
+            LiveEventKind::NetStats {
+                node: self.me,
+                decode_errors: self.n_decode_errors,
+                send_failures: self.n_send_failures,
+                retransmissions: 0,
+                acks_sent: 0,
+            },
+            wire,
+            shared,
+        );
+    }
+}

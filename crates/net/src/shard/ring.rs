@@ -1,0 +1,149 @@
+//! Bounded SPSC rings for cross-shard batch delivery.
+//!
+//! One ring per ordered shard pair: the owning worker is the only
+//! producer and the peer worker the only consumer, so a fixed slot array
+//! with one atomic flag per slot suffices — no locks are contended in
+//! the steady state (each `Mutex` below is only ever taken by the one
+//! side that owns the slot at that moment; it exists to move the value
+//! without `unsafe` under the workspace-wide `forbid(unsafe_code)`).
+//!
+//! The ring is deliberately *bounded*: a slow consumer exerts
+//! backpressure on the producer, which retries briefly and then surfaces
+//! a structured [`super::ShardAbort::RingBackpressure`] instead of
+//! buffering without limit — mirroring the simulator's
+//! `RunAbort::ChannelQueueOverflow` philosophy.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct RingShared<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    full: Vec<AtomicBool>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+/// The producer half of a bounded SPSC ring.
+pub(crate) struct RingSender<T> {
+    inner: Arc<RingShared<T>>,
+}
+
+/// The consumer half of a bounded SPSC ring.
+pub(crate) struct RingReceiver<T> {
+    inner: Arc<RingShared<T>>,
+}
+
+/// Build a bounded SPSC ring with `capacity` slots. A capacity of zero
+/// is legal and always full (useful to force the backpressure path in
+/// tests).
+pub(crate) fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let inner = Arc::new(RingShared {
+        slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        full: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        RingSender {
+            inner: inner.clone(),
+        },
+        RingReceiver { inner },
+    )
+}
+
+impl<T> RingSender<T> {
+    /// Push a value, or hand it back when the ring is full.
+    pub(crate) fn try_push(&self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let cap = inner.slots.len();
+        if cap == 0 {
+            return Err(value);
+        }
+        let t = inner.tail.load(Ordering::Relaxed);
+        let slot = t % cap;
+        if inner.full[slot].load(Ordering::Acquire) {
+            return Err(value);
+        }
+        *inner.slots[slot].lock().expect("ring slot poisoned") = Some(value);
+        inner.full[slot].store(true, Ordering::Release);
+        inner.tail.store(t.wrapping_add(1), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Pop the oldest value, if any.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let cap = inner.slots.len();
+        if cap == 0 {
+            return None;
+        }
+        let h = inner.head.load(Ordering::Relaxed);
+        let slot = h % cap;
+        if !inner.full[slot].load(Ordering::Acquire) {
+            return None;
+        }
+        let value = inner.slots[slot].lock().expect("ring slot poisoned").take();
+        inner.full[slot].store(false, Ordering::Release);
+        inner.head.store(h.wrapping_add(1), Ordering::Relaxed);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_bounded_capacity() {
+        let (tx, rx) = ring::<u32>(3);
+        assert!(rx.try_pop().is_none());
+        assert!(tx.try_push(1).is_ok());
+        assert!(tx.try_push(2).is_ok());
+        assert!(tx.try_push(3).is_ok());
+        assert_eq!(tx.try_push(4), Err(4), "ring must be full");
+        assert_eq!(rx.try_pop(), Some(1));
+        assert!(tx.try_push(4).is_ok(), "slot freed by the pop");
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), Some(4));
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_always_full() {
+        let (tx, rx) = ring::<u8>(0);
+        assert_eq!(tx.try_push(9), Err(9));
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_everything_in_order() {
+        let (tx, rx) = ring::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                let mut v = i;
+                loop {
+                    match tx.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < 10_000 {
+            if let Some(v) = rx.try_pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().expect("producer");
+    }
+}

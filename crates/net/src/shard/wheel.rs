@@ -1,0 +1,173 @@
+//! A per-shard timing wheel for node wakeups — the live mirror of the
+//! simulator's bounded-horizon event-queue core (`manet_sim`'s wheel).
+//!
+//! Each worker owns one wheel keyed on virtual ticks (`wall_ns /
+//! tick_ns`). Almost every deadline — think times, eating exits,
+//! protocol timers — lands within a small window above "now", so wakeups
+//! hash into per-tick buckets and both `schedule` and `advance` stay
+//! O(1) amortized; the rare far deadline parks in a small overflow list
+//! consulted as the cursor reaches it, exactly the sim core's shape.
+
+/// Per-tick wakeup buckets over local node indices.
+pub(crate) struct ShardWheel {
+    slots: Vec<Vec<(u64, u32)>>,
+    /// Next tick not yet drained.
+    cursor: u64,
+    len: u64,
+    /// Wakeups beyond the horizon, re-filed as the cursor approaches.
+    overflow: Vec<(u64, u32)>,
+}
+
+impl ShardWheel {
+    pub(crate) fn new(slots: usize) -> ShardWheel {
+        let slots = slots.max(1);
+        ShardWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: slots as u64,
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Arm a wakeup for local node `node` at virtual tick `tick`
+    /// (clamped forward to the cursor: the past fires immediately on the
+    /// next advance).
+    pub(crate) fn schedule(&mut self, tick: u64, node: u32) {
+        let t = tick.max(self.cursor);
+        if t < self.cursor + self.len {
+            self.slots[(t % self.len) as usize].push((t, node));
+        } else {
+            self.overflow.push((t, node));
+        }
+    }
+
+    /// Drain every wakeup due at or before `now` into `due`.
+    pub(crate) fn advance(&mut self, now: u64, due: &mut Vec<u32>) {
+        if now < self.cursor {
+            return;
+        }
+        if now - self.cursor + 1 >= self.len {
+            // The cursor fell a full lap behind (a long stall): sweep
+            // every bucket once instead of walking tick by tick.
+            for slot in &mut self.slots {
+                slot.retain(|&(t, node)| {
+                    if t <= now {
+                        due.push(node);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        } else {
+            let mut t = self.cursor;
+            while t <= now {
+                self.slots[(t % self.len) as usize].retain(|&(tt, node)| {
+                    if tt <= now {
+                        due.push(node);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                t += 1;
+            }
+        }
+        self.cursor = now + 1;
+        let (cursor, len) = (self.cursor, self.len);
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let (t, node) = self.overflow[i];
+            if t <= now {
+                due.push(node);
+                self.overflow.swap_remove(i);
+            } else if t < cursor + len {
+                self.slots[(t % len) as usize].push((t, node));
+                self.overflow.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The earliest armed tick, if any (drives the worker's sleep).
+    pub(crate) fn next_deadline(&self) -> Option<u64> {
+        let mut best: Option<u64> = self.overflow.iter().map(|&(t, _)| t).min();
+        for d in 0..self.len {
+            if best.is_some_and(|b| self.cursor + d >= b) {
+                break;
+            }
+            for &(t, _) in &self.slots[((self.cursor + d) % self.len) as usize] {
+                if best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut ShardWheel, now: u64) -> Vec<u32> {
+        let mut due = Vec::new();
+        w.advance(now, &mut due);
+        due.sort_unstable();
+        due
+    }
+
+    #[test]
+    fn due_wakeups_fire_and_future_ones_wait() {
+        let mut w = ShardWheel::new(8);
+        w.schedule(2, 0);
+        w.schedule(5, 1);
+        w.schedule(5, 2);
+        assert_eq!(w.next_deadline(), Some(2));
+        assert_eq!(drain(&mut w, 1), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 4), vec![0]);
+        assert_eq!(w.next_deadline(), Some(5));
+        assert_eq!(drain(&mut w, 5), vec![1, 2]);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn far_deadlines_park_in_overflow_and_still_fire() {
+        let mut w = ShardWheel::new(4);
+        w.schedule(100, 7);
+        assert_eq!(w.next_deadline(), Some(100));
+        assert_eq!(drain(&mut w, 50), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 100), vec![7]);
+    }
+
+    #[test]
+    fn lapped_entries_do_not_fire_early() {
+        let mut w = ShardWheel::new(4);
+        // tick 6 hashes into the same bucket as tick 2 (len 4).
+        w.schedule(6, 1);
+        w.schedule(2, 0);
+        assert_eq!(drain(&mut w, 2), vec![0]);
+        assert_eq!(drain(&mut w, 5), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 6), vec![1]);
+    }
+
+    #[test]
+    fn long_stall_sweeps_everything_once() {
+        let mut w = ShardWheel::new(4);
+        for i in 0..4u64 {
+            w.schedule(i, i as u32);
+        }
+        w.schedule(9, 9);
+        assert_eq!(drain(&mut w, 1_000), vec![0, 1, 2, 3, 9]);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn past_schedules_fire_on_the_next_advance() {
+        let mut w = ShardWheel::new(4);
+        assert_eq!(drain(&mut w, 10), Vec::<u32>::new());
+        w.schedule(3, 5); // already past: clamped to the cursor
+        assert_eq!(drain(&mut w, 11), vec![5]);
+    }
+}

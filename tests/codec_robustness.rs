@@ -154,6 +154,24 @@ fn cm_variants_round_trip_and_reject_corruption() {
 }
 
 #[test]
+fn a1_random_candidate_stream_round_trips_and_rejects_corruption() {
+    // The randomized doorway (a1-random, live-capable since the sharded
+    // runtime landed) leans on Candidate/Nack recoloring exchanges; pin
+    // the extremes the seeded sweep above is unlikely to hit, then a
+    // dedicated seeded recolor stream.
+    for value in [0, 1, u64::MAX, 0x8000_0000_0000_0000] {
+        for decided in [false, true] {
+            check(A1Msg::Recolor(RecolorMsg::Candidate { value, decided }));
+        }
+    }
+    check(A1Msg::Recolor(RecolorMsg::Nack));
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0x1A1D);
+    for i in 0..ROUNDS {
+        check(A1Msg::Recolor(arb_recolor(&mut rng, i)));
+    }
+}
+
+#[test]
 fn cross_algorithm_and_cross_version_frames_are_rejected() {
     let a2 = encode_frame(&A2Msg::Req);
     assert_eq!(
